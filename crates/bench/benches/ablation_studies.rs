@@ -1,0 +1,129 @@
+//! Ablation studies of the design choices DESIGN.md calls out (not a paper figure, but
+//! each isolates one of the mechanisms the paper credits for Pimba's gains):
+//!
+//! 1. access interleaving (Figure 8) — SPU utilization with and without it;
+//! 2. MX8 state storage — Pimba's latency if the state stayed fp16;
+//! 3. command-schedule overlap (Figure 11) — REG_WRITE hidden in the tFAW window vs a
+//!    serialized schedule;
+//! 4. refresh overhead — the cost of honouring tREFI/tRFC;
+//! 5. unit sharing — one SPU per two banks vs one per bank at equal storage format.
+
+use bench::{fmt, print_table, write_csv};
+use pimba_models::{ModelConfig, ModelFamily, ModelScale};
+use pimba_pim::designs::{PimDesign, PimDesignKind};
+use pimba_pim::kernels::row_group_cycles;
+use pimba_pim::scheduler::{measure_row_group, RowGroupPlan};
+use pimba_pim::spu::SpuPipeline;
+use pimba_system::serving::state_update_shape;
+
+fn main() {
+    let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small);
+    let shape = state_update_shape(&model, 128);
+    let pimba = PimDesign::new(PimDesignKind::Pimba);
+
+    // 1. Access interleaving.
+    let interleaved = SpuPipeline::pimba().run(1024);
+    let single_bank = SpuPipeline::per_bank().run(1024);
+    let rows = vec![
+        vec![
+            "access interleaving".to_string(),
+            fmt(100.0 * interleaved.utilization(), 1),
+            interleaved.slots.to_string(),
+        ],
+        vec![
+            "single-bank feed (no interleaving)".to_string(),
+            fmt(100.0 * single_bank.utilization(), 1),
+            single_bank.slots.to_string(),
+        ],
+    ];
+    print_table(
+        "Ablation 1: SPU utilization feeding 1024 sub-chunks",
+        &["policy", "utilization_pct", "slots"],
+        &rows,
+    );
+    write_csv("ablation1_interleaving", &["policy", "utilization_pct", "slots"], &rows);
+
+    // 2. Storage format on the Pimba datapath: MX8 vs fp16 (same SPU count and cadence,
+    //    half the elements per column burst).
+    let mx8_ns = pimba.state_update_latency_ns(&shape).unwrap();
+    let fp16_like = PimDesign::new(PimDesignKind::HbmPimTwoBank); // fp16 storage
+    let fp16_columns_ratio = pimba.elements_per_column() as f64 / fp16_like.elements_per_column() as f64;
+    let fp16_on_pimba_ns = mx8_ns * fp16_columns_ratio;
+    let rows = vec![
+        vec!["Pimba (MX8 state)".to_string(), fmt(mx8_ns / 1e6, 3), fmt(1.0, 2)],
+        vec![
+            "Pimba datapath with fp16 state".to_string(),
+            fmt(fp16_on_pimba_ns / 1e6, 3),
+            fmt(fp16_on_pimba_ns / mx8_ns, 2),
+        ],
+    ];
+    print_table(
+        "Ablation 2: state storage format on the Pimba datapath (Mamba-2 2.7B, batch 128)",
+        &["configuration", "state_update_ms", "relative"],
+        &rows,
+    );
+    write_csv("ablation2_storage_format", &["configuration", "state_update_ms", "relative"], &rows);
+
+    // 3. Command-schedule overlap: operands hidden in the activation window vs added
+    //    serially after it.
+    let plan = RowGroupPlan { comps: 64, reg_writes: 16, result_reads: 8, writes_back: true };
+    let overlapped = measure_row_group(pimba.timing, pimba.geometry, &plan);
+    let no_ops = RowGroupPlan { reg_writes: 0, ..plan };
+    let base = measure_row_group(pimba.timing, pimba.geometry, &no_ops);
+    let serialized_cycles =
+        base.total_cycles + plan.reg_writes as u64 * pimba.timing.burst_cycles + plan.reg_writes as u64;
+    let rows = vec![
+        vec!["overlapped (Figure 11)".to_string(), overlapped.total_cycles.to_string()],
+        vec!["serialized operand transfer".to_string(), serialized_cycles.to_string()],
+    ];
+    print_table(
+        "Ablation 3: row-group cycles with overlapped vs serialized REG_WRITE",
+        &["schedule", "cycles"],
+        &rows,
+    );
+    write_csv("ablation3_schedule_overlap", &["schedule", "cycles"], &rows);
+
+    // 4. Refresh overhead.
+    let t = pimba.timing;
+    let refresh_penalty = t.t_refi as f64 / (t.t_refi - t.t_rfc) as f64;
+    let rows = vec![
+        vec!["with refresh".to_string(), fmt(mx8_ns / 1e6, 3)],
+        vec!["refresh disabled (hypothetical)".to_string(), fmt(mx8_ns / refresh_penalty / 1e6, 3)],
+        vec!["refresh penalty".to_string(), fmt((refresh_penalty - 1.0) * 100.0, 1) + "%"],
+    ];
+    print_table("Ablation 4: refresh overhead on the state-update latency", &["configuration", "value"], &rows);
+    write_csv("ablation4_refresh", &["configuration", "value"], &rows);
+
+    // 5. Unit sharing: per-two-banks (Pimba) vs per-bank at the same cadence.
+    let shared_cycles = row_group_cycles(&pimba, 1, true);
+    let per_bank = PimDesign::new(PimDesignKind::PipelinedPerBank);
+    let per_bank_cycles = row_group_cycles(&per_bank, 2, true);
+    let rows = vec![
+        vec![
+            "1 SPU / 2 banks + interleaving (Pimba)".to_string(),
+            pimba.units_per_pseudo_channel().to_string(),
+            fmt(shared_cycles, 0),
+        ],
+        vec![
+            "1 SPE / bank (no sharing)".to_string(),
+            per_bank.units_per_pseudo_channel().to_string(),
+            fmt(per_bank_cycles, 0),
+        ],
+    ];
+    print_table(
+        "Ablation 5: row-group cycles — half the units, same throughput",
+        &["design", "units_per_pseudo_channel", "row_group_cycles"],
+        &rows,
+    );
+    write_csv(
+        "ablation5_unit_sharing",
+        &["design", "units_per_pseudo_channel", "row_group_cycles"],
+        &rows,
+    );
+
+    println!(
+        "\n  Summary: interleaving keeps the shared SPU ~100% fed where a per-bank unit idles;\n  \
+         MX8 halves the streamed bytes; the Figure 11 schedule hides operand transfer almost\n  \
+         entirely; refresh costs ~10%; and halving the unit count costs no row-group cycles."
+    );
+}

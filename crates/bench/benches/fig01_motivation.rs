@@ -1,0 +1,85 @@
+//! Figure 1 — motivation: (a) memory / throughput / accuracy of a 2.7B transformer vs
+//! Mamba-2, and (b) the roofline placement of GEMM, attention and state update on an
+//! A100.
+
+use bench::{fmt, print_table, write_csv};
+use pimba_gpu::device::GpuDevice;
+use pimba_gpu::roofline::Roofline;
+use pimba_models::accuracy::{baseline_accuracy, geometric_mean, Task};
+use pimba_models::config::{ModelConfig, ModelFamily, ModelScale};
+use pimba_models::ops::OpKind;
+use pimba_models::workload::GenerationWorkload;
+use pimba_system::config::{SystemConfig, SystemKind};
+use pimba_system::memory::memory_usage_bytes;
+use pimba_system::serving::ServingSimulator;
+
+fn main() {
+    let batch = 64;
+    let seq = 2048;
+
+    // (a) 2.7B-parameter transformer vs Mamba-2.
+    let mamba = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small);
+    let transformer = ModelConfig::preset(ModelFamily::Opt, ModelScale::Small).scaled_to(2.7e9);
+    let cfg = SystemConfig::small_scale(SystemKind::Gpu);
+    let sim = ServingSimulator::new(cfg.clone());
+
+    let mut rows_a = Vec::new();
+    for (name, family, model) in [
+        ("Transformer", ModelFamily::Opt, &transformer),
+        ("Mamba-2", ModelFamily::Mamba2, &mamba),
+    ] {
+        let mem_gb = memory_usage_bytes(&cfg, model, batch, seq) / 1e9;
+        let wps = sim.generation_throughput(model, batch, seq);
+        let accuracy = geometric_mean(
+            &Task::ALL.iter().map(|&t| baseline_accuracy(family, t)).collect::<Vec<_>>(),
+        );
+        rows_a.push(vec![name.to_string(), fmt(mem_gb, 1), fmt(wps, 0), fmt(accuracy, 1)]);
+    }
+    print_table(
+        "Figure 1(a): GPU memory (GB), throughput (words/s), accuracy (%)",
+        &["model", "memory_gb", "throughput_wps", "accuracy_pct"],
+        &rows_a,
+    );
+    let mem_t: f64 = rows_a[0][1].parse().unwrap();
+    let mem_m: f64 = rows_a[1][1].parse().unwrap();
+    let thr_t: f64 = rows_a[0][2].parse().unwrap();
+    let thr_m: f64 = rows_a[1][2].parse().unwrap();
+    println!(
+        "  memory ratio (transformer/mamba-2) = {:.1}x, throughput ratio = {:.1}x (paper: 2.3x / 2.6x)",
+        mem_t / mem_m,
+        thr_m / thr_t
+    );
+    write_csv("fig01a_motivation", &["model", "memory_gb", "throughput_wps", "accuracy_pct"], &rows_a);
+
+    // (b) Roofline placement of the three operator classes.
+    let roofline = Roofline::new(GpuDevice::a100());
+    let mamba_wl = GenerationWorkload::single_step(&mamba, batch, seq);
+    let opt_wl = GenerationWorkload::single_step(&transformer, batch, seq);
+    let mut rows_b = Vec::new();
+    for (label, cost) in [
+        ("Attention", opt_wl.cost_of(OpKind::Attention)),
+        ("State Update", mamba_wl.cost_of(OpKind::StateUpdate)),
+        ("GEMM (transformer)", opt_wl.cost_of(OpKind::Gemm)),
+        ("GEMM (Mamba-2)", mamba_wl.cost_of(OpKind::Gemm)),
+    ] {
+        let ai = cost.arithmetic_intensity();
+        rows_b.push(vec![
+            label.to_string(),
+            fmt(ai, 2),
+            fmt(roofline.attainable_tflops(ai), 1),
+            format!("{:?}", roofline.boundedness(ai)),
+        ]);
+    }
+    rows_b.push(vec![
+        "ridge point".to_string(),
+        fmt(GpuDevice::a100().ridge_point(), 1),
+        fmt(GpuDevice::a100().fp16_tflops, 0),
+        "-".to_string(),
+    ]);
+    print_table(
+        "Figure 1(b): roofline analysis (A100)",
+        &["operator", "flops_per_byte", "attainable_tflops", "bound"],
+        &rows_b,
+    );
+    write_csv("fig01b_roofline", &["operator", "flops_per_byte", "attainable_tflops", "bound"], &rows_b);
+}

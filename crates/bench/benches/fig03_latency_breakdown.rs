@@ -1,0 +1,64 @@
+//! Figure 3 — latency breakdown of the generation phase on an A100 GPU for the
+//! SU-LLMs and the Zamba2 hybrid, across batch sizes 32/64/128.
+
+use bench::{breakdown_models, fmt, print_table, write_csv, BATCH_SIZES, SEQ_LEN};
+use pimba_models::ops::OpKind;
+use pimba_system::config::{SystemConfig, SystemKind};
+use pimba_system::serving::ServingSimulator;
+
+fn main() {
+    let sim = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Gpu));
+    let categories = [
+        OpKind::StateUpdate,
+        OpKind::Attention,
+        OpKind::Discretization,
+        OpKind::CausalConv,
+        OpKind::Gemm,
+        OpKind::Others,
+    ];
+
+    let mut rows = Vec::new();
+    for model in breakdown_models() {
+        for &batch in &BATCH_SIZES {
+            let step = sim.generation_step(&model, batch, SEQ_LEN);
+            let mut row = vec![model.family.name().to_string(), batch.to_string()];
+            for kind in categories {
+                row.push(fmt(100.0 * step.fraction_of(kind), 1));
+            }
+            row.push(fmt(step.total_ns / 1e6, 2));
+            rows.push(row);
+        }
+    }
+
+    let header = [
+        "model",
+        "batch",
+        "state_update_pct",
+        "attention_pct",
+        "discretization_pct",
+        "causal_conv_pct",
+        "gemm_pct",
+        "others_pct",
+        "total_ms",
+    ];
+    print_table("Figure 3: generation-phase latency breakdown on the GPU (%)", &header, &rows);
+    write_csv("fig03_latency_breakdown", &header, &rows);
+
+    let share = |family: &str, batch: usize| -> f64 {
+        rows.iter()
+            .find(|r| r[0] == family && r[1] == batch.to_string())
+            .map(|r| r[2].parse().unwrap())
+            .unwrap()
+    };
+    println!(
+        "\n  RetNet state-update share: {:.1}% @32 -> {:.1}% @128 (paper: 41.9% -> 73.8%)",
+        share("RetNet", 32),
+        share("RetNet", 128)
+    );
+    let zamba_attn: f64 = rows
+        .iter()
+        .find(|r| r[0] == "Zamba2" && r[1] == "128")
+        .map(|r| r[3].parse().unwrap())
+        .unwrap();
+    println!("  Zamba2 attention share @128: {zamba_attn:.1}% (paper: 65.5%)");
+}

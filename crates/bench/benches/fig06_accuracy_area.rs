@@ -1,0 +1,55 @@
+//! Figure 6 — accuracy/area trade-off of the low-precision formats on Mamba-2 with a
+//! per-bank pipelined PIM design.
+
+use bench::{fmt, print_table, write_csv};
+use pimba_models::accuracy::{perplexity, StudyConfig};
+use pimba_models::config::ModelFamily;
+use pimba_num::{QuantFormat, Rounding};
+use pimba_pim::area::AreaModel;
+
+fn main() {
+    let cfg = StudyConfig::standard();
+    let area = AreaModel::default();
+    let variants: Vec<(QuantFormat, Rounding)> = vec![
+        (QuantFormat::Fp16, Rounding::Nearest),
+        (QuantFormat::Int8, Rounding::Nearest),
+        (QuantFormat::Int8, Rounding::Stochastic),
+        (QuantFormat::E4m3, Rounding::Nearest),
+        (QuantFormat::E4m3, Rounding::Stochastic),
+        (QuantFormat::E5m2, Rounding::Nearest),
+        (QuantFormat::E5m2, Rounding::Stochastic),
+        (QuantFormat::Mx8, Rounding::Nearest),
+        (QuantFormat::Mx8, Rounding::Stochastic),
+    ];
+
+    let mut rows = Vec::new();
+    for &(format, rounding) in &variants {
+        let ppl = perplexity(ModelFamily::Mamba2, format, rounding, &cfg);
+        let overhead = area.format_breakdown(format, rounding).overhead_percent;
+        rows.push(vec![format.label(rounding), fmt(overhead, 1), fmt(ppl, 2)]);
+        eprintln!("  finished {}", format.label(rounding));
+    }
+
+    let header = ["format", "area_overhead_pct", "perplexity"];
+    print_table("Figure 6: accuracy-area tradeoff (Mamba-2, per-bank pipelined PIM)", &header, &rows);
+    write_csv("fig06_accuracy_area", &header, &rows);
+
+    // Pareto check: mx8SR should not be dominated by any other 8-bit point.
+    let find = |label: &str| {
+        rows.iter()
+            .find(|r| r[0] == label)
+            .map(|r| (r[1].parse::<f64>().unwrap(), r[2].parse::<f64>().unwrap()))
+            .unwrap()
+    };
+    let (mx_area, mx_ppl) = find("mx8SR");
+    let dominated = ["int8", "int8SR", "e4m3", "e4m3SR", "e5m2", "e5m2SR"]
+        .iter()
+        .any(|l| {
+            let (a, p) = find(l);
+            a <= mx_area && p <= mx_ppl
+        });
+    println!(
+        "\n  mx8SR: {mx_area:.1}% area, perplexity {mx_ppl:.2} — {} (paper: Pareto-optimal choice)",
+        if dominated { "DOMINATED (unexpected)" } else { "Pareto-optimal among 8-bit formats" }
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 12 — normalized generation throughput of GPU, GPU+Q, GPU+PIM and Pimba on
+//! all six models, at small (1 GPU) and large (8 GPU) scale, batch 32/64/128.
+
+use bench::{fmt, performance_models, print_table, write_csv, BATCH_SIZES, SEQ_LEN};
+use pimba_models::config::ModelScale;
+use pimba_system::config::{SystemConfig, SystemKind};
+use pimba_system::serving::ServingSimulator;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut pimba_speedups: Vec<f64> = Vec::new();
+    let mut gpupim_speedups: Vec<f64> = Vec::new();
+
+    for scale in [ModelScale::Small, ModelScale::Large] {
+        let mk = |kind| match scale {
+            ModelScale::Small => SystemConfig::small_scale(kind),
+            ModelScale::Large => SystemConfig::large_scale(kind),
+        };
+        let sims: Vec<(SystemKind, ServingSimulator)> = SystemKind::MAIN_COMPARISON
+            .iter()
+            .map(|&k| (k, ServingSimulator::new(mk(k))))
+            .collect();
+
+        for model in performance_models(scale) {
+            for &batch in &BATCH_SIZES {
+                let mut throughputs = Vec::new();
+                for (_, sim) in &sims {
+                    throughputs.push(sim.generation_throughput(&model, batch, SEQ_LEN));
+                }
+                let gpu = throughputs[0];
+                let mut row = vec![
+                    scale.name().to_string(),
+                    model.family.name().to_string(),
+                    batch.to_string(),
+                ];
+                for t in &throughputs {
+                    row.push(fmt(t / gpu, 2));
+                }
+                row.push(fmt(gpu, 0));
+                pimba_speedups.push(throughputs[3] / gpu);
+                gpupim_speedups.push(throughputs[3] / throughputs[2]);
+                rows.push(row);
+            }
+        }
+    }
+
+    let header = ["scale", "model", "batch", "gpu", "gpu_q", "gpu_pim", "pimba", "gpu_tokens_per_s"];
+    print_table("Figure 12: normalized generation throughput", &header, &rows);
+    write_csv("fig12_throughput", &header, &rows);
+
+    let geomean = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    let max = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\n  Pimba vs GPU:      geomean {:.2}x, max {:.2}x (paper: avg 1.9x, up to 4.1x)",
+        geomean(&pimba_speedups),
+        max(&pimba_speedups)
+    );
+    println!(
+        "  Pimba vs GPU+PIM:  geomean {:.2}x, max {:.2}x (paper: avg 1.4x, up to 2.1x)",
+        geomean(&gpupim_speedups),
+        max(&gpupim_speedups)
+    );
+}

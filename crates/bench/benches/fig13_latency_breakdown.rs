@@ -1,0 +1,94 @@
+//! Figure 13 — per-operator latency breakdown of the large-scale (70B) models on the
+//! four systems, normalized to the GPU baseline, with (2048, 2048) sequence lengths.
+
+use bench::{fmt, performance_models, print_table, write_csv, BATCH_SIZES, SEQ_LEN};
+use pimba_models::config::ModelScale;
+use pimba_models::ops::OpKind;
+use pimba_system::config::{SystemConfig, SystemKind};
+use pimba_system::serving::ServingSimulator;
+
+fn main() {
+    let categories = [
+        OpKind::StateUpdate,
+        OpKind::Attention,
+        OpKind::Discretization,
+        OpKind::CausalConv,
+        OpKind::Gemm,
+        OpKind::Communication,
+        OpKind::Others,
+    ];
+    let sims: Vec<(SystemKind, ServingSimulator)> = SystemKind::MAIN_COMPARISON
+        .iter()
+        .map(|&k| (k, ServingSimulator::new(SystemConfig::large_scale(k))))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut su_ratios = Vec::new();
+    let mut attn_ratios = Vec::new();
+    for model in performance_models(ModelScale::Large) {
+        for &batch in &BATCH_SIZES {
+            let gpu_total = sims[0].1.generation_step(&model, batch, SEQ_LEN).total_ns;
+            let gpu_step = sims[0].1.generation_step(&model, batch, SEQ_LEN);
+            for (kind, sim) in &sims {
+                let step = sim.generation_step(&model, batch, SEQ_LEN);
+                let mut row = vec![
+                    model.family.name().to_string(),
+                    batch.to_string(),
+                    kind.name().to_string(),
+                ];
+                for cat in categories {
+                    row.push(fmt(step.latency_of(cat) / gpu_total, 3));
+                }
+                row.push(fmt(step.total_ns / gpu_total, 3));
+                if *kind == SystemKind::Pimba && batch == 128 {
+                    if gpu_step.latency_of(OpKind::StateUpdate) > 0.0
+                        && step.latency_of(OpKind::StateUpdate) > 0.0
+                    {
+                        su_ratios.push(
+                            gpu_step.latency_of(OpKind::StateUpdate)
+                                / step.latency_of(OpKind::StateUpdate),
+                        );
+                    }
+                    if gpu_step.latency_of(OpKind::Attention) > 0.0
+                        && step.latency_of(OpKind::Attention) > 0.0
+                    {
+                        attn_ratios.push(
+                            gpu_step.latency_of(OpKind::Attention) / step.latency_of(OpKind::Attention),
+                        );
+                    }
+                }
+                rows.push(row);
+            }
+        }
+    }
+
+    let header = [
+        "model",
+        "batch",
+        "system",
+        "state_update",
+        "attention",
+        "discretization",
+        "causal_conv",
+        "gemm",
+        "communication",
+        "others",
+        "total",
+    ];
+    print_table(
+        "Figure 13: latency breakdown at large scale (normalized to the GPU total)",
+        &header,
+        &rows,
+    );
+    write_csv("fig13_latency_breakdown", &header, &rows);
+
+    let geomean = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len().max(1) as f64).exp();
+    println!(
+        "\n  Pimba state-update latency reduction vs GPU (batch 128): {:.1}x (paper: 14.6x)",
+        geomean(&su_ratios)
+    );
+    println!(
+        "  Pimba attention latency reduction vs GPU (batch 128):    {:.1}x (paper: 6.3x)",
+        geomean(&attn_ratios)
+    );
+}

@@ -1,0 +1,61 @@
+//! Figure 14 — normalized energy breakdown of the large-scale models at batch 128.
+
+use bench::{fmt, performance_models, print_table, write_csv, SEQ_LEN};
+use pimba_models::config::ModelScale;
+use pimba_system::config::{SystemConfig, SystemKind};
+use pimba_system::serving::ServingSimulator;
+
+fn main() {
+    let batch = 128;
+    let sims: Vec<(SystemKind, ServingSimulator)> = SystemKind::MAIN_COMPARISON
+        .iter()
+        .map(|&k| (k, ServingSimulator::new(SystemConfig::large_scale(k))))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut pimba_vs_gpu = Vec::new();
+    let mut pimba_vs_gpupim = Vec::new();
+    for model in performance_models(ModelScale::Large) {
+        let gpu_total = sims[0].1.step_energy(&model, batch, SEQ_LEN).total_pj();
+        let gpupim_total = sims[2].1.step_energy(&model, batch, SEQ_LEN).total_pj();
+        for (kind, sim) in &sims {
+            let e = sim.step_energy(&model, batch, SEQ_LEN);
+            rows.push(vec![
+                model.family.name().to_string(),
+                kind.name().to_string(),
+                fmt(e.state_update_io_pj / gpu_total, 3),
+                fmt(e.state_update_compute_pj / gpu_total, 3),
+                fmt(e.attention_io_pj / gpu_total, 3),
+                fmt(e.attention_compute_pj / gpu_total, 3),
+                fmt(e.gemm_pj / gpu_total, 3),
+                fmt(e.others_pj / gpu_total, 3),
+                fmt(e.total_pj() / gpu_total, 3),
+            ]);
+            if *kind == SystemKind::Pimba {
+                pimba_vs_gpu.push(gpu_total / e.total_pj());
+                pimba_vs_gpupim.push(gpupim_total / e.total_pj());
+            }
+        }
+    }
+
+    let header = [
+        "model",
+        "system",
+        "state_update_io",
+        "state_update_compute",
+        "attention_io",
+        "attention_compute",
+        "gemm",
+        "others",
+        "total",
+    ];
+    print_table("Figure 14: normalized energy breakdown (batch 128, large scale)", &header, &rows);
+    write_csv("fig14_energy", &header, &rows);
+
+    let geomean = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    println!(
+        "\n  Pimba energy reduction: {:.2}x vs GPU (paper: 2.2x), {:.2}x vs GPU+PIM (paper: 1.3x)",
+        geomean(&pimba_vs_gpu),
+        geomean(&pimba_vs_gpupim)
+    );
+}

@@ -1,0 +1,49 @@
+//! Figure 16 — normalized generation throughput with an H100-class system (HBM3-based
+//! PIM at 2.626 GHz, NVLink4), demonstrating that the Pimba approach generalizes
+//! across GPU platforms.
+
+use bench::{fmt, performance_models, print_table, write_csv, BATCH_SIZES, SEQ_LEN};
+use pimba_models::config::ModelScale;
+use pimba_system::config::{SystemConfig, SystemKind};
+use pimba_system::serving::ServingSimulator;
+
+fn main() {
+    let sims: Vec<(SystemKind, ServingSimulator)> = SystemKind::MAIN_COMPARISON
+        .iter()
+        .map(|&k| (k, ServingSimulator::new(SystemConfig::h100_large_scale(k))))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut pimba_vs_gpu = Vec::new();
+    let mut pimba_vs_gpupim = Vec::new();
+    for model in performance_models(ModelScale::Large) {
+        for &batch in &BATCH_SIZES {
+            let mut throughputs = Vec::new();
+            for (_, sim) in &sims {
+                throughputs.push(sim.generation_throughput(&model, batch, SEQ_LEN));
+            }
+            let gpu = throughputs[0];
+            rows.push(vec![
+                model.family.name().to_string(),
+                batch.to_string(),
+                fmt(1.0, 2),
+                fmt(throughputs[1] / gpu, 2),
+                fmt(throughputs[2] / gpu, 2),
+                fmt(throughputs[3] / gpu, 2),
+            ]);
+            pimba_vs_gpu.push(throughputs[3] / gpu);
+            pimba_vs_gpupim.push(throughputs[3] / throughputs[2]);
+        }
+    }
+
+    let header = ["model", "batch", "gpu", "gpu_q", "gpu_pim", "pimba"];
+    print_table("Figure 16: normalized throughput on the H100 configuration", &header, &rows);
+    write_csv("fig16_h100", &header, &rows);
+
+    let geomean = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    println!(
+        "\n  Pimba vs GPU: geomean {:.2}x (paper: 1.8x); vs GPU+PIM: {:.2}x (paper: 1.3x)",
+        geomean(&pimba_vs_gpu),
+        geomean(&pimba_vs_gpupim)
+    );
+}

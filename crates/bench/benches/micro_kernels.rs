@@ -1,0 +1,138 @@
+//! Criterion micro-benchmarks of the core kernels: MX8 quantization, the SPE
+//! arithmetic units, the state-update step, attention over a KV cache and the DRAM
+//! command issue engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pimba_dram::command::DramCommand;
+use pimba_dram::controller::PseudoChannel;
+use pimba_dram::geometry::DramGeometry;
+use pimba_dram::timing::TimingParams;
+use pimba_models::attention::AttentionHead;
+use pimba_models::config::ModelFamily;
+use pimba_models::state_update::{StateUpdateEngine, StateUpdateHead};
+use pimba_models::synth::SynthStream;
+use pimba_num::mx::MxGroup;
+use pimba_num::{MxAdder, MxMultiplier, QuantFormat, Rounding, StochasticSource};
+use std::hint::black_box;
+
+fn bench_mx_quantization(c: &mut Criterion) {
+    let values: Vec<f32> = (0..16).map(|i| (i as f32 * 0.37).sin() * 4.0).collect();
+    c.bench_function("mx8_quantize_group_of_16", |b| {
+        let mut src = StochasticSource::from_seed(1);
+        b.iter(|| MxGroup::quantize(black_box(&values), Rounding::Stochastic, &mut src))
+    });
+
+    let mut tensor: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.013).cos()).collect();
+    c.bench_function("mx8_store_roundtrip_4096", |b| {
+        let mut src = StochasticSource::from_seed(2);
+        b.iter(|| {
+            let mut t = tensor.clone();
+            QuantFormat::Mx8.store_roundtrip(black_box(&mut t), Rounding::Stochastic, &mut src)
+        })
+    });
+    tensor.truncate(4096);
+}
+
+fn bench_spe_units(c: &mut Criterion) {
+    let mut src = StochasticSource::from_seed(3);
+    let a_vals: Vec<f32> = (0..16).map(|i| 0.3 + i as f32 * 0.1).collect();
+    let b_vals: Vec<f32> = (0..16).map(|i| 1.5 - i as f32 * 0.07).collect();
+    let a = MxGroup::quantize(&a_vals, Rounding::Nearest, &mut src);
+    let b = MxGroup::quantize(&b_vals, Rounding::Nearest, &mut src);
+
+    c.bench_function("spe_mx_multiplier", |bench| {
+        let mut src = StochasticSource::from_seed(4);
+        bench.iter(|| MxMultiplier.multiply(black_box(&a), black_box(&b), Rounding::Stochastic, &mut src))
+    });
+    c.bench_function("spe_mx_adder", |bench| {
+        let mut src = StochasticSource::from_seed(5);
+        bench.iter(|| MxAdder.add(black_box(&a), black_box(&b), Rounding::Stochastic, &mut src))
+    });
+}
+
+fn bench_state_update(c: &mut Criterion) {
+    let mut stream = SynthStream::new(ModelFamily::Mamba2, 64, 128, 7);
+    let steps = stream.take_steps(16);
+
+    c.bench_function("state_update_step_fp32_64x128", |b| {
+        b.iter_batched(
+            || StateUpdateHead::new(64, 128, StateUpdateEngine::Exact, 1),
+            |mut head| {
+                for s in &steps {
+                    black_box(head.step(s));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("state_update_step_mx8_store_64x128", |b| {
+        b.iter_batched(
+            || {
+                StateUpdateHead::new(
+                    64,
+                    128,
+                    StateUpdateEngine::QuantizedStore {
+                        format: QuantFormat::Mx8,
+                        rounding: Rounding::Stochastic,
+                    },
+                    1,
+                )
+            },
+            |mut head| {
+                for s in &steps {
+                    black_box(head.step(s));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut stream = SynthStream::new(ModelFamily::Opt, 128, 128, 11);
+    let steps = stream.take_steps(256);
+    c.bench_function("attention_256_token_cache", |b| {
+        b.iter_batched(
+            || AttentionHead::new(128, Some((QuantFormat::Mx8, Rounding::Nearest)), 3),
+            |mut head| {
+                for s in &steps {
+                    black_box(head.step(&s.q, &s.k, &s.v));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_dram_controller(c: &mut Criterion) {
+    c.bench_function("dram_row_group_64_comps", |b| {
+        b.iter_batched(
+            || {
+                let mut pc = PseudoChannel::new(TimingParams::hbm2e(), DramGeometry::hbm2e());
+                pc.set_auto_refresh(false);
+                pc
+            },
+            |mut pc| {
+                pc.execute(DramCommand::Act4 { banks: [0, 1, 2, 3], row: 0 });
+                pc.execute(DramCommand::Act4 { banks: [4, 5, 6, 7], row: 0 });
+                for _ in 0..64 {
+                    pc.execute(DramCommand::Comp);
+                }
+                pc.execute(DramCommand::PrechargeAll);
+                black_box(pc.now())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mx_quantization,
+    bench_spe_units,
+    bench_state_update,
+    bench_attention,
+    bench_dram_controller
+);
+criterion_main!(benches);

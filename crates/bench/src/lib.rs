@@ -1,0 +1,112 @@
+//! Shared plumbing for the experiment harness.
+//!
+//! Every `benches/figXX_*.rs` / `benches/tableX_*.rs` target reproduces one table or
+//! figure of the paper: it prints the same rows/series the paper reports and writes a
+//! CSV copy under `crates/bench/results/`. This library holds the common helpers
+//! (result directory handling, CSV writing, aligned console tables and the standard
+//! sets of models/batch sizes used by the evaluation).
+
+use pimba_models::config::{ModelConfig, ModelFamily, ModelScale};
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Batch sizes swept in the throughput and latency-breakdown figures.
+pub const BATCH_SIZES: [usize; 3] = [32, 64, 128];
+
+/// Input/output sequence lengths used by the end-to-end experiments.
+pub const SEQ_LEN: usize = 2048;
+
+/// Directory the harness writes CSV results into.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results");
+    fs::create_dir_all(&dir).expect("failed to create results directory");
+    dir
+}
+
+/// Writes a CSV file with the given header and rows into the results directory.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut file = fs::File::create(&path).expect("failed to create CSV file");
+    writeln!(file, "{}", header.join(",")).expect("failed to write CSV header");
+    for row in rows {
+        writeln!(file, "{}", row.join(",")).expect("failed to write CSV row");
+    }
+    println!("\n  -> wrote {}", path.display());
+}
+
+/// Prints an aligned console table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// The SU-LLM + hybrid model set of Figure 3 (small scale).
+pub fn breakdown_models() -> Vec<ModelConfig> {
+    [
+        ModelFamily::RetNet,
+        ModelFamily::Gla,
+        ModelFamily::Hgrn2,
+        ModelFamily::Mamba2,
+        ModelFamily::Zamba2,
+    ]
+    .iter()
+    .map(|&f| ModelConfig::preset(f, ModelScale::Small))
+    .collect()
+}
+
+/// The full performance model set (Figures 12–14) at the given scale.
+pub fn performance_models(scale: ModelScale) -> Vec<ModelConfig> {
+    ModelFamily::PERFORMANCE_SET
+        .iter()
+        .map(|&f| ModelConfig::preset(f, scale))
+        .collect()
+}
+
+/// Formats a float with the given number of decimals (negative zero is normalized).
+pub fn fmt(value: f64, decimals: usize) -> String {
+    let value = if value == 0.0 { 0.0 } else { value };
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_sets_have_expected_sizes() {
+        assert_eq!(breakdown_models().len(), 5);
+        assert_eq!(performance_models(ModelScale::Small).len(), 6);
+        assert_eq!(performance_models(ModelScale::Large).len(), 6);
+    }
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        assert!(results_dir().is_dir());
+    }
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(10.0, 0), "10");
+    }
+}

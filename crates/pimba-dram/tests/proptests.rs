@@ -1,0 +1,166 @@
+//! Property-based tests of the DRAM controller: for arbitrary (structurally valid)
+//! command streams, `execute` never violates a timing constraint, time never runs
+//! backwards, and the statistics/energy accounting stays consistent.
+
+use pimba_dram::command::DramCommand;
+use pimba_dram::controller::PseudoChannel;
+use pimba_dram::energy::EnergyModel;
+use pimba_dram::geometry::DramGeometry;
+use pimba_dram::timing::TimingParams;
+use proptest::prelude::*;
+
+/// Abstract command choices that are always made structurally valid by the driver.
+#[derive(Debug, Clone, Copy)]
+enum Choice {
+    Activate(u8, u16),
+    Read(u8, u8),
+    Write(u8, u8),
+    Precharge(u8),
+    Act4Group(u8, u16),
+    Comp,
+    RegWrite,
+    ResultRead,
+    PrechargeAll,
+}
+
+fn choice() -> impl Strategy<Value = Choice> {
+    prop_oneof![
+        (0u8..16, 0u16..512).prop_map(|(b, r)| Choice::Activate(b, r)),
+        (0u8..16, 0u8..32).prop_map(|(b, c)| Choice::Read(b, c)),
+        (0u8..16, 0u8..32).prop_map(|(b, c)| Choice::Write(b, c)),
+        (0u8..16).prop_map(Choice::Precharge),
+        (0u8..4, 0u16..512).prop_map(|(g, r)| Choice::Act4Group(g, r)),
+        Just(Choice::Comp),
+        Just(Choice::RegWrite),
+        Just(Choice::ResultRead),
+        Just(Choice::PrechargeAll),
+    ]
+}
+
+/// Turns an abstract choice into a command that is structurally valid in the current
+/// controller state (skipping it when it cannot be made valid).
+fn realize(pc: &PseudoChannel, c: Choice) -> Option<DramCommand> {
+    match c {
+        Choice::Activate(b, r) => {
+            let bank = b as usize % 16;
+            (!pc.bank(bank).is_open())
+                .then_some(DramCommand::Activate { bank, row: r as usize })
+        }
+        Choice::Read(b, col) => {
+            let bank = b as usize % 16;
+            pc.bank(bank)
+                .is_open()
+                .then_some(DramCommand::Read { bank, col: col as usize % 32 })
+        }
+        Choice::Write(b, col) => {
+            let bank = b as usize % 16;
+            pc.bank(bank)
+                .is_open()
+                .then_some(DramCommand::Write { bank, col: col as usize % 32 })
+        }
+        Choice::Precharge(b) => Some(DramCommand::Precharge { bank: b as usize % 16 }),
+        Choice::Act4Group(g, r) => {
+            let first = (g as usize % 4) * 4;
+            let banks = [first, first + 1, first + 2, first + 3];
+            banks
+                .iter()
+                .all(|&b| !pc.bank(b).is_open())
+                .then_some(DramCommand::Act4 { banks, row: r as usize })
+        }
+        Choice::Comp => {
+            (0..16).any(|b| pc.bank(b).is_open()).then_some(DramCommand::Comp)
+        }
+        Choice::RegWrite => Some(DramCommand::RegWrite),
+        Choice::ResultRead => Some(DramCommand::ResultRead),
+        Choice::PrechargeAll => Some(DramCommand::PrechargeAll),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `execute` always issues at (or after) the command's own earliest legal cycle and
+    /// never moves time backwards.
+    #[test]
+    fn execute_never_violates_timing(choices in prop::collection::vec(choice(), 1..120)) {
+        let mut pc = PseudoChannel::new(TimingParams::hbm2e(), DramGeometry::hbm2e());
+        let mut last = 0u64;
+        for c in choices {
+            if let Some(cmd) = realize(&pc, c) {
+                let earliest_before = pc.earliest_issue(cmd);
+                let issued = pc.execute(cmd);
+                prop_assert!(issued >= earliest_before.min(issued),
+                    "{cmd}: issued {issued} earlier than allowed");
+                prop_assert!(pc.now() >= last, "time ran backwards");
+                prop_assert!(issued <= pc.now());
+                last = pc.now();
+            }
+        }
+    }
+
+    /// Statistics count exactly the issued commands, and the derived energy is finite,
+    /// non-negative and monotone in the amount of work.
+    #[test]
+    fn stats_and_energy_are_consistent(choices in prop::collection::vec(choice(), 1..100)) {
+        let mut pc = PseudoChannel::new(TimingParams::hbm2e(), DramGeometry::hbm2e());
+        pc.set_auto_refresh(false);
+        let mut expected_reads = 0u64;
+        let mut expected_writes = 0u64;
+        let mut expected_acts = 0u64;
+        for c in choices {
+            if let Some(cmd) = realize(&pc, c) {
+                match cmd {
+                    DramCommand::Read { .. } => expected_reads += 1,
+                    DramCommand::Write { .. } => expected_writes += 1,
+                    DramCommand::Activate { .. } => expected_acts += 1,
+                    DramCommand::Act4 { .. } => expected_acts += 4,
+                    _ => {}
+                }
+                pc.execute(cmd);
+            }
+        }
+        let stats = pc.stats();
+        prop_assert_eq!(stats.reads, expected_reads);
+        prop_assert_eq!(stats.writes, expected_writes);
+        prop_assert_eq!(stats.activations, expected_acts);
+
+        let energy = EnergyModel::hbm2e().energy(&stats, &DramGeometry::hbm2e());
+        prop_assert!(energy.total_pj().is_finite());
+        prop_assert!(energy.total_pj() >= 0.0);
+        if expected_reads + expected_writes + expected_acts > 0 {
+            prop_assert!(energy.total_pj() > 0.0);
+        }
+    }
+
+    /// A COMP stream of any length runs at exactly the tCCD_L cadence once started.
+    #[test]
+    fn comp_streams_run_at_fixed_cadence(n in 1usize..200) {
+        let mut pc = PseudoChannel::new(TimingParams::hbm2e(), DramGeometry::hbm2e());
+        pc.set_auto_refresh(false);
+        pc.execute(DramCommand::Act4 { banks: [0, 1, 2, 3], row: 0 });
+        let mut prev = pc.execute(DramCommand::Comp);
+        for _ in 0..n {
+            let next = pc.execute(DramCommand::Comp);
+            prop_assert_eq!(next - prev, pc.timing().t_ccd_l);
+            prev = next;
+        }
+    }
+
+    /// Reads from rotating banks never stall longer than a full row cycle.
+    #[test]
+    fn read_streams_make_forward_progress(rows in prop::collection::vec(0usize..1024, 4..40)) {
+        let mut pc = PseudoChannel::new(TimingParams::hbm2e(), DramGeometry::hbm2e());
+        pc.set_auto_refresh(false);
+        let t = *pc.timing();
+        let row_cycle = t.t_rcd + t.t_ras + t.t_rp + t.t_rfc;
+        let mut last = 0;
+        for (i, row) in rows.iter().enumerate() {
+            let bank = i % 8;
+            pc.execute(DramCommand::Activate { bank, row: *row });
+            let rd = pc.execute(DramCommand::Read { bank, col: 0 });
+            pc.execute(DramCommand::Precharge { bank });
+            prop_assert!(rd - last <= row_cycle, "read stalled for {} cycles", rd - last);
+            last = rd;
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # pimba-gpu
+//!
+//! Analytic GPU performance model (A100 / H100) used as the baseline — and as the
+//! host-side executor — of the Pimba serving system.
+//!
+//! The paper's characterization (Figure 1b, Figure 3) shows that the generation-phase
+//! operators of both transformer and post-transformer LLMs are far below the GPU's
+//! roofline ridge point, i.e. bandwidth-bound. A roofline-plus-efficiency model is
+//! therefore sufficient to reproduce the latency breakdowns and the relative speedups
+//! of the PIM designs:
+//!
+//! * [`device`] — device descriptors (memory bandwidth, capacity, peak FLOPS, NVLink),
+//! * [`roofline`] — attainable-performance math behind Figure 1(b),
+//! * [`kernels`] — per-operator kernel latency (bandwidth- or compute-bound, with
+//!   per-operator efficiency factors and launch overhead),
+//! * [`cluster`] — multi-GPU tensor/pipeline parallelism and all-reduce costs.
+//!
+//! # Example
+//!
+//! ```rust
+//! use pimba_gpu::device::GpuDevice;
+//! use pimba_gpu::kernels::GpuKernelModel;
+//! use pimba_models::ops::{OpCost, OpKind};
+//!
+//! let model = GpuKernelModel::new(GpuDevice::a100());
+//! // A memory-bound operator: 1 GB moved, hardly any FLOPs.
+//! let ns = model.kernel_latency_ns(OpKind::StateUpdate, &OpCost::new(1e6, 1e9, 0.0));
+//! assert!(ns > 400_000.0, "1 GB at ~2 TB/s takes about half a millisecond");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod device;
+pub mod kernels;
+pub mod roofline;
+
+pub use cluster::GpuCluster;
+pub use device::GpuDevice;
+pub use kernels::GpuKernelModel;
+pub use roofline::Roofline;

@@ -1,0 +1,177 @@
+//! Reference single-step (generation-phase) attention with a KV cache.
+//!
+//! Used by the hybrid (Zamba2) and transformer (OPT, LLaMA) models, and by the
+//! quantization study to show that transformer KV caches — unlike SU-LLM states — are
+//! insensitive to 8-bit storage because cached entries are written once and never
+//! accumulated into.
+
+use pimba_num::{QuantFormat, Rounding, StochasticSource};
+
+/// KV cache and attention for a single head.
+#[derive(Debug, Clone)]
+pub struct AttentionHead {
+    dim_head: usize,
+    keys: Vec<Vec<f32>>,
+    values: Vec<Vec<f32>>,
+    /// Storage format applied to cached keys/values (None = keep f32).
+    store: Option<(QuantFormat, Rounding)>,
+    src: StochasticSource,
+}
+
+impl AttentionHead {
+    /// Creates an empty head with an optional KV-cache storage format.
+    pub fn new(dim_head: usize, store: Option<(QuantFormat, Rounding)>, seed: u64) -> Self {
+        Self {
+            dim_head,
+            keys: Vec::new(),
+            values: Vec::new(),
+            store,
+            src: StochasticSource::from_seed(seed),
+        }
+    }
+
+    /// Number of cached tokens.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` if no tokens are cached.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Appends a new key/value pair (storing them through the configured format) and
+    /// computes attention of `q` over the whole cache.
+    ///
+    /// Returns the attended output vector (`dim_head` long).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q`, `k` or `v` do not have length `dim_head`.
+    pub fn step(&mut self, q: &[f32], k: &[f32], v: &[f32]) -> Vec<f64> {
+        assert_eq!(q.len(), self.dim_head, "q length mismatch");
+        assert_eq!(k.len(), self.dim_head, "k length mismatch");
+        assert_eq!(v.len(), self.dim_head, "v length mismatch");
+
+        let mut k_stored = k.to_vec();
+        let mut v_stored = v.to_vec();
+        if let Some((format, rounding)) = self.store {
+            format.store_roundtrip(&mut k_stored, rounding, &mut self.src);
+            format.store_roundtrip(&mut v_stored, rounding, &mut self.src);
+        }
+        self.keys.push(k_stored);
+        self.values.push(v_stored);
+
+        // Score phase: scaled dot products (computed in f64 like a GPU fp32 softmax).
+        let scale = 1.0 / (self.dim_head as f64).sqrt();
+        let scores: Vec<f64> = self
+            .keys
+            .iter()
+            .map(|key| {
+                key.iter().zip(q).map(|(a, b)| f64::from(*a) * f64::from(*b)).sum::<f64>() * scale
+            })
+            .collect();
+        // Numerically-stable softmax.
+        let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+        let denom: f64 = exps.iter().sum();
+
+        // Attend phase: weighted sum of cached values.
+        let mut out = vec![0.0f64; self.dim_head];
+        for (w, value) in exps.iter().zip(&self.values) {
+            let weight = w / denom;
+            for (slot, v_i) in out.iter_mut().zip(value) {
+                *slot += weight * f64::from(*v_i);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(dim: usize, idx: usize) -> Vec<f32> {
+        let mut v = vec![0.0; dim];
+        v[idx] = 1.0;
+        v
+    }
+
+    #[test]
+    fn single_token_attention_returns_its_value() {
+        let mut head = AttentionHead::new(4, None, 0);
+        let out = head.step(&unit(4, 0), &unit(4, 0), &[1.0, 2.0, 3.0, 4.0]);
+        for (o, e) in out.iter().zip([1.0, 2.0, 3.0, 4.0]) {
+            assert!((o - e).abs() < 1e-9);
+        }
+        assert_eq!(head.len(), 1);
+        assert!(!head.is_empty());
+    }
+
+    #[test]
+    fn attention_weights_favor_matching_keys() {
+        let mut head = AttentionHead::new(4, None, 0);
+        // Token 0 with key e0 / value all-ones, token 1 with key e1 / value all-twos.
+        head.step(&unit(4, 0), &unit(4, 0), &[1.0; 4]);
+        let q: Vec<f32> = unit(4, 1).iter().map(|x| x * 8.0).collect();
+        let out = head.step(&q, &unit(4, 1), &[2.0; 4]);
+        // The query strongly matches the second key, so the output approaches 2.
+        assert!(out[0] > 1.8, "out[0] = {}", out[0]);
+    }
+
+    #[test]
+    fn softmax_weights_sum_to_one_implicitly() {
+        let mut head = AttentionHead::new(8, None, 1);
+        // With identical values the output must equal that value regardless of scores.
+        let v = vec![3.5f32; 8];
+        head.step(&vec![0.3; 8], &vec![0.1; 8], &v);
+        head.step(&vec![0.3; 8], &vec![-0.7; 8], &v);
+        let out = head.step(&vec![0.3; 8], &vec![0.9; 8], &v);
+        for o in out {
+            assert!((o - 3.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn kv_quantization_error_is_small_for_all_formats() {
+        // The transformer side of Figure 4: storing the KV cache in any 8-bit format
+        // barely changes the attention output because there is no accumulation.
+        let dim = 32;
+        let tokens = 64;
+        let mk_inputs = |t: usize| {
+            let k: Vec<f32> = (0..dim).map(|i| ((t * 31 + i * 7) as f32 * 0.13).sin()).collect();
+            let v: Vec<f32> = (0..dim).map(|i| ((t * 17 + i * 3) as f32 * 0.29).cos()).collect();
+            let q: Vec<f32> = (0..dim).map(|i| ((t * 11 + i * 5) as f32 * 0.07).sin()).collect();
+            (q, k, v)
+        };
+        let mut reference = AttentionHead::new(dim, None, 0);
+        let mut ref_out = Vec::new();
+        for t in 0..tokens {
+            let (q, k, v) = mk_inputs(t);
+            ref_out.push(reference.step(&q, &k, &v));
+        }
+        for fmt in QuantFormat::EIGHT_BIT {
+            let mut head = AttentionHead::new(dim, Some((fmt, Rounding::Nearest)), 0);
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for t in 0..tokens {
+                let (q, k, v) = mk_inputs(t);
+                let out = head.step(&q, &k, &v);
+                for (a, b) in out.iter().zip(&ref_out[t]) {
+                    num += (a - b).abs();
+                    den += b.abs();
+                }
+            }
+            let rel = num / den;
+            assert!(rel < 0.2, "{fmt:?}: KV quantization error {rel} unexpectedly large");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "q length mismatch")]
+    fn mismatched_query_panics() {
+        let mut head = AttentionHead::new(4, None, 0);
+        let _ = head.step(&[1.0; 3], &[1.0; 4], &[1.0; 4]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of the model layer: algebraic invariants of the state update,
+//! softmax/attention sanity, and workload/cost-model consistency.
+
+use pimba_models::attention::AttentionHead;
+use pimba_models::config::{ModelConfig, ModelFamily, ModelScale};
+use pimba_models::ops::OpKind;
+use pimba_models::state_update::{DecayInput, StateUpdateEngine, StateUpdateHead};
+use pimba_models::synth::{StepInputs, SynthStream};
+use pimba_models::workload::GenerationWorkload;
+use proptest::prelude::*;
+
+fn family() -> impl Strategy<Value = ModelFamily> {
+    prop_oneof![
+        Just(ModelFamily::RetNet),
+        Just(ModelFamily::Gla),
+        Just(ModelFamily::Hgrn2),
+        Just(ModelFamily::Mamba2),
+        Just(ModelFamily::Zamba2),
+        Just(ModelFamily::Opt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The state update is linear in the value vector: scaling `v` scales the newly
+    /// written contribution (probed via a fresh head where the state is exactly k v^T).
+    #[test]
+    fn state_update_is_linear_in_v(scale in 0.25f32..4.0, seed in 0u64..500) {
+        let mut stream = SynthStream::new(ModelFamily::Mamba2, 16, 8, seed);
+        let step = stream.next_step();
+        let mut head_a = StateUpdateHead::new(16, 8, StateUpdateEngine::Exact, 0);
+        let mut head_b = StateUpdateHead::new(16, 8, StateUpdateEngine::Exact, 0);
+        let scaled = StepInputs { v: step.v.iter().map(|x| x * scale).collect(), ..step.clone() };
+        let ya = head_a.step(&step);
+        let yb = head_b.step(&scaled);
+        for (a, b) in ya.iter().zip(&yb) {
+            prop_assert!((a * f64::from(scale) - b).abs() <= 1e-4 * (1.0 + a.abs()),
+                "linearity violated: {a} vs {b}");
+        }
+    }
+
+    /// With a zero key, the update reduces to pure decay: the state norm never grows.
+    #[test]
+    fn zero_key_never_grows_the_state(seed in 0u64..500, steps in 1usize..30) {
+        let mut stream = SynthStream::new(ModelFamily::Gla, 16, 8, seed);
+        let mut head = StateUpdateHead::new(16, 8, StateUpdateEngine::Exact, 0);
+        // Build up some state first.
+        for s in stream.take_steps(5) {
+            head.step(&s);
+        }
+        let mut prev: f64 = head.state_matrix().iter().map(|x| x * x).sum();
+        for s in stream.take_steps(steps) {
+            let zeroed = StepInputs { k: vec![0.0; 16], ..s };
+            head.step(&zeroed);
+            let norm: f64 = head.state_matrix().iter().map(|x| x * x).sum();
+            prop_assert!(norm <= prev + 1e-9, "state grew from {prev} to {norm} without input");
+            prev = norm;
+        }
+    }
+
+    /// Attention output is a convex combination of the cached values: every output
+    /// coordinate lies within the min/max of the cached values for that coordinate.
+    #[test]
+    fn attention_output_is_a_convex_combination(seed in 0u64..500, tokens in 2usize..24) {
+        let dim = 8;
+        let mut stream = SynthStream::new(ModelFamily::Opt, dim, dim, seed);
+        let mut head = AttentionHead::new(dim, None, seed);
+        let mut cached: Vec<Vec<f32>> = Vec::new();
+        let mut last_out = vec![0.0f64; dim];
+        for s in stream.take_steps(tokens) {
+            cached.push(s.v.clone());
+            last_out = head.step(&s.q, &s.k, &s.v);
+        }
+        for j in 0..dim {
+            let lo = cached.iter().map(|v| f64::from(v[j])).fold(f64::INFINITY, f64::min);
+            let hi = cached.iter().map(|v| f64::from(v[j])).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(last_out[j] >= lo - 1e-6 && last_out[j] <= hi + 1e-6,
+                "output {} outside [{lo}, {hi}]", last_out[j]);
+        }
+    }
+
+    /// Workload costs are finite, non-negative, and scale linearly with the batch size
+    /// for the batch-proportional operators (state update, attention).
+    #[test]
+    fn workload_costs_scale_with_batch(f in family(), batch in 1usize..256, seq in 64usize..4096) {
+        let cfg = ModelConfig::preset(f, ModelScale::Small);
+        let one = GenerationWorkload::single_step(&cfg, batch, seq);
+        let two = GenerationWorkload::single_step(&cfg, batch * 2, seq);
+        prop_assert!(one.total_flops().is_finite() && one.total_flops() > 0.0);
+        prop_assert!(one.total_bytes().is_finite() && one.total_bytes() > 0.0);
+        for kind in [OpKind::StateUpdate, OpKind::Attention] {
+            let a = one.cost_of(kind).total_bytes();
+            let b = two.cost_of(kind).total_bytes();
+            if a > 0.0 {
+                prop_assert!((b / a - 2.0).abs() < 1e-6, "{kind}: {a} -> {b}");
+            }
+        }
+        // GEMM bytes grow sub-linearly (weights are shared across the batch).
+        let g1 = one.cost_of(OpKind::Gemm).total_bytes();
+        let g2 = two.cost_of(OpKind::Gemm).total_bytes();
+        prop_assert!(g2 < 1.5 * g1);
+    }
+
+    /// Memory footprints are consistent: total = params + state + kv, and the dynamic
+    /// part grows monotonically with batch and sequence length.
+    #[test]
+    fn memory_footprint_is_monotone(f in family(), batch in 1usize..128, seq in 128usize..4096) {
+        let cfg = ModelConfig::preset(f, ModelScale::Small);
+        let a = GenerationWorkload::single_step(&cfg, batch, seq);
+        let b = GenerationWorkload::single_step(&cfg, batch + 1, seq);
+        let c = GenerationWorkload::single_step(&cfg, batch, seq + 128);
+        prop_assert!((a.total_memory_bytes()
+            - (a.param_bytes() + a.state_bytes() + a.kv_bytes())).abs() < 1.0);
+        prop_assert!(b.total_memory_bytes() >= a.total_memory_bytes());
+        prop_assert!(c.total_memory_bytes() >= a.total_memory_bytes());
+    }
+
+    /// Parameter counts are invariant to batch/sequence and positive for every family
+    /// and scale.
+    #[test]
+    fn param_counts_are_sane(f in family()) {
+        for scale in [ModelScale::Small, ModelScale::Large] {
+            let cfg = ModelConfig::preset(f, scale);
+            let params = cfg.param_count();
+            prop_assert!(params > 1e9 && params < 2e11, "{f} {scale:?}: {params:e}");
+        }
+    }
+
+    /// Gating decays stay in (0, 1), so repeated decay can never amplify the state.
+    #[test]
+    fn synthetic_decays_are_contractive(f in family(), seed in 0u64..500) {
+        if !f.has_state_update() {
+            return Ok(());
+        }
+        let mut stream = SynthStream::new(f, 8, 8, seed);
+        for s in stream.take_steps(32) {
+            match s.decay {
+                DecayInput::Scalar(a) => prop_assert!(a > 0.0 && a < 1.0),
+                DecayInput::Vector(g) => {
+                    for x in g {
+                        prop_assert!(x > 0.0 && x < 1.0);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the numerical formats and SPE arithmetic.
+
+use pimba_num::fp8::Fp8Kind;
+use pimba_num::mx::MxGroup;
+use pimba_num::{MxAdder, MxDotProductUnit, MxMultiplier, QuantFormat, Rounding, StochasticSource};
+use proptest::prelude::*;
+
+/// A bounded, non-degenerate float for quantization tests.
+fn small_float() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        (-100.0f32..100.0),
+        (-1.0f32..1.0),
+        (-0.01f32..0.01),
+        Just(0.0f32),
+    ]
+}
+
+fn float_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(small_float(), 1..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Quantize→dequantize error is bounded by the format's relative precision plus the
+    /// group dynamic-range loss. For group formats the bound is relative to the group
+    /// maximum, so we check against `max_abs * 2^-(mantissa_bits-1)`.
+    #[test]
+    fn store_roundtrip_error_is_bounded(values in float_vec(64), seed in 0u64..1000) {
+        for fmt in [QuantFormat::Fp16, QuantFormat::Int8, QuantFormat::Mx8, QuantFormat::E4m3, QuantFormat::E5m2] {
+            let mut src = StochasticSource::from_seed(seed);
+            let mut stored = values.clone();
+            let err = fmt.store_roundtrip(&mut stored, Rounding::Nearest, &mut src);
+            let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            // Group formats: error relative to the group max; element formats: relative
+            // to each element. The group-max bound covers both. Per-element float
+            // formats additionally have an absolute subnormal granularity near zero.
+            let subnormal_step = match fmt {
+                QuantFormat::E4m3 => 2f32.powi(-9),
+                QuantFormat::E5m2 => 2f32.powi(-16),
+                QuantFormat::Fp16 => 2f32.powi(-24),
+                _ => 0.0,
+            };
+            let bound =
+                max_abs * 2f32.powi(-(fmt.mantissa_bits() as i32 - 1)) + subnormal_step + 1e-6;
+            prop_assert!(
+                err.max_abs_error <= bound,
+                "{fmt:?}: error {} exceeds bound {bound}", err.max_abs_error
+            );
+        }
+    }
+
+    /// Storing an already-stored tensor a second time must be a no-op (idempotence)
+    /// for element-wise formats under nearest rounding.
+    #[test]
+    fn elementwise_formats_are_idempotent(values in float_vec(32), seed in 0u64..1000) {
+        for fmt in [QuantFormat::Fp16, QuantFormat::E4m3, QuantFormat::E5m2] {
+            let mut src = StochasticSource::from_seed(seed);
+            let mut first = values.clone();
+            fmt.store_roundtrip(&mut first, Rounding::Nearest, &mut src);
+            let mut second = first.clone();
+            let err = fmt.store_roundtrip(&mut second, Rounding::Nearest, &mut src);
+            prop_assert_eq!(first, second);
+            prop_assert_eq!(err.max_abs_error, 0.0);
+        }
+    }
+
+    /// Stochastic rounding never moves a value by more than one quantization step.
+    #[test]
+    fn stochastic_step_is_bounded(values in float_vec(32), seed in 0u64..1000) {
+        for fmt in [QuantFormat::Mx8, QuantFormat::Int8] {
+            let mut src_n = StochasticSource::from_seed(seed);
+            let mut src_s = StochasticSource::from_seed(seed.wrapping_add(1));
+            let mut nearest = values.clone();
+            let mut stoch = values.clone();
+            fmt.store_roundtrip(&mut nearest, Rounding::Nearest, &mut src_n);
+            fmt.store_roundtrip(&mut stoch, Rounding::Stochastic, &mut src_s);
+            let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let step = max_abs * 2f32.powi(-(fmt.mantissa_bits() as i32 - 1)) + 1e-6;
+            for (n, s) in nearest.iter().zip(&stoch) {
+                prop_assert!((n - s).abs() <= 2.0 * step, "nearest {n} vs stochastic {s}");
+            }
+        }
+    }
+
+    /// fp8 decode(encode(x)) is within one ulp-at-x for in-range values.
+    #[test]
+    fn fp8_relative_error(x in -200.0f32..200.0, seed in 0u64..1000) {
+        let mut src = StochasticSource::from_seed(seed);
+        for kind in [Fp8Kind::E4M3, Fp8Kind::E5M2] {
+            let clamped = x.clamp(-kind.max_finite(), kind.max_finite());
+            let y = kind.roundtrip(clamped, Rounding::Nearest, &mut src);
+            let bound = clamped.abs() * 2f32.powi(-(kind.mant_bits() as i32)) + 1e-6;
+            prop_assert!((y - clamped).abs() <= bound, "{kind:?}: {clamped} -> {y}");
+        }
+    }
+
+    /// The MX multiplier agrees with real multiplication within the format's relative
+    /// error budget (relative to the per-group maximum product).
+    #[test]
+    fn mx_multiplier_tracks_reference(
+        a in prop::collection::vec(-8.0f32..8.0, 16),
+        b in prop::collection::vec(-8.0f32..8.0, 16),
+        seed in 0u64..1000,
+    ) {
+        let mut src = StochasticSource::from_seed(seed);
+        let ga = MxGroup::quantize(&a, Rounding::Nearest, &mut src);
+        let gb = MxGroup::quantize(&b, Rounding::Nearest, &mut src);
+        let prod = MxMultiplier.multiply(&ga, &gb, Rounding::Nearest, &mut src);
+        let reference: Vec<f64> = ga
+            .dequantize()
+            .iter()
+            .zip(gb.dequantize())
+            .map(|(x, y)| f64::from(*x) * f64::from(y))
+            .collect();
+        let max_ref = reference.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let bound = max_ref * 2f64.powi(-4) + 1e-6;
+        for (r, p) in reference.iter().zip(prod.dequantize()) {
+            prop_assert!((r - f64::from(p)).abs() <= bound, "{r} vs {p} (bound {bound})");
+        }
+    }
+
+    /// The MX adder agrees with real addition within the format's error budget.
+    #[test]
+    fn mx_adder_tracks_reference(
+        a in prop::collection::vec(-8.0f32..8.0, 16),
+        b in prop::collection::vec(-8.0f32..8.0, 16),
+        seed in 0u64..1000,
+    ) {
+        let mut src = StochasticSource::from_seed(seed);
+        let ga = MxGroup::quantize(&a, Rounding::Nearest, &mut src);
+        let gb = MxGroup::quantize(&b, Rounding::Nearest, &mut src);
+        let sum = MxAdder.add(&ga, &gb, Rounding::Nearest, &mut src);
+        let max_mag = a.iter().chain(&b).fold(0.0f32, |m, v| m.max(v.abs()));
+        let bound = f64::from(max_mag) * 2f64.powi(-4) + 1e-6;
+        for ((x, y), s) in ga.dequantize().iter().zip(gb.dequantize()).zip(sum.dequantize()) {
+            let reference = f64::from(*x) + f64::from(y);
+            prop_assert!((reference - f64::from(s)).abs() <= bound, "{reference} vs {s}");
+        }
+    }
+
+    /// The dot-product unit agrees with a reference dot product computed on the
+    /// dequantized operands (the unit itself introduces no additional rounding).
+    #[test]
+    fn mx_dot_product_is_exact_on_dequantized_operands(
+        a in prop::collection::vec(-4.0f32..4.0, 16),
+        b in prop::collection::vec(-4.0f32..4.0, 16),
+        seed in 0u64..1000,
+    ) {
+        let mut src = StochasticSource::from_seed(seed);
+        let ga = MxGroup::quantize(&a, Rounding::Nearest, &mut src);
+        let gb = MxGroup::quantize(&b, Rounding::Nearest, &mut src);
+        let got = MxDotProductUnit.dot(&ga, &gb);
+        let reference: f64 = ga
+            .dequantize()
+            .iter()
+            .zip(gb.dequantize())
+            .map(|(x, y)| f64::from(*x) * f64::from(y))
+            .sum();
+        prop_assert!((got - reference).abs() <= 1e-6 * reference.abs().max(1.0));
+    }
+
+    /// Group quantization never produces NaN or infinity for finite inputs.
+    #[test]
+    fn mx_quantization_stays_finite(values in float_vec(16), seed in 0u64..1000) {
+        let mut src = StochasticSource::from_seed(seed);
+        let g = MxGroup::quantize(&values, Rounding::Nearest, &mut src);
+        for v in g.dequantize() {
+            prop_assert!(v.is_finite());
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # pimba-pim
+//!
+//! The Pimba processing-in-memory architecture and its baselines.
+//!
+//! This crate models the hardware side of the paper:
+//!
+//! * [`spu`] — the State-update Processing Unit: a four-stage pipeline shared between
+//!   two banks using *access interleaving* (Figure 8), with an explicit structural-
+//!   hazard check showing why a per-bank design without interleaving cannot keep its
+//!   processing element busy.
+//! * [`scheduler`] — generation of the Pimba DRAM command stream (ACT4 / REG_WRITE /
+//!   COMP / RESULT_READ / PRECHARGES, Figure 11) measured against the cycle-level
+//!   [`pimba_dram`] controller.
+//! * [`kernels`] — mapping of state-update and attention workloads onto banks
+//!   (chunks / chunk groups, Figure 7 and Figure 10) and the resulting latency.
+//! * [`designs`] — the PIM design space: Pimba, per-bank pipelined, per-bank
+//!   time-multiplexed, the HBM-PIM-style GPU+PIM baseline and a NeuPIMs-like
+//!   attention-only PIM.
+//! * [`area`] — the analytic area/power model behind Figure 5(b), Figure 6 and
+//!   Table 3.
+//!
+//! # Example
+//!
+//! ```rust
+//! use pimba_pim::designs::{PimDesign, PimDesignKind};
+//! use pimba_models::ops::OpShape;
+//!
+//! let pimba = PimDesign::new(PimDesignKind::Pimba);
+//! let gpu_pim = PimDesign::new(PimDesignKind::HbmPimTwoBank);
+//! let shape = OpShape::StateUpdate { batch: 32, layers: 64, heads: 80, dim_head: 64, dim_state: 128 };
+//! let a = pimba.state_update_latency_ns(&shape).unwrap();
+//! let b = gpu_pim.state_update_latency_ns(&shape).unwrap();
+//! assert!(a < b, "Pimba must beat the time-multiplexed HBM-PIM baseline");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod area;
+pub mod designs;
+pub mod kernels;
+pub mod scheduler;
+pub mod spu;
+
+pub use area::{AreaModel, SpeAreaBreakdown};
+pub use designs::{PimDesign, PimDesignKind};
+pub use kernels::PimLatency;

@@ -1,0 +1,43 @@
+//! # pimba-system
+//!
+//! End-to-end serving-system model: the Pimba GPU+PIM system and the baselines it is
+//! compared against (GPU, GPU with a quantized state, GPU with an HBM-PIM, and a
+//! NeuPIMs-like attention-only PIM system).
+//!
+//! The system executes user requests in two phases (Section 5.1): *prefill* runs
+//! entirely on the GPU (the state update can be restructured into compute-dense
+//! matrix form), while during *generation* the state-update and attention operators
+//! are offloaded to the PIM and everything else stays on the GPU, with the two sides
+//! alternating in a blocked fashion because of data dependencies (Section 5.6).
+//!
+//! * [`config`] — the system design points of the evaluation (Figure 12 onward),
+//! * [`serving`] — per-token-step latency breakdowns, throughput, request latency and
+//!   energy accounting,
+//! * [`memory`] — device memory footprints (parameters, state, KV cache).
+//!
+//! # Example
+//!
+//! ```rust
+//! use pimba_system::config::{SystemConfig, SystemKind};
+//! use pimba_system::serving::ServingSimulator;
+//! use pimba_models::{ModelConfig, ModelFamily, ModelScale};
+//!
+//! let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small);
+//! let gpu = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Gpu));
+//! let pimba = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
+//! let t_gpu = gpu.generation_throughput(&model, 128, 2048);
+//! let t_pimba = pimba.generation_throughput(&model, 128, 2048);
+//! assert!(t_pimba > t_gpu);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod memory;
+pub mod pipeline;
+pub mod serving;
+
+pub use config::{SystemConfig, SystemKind};
+pub use pipeline::PipelineDeployment;
+pub use serving::{EnergyBreakdown, ServingSimulator, StepBreakdown};

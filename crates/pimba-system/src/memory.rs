@@ -1,0 +1,127 @@
+//! Device-memory footprint accounting (Figure 1a, Figure 15).
+
+use crate::config::SystemConfig;
+use pimba_models::config::ModelConfig;
+use pimba_models::workload::GenerationWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Memory footprint of a serving configuration, broken down by component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBreakdown {
+    /// Model parameters (replicated per tensor-parallel shard only once in aggregate).
+    pub params_bytes: f64,
+    /// SU-LLM state across the whole batch.
+    pub state_bytes: f64,
+    /// Attention KV cache across the whole batch at the current sequence length.
+    pub kv_bytes: f64,
+}
+
+impl MemoryBreakdown {
+    /// Total bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.params_bytes + self.state_bytes + self.kv_bytes
+    }
+
+    /// Total gigabytes.
+    pub fn total_gb(&self) -> f64 {
+        self.total_bytes() / 1e9
+    }
+}
+
+/// Memory footprint of serving `model` on `config` with the given batch and sequence
+/// length (aggregate across the tensor-parallel group).
+pub fn memory_breakdown(
+    config: &SystemConfig,
+    model: &ModelConfig,
+    batch: usize,
+    seq_len: usize,
+) -> MemoryBreakdown {
+    let wl = GenerationWorkload::single_step_with_formats(model, batch, seq_len, config.formats);
+    MemoryBreakdown {
+        params_bytes: wl.param_bytes(),
+        state_bytes: wl.state_bytes(),
+        kv_bytes: wl.kv_bytes(),
+    }
+}
+
+/// Total memory usage in bytes (convenience wrapper).
+pub fn memory_usage_bytes(
+    config: &SystemConfig,
+    model: &ModelConfig,
+    batch: usize,
+    seq_len: usize,
+) -> f64 {
+    memory_breakdown(config, model, batch, seq_len).total_bytes()
+}
+
+/// Whether the configuration fits in the cluster's aggregate HBM capacity.
+pub fn fits_in_memory(
+    config: &SystemConfig,
+    model: &ModelConfig,
+    batch: usize,
+    seq_len: usize,
+) -> bool {
+    memory_usage_bytes(config, model, batch, seq_len) <= config.cluster.total_capacity_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SystemConfig, SystemKind};
+    use pimba_models::config::{ModelFamily, ModelScale};
+
+    #[test]
+    fn transformer_memory_dwarfs_mamba2_at_long_context() {
+        // Figure 1(a): the 2.7B-class transformer needs ~2.3x the memory of Mamba-2.
+        let cfg = SystemConfig::small_scale(SystemKind::Gpu);
+        let mamba = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small);
+        let opt = ModelConfig::preset(ModelFamily::Opt, ModelScale::Small);
+        let m = memory_usage_bytes(&cfg, &mamba, 64, 4096);
+        let t = memory_usage_bytes(&cfg, &opt, 64, 4096);
+        // OPT-6.7B has ~2.5x the parameters of Mamba-2 2.7B, so compare the growth with
+        // batch/sequence (state vs KV cache) instead of absolute totals.
+        let mamba_dyn = memory_breakdown(&cfg, &mamba, 64, 4096).state_bytes;
+        let opt_dyn = memory_breakdown(&cfg, &opt, 64, 4096).kv_bytes;
+        assert!(opt_dyn > 2.0 * mamba_dyn, "KV cache {opt_dyn} vs state {mamba_dyn}");
+        assert!(t > m);
+    }
+
+    #[test]
+    fn pimba_reduces_memory_versus_fp16_systems() {
+        // Figure 15: MX8 state + KV cache roughly halves the dynamic memory.
+        let model = ModelConfig::preset(ModelFamily::Zamba2, ModelScale::Large);
+        let fp16 = SystemConfig::large_scale(SystemKind::NeuPims);
+        let pimba = SystemConfig::large_scale(SystemKind::Pimba);
+        let a = memory_breakdown(&fp16, &model, 128, 1024);
+        let b = memory_breakdown(&pimba, &model, 128, 1024);
+        assert!(b.kv_bytes < 0.6 * a.kv_bytes);
+        assert!(b.state_bytes < 0.6 * a.state_bytes);
+        assert_eq!(a.params_bytes, b.params_bytes, "weights stay fp16 in both");
+        assert!(b.total_bytes() < a.total_bytes());
+    }
+
+    #[test]
+    fn memory_grows_with_output_tokens_for_hybrids() {
+        let model = ModelConfig::preset(ModelFamily::Zamba2, ModelScale::Large);
+        let cfg = SystemConfig::large_scale(SystemKind::Pimba);
+        let short = memory_usage_bytes(&cfg, &model, 128, 1024);
+        let long = memory_usage_bytes(&cfg, &model, 128, 2048);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn small_models_fit_on_one_gpu() {
+        let cfg = SystemConfig::small_scale(SystemKind::Gpu);
+        let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small);
+        assert!(fits_in_memory(&cfg, &model, 64, 2048));
+    }
+
+    #[test]
+    fn large_models_need_the_cluster() {
+        let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Large);
+        let single = SystemConfig::small_scale(SystemKind::Gpu);
+        let cluster = SystemConfig::large_scale(SystemKind::Gpu);
+        assert!(!fits_in_memory(&single, &model, 128, 2048));
+        assert!(fits_in_memory(&cluster, &model, 128, 2048));
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: serve Mamba-2 2.7B on every system design point and print the
+//! generation throughput, the state-update latency and the memory footprint.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use pimba::models::ops::OpKind;
+use pimba::models::{ModelConfig, ModelFamily, ModelScale};
+use pimba::system::config::{SystemConfig, SystemKind};
+use pimba::system::serving::ServingSimulator;
+
+fn main() {
+    let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small);
+    let batch = 128;
+    let seq_len = 2048;
+
+    println!("Model: {} ({} layers, d_model {}, {} heads, state {}x{})", model.label(),
+        model.n_layers, model.d_model, model.n_heads, model.dim_head, model.dim_state);
+    println!("Batch {batch}, sequence length {seq_len}\n");
+    println!(
+        "{:>10} {:>18} {:>22} {:>18}",
+        "system", "throughput (tok/s)", "state-update (ms/step)", "memory (GB)"
+    );
+
+    let mut gpu_throughput = None;
+    for kind in [SystemKind::Gpu, SystemKind::GpuQuant, SystemKind::GpuPim, SystemKind::Pimba] {
+        let sim = ServingSimulator::new(SystemConfig::small_scale(kind));
+        let throughput = sim.generation_throughput(&model, batch, seq_len);
+        let step = sim.generation_step(&model, batch, seq_len);
+        let memory_gb = sim.memory_usage_bytes(&model, batch, seq_len) / 1e9;
+        println!(
+            "{:>10} {:>18.0} {:>22.3} {:>18.1}",
+            kind.name(),
+            throughput,
+            step.latency_of(OpKind::StateUpdate) / 1e6,
+            memory_gb
+        );
+        if kind == SystemKind::Gpu {
+            gpu_throughput = Some(throughput);
+        } else if kind == SystemKind::Pimba {
+            let speedup = throughput / gpu_throughput.unwrap();
+            println!("\nPimba speedup over the GPU baseline: {speedup:.2}x");
+        }
+    }
+}

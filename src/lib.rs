@@ -1,0 +1,45 @@
+//! # pimba
+//!
+//! A full-system reproduction of **"Pimba: A Processing-in-Memory Acceleration for
+//! Post-Transformer Large Language Model Serving"** (MICRO 2025) in Rust.
+//!
+//! This facade crate re-exports the workspace's sub-crates so that downstream users
+//! can depend on a single crate:
+//!
+//! * [`num`] — quantization formats (fp16, fp8, int8, MX8) and the MX-based SPE
+//!   arithmetic units,
+//! * [`models`] — post-transformer model configurations, the state-update operation,
+//!   workload generation and the quantization accuracy study,
+//! * [`dram`] — the cycle-level HBM timing/energy simulator with the Pimba command
+//!   extension,
+//! * [`pim`] — the Pimba SPU/SPE architecture, baseline PIM designs, command
+//!   scheduling and the area/power model,
+//! * [`gpu`] — the analytic A100/H100 GPU and NVLink model,
+//! * [`system`] — the end-to-end serving systems (GPU, GPU+Q, GPU+PIM, Pimba,
+//!   NeuPIMs-like) with latency, throughput, energy and memory accounting.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use pimba::system::config::{SystemConfig, SystemKind};
+//! use pimba::system::serving::ServingSimulator;
+//! use pimba::models::{ModelConfig, ModelFamily, ModelScale};
+//!
+//! let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small);
+//! let baseline = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Gpu));
+//! let pimba = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
+//!
+//! let speedup = pimba.generation_throughput(&model, 128, 2048)
+//!     / baseline.generation_throughput(&model, 128, 2048);
+//! assert!(speedup > 1.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use pimba_dram as dram;
+pub use pimba_gpu as gpu;
+pub use pimba_models as models;
+pub use pimba_num as num;
+pub use pimba_pim as pim;
+pub use pimba_system as system;

@@ -1,0 +1,98 @@
+//! Cross-crate integration tests of the quantization accuracy pipeline
+//! (pimba-num formats -> pimba-models recurrence -> calibrated metrics), checking the
+//! orderings behind Figure 4, Figure 6 and Table 2.
+
+use pimba::models::accuracy::{
+    baseline_accuracy, geometric_mean, perplexity, task_accuracy, StudyConfig, Task,
+};
+use pimba::models::ModelFamily;
+use pimba::num::{QuantFormat, Rounding};
+use pimba::pim::area::AreaModel;
+
+fn cfg() -> StudyConfig {
+    StudyConfig::quick()
+}
+
+#[test]
+fn figure4_ordering_fp8_collapses_int8_and_mx8_hold() {
+    for family in [ModelFamily::Mamba2, ModelFamily::RetNet, ModelFamily::Gla] {
+        let c = cfg();
+        let fp16 = perplexity(family, QuantFormat::Fp16, Rounding::Nearest, &c);
+        let int8 = perplexity(family, QuantFormat::Int8, Rounding::Nearest, &c);
+        let mx8 = perplexity(family, QuantFormat::Mx8, Rounding::Stochastic, &c);
+        let e5m2 = perplexity(family, QuantFormat::E5m2, Rounding::Nearest, &c);
+        assert!(int8 < 1.3 * fp16, "{family}: int8 {int8} vs fp16 {fp16}");
+        assert!(mx8 < 1.6 * fp16, "{family}: mx8SR {mx8} vs fp16 {fp16}");
+        assert!(e5m2 > 3.0 * fp16, "{family}: e5m2 {e5m2} must collapse vs fp16 {fp16}");
+    }
+}
+
+#[test]
+fn figure4_transformers_are_insensitive_to_kv_quantization() {
+    let c = cfg();
+    for family in [ModelFamily::Opt, ModelFamily::Llama] {
+        let fp16 = perplexity(family, QuantFormat::Fp16, Rounding::Nearest, &c);
+        for fmt in QuantFormat::EIGHT_BIT {
+            let ppl = perplexity(family, fmt, Rounding::Nearest, &c);
+            assert!(ppl < 1.2 * fp16, "{family}/{fmt:?}: {ppl} vs {fp16}");
+        }
+    }
+}
+
+#[test]
+fn figure6_mx8_sr_is_pareto_optimal_among_8bit_formats() {
+    let c = cfg();
+    let area = AreaModel::default();
+    let point = |f: QuantFormat, r: Rounding| {
+        (
+            area.format_breakdown(f, r).overhead_percent,
+            perplexity(ModelFamily::Mamba2, f, r, &c),
+        )
+    };
+    let (mx_area, mx_ppl) = point(QuantFormat::Mx8, Rounding::Stochastic);
+    for f in QuantFormat::EIGHT_BIT {
+        for r in [Rounding::Nearest, Rounding::Stochastic] {
+            if f == QuantFormat::Mx8 && r == Rounding::Stochastic {
+                continue;
+            }
+            let (a, p) = point(f, r);
+            assert!(
+                a > mx_area - 0.5 || p > mx_ppl * 0.98,
+                "{f:?}/{r:?} ({a:.1}%, {p:.2}) dominates mx8SR ({mx_area:.1}%, {mx_ppl:.2})"
+            );
+        }
+    }
+    // And fp16 is accurate but far too large.
+    let (fp16_area, _) = (area.format_breakdown(QuantFormat::Fp16, Rounding::Nearest).overhead_percent, 0.0);
+    assert!(fp16_area > 2.0 * mx_area);
+}
+
+#[test]
+fn table2_pimba_accuracy_tracks_the_gpu_baseline() {
+    let c = cfg();
+    for family in ModelFamily::PERFORMANCE_SET {
+        let gpu: Vec<f64> = Task::ALL.iter().map(|&t| baseline_accuracy(family, t)).collect();
+        let pimba: Vec<f64> = Task::ALL
+            .iter()
+            .map(|&t| task_accuracy(family, t, QuantFormat::Mx8, Rounding::Stochastic, &c))
+            .collect();
+        let drop = geometric_mean(&gpu) - geometric_mean(&pimba);
+        assert!(drop.abs() < 1.5, "{family}: geomean drop {drop:.2} too large");
+        let gpu_ppl = perplexity(family, QuantFormat::Fp16, Rounding::Nearest, &c);
+        let pimba_ppl = perplexity(family, QuantFormat::Mx8, Rounding::Stochastic, &c);
+        assert!(pimba_ppl < 1.6 * gpu_ppl, "{family}: ppl {pimba_ppl:.2} vs {gpu_ppl:.2}");
+    }
+}
+
+#[test]
+fn stochastic_rounding_never_hurts_fp8_formats() {
+    let c = cfg();
+    for fmt in [QuantFormat::E4m3, QuantFormat::E5m2] {
+        let nearest = perplexity(ModelFamily::Mamba2, fmt, Rounding::Nearest, &c);
+        let stochastic = perplexity(ModelFamily::Mamba2, fmt, Rounding::Stochastic, &c);
+        assert!(
+            stochastic < nearest,
+            "{fmt:?}: SR ({stochastic:.1}) must improve on nearest ({nearest:.1})"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-crate integration tests: end-to-end serving of every model on every system,
+//! checking the orderings the paper's evaluation reports.
+
+use pimba::models::ops::OpKind;
+use pimba::models::{ModelConfig, ModelFamily, ModelScale};
+use pimba::system::config::{SystemConfig, SystemKind};
+use pimba::system::serving::ServingSimulator;
+
+fn sims(scale: ModelScale) -> Vec<(SystemKind, ServingSimulator)> {
+    SystemKind::MAIN_COMPARISON
+        .iter()
+        .map(|&k| {
+            let cfg = match scale {
+                ModelScale::Small => SystemConfig::small_scale(k),
+                ModelScale::Large => SystemConfig::large_scale(k),
+            };
+            (k, ServingSimulator::new(cfg))
+        })
+        .collect()
+}
+
+#[test]
+fn every_model_runs_on_every_system_and_pimba_is_never_slower_than_gpu() {
+    for scale in [ModelScale::Small, ModelScale::Large] {
+        for family in ModelFamily::PERFORMANCE_SET {
+            let model = ModelConfig::preset(family, scale);
+            for &batch in &[32usize, 128] {
+                let throughputs: Vec<(SystemKind, f64)> = sims(scale)
+                    .iter()
+                    .map(|(k, s)| (*k, s.generation_throughput(&model, batch, 2048)))
+                    .collect();
+                for (kind, t) in &throughputs {
+                    assert!(t.is_finite() && *t > 0.0, "{family} {kind} produced throughput {t}");
+                }
+                let gpu = throughputs[0].1;
+                let pimba = throughputs[3].1;
+                assert!(
+                    pimba >= gpu,
+                    "{family} ({scale:?}, batch {batch}): Pimba {pimba} slower than GPU {gpu}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pimba_gains_grow_with_batch_size_for_su_llms() {
+    // Figure 12: the gap widens with batch size because state updates scale linearly
+    // with the batch while weight reads are amortized.
+    let model = ModelConfig::preset(ModelFamily::RetNet, ModelScale::Small);
+    let gpu = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Gpu));
+    let pimba = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
+    let speedup = |batch| {
+        pimba.generation_throughput(&model, batch, 2048) / gpu.generation_throughput(&model, batch, 2048)
+    };
+    assert!(speedup(128) > speedup(32));
+}
+
+#[test]
+fn state_update_latency_reduction_is_an_order_of_magnitude_at_large_scale() {
+    // Figure 13 headline: 14.6x lower state-update latency than the GPU, 6.9x lower
+    // than GPU+PIM (we accept a generous band around those factors).
+    let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Large);
+    let all = sims(ModelScale::Large);
+    let step_of = |kind: SystemKind| {
+        all.iter().find(|(k, _)| *k == kind).unwrap().1.generation_step(&model, 128, 2048)
+    };
+    let gpu = step_of(SystemKind::Gpu).latency_of(OpKind::StateUpdate);
+    let gpu_pim = step_of(SystemKind::GpuPim).latency_of(OpKind::StateUpdate);
+    let pimba = step_of(SystemKind::Pimba).latency_of(OpKind::StateUpdate);
+    let vs_gpu = gpu / pimba;
+    let vs_gpupim = gpu_pim / pimba;
+    assert!((7.0..30.0).contains(&vs_gpu), "vs GPU: {vs_gpu:.1}x");
+    assert!((3.0..15.0).contains(&vs_gpupim), "vs GPU+PIM: {vs_gpupim:.1}x");
+    assert!(vs_gpu > vs_gpupim);
+}
+
+#[test]
+fn hybrid_models_benefit_from_attention_offload_too() {
+    let model = ModelConfig::preset(ModelFamily::Zamba2, ModelScale::Large);
+    let all = sims(ModelScale::Large);
+    let step_of = |kind: SystemKind| {
+        all.iter().find(|(k, _)| *k == kind).unwrap().1.generation_step(&model, 128, 2048)
+    };
+    let gpu_attn = step_of(SystemKind::Gpu).latency_of(OpKind::Attention);
+    let pimba_attn = step_of(SystemKind::Pimba).latency_of(OpKind::Attention);
+    let reduction = gpu_attn / pimba_attn;
+    assert!((3.0..12.0).contains(&reduction), "attention reduction {reduction:.1}x");
+}
+
+#[test]
+fn energy_ordering_matches_figure14() {
+    let model = ModelConfig::preset(ModelFamily::Gla, ModelScale::Large);
+    let all = sims(ModelScale::Large);
+    let energy_of = |kind: SystemKind| {
+        all.iter().find(|(k, _)| *k == kind).unwrap().1.step_energy(&model, 128, 2048).total_pj()
+    };
+    let gpu = energy_of(SystemKind::Gpu);
+    let gpu_pim = energy_of(SystemKind::GpuPim);
+    let pimba = energy_of(SystemKind::Pimba);
+    assert!(pimba < gpu_pim, "Pimba must use less energy than GPU+PIM");
+    assert!(pimba < gpu, "Pimba must use less energy than the GPU");
+    let ratio = gpu / pimba;
+    assert!((1.3..4.0).contains(&ratio), "energy reduction {ratio:.2}x");
+}
+
+#[test]
+fn throughput_is_deterministic_across_runs() {
+    let model = ModelConfig::preset(ModelFamily::Hgrn2, ModelScale::Small);
+    let sim = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
+    let a = sim.generation_throughput(&model, 64, 2048);
+    let b = sim.generation_throughput(&model, 64, 2048);
+    assert_eq!(a, b);
+}
