@@ -41,16 +41,25 @@ fn main() {
         &["policy", "utilization_pct", "slots"],
         &rows,
     );
-    write_csv("ablation1_interleaving", &["policy", "utilization_pct", "slots"], &rows);
+    write_csv(
+        "ablation1_interleaving",
+        &["policy", "utilization_pct", "slots"],
+        &rows,
+    );
 
     // 2. Storage format on the Pimba datapath: MX8 vs fp16 (same SPU count and cadence,
     //    half the elements per column burst).
     let mx8_ns = pimba.state_update_latency_ns(&shape).unwrap();
     let fp16_like = PimDesign::new(PimDesignKind::HbmPimTwoBank); // fp16 storage
-    let fp16_columns_ratio = pimba.elements_per_column() as f64 / fp16_like.elements_per_column() as f64;
+    let fp16_columns_ratio =
+        pimba.elements_per_column() as f64 / fp16_like.elements_per_column() as f64;
     let fp16_on_pimba_ns = mx8_ns * fp16_columns_ratio;
     let rows = vec![
-        vec!["Pimba (MX8 state)".to_string(), fmt(mx8_ns / 1e6, 3), fmt(1.0, 2)],
+        vec![
+            "Pimba (MX8 state)".to_string(),
+            fmt(mx8_ns / 1e6, 3),
+            fmt(1.0, 2),
+        ],
         vec![
             "Pimba datapath with fp16 state".to_string(),
             fmt(fp16_on_pimba_ns / 1e6, 3),
@@ -62,19 +71,38 @@ fn main() {
         &["configuration", "state_update_ms", "relative"],
         &rows,
     );
-    write_csv("ablation2_storage_format", &["configuration", "state_update_ms", "relative"], &rows);
+    write_csv(
+        "ablation2_storage_format",
+        &["configuration", "state_update_ms", "relative"],
+        &rows,
+    );
 
     // 3. Command-schedule overlap: operands hidden in the activation window vs added
     //    serially after it.
-    let plan = RowGroupPlan { comps: 64, reg_writes: 16, result_reads: 8, writes_back: true };
+    let plan = RowGroupPlan {
+        comps: 64,
+        reg_writes: 16,
+        result_reads: 8,
+        writes_back: true,
+    };
     let overlapped = measure_row_group(pimba.timing, pimba.geometry, &plan);
-    let no_ops = RowGroupPlan { reg_writes: 0, ..plan };
+    let no_ops = RowGroupPlan {
+        reg_writes: 0,
+        ..plan
+    };
     let base = measure_row_group(pimba.timing, pimba.geometry, &no_ops);
-    let serialized_cycles =
-        base.total_cycles + plan.reg_writes as u64 * pimba.timing.burst_cycles + plan.reg_writes as u64;
+    let serialized_cycles = base.total_cycles
+        + plan.reg_writes as u64 * pimba.timing.burst_cycles
+        + plan.reg_writes as u64;
     let rows = vec![
-        vec!["overlapped (Figure 11)".to_string(), overlapped.total_cycles.to_string()],
-        vec!["serialized operand transfer".to_string(), serialized_cycles.to_string()],
+        vec![
+            "overlapped (Figure 11)".to_string(),
+            overlapped.total_cycles.to_string(),
+        ],
+        vec![
+            "serialized operand transfer".to_string(),
+            serialized_cycles.to_string(),
+        ],
     ];
     print_table(
         "Ablation 3: row-group cycles with overlapped vs serialized REG_WRITE",
@@ -88,10 +116,20 @@ fn main() {
     let refresh_penalty = t.t_refi as f64 / (t.t_refi - t.t_rfc) as f64;
     let rows = vec![
         vec!["with refresh".to_string(), fmt(mx8_ns / 1e6, 3)],
-        vec!["refresh disabled (hypothetical)".to_string(), fmt(mx8_ns / refresh_penalty / 1e6, 3)],
-        vec!["refresh penalty".to_string(), fmt((refresh_penalty - 1.0) * 100.0, 1) + "%"],
+        vec![
+            "refresh disabled (hypothetical)".to_string(),
+            fmt(mx8_ns / refresh_penalty / 1e6, 3),
+        ],
+        vec![
+            "refresh penalty".to_string(),
+            fmt((refresh_penalty - 1.0) * 100.0, 1) + "%",
+        ],
     ];
-    print_table("Ablation 4: refresh overhead on the state-update latency", &["configuration", "value"], &rows);
+    print_table(
+        "Ablation 4: refresh overhead on the state-update latency",
+        &["configuration", "value"],
+        &rows,
+    );
     write_csv("ablation4_refresh", &["configuration", "value"], &rows);
 
     // 5. Unit sharing: per-two-banks (Pimba) vs per-bank at the same cadence.

@@ -31,9 +31,17 @@ fn main() {
         let mem_gb = memory_usage_bytes(&cfg, model, batch, seq) / 1e9;
         let wps = sim.generation_throughput(model, batch, seq);
         let accuracy = geometric_mean(
-            &Task::ALL.iter().map(|&t| baseline_accuracy(family, t)).collect::<Vec<_>>(),
+            &Task::ALL
+                .iter()
+                .map(|&t| baseline_accuracy(family, t))
+                .collect::<Vec<_>>(),
         );
-        rows_a.push(vec![name.to_string(), fmt(mem_gb, 1), fmt(wps, 0), fmt(accuracy, 1)]);
+        rows_a.push(vec![
+            name.to_string(),
+            fmt(mem_gb, 1),
+            fmt(wps, 0),
+            fmt(accuracy, 1),
+        ]);
     }
     print_table(
         "Figure 1(a): GPU memory (GB), throughput (words/s), accuracy (%)",
@@ -49,7 +57,11 @@ fn main() {
         mem_t / mem_m,
         thr_m / thr_t
     );
-    write_csv("fig01a_motivation", &["model", "memory_gb", "throughput_wps", "accuracy_pct"], &rows_a);
+    write_csv(
+        "fig01a_motivation",
+        &["model", "memory_gb", "throughput_wps", "accuracy_pct"],
+        &rows_a,
+    );
 
     // (b) Roofline placement of the three operator classes.
     let roofline = Roofline::new(GpuDevice::a100());
@@ -81,5 +93,9 @@ fn main() {
         &["operator", "flops_per_byte", "attainable_tflops", "bound"],
         &rows_b,
     );
-    write_csv("fig01b_roofline", &["operator", "flops_per_byte", "attainable_tflops", "bound"], &rows_b);
+    write_csv(
+        "fig01b_roofline",
+        &["operator", "flops_per_byte", "attainable_tflops", "bound"],
+        &rows_b,
+    );
 }

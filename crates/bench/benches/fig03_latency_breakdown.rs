@@ -41,7 +41,11 @@ fn main() {
         "others_pct",
         "total_ms",
     ];
-    print_table("Figure 3: generation-phase latency breakdown on the GPU (%)", &header, &rows);
+    print_table(
+        "Figure 3: generation-phase latency breakdown on the GPU (%)",
+        &header,
+        &rows,
+    );
     write_csv("fig03_latency_breakdown", &header, &rows);
 
     let share = |family: &str, batch: usize| -> f64 {

@@ -42,7 +42,11 @@ fn main() {
         eprintln!("  finished {family}");
     }
 
-    print_table("Figure 4: perplexity under 8-bit representation formats", &header_refs, &rows);
+    print_table(
+        "Figure 4: perplexity under 8-bit representation formats",
+        &header_refs,
+        &rows,
+    );
     write_csv("fig04_quant_perplexity", &header_refs, &rows);
 
     println!(

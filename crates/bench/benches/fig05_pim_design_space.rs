@@ -23,8 +23,9 @@ fn main() {
         let timemux_ns = PimDesign::new(PimDesignKind::TimeMultiplexedPerBank)
             .state_update_latency_ns(&shape)
             .unwrap();
-        let pipelined_ns =
-            PimDesign::new(PimDesignKind::PipelinedPerBank).state_update_latency_ns(&shape).unwrap();
+        let pipelined_ns = PimDesign::new(PimDesignKind::PipelinedPerBank)
+            .state_update_latency_ns(&shape)
+            .unwrap();
         rows_a.push(vec![
             model.family.name().to_string(),
             fmt(1.0, 2),
@@ -33,7 +34,11 @@ fn main() {
         ]);
     }
     let header_a = ["model", "gpu", "time_multiplexed_pim", "pipelined_pim"];
-    print_table("Figure 5(a): normalized state-update throughput (batch 128)", &header_a, &rows_a);
+    print_table(
+        "Figure 5(a): normalized state-update throughput (batch 128)",
+        &header_a,
+        &rows_a,
+    );
     write_csv("fig05a_design_throughput", &header_a, &rows_a);
 
     // (b) Area overheads of the two per-bank designs.
@@ -45,11 +50,19 @@ fn main() {
     .iter()
     .map(|&k| {
         let b = area.design_breakdown(k);
-        vec![k.name().to_string(), fmt(b.total_mm2, 3), fmt(b.overhead_percent, 1)]
+        vec![
+            k.name().to_string(),
+            fmt(b.total_mm2, 3),
+            fmt(b.overhead_percent, 1),
+        ]
     })
     .collect();
     let header_b = ["design", "area_mm2_per_two_banks", "overhead_pct"];
-    print_table("Figure 5(b): area overhead of the two PIM design styles", &header_b, &rows_b);
+    print_table(
+        "Figure 5(b): area overhead of the two PIM design styles",
+        &header_b,
+        &rows_b,
+    );
     write_csv("fig05b_design_area", &header_b, &rows_b);
 
     println!(

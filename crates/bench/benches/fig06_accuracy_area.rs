@@ -31,7 +31,11 @@ fn main() {
     }
 
     let header = ["format", "area_overhead_pct", "perplexity"];
-    print_table("Figure 6: accuracy-area tradeoff (Mamba-2, per-bank pipelined PIM)", &header, &rows);
+    print_table(
+        "Figure 6: accuracy-area tradeoff (Mamba-2, per-bank pipelined PIM)",
+        &header,
+        &rows,
+    );
     write_csv("fig06_accuracy_area", &header, &rows);
 
     // Pareto check: mx8SR should not be dominated by any other 8-bit point.
@@ -50,6 +54,10 @@ fn main() {
         });
     println!(
         "\n  mx8SR: {mx_area:.1}% area, perplexity {mx_ppl:.2} — {} (paper: Pareto-optimal choice)",
-        if dominated { "DOMINATED (unexpected)" } else { "Pareto-optimal among 8-bit formats" }
+        if dominated {
+            "DOMINATED (unexpected)"
+        } else {
+            "Pareto-optimal among 8-bit formats"
+        }
     );
 }

@@ -44,8 +44,21 @@ fn main() {
         }
     }
 
-    let header = ["scale", "model", "batch", "gpu", "gpu_q", "gpu_pim", "pimba", "gpu_tokens_per_s"];
-    print_table("Figure 12: normalized generation throughput", &header, &rows);
+    let header = [
+        "scale",
+        "model",
+        "batch",
+        "gpu",
+        "gpu_q",
+        "gpu_pim",
+        "pimba",
+        "gpu_tokens_per_s",
+    ];
+    print_table(
+        "Figure 12: normalized generation throughput",
+        &header,
+        &rows,
+    );
     write_csv("fig12_throughput", &header, &rows);
 
     let geomean = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();

@@ -53,7 +53,8 @@ fn main() {
                         && step.latency_of(OpKind::Attention) > 0.0
                     {
                         attn_ratios.push(
-                            gpu_step.latency_of(OpKind::Attention) / step.latency_of(OpKind::Attention),
+                            gpu_step.latency_of(OpKind::Attention)
+                                / step.latency_of(OpKind::Attention),
                         );
                     }
                 }

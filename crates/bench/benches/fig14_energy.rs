@@ -49,7 +49,11 @@ fn main() {
         "others",
         "total",
     ];
-    print_table("Figure 14: normalized energy breakdown (batch 128, large scale)", &header, &rows);
+    print_table(
+        "Figure 14: normalized energy breakdown (batch 128, large scale)",
+        &header,
+        &rows,
+    );
     write_csv("fig14_energy", &header, &rows);
 
     let geomean = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();

@@ -37,7 +37,11 @@ fn main() {
     }
 
     let header = ["model", "batch", "gpu", "gpu_q", "gpu_pim", "pimba"];
-    print_table("Figure 16: normalized throughput on the H100 configuration", &header, &rows);
+    print_table(
+        "Figure 16: normalized throughput on the H100 configuration",
+        &header,
+        &rows,
+    );
     write_csv("fig16_h100", &header, &rows);
 
     let geomean = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();

@@ -42,7 +42,9 @@ fn bench_spe_units(c: &mut Criterion) {
 
     c.bench_function("spe_mx_multiplier", |bench| {
         let mut src = StochasticSource::from_seed(4);
-        bench.iter(|| MxMultiplier.multiply(black_box(&a), black_box(&b), Rounding::Stochastic, &mut src))
+        bench.iter(|| {
+            MxMultiplier.multiply(black_box(&a), black_box(&b), Rounding::Stochastic, &mut src)
+        })
     });
     c.bench_function("spe_mx_adder", |bench| {
         let mut src = StochasticSource::from_seed(5);
@@ -114,8 +116,14 @@ fn bench_dram_controller(c: &mut Criterion) {
                 pc
             },
             |mut pc| {
-                pc.execute(DramCommand::Act4 { banks: [0, 1, 2, 3], row: 0 });
-                pc.execute(DramCommand::Act4 { banks: [4, 5, 6, 7], row: 0 });
+                pc.execute(DramCommand::Act4 {
+                    banks: [0, 1, 2, 3],
+                    row: 0,
+                });
+                pc.execute(DramCommand::Act4 {
+                    banks: [4, 5, 6, 7],
+                    row: 0,
+                });
                 for _ in 0..64 {
                     pc.execute(DramCommand::Comp);
                 }

@@ -16,8 +16,15 @@ fn main() {
     for family in models {
         // GPU row: fp16 representation.
         let gpu_ppl = perplexity(family, QuantFormat::Fp16, Rounding::Nearest, &cfg);
-        let gpu_acc: Vec<f64> = Task::ALL.iter().map(|&t| baseline_accuracy(family, t)).collect();
-        let mut gpu_row = vec![family.name().to_string(), "GPU".to_string(), fmt(gpu_ppl, 2)];
+        let gpu_acc: Vec<f64> = Task::ALL
+            .iter()
+            .map(|&t| baseline_accuracy(family, t))
+            .collect();
+        let mut gpu_row = vec![
+            family.name().to_string(),
+            "GPU".to_string(),
+            fmt(gpu_ppl, 2),
+        ];
         gpu_row.extend(gpu_acc.iter().map(|a| fmt(*a, 1)));
         gpu_row.push(fmt(geometric_mean(&gpu_acc), 1));
         rows.push(gpu_row);
@@ -28,10 +35,18 @@ fn main() {
             .iter()
             .map(|&t| task_accuracy(family, t, QuantFormat::Mx8, Rounding::Stochastic, &cfg))
             .collect();
-        let mut pimba_row = vec![family.name().to_string(), "Pimba".to_string(), fmt(pimba_ppl, 2)];
+        let mut pimba_row = vec![
+            family.name().to_string(),
+            "Pimba".to_string(),
+            fmt(pimba_ppl, 2),
+        ];
         pimba_row.extend(pimba_acc.iter().map(|a| fmt(*a, 1)));
         let delta = geometric_mean(&pimba_acc) - geometric_mean(&gpu_acc);
-        pimba_row.push(format!("{} ({:+.1})", fmt(geometric_mean(&pimba_acc), 1), delta));
+        pimba_row.push(format!(
+            "{} ({:+.1})",
+            fmt(geometric_mean(&pimba_acc), 1),
+            delta
+        ));
         rows.push(pimba_row);
         eprintln!("  finished {family}");
     }
@@ -48,7 +63,11 @@ fn main() {
         "winogrande",
         "geomean",
     ];
-    print_table("Table 2: accuracy of GPU (fp16) vs Pimba (MX8 + stochastic rounding)", &header, &rows);
+    print_table(
+        "Table 2: accuracy of GPU (fp16) vs Pimba (MX8 + stochastic rounding)",
+        &header,
+        &rows,
+    );
     write_csv("table2_accuracy", &header, &rows);
 
     println!(

@@ -28,7 +28,11 @@ fn main() {
         "area_overhead_pct",
         "compute_power_mw",
     ];
-    print_table("Table 3: area and power comparison (per two banks)", &header, &rows);
+    print_table(
+        "Table 3: area and power comparison (per two banks)",
+        &header,
+        &rows,
+    );
     write_csv("table3_area_power", &header, &rows);
 
     // Supplementary: every design point's overhead versus the 25% budget.
@@ -38,7 +42,12 @@ fn main() {
         all_rows.push(vec![
             kind.name().to_string(),
             fmt(b.overhead_percent, 1),
-            (if b.overhead_percent <= 25.0 { "yes" } else { "no" }).to_string(),
+            (if b.overhead_percent <= 25.0 {
+                "yes"
+            } else {
+                "no"
+            })
+            .to_string(),
         ]);
     }
     print_table(
@@ -46,7 +55,11 @@ fn main() {
         &["design", "overhead_pct", "within_budget"],
         &all_rows,
     );
-    write_csv("table3_design_overheads", &["design", "overhead_pct", "within_budget"], &all_rows);
+    write_csv(
+        "table3_design_overheads",
+        &["design", "overhead_pct", "within_budget"],
+        &all_rows,
+    );
 
     println!(
         "\n  Paper reference: Pimba 0.053/0.039/0.092 mm², 13.4% overhead, 8.29 mW;\n  \

@@ -102,7 +102,7 @@ mod tests {
         let mut b = BankState::new();
         b.activate(1, 0, 14, 34);
         b.column_read(30, 6);
-        assert_eq!(b.can_precharge_at, 36.max(34));
+        assert_eq!(b.can_precharge_at, 36);
         b.column_write(40, 8, 2, 16);
         assert_eq!(b.can_precharge_at, 40 + 8 + 2 + 16);
     }

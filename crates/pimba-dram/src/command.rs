@@ -118,7 +118,11 @@ mod tests {
     #[test]
     fn pim_commands_are_flagged() {
         assert!(DramCommand::Comp.is_pim_command());
-        assert!(DramCommand::Act4 { banks: [0, 1, 2, 3], row: 0 }.is_pim_command());
+        assert!(DramCommand::Act4 {
+            banks: [0, 1, 2, 3],
+            row: 0
+        }
+        .is_pim_command());
         assert!(!DramCommand::Read { bank: 0, col: 0 }.is_pim_command());
         assert!(!DramCommand::Refresh.is_pim_command());
     }
@@ -128,7 +132,10 @@ mod tests {
         assert!(DramCommand::Read { bank: 0, col: 0 }.uses_data_bus());
         assert!(DramCommand::RegWrite.uses_data_bus());
         assert!(DramCommand::ResultRead.uses_data_bus());
-        assert!(!DramCommand::Comp.uses_data_bus(), "COMP stays inside the banks");
+        assert!(
+            !DramCommand::Comp.uses_data_bus(),
+            "COMP stays inside the banks"
+        );
         assert!(!DramCommand::PrechargeAll.uses_data_bus());
     }
 

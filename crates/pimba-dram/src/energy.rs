@@ -53,11 +53,17 @@ impl EnergyModel {
         // COMP columns stay internal; REG_WRITE / RESULT_READ move one burst over IO.
         let internal_cols = (stats.reads + stats.writes + stats.comp_columns) as f64;
         let column_pj = internal_cols * col_bits * self.column_pj_per_bit;
-        let io_transfers = (stats.reads + stats.writes + stats.reg_writes + stats.result_reads) as f64;
+        let io_transfers =
+            (stats.reads + stats.writes + stats.reg_writes + stats.result_reads) as f64;
         let io_pj = io_transfers * col_bits * self.io_pj_per_bit;
         let pim_pj =
             stats.comp_columns as f64 * geometry.column_bytes as f64 * self.pim_compute_pj_per_byte;
-        EnergyCounters { activation_pj, column_pj, io_pj, pim_compute_pj: pim_pj }
+        EnergyCounters {
+            activation_pj,
+            column_pj,
+            io_pj,
+            pim_compute_pj: pim_pj,
+        }
     }
 }
 
@@ -158,7 +164,12 @@ mod tests {
 
     #[test]
     fn counters_add_and_scale() {
-        let a = EnergyCounters { activation_pj: 1.0, column_pj: 2.0, io_pj: 3.0, pim_compute_pj: 4.0 };
+        let a = EnergyCounters {
+            activation_pj: 1.0,
+            column_pj: 2.0,
+            io_pj: 3.0,
+            pim_compute_pj: 4.0,
+        };
         let b = a.scaled(2.0);
         assert_eq!(b.total_pj(), 20.0);
         let c = a.add(&b);

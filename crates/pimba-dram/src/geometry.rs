@@ -45,7 +45,10 @@ impl DramGeometry {
 
     /// HBM3 organization used with the H100-class system (Figure 16).
     pub fn hbm3() -> Self {
-        Self { channels: 40, ..Self::hbm2e() }
+        Self {
+            channels: 40,
+            ..Self::hbm2e()
+        }
     }
 
     /// Banks per pseudo-channel.

@@ -43,33 +43,42 @@ fn realize(pc: &PseudoChannel, c: Choice) -> Option<DramCommand> {
     match c {
         Choice::Activate(b, r) => {
             let bank = b as usize % 16;
-            (!pc.bank(bank).is_open())
-                .then_some(DramCommand::Activate { bank, row: r as usize })
+            (!pc.bank(bank).is_open()).then_some(DramCommand::Activate {
+                bank,
+                row: r as usize,
+            })
         }
         Choice::Read(b, col) => {
             let bank = b as usize % 16;
-            pc.bank(bank)
-                .is_open()
-                .then_some(DramCommand::Read { bank, col: col as usize % 32 })
+            pc.bank(bank).is_open().then_some(DramCommand::Read {
+                bank,
+                col: col as usize % 32,
+            })
         }
         Choice::Write(b, col) => {
             let bank = b as usize % 16;
-            pc.bank(bank)
-                .is_open()
-                .then_some(DramCommand::Write { bank, col: col as usize % 32 })
+            pc.bank(bank).is_open().then_some(DramCommand::Write {
+                bank,
+                col: col as usize % 32,
+            })
         }
-        Choice::Precharge(b) => Some(DramCommand::Precharge { bank: b as usize % 16 }),
+        Choice::Precharge(b) => Some(DramCommand::Precharge {
+            bank: b as usize % 16,
+        }),
         Choice::Act4Group(g, r) => {
             let first = (g as usize % 4) * 4;
             let banks = [first, first + 1, first + 2, first + 3];
             banks
                 .iter()
                 .all(|&b| !pc.bank(b).is_open())
-                .then_some(DramCommand::Act4 { banks, row: r as usize })
+                .then_some(DramCommand::Act4 {
+                    banks,
+                    row: r as usize,
+                })
         }
-        Choice::Comp => {
-            (0..16).any(|b| pc.bank(b).is_open()).then_some(DramCommand::Comp)
-        }
+        Choice::Comp => (0..16)
+            .any(|b| pc.bank(b).is_open())
+            .then_some(DramCommand::Comp),
         Choice::RegWrite => Some(DramCommand::RegWrite),
         Choice::ResultRead => Some(DramCommand::ResultRead),
         Choice::PrechargeAll => Some(DramCommand::PrechargeAll),
@@ -143,6 +152,35 @@ proptest! {
             let next = pc.execute(DramCommand::Comp);
             prop_assert_eq!(next - prev, pc.timing().t_ccd_l);
             prev = next;
+        }
+    }
+
+    /// The incrementally maintained earliest-issue aggregates (open-bank count,
+    /// open-bank column/precharge maxima, group column maximum) agree exactly with
+    /// the brute-force bank scan on arbitrary valid command streams — including the
+    /// COMP / PrechargeAll hot paths they were introduced for.
+    #[test]
+    fn incremental_aggregates_match_brute_force_scan(
+        choices in prop::collection::vec(choice(), 1..150),
+        auto_refresh in prop_oneof![Just(true), Just(false)],
+    ) {
+        let mut pc = PseudoChannel::new(TimingParams::hbm2e(), DramGeometry::hbm2e());
+        pc.set_auto_refresh(auto_refresh);
+        for c in choices {
+            if let Some(cmd) = realize(&pc, c) {
+                // Probe the two hot-path commands on every step regardless of which
+                // command the stream issues next, plus the command itself.
+                for probe in [cmd, DramCommand::PrechargeAll, DramCommand::Comp] {
+                    prop_assert_eq!(
+                        pc.earliest_issue(probe),
+                        pc.earliest_issue_reference(probe),
+                        "aggregate mismatch for {} after issuing {}", probe, cmd
+                    );
+                }
+                let open = (0..16).filter(|&b| pc.bank(b).is_open()).count();
+                prop_assert_eq!(pc.open_bank_count(), open);
+                pc.execute(cmd);
+            }
         }
     }
 

@@ -26,7 +26,10 @@ impl GpuCluster {
     /// Panics if `tensor_parallel` is zero.
     pub fn new(device: GpuDevice, tensor_parallel: usize) -> Self {
         assert!(tensor_parallel > 0, "tensor_parallel must be at least 1");
-        Self { device, tensor_parallel }
+        Self {
+            device,
+            tensor_parallel,
+        }
     }
 
     /// A single-GPU "cluster".

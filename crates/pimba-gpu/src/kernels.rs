@@ -40,18 +40,31 @@ impl GpuKernelModel {
     pub fn efficiency(&self, kind: OpKind) -> KernelEfficiency {
         match kind {
             // Dense projections hit the tensor cores hard and stream weights well.
-            OpKind::Gemm => KernelEfficiency { compute: 0.70, memory: 0.85 },
+            OpKind::Gemm => KernelEfficiency {
+                compute: 0.70,
+                memory: 0.85,
+            },
             // Generation-phase attention (one query per request) is a batched GEMV
             // with poor locality across heads.
-            OpKind::Attention => KernelEfficiency { compute: 0.30, memory: 0.75 },
+            OpKind::Attention => KernelEfficiency {
+                compute: 0.30,
+                memory: 0.75,
+            },
             // State updates are element-wise over a large resident state.
-            OpKind::StateUpdate => KernelEfficiency { compute: 0.30, memory: 0.80 },
+            OpKind::StateUpdate => KernelEfficiency {
+                compute: 0.30,
+                memory: 0.80,
+            },
             // Small element-wise kernels.
-            OpKind::CausalConv | OpKind::Discretization | OpKind::Others => {
-                KernelEfficiency { compute: 0.20, memory: 0.60 }
-            }
+            OpKind::CausalConv | OpKind::Discretization | OpKind::Others => KernelEfficiency {
+                compute: 0.20,
+                memory: 0.60,
+            },
             // Communication latency is handled by the cluster model.
-            OpKind::Communication => KernelEfficiency { compute: 1.0, memory: 1.0 },
+            OpKind::Communication => KernelEfficiency {
+                compute: 1.0,
+                memory: 1.0,
+            },
         }
     }
 
@@ -96,7 +109,10 @@ mod tests {
 
     #[test]
     fn zero_cost_is_free() {
-        assert_eq!(model().kernel_latency_ns(OpKind::Gemm, &OpCost::default()), 0.0);
+        assert_eq!(
+            model().kernel_latency_ns(OpKind::Gemm, &OpCost::default()),
+            0.0
+        );
     }
 
     #[test]

@@ -42,12 +42,24 @@ pub struct StudyConfig {
 impl StudyConfig {
     /// Configuration used by the figure harnesses (a few hundred tokens, two heads).
     pub fn standard() -> Self {
-        Self { dim_head: 64, dim_state: 32, n_heads: 2, steps: 384, seed: 0xC0FFEE }
+        Self {
+            dim_head: 64,
+            dim_state: 32,
+            n_heads: 2,
+            steps: 384,
+            seed: 0xC0FFEE,
+        }
     }
 
     /// Smaller configuration for fast unit tests.
     pub fn quick() -> Self {
-        Self { dim_head: 32, dim_state: 16, n_heads: 2, steps: 96, seed: 0xC0FFEE }
+        Self {
+            dim_head: 32,
+            dim_state: 16,
+            n_heads: 2,
+            steps: 96,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -115,7 +127,11 @@ pub fn state_error(
         // differ. Element magnitudes are coherent (mild spread, random sign), matching
         // the row-scale coherence of real states.
         let typical_increment = 1.0 / (cfg.dim_head as f32).sqrt();
-        let spread_exp = if cfg.n_heads > 1 { h as f32 / (cfg.n_heads - 1) as f32 } else { 0.0 };
+        let spread_exp = if cfg.n_heads > 1 {
+            h as f32 / (cfg.n_heads - 1) as f32
+        } else {
+            0.0
+        };
         let magnitude_ratio = 14.0 * 2.5f32.powf(spread_exp);
         let warm_mag = typical_increment * magnitude_ratio;
         use rand::SeedableRng as _;
@@ -124,7 +140,11 @@ pub fn state_error(
             .map(|_| {
                 use rand::Rng as _;
                 let mag: f32 = warm_rng.gen_range(0.7f32..1.3);
-                let sign: f32 = if warm_rng.gen_range(0.0f32..1.0) < 0.5 { -1.0 } else { 1.0 };
+                let sign: f32 = if warm_rng.gen_range(0.0f32..1.0) < 0.5 {
+                    -1.0
+                } else {
+                    1.0
+                };
                 sign * mag * warm_mag
             })
             .collect();
@@ -152,7 +172,10 @@ pub fn state_error(
             // Probe the freshly-written association: innovation = S_t - d ⊙ S_{t-1},
             // projected onto the (normalized) key. Exact arithmetic returns v_t.
             let k_norm_sq: f64 =
-                s.k.iter().map(|k| f64::from(*k) * f64::from(*k)).sum::<f64>().max(1e-12);
+                s.k.iter()
+                    .map(|k| f64::from(*k) * f64::from(*k))
+                    .sum::<f64>()
+                    .max(1e-12);
             let ds = cfg.dim_state;
             let mut recovered = vec![0.0f64; ds];
             for i in 0..cfg.dim_head {
@@ -164,7 +187,11 @@ pub fn state_error(
                 }
             }
             let v_norm: f64 =
-                s.v.iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>().sqrt().max(1e-12);
+                s.v.iter()
+                    .map(|v| f64::from(*v) * f64::from(*v))
+                    .sum::<f64>()
+                    .sqrt()
+                    .max(1e-12);
             let dev: f64 = recovered
                 .iter()
                 .zip(&s.v)
@@ -243,7 +270,11 @@ const KV_PPL_ALPHA: f64 = 0.6;
 /// swamping land in the hundreds-to-thousands range the paper reports.
 pub fn perplexity_from_error(family: ModelFamily, error: f64) -> f64 {
     let base = fp16_perplexity(family);
-    let alpha = if family.has_state_update() { STATE_PPL_ALPHA } else { KV_PPL_ALPHA };
+    let alpha = if family.has_state_update() {
+        STATE_PPL_ALPHA
+    } else {
+        KV_PPL_ALPHA
+    };
     let effective = (error - ERROR_FLOOR).max(0.0);
     base * (alpha * effective).exp()
 }
@@ -393,7 +424,10 @@ pub fn task_accuracy(
 
 /// Geometric mean of a set of accuracies (the summary column of Table 2).
 pub fn geometric_mean(accuracies: &[f64]) -> f64 {
-    assert!(!accuracies.is_empty(), "cannot take the geometric mean of nothing");
+    assert!(
+        !accuracies.is_empty(),
+        "cannot take the geometric mean of nothing"
+    );
     let log_sum: f64 = accuracies.iter().map(|a| a.max(1e-9).ln()).sum();
     (log_sum / accuracies.len() as f64).exp()
 }
@@ -420,7 +454,10 @@ mod tests {
         for family in [ModelFamily::Mamba2, ModelFamily::Gla] {
             let base = fp16_perplexity(family);
             let e5m2 = perplexity(family, QuantFormat::E5m2, Rounding::Nearest, &c);
-            assert!(e5m2 > 2.0 * base, "{family}: e5m2 ppl {e5m2} should blow up vs {base}");
+            assert!(
+                e5m2 > 2.0 * base,
+                "{family}: e5m2 ppl {e5m2} should blow up vs {base}"
+            );
         }
         let opt_e5m2 = perplexity(ModelFamily::Opt, QuantFormat::E5m2, Rounding::Nearest, &c);
         let opt_base = fp16_perplexity(ModelFamily::Opt);
@@ -448,9 +485,18 @@ mod tests {
     #[test]
     fn stochastic_rounding_improves_fp8_substantially() {
         let c = cfg();
-        let nearest = perplexity(ModelFamily::Mamba2, QuantFormat::E5m2, Rounding::Nearest, &c);
-        let stochastic =
-            perplexity(ModelFamily::Mamba2, QuantFormat::E5m2, Rounding::Stochastic, &c);
+        let nearest = perplexity(
+            ModelFamily::Mamba2,
+            QuantFormat::E5m2,
+            Rounding::Nearest,
+            &c,
+        );
+        let stochastic = perplexity(
+            ModelFamily::Mamba2,
+            QuantFormat::E5m2,
+            Rounding::Stochastic,
+            &c,
+        );
         assert!(
             stochastic < 0.7 * nearest,
             "SR ({stochastic}) must cut e5m2 perplexity substantially vs nearest ({nearest})"
@@ -467,7 +513,10 @@ mod tests {
         let e5m2 = err(QuantFormat::E5m2);
         assert!(int8 < e4m3);
         assert!(mx8 < e4m3);
-        assert!(e4m3 < e5m2 * 3.0, "e4m3 ({e4m3}) should not be wildly worse than e5m2 ({e5m2})");
+        assert!(
+            e4m3 < e5m2 * 3.0,
+            "e4m3 ({e4m3}) should not be wildly worse than e5m2 ({e5m2})"
+        );
     }
 
     #[test]
@@ -484,7 +533,10 @@ mod tests {
         // Table 2: Pimba (MX8 + SR) loses at most ~0.3 points of geomean accuracy.
         let c = cfg();
         let family = ModelFamily::Mamba2;
-        let gpu: Vec<f64> = Task::ALL.iter().map(|&t| baseline_accuracy(family, t)).collect();
+        let gpu: Vec<f64> = Task::ALL
+            .iter()
+            .map(|&t| baseline_accuracy(family, t))
+            .collect();
         let pimba: Vec<f64> = Task::ALL
             .iter()
             .map(|&t| task_accuracy(family, t, QuantFormat::Mx8, Rounding::Stochastic, &c))
@@ -535,7 +587,13 @@ mod diagnostics {
     fn print_error_landscape() {
         let c = StudyConfig::quick();
         for family in [ModelFamily::Mamba2, ModelFamily::Gla, ModelFamily::RetNet] {
-            for fmt in [QuantFormat::Fp16, QuantFormat::Int8, QuantFormat::Mx8, QuantFormat::E4m3, QuantFormat::E5m2] {
+            for fmt in [
+                QuantFormat::Fp16,
+                QuantFormat::Int8,
+                QuantFormat::Mx8,
+                QuantFormat::E4m3,
+                QuantFormat::E5m2,
+            ] {
                 for r in [Rounding::Nearest, Rounding::Stochastic] {
                     let err = state_error(family, fmt, r, &c);
                     let ppl = perplexity_from_error(family, err);

@@ -68,7 +68,11 @@ impl AttentionHead {
             .keys
             .iter()
             .map(|key| {
-                key.iter().zip(q).map(|(a, b)| f64::from(*a) * f64::from(*b)).sum::<f64>() * scale
+                key.iter()
+                    .zip(q)
+                    .map(|(a, b)| f64::from(*a) * f64::from(*b))
+                    .sum::<f64>()
+                    * scale
             })
             .collect();
         // Numerically-stable softmax.
@@ -125,9 +129,9 @@ mod tests {
         let mut head = AttentionHead::new(8, None, 1);
         // With identical values the output must equal that value regardless of scores.
         let v = vec![3.5f32; 8];
-        head.step(&vec![0.3; 8], &vec![0.1; 8], &v);
-        head.step(&vec![0.3; 8], &vec![-0.7; 8], &v);
-        let out = head.step(&vec![0.3; 8], &vec![0.9; 8], &v);
+        head.step(&[0.3; 8], &[0.1; 8], &v);
+        head.step(&[0.3; 8], &[-0.7; 8], &v);
+        let out = head.step(&[0.3; 8], &[0.9; 8], &v);
         for o in out {
             assert!((o - 3.5).abs() < 1e-6);
         }
@@ -140,9 +144,15 @@ mod tests {
         let dim = 32;
         let tokens = 64;
         let mk_inputs = |t: usize| {
-            let k: Vec<f32> = (0..dim).map(|i| ((t * 31 + i * 7) as f32 * 0.13).sin()).collect();
-            let v: Vec<f32> = (0..dim).map(|i| ((t * 17 + i * 3) as f32 * 0.29).cos()).collect();
-            let q: Vec<f32> = (0..dim).map(|i| ((t * 11 + i * 5) as f32 * 0.07).sin()).collect();
+            let k: Vec<f32> = (0..dim)
+                .map(|i| ((t * 31 + i * 7) as f32 * 0.13).sin())
+                .collect();
+            let v: Vec<f32> = (0..dim)
+                .map(|i| ((t * 17 + i * 3) as f32 * 0.29).cos())
+                .collect();
+            let q: Vec<f32> = (0..dim)
+                .map(|i| ((t * 11 + i * 5) as f32 * 0.07).sin())
+                .collect();
             (q, k, v)
         };
         let mut reference = AttentionHead::new(dim, None, 0);
@@ -155,16 +165,19 @@ mod tests {
             let mut head = AttentionHead::new(dim, Some((fmt, Rounding::Nearest)), 0);
             let mut num = 0.0;
             let mut den = 0.0;
-            for t in 0..tokens {
+            for (t, expected) in ref_out.iter().enumerate() {
                 let (q, k, v) = mk_inputs(t);
                 let out = head.step(&q, &k, &v);
-                for (a, b) in out.iter().zip(&ref_out[t]) {
+                for (a, b) in out.iter().zip(expected) {
                     num += (a - b).abs();
                     den += b.abs();
                 }
             }
             let rel = num / den;
-            assert!(rel < 0.2, "{fmt:?}: KV quantization error {rel} unexpectedly large");
+            assert!(
+                rel < 0.2,
+                "{fmt:?}: KV quantization error {rel} unexpectedly large"
+            );
         }
     }
 

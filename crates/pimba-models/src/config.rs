@@ -30,8 +30,12 @@ pub enum ModelFamily {
 
 impl ModelFamily {
     /// The SU-LLM families (models whose core operation is the state update).
-    pub const SU_LLMS: [ModelFamily; 4] =
-        [ModelFamily::RetNet, ModelFamily::Gla, ModelFamily::Hgrn2, ModelFamily::Mamba2];
+    pub const SU_LLMS: [ModelFamily; 4] = [
+        ModelFamily::RetNet,
+        ModelFamily::Gla,
+        ModelFamily::Hgrn2,
+        ModelFamily::Mamba2,
+    ];
 
     /// Families evaluated in the performance experiments (Figures 12–14).
     pub const PERFORMANCE_SET: [ModelFamily; 6] = [
@@ -50,7 +54,10 @@ impl ModelFamily {
 
     /// Returns `true` if the family uses softmax attention in any layer.
     pub fn has_attention(self) -> bool {
-        matches!(self, ModelFamily::Zamba2 | ModelFamily::Opt | ModelFamily::Llama)
+        matches!(
+            self,
+            ModelFamily::Zamba2 | ModelFamily::Opt | ModelFamily::Llama
+        )
     }
 
     /// Display name used in figures.
@@ -453,19 +460,36 @@ mod tests {
         let sizes: Vec<(ModelFamily, f64)> = ModelFamily::SU_LLMS
             .iter()
             .map(|&f| {
-                (f, ModelConfig::preset(f, ModelScale::Small).state_elements_per_request())
+                (
+                    f,
+                    ModelConfig::preset(f, ModelScale::Small).state_elements_per_request(),
+                )
             })
             .collect();
-        let retnet = sizes.iter().find(|(f, _)| *f == ModelFamily::RetNet).unwrap().1;
+        let retnet = sizes
+            .iter()
+            .find(|(f, _)| *f == ModelFamily::RetNet)
+            .unwrap()
+            .1;
         for (f, s) in &sizes {
             if *f != ModelFamily::RetNet {
-                assert!(retnet >= *s, "RetNet state must be the largest ({f} has {s})");
+                assert!(
+                    retnet >= *s,
+                    "RetNet state must be the largest ({f} has {s})"
+                );
             }
         }
-        let hgrn2 = sizes.iter().find(|(f, _)| *f == ModelFamily::Hgrn2).unwrap().1;
+        let hgrn2 = sizes
+            .iter()
+            .find(|(f, _)| *f == ModelFamily::Hgrn2)
+            .unwrap()
+            .1;
         for (f, s) in &sizes {
             if *f != ModelFamily::Hgrn2 {
-                assert!(hgrn2 <= *s, "HGRN2 state must be the smallest ({f} has {s})");
+                assert!(
+                    hgrn2 <= *s,
+                    "HGRN2 state must be the smallest ({f} has {s})"
+                );
             }
         }
     }

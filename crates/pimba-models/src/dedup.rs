@@ -1,0 +1,149 @@
+//! Operator deduplication: collapsing the `n_layers` identical blocks of a model
+//! into canonical operators with a multiplicity.
+//!
+//! During batched generation every one of a model's blocks presents the simulator
+//! with bit-identical operator instances (same kind, same structural shape, same
+//! FLOP/byte cost — only the weights differ, and the cost model never looks at
+//! weight values). A naive layer-by-layer evaluation therefore performs
+//! `O(layers × ops)` latency-model invocations per step where `O(unique ops)`
+//! suffice. This module provides the collapse: [`dedup_ops`] groups instances by
+//! exact bit-equality of `(kind, shape, cost)` and returns one [`DedupOp`] per
+//! group, carrying the group's multiplicity.
+//!
+//! Grouping compares the `f64` cost fields by their IEEE-754 bit patterns, so two
+//! instances only ever share a group when evaluating either would produce exactly
+//! the same latency — deduplicated evaluation is bit-identical per unique operator
+//! by construction.
+
+use crate::ops::{OpCost, OpInstance, OpKind, OpShape};
+use std::collections::HashMap;
+
+/// Hashable identity of one operator instance: kind, structural shape, and the bit
+/// patterns of its cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpIdentity {
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Structural shape.
+    pub shape: OpShape,
+    /// `f64::to_bits` of `cost.flops`.
+    pub flops_bits: u64,
+    /// `f64::to_bits` of `cost.bytes_read`.
+    pub bytes_read_bits: u64,
+    /// `f64::to_bits` of `cost.bytes_written`.
+    pub bytes_written_bits: u64,
+}
+
+impl OpIdentity {
+    /// The identity of `op`.
+    pub fn of(op: &OpInstance) -> Self {
+        Self {
+            kind: op.kind,
+            shape: op.shape,
+            flops_bits: op.cost.flops.to_bits(),
+            bytes_read_bits: op.cost.bytes_read.to_bits(),
+            bytes_written_bits: op.cost.bytes_written.to_bits(),
+        }
+    }
+}
+
+/// One canonical operator standing for `multiplicity` bit-identical instances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DedupOp {
+    /// The canonical instance (the first of its group, in input order).
+    pub op: OpInstance,
+    /// How many identical instances it stands for.
+    pub multiplicity: usize,
+}
+
+impl DedupOp {
+    /// The aggregate cost of the whole group (`cost × multiplicity`).
+    pub fn merged_cost(&self) -> OpCost {
+        self.op.cost.scaled(self.multiplicity as f64)
+    }
+}
+
+/// Collapses `ops` into canonical operators with multiplicities, preserving the
+/// order of first appearance.
+pub fn dedup_ops(ops: &[OpInstance]) -> Vec<DedupOp> {
+    let mut groups: Vec<DedupOp> = Vec::new();
+    let mut index: HashMap<OpIdentity, usize> = HashMap::with_capacity(ops.len());
+    for op in ops {
+        match index.entry(OpIdentity::of(op)) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                groups[*slot.get()].multiplicity += 1;
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(groups.len());
+                groups.push(DedupOp {
+                    op: *op,
+                    multiplicity: 1,
+                });
+            }
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, ModelFamily, ModelScale};
+    use crate::workload::GenerationWorkload;
+
+    #[test]
+    fn identical_instances_collapse_to_one_group() {
+        let wl = GenerationWorkload::single_step(
+            &ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small),
+            64,
+            2048,
+        );
+        let expanded = wl.expanded_ops();
+        let deduped = dedup_ops(&expanded);
+        // 64 SU blocks, 64 conv blocks, 64 discretization blocks, 64 gemm blocks,
+        // 64 "others" blocks -> exactly one group per op kind.
+        assert_eq!(deduped.len(), wl.ops.len());
+        assert!(expanded.len() >= 5 * 64);
+        for group in &deduped {
+            let aggregate = wl.ops.iter().find(|o| o.kind == group.op.kind).unwrap();
+            assert_eq!(group.multiplicity, wl.layer_multiplicity(group.op.kind));
+            // The canonical instance carries the per-layer share of the aggregate.
+            assert_eq!(
+                group.op.cost.flops,
+                aggregate.cost.flops / group.multiplicity as f64
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_costs_stay_separate() {
+        let a = OpInstance::new(OpKind::Gemm, OpCost::new(1.0, 2.0, 3.0), OpShape::None);
+        let b = OpInstance::new(OpKind::Gemm, OpCost::new(1.0, 2.0, 4.0), OpShape::None);
+        let deduped = dedup_ops(&[a, b, a, a, b]);
+        assert_eq!(deduped.len(), 2);
+        assert_eq!(deduped[0].multiplicity, 3);
+        assert_eq!(deduped[1].multiplicity, 2);
+        assert_eq!(deduped[0].op, a, "first appearance is canonical");
+    }
+
+    #[test]
+    fn merged_cost_scales_by_multiplicity() {
+        let op = OpInstance::new(OpKind::Others, OpCost::new(3.0, 5.0, 7.0), OpShape::None);
+        let deduped = dedup_ops(&[op; 8]);
+        assert_eq!(deduped.len(), 1);
+        let merged = deduped[0].merged_cost();
+        assert_eq!(merged.flops, 24.0);
+        assert_eq!(merged.bytes_read, 40.0);
+        assert_eq!(merged.bytes_written, 56.0);
+    }
+
+    #[test]
+    fn zero_and_negative_zero_costs_are_distinct_identities() {
+        // Bit-pattern grouping: -0.0 and 0.0 compare equal as floats but are kept
+        // apart, which is the conservative direction (never merges anything whose
+        // evaluation could differ).
+        let a = OpInstance::new(OpKind::Others, OpCost::new(0.0, 0.0, 0.0), OpShape::None);
+        let b = OpInstance::new(OpKind::Others, OpCost::new(-0.0, 0.0, 0.0), OpShape::None);
+        assert_eq!(dedup_ops(&[a, b]).len(), 2);
+    }
+}

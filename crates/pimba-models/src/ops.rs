@@ -77,7 +77,11 @@ pub struct OpCost {
 impl OpCost {
     /// Creates a cost descriptor.
     pub fn new(flops: f64, bytes_read: f64, bytes_written: f64) -> Self {
-        Self { flops, bytes_read, bytes_written }
+        Self {
+            flops,
+            bytes_read,
+            bytes_written,
+        }
     }
 
     /// Total bytes moved.
@@ -115,7 +119,11 @@ impl OpCost {
 }
 
 /// Structural shape attached to operators that the PIM maps onto banks.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Shapes are plain integers, so they are `Eq + Hash` and serve directly as the
+/// structural part of the shape-keyed latency-cache keys (see
+/// `pimba_system::cache`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum OpShape {
     /// State update shape: `batch` independent requests, `layers * heads` total heads,
     /// each with a `dim_head x dim_state` state.

@@ -287,8 +287,7 @@ impl StateUpdateHead {
                 // Stage 2a: state decay (element-wise multiply with the gate/decay).
                 let decayed = mul.multiply(group, &d_groups[g], rounding, &mut self.src);
                 // Stage 2b: outer-product contribution k_i * v_j for this sub-chunk.
-                let kv: Vec<f32> =
-                    k_groups[g].dequantize().iter().map(|k| k * v_j).collect();
+                let kv: Vec<f32> = k_groups[g].dequantize().iter().map(|k| k * v_j).collect();
                 let kv_group = MxGroup::quantize(&kv[..len], rounding, &mut self.src);
                 // Stage 3: update (MX add), written back to the state.
                 let updated = add.add(&decayed, &kv_group, rounding, &mut self.src);
@@ -327,7 +326,11 @@ pub fn output_cosine_distance(reference: &[Vec<f64>], candidate: &[Vec<f64>]) ->
         if nr < 1e-12 {
             continue;
         }
-        let sim = if nc < 1e-12 { 0.0 } else { (dot / (nr * nc)).clamp(-1.0, 1.0) };
+        let sim = if nc < 1e-12 {
+            0.0
+        } else {
+            (dot / (nr * nc)).clamp(-1.0, 1.0)
+        };
         total += 1.0 - sim;
         counted += 1;
     }
@@ -364,7 +367,12 @@ mod tests {
     use crate::config::ModelFamily;
     use crate::synth::SynthStream;
 
-    fn run_engine(engine: StateUpdateEngine, steps: &[StepInputs], dh: usize, ds: usize) -> Vec<Vec<f64>> {
+    fn run_engine(
+        engine: StateUpdateEngine,
+        steps: &[StepInputs],
+        dh: usize,
+        ds: usize,
+    ) -> Vec<Vec<f64>> {
         let mut head = StateUpdateHead::new(dh, ds, engine, 7);
         head.run(steps)
     }
@@ -373,7 +381,7 @@ mod tests {
     fn exact_engine_matches_manual_recurrence() {
         let dh = 2;
         let ds = 3;
-        let steps = vec![
+        let steps = [
             StepInputs {
                 decay: DecayInput::Scalar(0.5),
                 k: vec![1.0, 2.0],
@@ -402,14 +410,12 @@ mod tests {
 
     #[test]
     fn gating_vector_decays_rows_independently() {
-        let steps = vec![
-            StepInputs {
-                decay: DecayInput::Vector(vec![1.0, 0.0]),
-                k: vec![0.0, 0.0],
-                v: vec![1.0],
-                q: vec![1.0, 1.0],
-            },
-        ];
+        let steps = [StepInputs {
+            decay: DecayInput::Vector(vec![1.0, 0.0]),
+            k: vec![0.0, 0.0],
+            v: vec![1.0],
+            q: vec![1.0, 1.0],
+        }];
         let mut head = StateUpdateHead::new(2, 1, StateUpdateEngine::Exact, 0);
         // Seed the state by a first step with k=[1,1].
         head.step(&StepInputs {
@@ -429,7 +435,10 @@ mod tests {
         let steps = stream.take_steps(128);
         let reference = run_engine(StateUpdateEngine::Exact, &steps, 32, 32);
         let fp16 = run_engine(
-            StateUpdateEngine::QuantizedStore { format: QuantFormat::Fp16, rounding: Rounding::Nearest },
+            StateUpdateEngine::QuantizedStore {
+                format: QuantFormat::Fp16,
+                rounding: Rounding::Nearest,
+            },
             &steps,
             32,
             32,
@@ -444,13 +453,19 @@ mod tests {
         let steps = stream.take_steps(256);
         let reference = run_engine(StateUpdateEngine::Exact, &steps, 32, 32);
         let mx8 = run_engine(
-            StateUpdateEngine::QuantizedStore { format: QuantFormat::Mx8, rounding: Rounding::Nearest },
+            StateUpdateEngine::QuantizedStore {
+                format: QuantFormat::Mx8,
+                rounding: Rounding::Nearest,
+            },
             &steps,
             32,
             32,
         );
         let e5m2 = run_engine(
-            StateUpdateEngine::QuantizedStore { format: QuantFormat::E5m2, rounding: Rounding::Nearest },
+            StateUpdateEngine::QuantizedStore {
+                format: QuantFormat::E5m2,
+                rounding: Rounding::Nearest,
+            },
             &steps,
             32,
             32,
@@ -469,13 +484,19 @@ mod tests {
         let steps = stream.take_steps(256);
         let reference = run_engine(StateUpdateEngine::Exact, &steps, 32, 32);
         let fp16 = run_engine(
-            StateUpdateEngine::QuantizedStore { format: QuantFormat::Fp16, rounding: Rounding::Nearest },
+            StateUpdateEngine::QuantizedStore {
+                format: QuantFormat::Fp16,
+                rounding: Rounding::Nearest,
+            },
             &steps,
             32,
             32,
         );
         let e5m2 = run_engine(
-            StateUpdateEngine::QuantizedStore { format: QuantFormat::E5m2, rounding: Rounding::Nearest },
+            StateUpdateEngine::QuantizedStore {
+                format: QuantFormat::E5m2,
+                rounding: Rounding::Nearest,
+            },
             &steps,
             32,
             32,
@@ -493,15 +514,28 @@ mod tests {
         let mut stream = SynthStream::new(ModelFamily::Mamba2, 32, 16, 13);
         let steps = stream.take_steps(64);
         let reference = run_engine(StateUpdateEngine::Exact, &steps, 32, 16);
-        let spe = run_engine(StateUpdateEngine::SpeMx { rounding: Rounding::Stochastic }, &steps, 32, 16);
+        let spe = run_engine(
+            StateUpdateEngine::SpeMx {
+                rounding: Rounding::Stochastic,
+            },
+            &steps,
+            32,
+            16,
+        );
         let err = output_cosine_distance(&reference, &spe);
         assert!(err < 0.2, "SPE MX cosine distance {err} unexpectedly large");
     }
 
     #[test]
     fn spe_state_matrix_is_reconstructible() {
-        let mut head =
-            StateUpdateHead::new(16, 4, StateUpdateEngine::SpeMx { rounding: Rounding::Nearest }, 3);
+        let mut head = StateUpdateHead::new(
+            16,
+            4,
+            StateUpdateEngine::SpeMx {
+                rounding: Rounding::Nearest,
+            },
+            3,
+        );
         let mut stream = SynthStream::new(ModelFamily::Mamba2, 16, 4, 9);
         head.run(&stream.take_steps(8));
         let m = head.state_matrix();

@@ -37,7 +37,12 @@ pub struct StepInputs {
 impl SynthStream {
     /// Creates a stream for `family` with the given head shape and seed.
     pub fn new(family: ModelFamily, dim_head: usize, dim_state: usize, seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), family, dim_head, dim_state, }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            family,
+            dim_head,
+            dim_state,
+        }
     }
 
     /// Standard-normal sample via Box–Muller (rand itself only provides uniforms).
@@ -92,11 +97,19 @@ impl SynthStream {
         let k_scale = (1.0 / (self.dim_head as f32).sqrt()).max(0.05);
         let signed_uniform = |scale: f32, rng: &mut StdRng| {
             let mag: f32 = 0.7 + rng.gen_range(0.0f32..0.6);
-            let sign = if rng.gen_range(0.0f32..1.0) < 0.5 { -1.0 } else { 1.0 };
+            let sign = if rng.gen_range(0.0f32..1.0) < 0.5 {
+                -1.0
+            } else {
+                1.0
+            };
             sign * mag * scale
         };
-        let k: Vec<f32> = (0..self.dim_head).map(|_| signed_uniform(k_scale, &mut self.rng)).collect();
-        let q: Vec<f32> = (0..self.dim_head).map(|_| signed_uniform(k_scale, &mut self.rng)).collect();
+        let k: Vec<f32> = (0..self.dim_head)
+            .map(|_| signed_uniform(k_scale, &mut self.rng))
+            .collect();
+        let q: Vec<f32> = (0..self.dim_head)
+            .map(|_| signed_uniform(k_scale, &mut self.rng))
+            .collect();
         let mut v = self.normal_vec(self.dim_state, 1.0);
         if self.rng.gen_range(0.0f32..1.0) < 0.02 {
             // Rare outlier token.
@@ -181,7 +194,11 @@ mod tests {
     fn values_have_unit_scale_on_average() {
         let mut s = SynthStream::new(ModelFamily::RetNet, 16, 64, 11);
         let steps = s.take_steps(200);
-        let mean_abs: f32 = steps.iter().flat_map(|st| st.v.iter()).map(|v| v.abs()).sum::<f32>()
+        let mean_abs: f32 = steps
+            .iter()
+            .flat_map(|st| st.v.iter())
+            .map(|v| v.abs())
+            .sum::<f32>()
             / (200.0 * 64.0);
         assert!((0.4..1.6).contains(&mean_abs), "mean |v| = {mean_abs}");
     }

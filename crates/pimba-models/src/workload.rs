@@ -13,7 +13,7 @@ use pimba_num::QuantFormat;
 use serde::{Deserialize, Serialize};
 
 /// Storage formats used by a serving configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct StorageFormats {
     /// Format of model weights.
     pub weights: QuantFormat,
@@ -38,7 +38,12 @@ impl StorageFormats {
 
     /// Quantized state / KV cache (GPU+Q and Pimba keep weights and activations fp16).
     pub fn quantized_state(format: QuantFormat) -> Self {
-        Self { weights: QuantFormat::Fp16, state: format, kv_cache: format, activations: QuantFormat::Fp16 }
+        Self {
+            weights: QuantFormat::Fp16,
+            state: format,
+            kv_cache: format,
+            activations: QuantFormat::Fp16,
+        }
     }
 }
 
@@ -98,7 +103,11 @@ impl GenerationWorkload {
         ops.push(OpInstance::new(
             OpKind::Gemm,
             gemm_cost,
-            OpShape::Dense { m: batch, n: config.d_model, k: config.d_model },
+            OpShape::Dense {
+                m: batch,
+                n: config.d_model,
+                k: config.d_model,
+            },
         ));
 
         // ---- State update.
@@ -112,7 +121,8 @@ impl GenerationWorkload {
             let cost = OpCost::new(
                 5.0 * b * elems,
                 b * (elems * state_bytes + vec_elems * act_bytes),
-                b * (elems * state_bytes + (config.n_heads * config.dim_state * su_layers) as f64 * act_bytes),
+                b * (elems * state_bytes
+                    + (config.n_heads * config.dim_state * su_layers) as f64 * act_bytes),
             );
             ops.push(OpInstance::new(
                 OpKind::StateUpdate,
@@ -181,11 +191,21 @@ impl GenerationWorkload {
         let others_elems = b * d * config.n_layers as f64 * 6.0;
         ops.push(OpInstance::new(
             OpKind::Others,
-            OpCost::new(others_elems * 4.0, others_elems * act_bytes * 2.0, others_elems * act_bytes),
+            OpCost::new(
+                others_elems * 4.0,
+                others_elems * act_bytes * 2.0,
+                others_elems * act_bytes,
+            ),
             OpShape::None,
         ));
 
-        Self { config: config.clone(), batch, seq_len, formats, ops }
+        Self {
+            config: config.clone(),
+            batch,
+            seq_len,
+            formats,
+            ops,
+        }
     }
 
     /// Builds the workload of a whole prefill over `prompt_len` tokens. Prefill is
@@ -219,6 +239,73 @@ impl GenerationWorkload {
             }
         }
         wl
+    }
+
+    /// How many per-layer instances stand behind one aggregate operator of this
+    /// workload: the state-update-family operators repeat once per SU block,
+    /// attention once per attention block, and the dense/element-wise glue once per
+    /// block of any kind.
+    pub fn layer_multiplicity(&self, kind: OpKind) -> usize {
+        let n = match kind {
+            OpKind::StateUpdate | OpKind::CausalConv | OpKind::Discretization => {
+                self.config.n_state_update_layers()
+            }
+            OpKind::Attention => self.config.n_attention_layers,
+            OpKind::Gemm | OpKind::Others => self.config.n_layers,
+            OpKind::Communication => 1,
+        };
+        n.max(1)
+    }
+
+    /// The naive O(layers × ops) representation of this step: every aggregate
+    /// operator is expanded into one instance per model block, each carrying an
+    /// equal share of the aggregate cost and a single-layer shape.
+    ///
+    /// This is what a layer-by-layer simulator would evaluate (one kernel-model or
+    /// PIM-schedule invocation per block) and is the baseline the deduplication
+    /// layer ([`crate::dedup`]) collapses back to one canonical instance per unique
+    /// shape. The per-instance costs are the aggregate split evenly, so re-merging
+    /// the expansion recovers the aggregate up to floating-point rounding of the
+    /// `1/n`-scaling (exact whenever `n` is a power of two).
+    pub fn expanded_ops(&self) -> Vec<OpInstance> {
+        let mut expanded = Vec::new();
+        for op in &self.ops {
+            let n = self.layer_multiplicity(op.kind);
+            let per_layer_cost = op.cost.scaled(1.0 / n as f64);
+            let per_layer_shape = match op.shape {
+                OpShape::StateUpdate {
+                    batch,
+                    heads,
+                    dim_head,
+                    dim_state,
+                    ..
+                } => OpShape::StateUpdate {
+                    batch,
+                    layers: 1,
+                    heads,
+                    dim_head,
+                    dim_state,
+                },
+                OpShape::Attention {
+                    batch,
+                    heads,
+                    dim_head,
+                    seq_len,
+                    ..
+                } => OpShape::Attention {
+                    batch,
+                    layers: 1,
+                    heads,
+                    dim_head,
+                    seq_len,
+                },
+                other => other,
+            };
+            for _ in 0..n {
+                expanded.push(OpInstance::new(op.kind, per_layer_cost, per_layer_shape));
+            }
+        }
+        expanded
     }
 
     /// Total FLOPs of the step.
@@ -278,7 +365,11 @@ mod tests {
         let wl = GenerationWorkload::single_step(&cfg(ModelFamily::RetNet), 128, 2048);
         let su = wl.cost_of(OpKind::StateUpdate).total_bytes();
         let total = wl.total_bytes();
-        assert!(su / total > 0.6, "state update byte share {} too small", su / total);
+        assert!(
+            su / total > 0.6,
+            "state update byte share {} too small",
+            su / total
+        );
     }
 
     #[test]
@@ -347,10 +438,13 @@ mod tests {
         // both stay memory-bound.
         let su = GenerationWorkload::single_step(&cfg(ModelFamily::Mamba2), 64, 2048)
             .cost_of(OpKind::StateUpdate);
-        let attn =
-            GenerationWorkload::single_step(&cfg(ModelFamily::Opt), 64, 2048).cost_of(OpKind::Attention);
+        let attn = GenerationWorkload::single_step(&cfg(ModelFamily::Opt), 64, 2048)
+            .cost_of(OpKind::Attention);
         assert!(su.arithmetic_intensity() > attn.arithmetic_intensity());
-        assert!(su.arithmetic_intensity() < 10.0, "state update must remain memory-bound");
+        assert!(
+            su.arithmetic_intensity() < 10.0,
+            "state update must remain memory-bound"
+        );
     }
 
     #[test]
@@ -380,7 +474,10 @@ mod tests {
         let step = GenerationWorkload::single_step(&cfg(ModelFamily::Mamba2), 16, 2048);
         assert!(prefill.total_flops() > 100.0 * step.total_flops());
         let gemm = prefill.cost_of(OpKind::Gemm);
-        assert!(gemm.arithmetic_intensity() > 100.0, "prefill GEMMs must be compute-bound");
+        assert!(
+            gemm.arithmetic_intensity() > 100.0,
+            "prefill GEMMs must be compute-bound"
+        );
     }
 
     #[test]

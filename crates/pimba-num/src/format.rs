@@ -51,8 +51,12 @@ impl QuantFormat {
     ];
 
     /// The 8-bit formats studied in Figure 4 / Figure 6.
-    pub const EIGHT_BIT: [QuantFormat; 4] =
-        [QuantFormat::Int8, QuantFormat::E4m3, QuantFormat::E5m2, QuantFormat::Mx8];
+    pub const EIGHT_BIT: [QuantFormat; 4] = [
+        QuantFormat::Int8,
+        QuantFormat::E4m3,
+        QuantFormat::E5m2,
+        QuantFormat::Mx8,
+    ];
 
     /// Average storage bits per value including shared metadata.
     pub fn bits_per_value(self) -> f64 {
@@ -149,7 +153,10 @@ impl QuantFormat {
             max_abs = max_abs.max(d.abs());
             sq_sum += f64::from(d) * f64::from(d);
         }
-        StoreError { max_abs_error: max_abs, rms_error: (sq_sum / original.len() as f64).sqrt() as f32 }
+        StoreError {
+            max_abs_error: max_abs,
+            rms_error: (sq_sum / original.len() as f64).sqrt() as f32,
+        }
     }
 }
 
@@ -201,9 +208,17 @@ mod tests {
     fn error_ordering_follows_mantissa_width() {
         // On a smooth tensor, wider mantissas must give smaller RMS error.
         let mut src = StochasticSource::from_seed(2);
-        let base: Vec<f32> = (0..256).map(|i| ((i as f32) * 0.13).sin() * 3.0 + 3.5).collect();
+        let base: Vec<f32> = (0..256)
+            .map(|i| ((i as f32) * 0.13).sin() * 3.0 + 3.5)
+            .collect();
         let mut errs = Vec::new();
-        for fmt in [QuantFormat::Fp16, QuantFormat::Int8, QuantFormat::Mx8, QuantFormat::E4m3, QuantFormat::E5m2] {
+        for fmt in [
+            QuantFormat::Fp16,
+            QuantFormat::Int8,
+            QuantFormat::Mx8,
+            QuantFormat::E4m3,
+            QuantFormat::E5m2,
+        ] {
             let mut v = base.clone();
             let e = fmt.store_roundtrip(&mut v, Rounding::Nearest, &mut src);
             errs.push((fmt, e.rms_error));

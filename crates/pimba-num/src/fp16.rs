@@ -60,8 +60,8 @@ pub(crate) fn encode_small_float(
     }
 
     // Largest finite magnitude of the target format.
-    let max_finite = (2.0 - f64::from(2u32).powi(-(mant_bits as i32)))
-        * 2f64.powi((exp_max as i32 - 1) - bias);
+    let max_finite =
+        (2.0 - f64::from(2u32).powi(-(mant_bits as i32))) * 2f64.powi((exp_max as i32 - 1) - bias);
     if mag.is_infinite() || mag > max_finite {
         // Saturate (quantizers for ML caches clamp rather than produce inf).
         return (sign << sign_shift) | (((exp_max - 1) << mant_bits) | mant_max);
@@ -109,7 +109,11 @@ pub(crate) fn encode_small_float(
 pub(crate) fn decode_small_float(bits: u32, exp_bits: u32, mant_bits: u32, bias: i32) -> f32 {
     let sign_shift = exp_bits + mant_bits;
     let exp_max = (1u32 << exp_bits) - 1;
-    let sign = if (bits >> sign_shift) & 1 == 1 { -1.0f64 } else { 1.0 };
+    let sign = if (bits >> sign_shift) & 1 == 1 {
+        -1.0f64
+    } else {
+        1.0
+    };
     let e = (bits >> mant_bits) & exp_max;
     let m = bits & ((1u32 << mant_bits) - 1);
     let value = if e == 0 {
@@ -138,7 +142,9 @@ mod tests {
 
     #[test]
     fn exact_values_roundtrip() {
-        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, -65504.0, 65504.0, 0.25, 0.125] {
+        for v in [
+            0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, -65504.0, 65504.0, 0.25, 0.125,
+        ] {
             assert_eq!(rt(v), v, "value {v} should round-trip exactly");
         }
     }
@@ -149,7 +155,10 @@ mod tests {
         assert_eq!(f32_to_f16_bits(1.0, Rounding::Nearest, &mut src), 0x3C00);
         assert_eq!(f32_to_f16_bits(-2.0, Rounding::Nearest, &mut src), 0xC000);
         assert_eq!(f32_to_f16_bits(0.0, Rounding::Nearest, &mut src), 0x0000);
-        assert_eq!(f32_to_f16_bits(65504.0, Rounding::Nearest, &mut src), 0x7BFF);
+        assert_eq!(
+            f32_to_f16_bits(65504.0, Rounding::Nearest, &mut src),
+            0x7BFF
+        );
         assert_eq!(f16_bits_to_f32(0x3555), 0.333_251_95);
     }
 

@@ -53,12 +53,24 @@ impl Fp8Kind {
 
     /// Encodes `value` into 8 bits.
     pub fn encode(self, value: f32, mode: Rounding, src: &mut StochasticSource) -> u8 {
-        encode_small_float(value, self.exp_bits(), self.mant_bits(), self.bias(), mode, src) as u8
+        encode_small_float(
+            value,
+            self.exp_bits(),
+            self.mant_bits(),
+            self.bias(),
+            mode,
+            src,
+        ) as u8
     }
 
     /// Decodes 8 bits into an `f32`.
     pub fn decode(self, bits: u8) -> f32 {
-        decode_small_float(u32::from(bits), self.exp_bits(), self.mant_bits(), self.bias())
+        decode_small_float(
+            u32::from(bits),
+            self.exp_bits(),
+            self.mant_bits(),
+            self.bias(),
+        )
     }
 
     /// Stores `value` in the format and reads it back.

@@ -37,7 +37,10 @@ impl Int8Group {
         );
         let max_abs = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
         if max_abs == 0.0 || !max_abs.is_finite() {
-            return Self { scale: 0.0, codes: vec![0; values.len()] };
+            return Self {
+                scale: 0.0,
+                codes: vec![0; values.len()],
+            };
         }
         let scale = max_abs / INT8_CODE_MAX as f32;
         let codes = values
@@ -52,7 +55,10 @@ impl Int8Group {
 
     /// Dequantizes the group back into `f32` values.
     pub fn dequantize(&self) -> Vec<f32> {
-        self.codes.iter().map(|&c| f32::from(c) * self.scale).collect()
+        self.codes
+            .iter()
+            .map(|&c| f32::from(c) * self.scale)
+            .collect()
     }
 
     /// Number of elements stored.
@@ -105,7 +111,10 @@ mod tests {
         let vals = [0.1f32, -0.7, 12.7, 3.3];
         let g = Int8Group::quantize(&vals, Rounding::Nearest, &mut src);
         let deq = g.dequantize();
-        assert!((deq[2] - 12.7).abs() < 1e-5, "max element must be represented exactly");
+        assert!(
+            (deq[2] - 12.7).abs() < 1e-5,
+            "max element must be represented exactly"
+        );
     }
 
     #[test]

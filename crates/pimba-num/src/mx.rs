@@ -92,12 +92,19 @@ impl MxGroup {
             for &v in pair {
                 let v = if v.is_finite() { f64::from(v) } else { 0.0 };
                 let scaled = v.abs() / lsb;
-                let m = src.round(scaled, mode).max(0.0).min(f64::from(MX_MANTISSA_MAX)) as i16;
+                let m = src
+                    .round(scaled, mode)
+                    .max(0.0)
+                    .min(f64::from(MX_MANTISSA_MAX)) as i16;
                 mantissas.push(if v.is_sign_negative() { -m } else { m });
             }
         }
 
-        Self { shared_exp, micro_exps, mantissas }
+        Self {
+            shared_exp,
+            micro_exps,
+            mantissas,
+        }
     }
 
     /// Builds a group directly from raw fields, clamping mantissas into range.
@@ -246,7 +253,10 @@ mod tests {
         let vals = [2.0f32, 1.9, 0.26, 0.27];
         let g = quant(&vals);
         assert_eq!(g.micro_exps[0], 0);
-        assert_eq!(g.micro_exps[1], 1, "small pair should use the microexponent");
+        assert_eq!(
+            g.micro_exps[1], 1,
+            "small pair should use the microexponent"
+        );
         let d = g.dequantize();
         // With micro=1 the lsb is 2^(1-1-5)=2^-5; error bound is 2^-6.
         assert!((d[2] - 0.26).abs() <= 2f32.powi(-6) + 1e-7);
@@ -275,7 +285,10 @@ mod tests {
             acc += g.element(1);
         }
         let mean = acc / f64::from(trials);
-        assert!((mean - 3.0).abs() < 0.7, "stochastic mean {mean} should approach 3.0");
+        assert!(
+            (mean - 3.0).abs() < 0.7,
+            "stochastic mean {mean} should approach 3.0"
+        );
     }
 
     #[test]
@@ -296,7 +309,7 @@ mod tests {
 
     #[test]
     fn from_raw_clamps() {
-        let g = MxGroup::from_raw(9999, vec![7, 0], vec![1000, -1000, 5], );
+        let g = MxGroup::from_raw(9999, vec![7, 0], vec![1000, -1000, 5]);
         assert_eq!(g.shared_exp, MX_EXP_MAX);
         assert_eq!(g.micro_exps, vec![1, 0]);
         assert_eq!(g.mantissas[0], MX_MANTISSA_MAX as i16);

@@ -10,9 +10,10 @@
 use serde::{Deserialize, Serialize};
 
 /// Rounding mode used when a real value is converted into a low-precision format.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Rounding {
     /// Round to nearest, ties to even (the IEEE-754 default).
+    #[default]
     Nearest,
     /// Stochastic rounding: round up with probability equal to the fractional
     /// remainder, using pseudo-random bits from a [`StochasticSource`].
@@ -26,12 +27,6 @@ impl Rounding {
             Rounding::Nearest => "",
             Rounding::Stochastic => "SR",
         }
-    }
-}
-
-impl Default for Rounding {
-    fn default() -> Self {
-        Rounding::Nearest
     }
 }
 
@@ -64,7 +59,10 @@ impl StochasticSource {
         if folded == 0 {
             folded = 0xACE1;
         }
-        Self { state: folded, drawn: 0 }
+        Self {
+            state: folded,
+            drawn: 0,
+        }
     }
 
     /// Advances the LFSR one step and returns the output bit.
@@ -74,7 +72,7 @@ impl StochasticSource {
     #[inline]
     pub fn next_bit(&mut self) -> u16 {
         let s = self.state;
-        let bit = ((s >> 0) ^ (s >> 2) ^ (s >> 3) ^ (s >> 5)) & 1;
+        let bit = (s ^ (s >> 2) ^ (s >> 3) ^ (s >> 5)) & 1;
         self.state = (s >> 1) | (bit << (LFSR_BITS - 1));
         self.drawn += 1;
         bit
@@ -139,9 +137,8 @@ pub fn round_half_even(x: f64) -> f64 {
     let diff = x - floor;
     if diff > 0.5 {
         floor + 1.0
-    } else if diff < 0.5 {
-        floor
-    } else if (floor as i64) % 2 == 0 {
+    } else if diff < 0.5 || (floor as i64) % 2 == 0 {
+        // Below the midpoint, or exactly at it with an even floor.
         floor
     } else {
         floor + 1.0
@@ -159,8 +156,8 @@ mod tests {
         let mut src2 = StochasticSource::from_seed(123);
         let seq2: Vec<u16> = (0..64).map(|_| src2.next_bit()).collect();
         assert_eq!(seq, seq2);
-        assert!(seq.iter().any(|&b| b == 1), "LFSR must not be stuck at zero");
-        assert!(seq.iter().any(|&b| b == 0), "LFSR must not be stuck at one");
+        assert!(seq.contains(&1), "LFSR must not be stuck at zero");
+        assert!(seq.contains(&0), "LFSR must not be stuck at one");
     }
 
     #[test]
@@ -203,8 +200,14 @@ mod tests {
         let mut src = StochasticSource::from_seed(99);
         let x = 3.25;
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| src.round(x, Rounding::Stochastic)).sum::<f64>() / n as f64;
-        assert!((mean - x).abs() < 0.02, "stochastic rounding biased: mean={mean}");
+        let mean: f64 = (0..n)
+            .map(|_| src.round(x, Rounding::Stochastic))
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - x).abs() < 0.02,
+            "stochastic rounding biased: mean={mean}"
+        );
     }
 
     #[test]

@@ -55,9 +55,8 @@ fn shift_right_rounded(value: i64, shift: u32, mode: Rounding, src: &mut Stochas
         Rounding::Nearest => {
             if frac > 0.5 {
                 kept + 1
-            } else if frac < 0.5 {
-                kept
-            } else if kept % 2 == 0 {
+            } else if frac < 0.5 || kept.is_multiple_of(2) {
+                // Below the midpoint, or exactly at it with an even mantissa.
                 kept
             } else {
                 kept + 1
@@ -87,7 +86,11 @@ impl MxMultiplier {
         mode: Rounding,
         src: &mut StochasticSource,
     ) -> MxGroup {
-        assert_eq!(a.len(), b.len(), "MX multiplier operands must have equal length");
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "MX multiplier operands must have equal length"
+        );
         let n = a.len();
         let n_pairs = n.div_ceil(MX_PAIR_SIZE);
 
@@ -120,7 +123,10 @@ impl MxMultiplier {
 
         // If any product overflows the 6-bit mantissa, bump the group exponent once and
         // shift every element right by one (group-level normalization).
-        if wide.iter().any(|&m| m.unsigned_abs() > u64::from(MX_MANTISSA_MAX)) {
+        if wide
+            .iter()
+            .any(|&m| m.unsigned_abs() > u64::from(MX_MANTISSA_MAX))
+        {
             result_exp += 1;
             for m in &mut wide {
                 *m = shift_right_rounded(*m, 1, mode, src);
@@ -168,7 +174,10 @@ impl MxAdder {
         }
 
         // Carry out of the 6-bit mantissa range bumps the group exponent.
-        while sums.iter().any(|&m| m.unsigned_abs() > u64::from(MX_MANTISSA_MAX)) {
+        while sums
+            .iter()
+            .any(|&m| m.unsigned_abs() > u64::from(MX_MANTISSA_MAX))
+        {
             result_exp += 1;
             for m in &mut sums {
                 *m = shift_right_rounded(*m, 1, mode, src);
@@ -187,7 +196,11 @@ impl MxDotProductUnit {
     ///
     /// Panics if the groups have different lengths.
     pub fn dot(&self, a: &MxGroup, b: &MxGroup) -> f64 {
-        assert_eq!(a.len(), b.len(), "dot product operands must have equal length");
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "dot product operands must have equal length"
+        );
         let mut acc = 0.0f64;
         for i in 0..a.len() {
             // Integer mantissa product scaled by the combined exponents.
@@ -241,8 +254,11 @@ mod tests {
         let a = quant(&a_vals);
         let b = quant(&b_vals);
         let prod = MxMultiplier.multiply(&a, &b, Rounding::Nearest, &mut src);
-        let expected: Vec<f64> =
-            a_vals.iter().zip(&b_vals).map(|(x, y)| f64::from(*x) * f64::from(*y)).collect();
+        let expected: Vec<f64> = a_vals
+            .iter()
+            .zip(&b_vals)
+            .map(|(x, y)| f64::from(*x) * f64::from(*y))
+            .collect();
         let err = max_rel_err(&expected, &prod.dequantize());
         assert!(err < 0.10, "relative error {err} too large");
     }
@@ -275,12 +291,17 @@ mod tests {
     fn adder_matches_reference_within_format_error() {
         let mut src = StochasticSource::from_seed(5);
         let a_vals: Vec<f32> = (0..MX_GROUP_SIZE).map(|i| (i as f32 * 0.9).sin()).collect();
-        let b_vals: Vec<f32> = (0..MX_GROUP_SIZE).map(|i| (i as f32 * 0.4).cos() * 2.0).collect();
+        let b_vals: Vec<f32> = (0..MX_GROUP_SIZE)
+            .map(|i| (i as f32 * 0.4).cos() * 2.0)
+            .collect();
         let a = quant(&a_vals);
         let b = quant(&b_vals);
         let sum = MxAdder.add(&a, &b, Rounding::Nearest, &mut src);
-        let expected: Vec<f64> =
-            a_vals.iter().zip(&b_vals).map(|(x, y)| f64::from(*x) + f64::from(*y)).collect();
+        let expected: Vec<f64> = a_vals
+            .iter()
+            .zip(&b_vals)
+            .map(|(x, y)| f64::from(*x) + f64::from(*y))
+            .collect();
         for (e, g) in expected.iter().zip(sum.dequantize()) {
             assert!((e - f64::from(g)).abs() < 0.15, "expected {e}, got {g}");
         }
@@ -314,7 +335,11 @@ mod tests {
         let b = quant(&[0.05, 0.05]);
         let mut src = StochasticSource::from_seed(8);
         let s = MxAdder.add(&a, &b, Rounding::Nearest, &mut src);
-        assert_eq!(s.dequantize(), a.dequantize(), "tiny addend should be swamped");
+        assert_eq!(
+            s.dequantize(),
+            a.dequantize(),
+            "tiny addend should be swamped"
+        );
     }
 
     #[test]
@@ -342,9 +367,15 @@ mod tests {
         let a = quant(&a_vals);
         let b = quant(&b_vals);
         let got = MxDotProductUnit.dot(&a, &b);
-        let expected: f64 =
-            a_vals.iter().zip(&b_vals).map(|(x, y)| f64::from(*x) * f64::from(*y)).sum();
-        assert!((got - expected).abs() / expected.abs() < 0.03, "{got} vs {expected}");
+        let expected: f64 = a_vals
+            .iter()
+            .zip(&b_vals)
+            .map(|(x, y)| f64::from(*x) * f64::from(*y))
+            .sum();
+        assert!(
+            (got - expected).abs() / expected.abs() < 0.03,
+            "{got} vs {expected}"
+        );
     }
 
     #[test]

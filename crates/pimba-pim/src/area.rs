@@ -101,7 +101,11 @@ impl AreaModel {
         time_multiplexed: bool,
     ) -> f64 {
         let lanes = self.lanes(format) as f64
-            * if time_multiplexed { TIME_MUX_LANE_FRACTION } else { 1.0 };
+            * if time_multiplexed {
+                TIME_MUX_LANE_FRACTION
+            } else {
+                1.0
+            };
         let lane_array = lanes * self.lane_mm2(format, rounding);
         lane_array * (1.0 + self.group_logic_fraction)
     }
@@ -194,18 +198,34 @@ mod tests {
     #[test]
     fn pimba_breakdown_matches_table3() {
         let b = model().design_breakdown(PimDesignKind::Pimba);
-        assert!((b.compute_mm2 - 0.053).abs() < 0.005, "compute {:.4}", b.compute_mm2);
+        assert!(
+            (b.compute_mm2 - 0.053).abs() < 0.005,
+            "compute {:.4}",
+            b.compute_mm2
+        );
         assert!((b.buffer_mm2 - 0.039).abs() < 0.001);
         assert!((b.total_mm2 - 0.092).abs() < 0.006);
-        assert!((b.overhead_percent - 13.4).abs() < 1.0, "overhead {:.1}", b.overhead_percent);
+        assert!(
+            (b.overhead_percent - 13.4).abs() < 1.0,
+            "overhead {:.1}",
+            b.overhead_percent
+        );
         assert!((b.power_mw - 8.29).abs() < 1.0, "power {:.2}", b.power_mw);
     }
 
     #[test]
     fn hbm_pim_breakdown_matches_table3() {
         let b = model().design_breakdown(PimDesignKind::HbmPimTwoBank);
-        assert!((b.compute_mm2 - 0.042).abs() < 0.006, "compute {:.4}", b.compute_mm2);
-        assert!((b.overhead_percent - 11.8).abs() < 1.5, "overhead {:.1}", b.overhead_percent);
+        assert!(
+            (b.compute_mm2 - 0.042).abs() < 0.006,
+            "compute {:.4}",
+            b.compute_mm2
+        );
+        assert!(
+            (b.overhead_percent - 11.8).abs() < 1.5,
+            "overhead {:.1}",
+            b.overhead_percent
+        );
         assert!(b.power_mw < model().design_breakdown(PimDesignKind::Pimba).power_mw + 3.0);
     }
 
@@ -251,7 +271,9 @@ mod tests {
         let m = model();
         for fmt in [QuantFormat::Mx8, QuantFormat::Int8, QuantFormat::E5m2] {
             let plain = m.format_breakdown(fmt, Rounding::Nearest).overhead_percent;
-            let sr = m.format_breakdown(fmt, Rounding::Stochastic).overhead_percent;
+            let sr = m
+                .format_breakdown(fmt, Rounding::Stochastic)
+                .overhead_percent;
             assert!(sr > plain);
             assert!(sr - plain < 1.5, "{fmt:?}: SR adds {} points", sr - plain);
         }

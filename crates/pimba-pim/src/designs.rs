@@ -80,12 +80,20 @@ pub struct PimDesign {
 impl PimDesign {
     /// Creates a design with the default HBM2E memory.
     pub fn new(kind: PimDesignKind) -> Self {
-        Self { kind, timing: TimingParams::hbm2e(), geometry: DramGeometry::hbm2e() }
+        Self {
+            kind,
+            timing: TimingParams::hbm2e(),
+            geometry: DramGeometry::hbm2e(),
+        }
     }
 
     /// Creates a design with HBM3 memory (H100-class system, Figure 16).
     pub fn with_hbm3(kind: PimDesignKind) -> Self {
-        Self { kind, timing: TimingParams::hbm3(), geometry: DramGeometry::hbm3() }
+        Self {
+            kind,
+            timing: TimingParams::hbm3(),
+            geometry: DramGeometry::hbm3(),
+        }
     }
 
     /// Storage format of the state / KV cache on this design.
@@ -195,18 +203,33 @@ mod tests {
     use super::*;
 
     fn su_shape() -> OpShape {
-        OpShape::StateUpdate { batch: 64, layers: 64, heads: 80, dim_head: 64, dim_state: 128 }
+        OpShape::StateUpdate {
+            batch: 64,
+            layers: 64,
+            heads: 80,
+            dim_head: 64,
+            dim_state: 128,
+        }
     }
 
     fn attn_shape() -> OpShape {
-        OpShape::Attention { batch: 64, layers: 32, heads: 32, dim_head: 128, seq_len: 2048 }
+        OpShape::Attention {
+            batch: 64,
+            layers: 32,
+            heads: 32,
+            dim_head: 128,
+            seq_len: 2048,
+        }
     }
 
     #[test]
     fn pimba_matches_pipelined_per_bank_throughput_with_half_the_units() {
         let pimba = PimDesign::new(PimDesignKind::Pimba);
         let pipelined = PimDesign::new(PimDesignKind::PipelinedPerBank);
-        assert_eq!(pimba.units_per_pseudo_channel() * 2, pipelined.units_per_pseudo_channel());
+        assert_eq!(
+            pimba.units_per_pseudo_channel() * 2,
+            pipelined.units_per_pseudo_channel()
+        );
         // Per-column processing rate (columns per slot per pseudo-channel) is the same:
         let rate = |d: &PimDesign| {
             d.units_per_pseudo_channel() as f64 / d.state_update_slots_per_column() as f64
@@ -222,7 +245,10 @@ mod tests {
         let pipelined = lat(PimDesignKind::PipelinedPerBank);
         let timemux = lat(PimDesignKind::TimeMultiplexedPerBank);
         let hbmpim = lat(PimDesignKind::HbmPimTwoBank);
-        assert!(pimba < pipelined, "MX8 storage must beat fp16 at equal column rate");
+        assert!(
+            pimba < pipelined,
+            "MX8 storage must beat fp16 at equal column rate"
+        );
         assert!(pipelined < timemux);
         assert!(timemux < hbmpim);
     }
@@ -245,25 +271,47 @@ mod tests {
     fn mx8_packs_twice_the_elements_per_column() {
         let pimba = PimDesign::new(PimDesignKind::Pimba);
         let hbmpim = PimDesign::new(PimDesignKind::HbmPimTwoBank);
-        assert_eq!(pimba.elements_per_column(), 2 * hbmpim.elements_per_column());
+        assert_eq!(
+            pimba.elements_per_column(),
+            2 * hbmpim.elements_per_column()
+        );
     }
 
     #[test]
     fn hbm3_is_faster_than_hbm2e() {
         let shape = su_shape();
-        let a = PimDesign::new(PimDesignKind::Pimba).state_update_latency_ns(&shape).unwrap();
-        let b = PimDesign::with_hbm3(PimDesignKind::Pimba).state_update_latency_ns(&shape).unwrap();
+        let a = PimDesign::new(PimDesignKind::Pimba)
+            .state_update_latency_ns(&shape)
+            .unwrap();
+        let b = PimDesign::with_hbm3(PimDesignKind::Pimba)
+            .state_update_latency_ns(&shape)
+            .unwrap();
         assert!(b < a);
     }
 
     #[test]
     fn attention_latency_scales_with_sequence_length() {
         let d = PimDesign::new(PimDesignKind::Pimba);
-        let short = OpShape::Attention { batch: 64, layers: 32, heads: 32, dim_head: 128, seq_len: 512 };
-        let long = OpShape::Attention { batch: 64, layers: 32, heads: 32, dim_head: 128, seq_len: 4096 };
+        let short = OpShape::Attention {
+            batch: 64,
+            layers: 32,
+            heads: 32,
+            dim_head: 128,
+            seq_len: 512,
+        };
+        let long = OpShape::Attention {
+            batch: 64,
+            layers: 32,
+            heads: 32,
+            dim_head: 128,
+            seq_len: 4096,
+        };
         let a = d.attention_latency_ns(&short).unwrap();
         let b = d.attention_latency_ns(&long).unwrap();
-        assert!(b > 4.0 * a, "attention latency must scale with the KV length");
+        assert!(
+            b > 4.0 * a,
+            "attention latency must scale with the KV length"
+        );
     }
 
     #[test]

@@ -89,7 +89,9 @@ fn device_latency(
     let col_bits = (g.column_bytes * 8) as f64;
     let energy = EnergyCounters {
         activation_pj: rows_touched * model.activation_pj,
-        column_pj: columns_total * col_bits * model.column_pj_per_bit
+        column_pj: columns_total
+            * col_bits
+            * model.column_pj_per_bit
             * if writes_back { 2.0 } else { 1.0 },
         io_pj: io_transfers * col_bits * model.io_pj_per_bit,
         pim_compute_pj: columns_total * g.column_bytes as f64 * model.pim_compute_pj_per_byte,
@@ -112,12 +114,24 @@ fn device_latency(
 /// Panics if `shape` is not a state-update shape (callers go through
 /// [`PimDesign::state_update_latency`], which checks).
 pub fn state_update_latency(design: &PimDesign, shape: &OpShape) -> PimLatency {
-    let OpShape::StateUpdate { batch, layers, heads, dim_head, dim_state } = *shape else {
+    let OpShape::StateUpdate {
+        batch,
+        layers,
+        heads,
+        dim_head,
+        dim_state,
+    } = *shape
+    else {
         panic!("state_update_latency requires a StateUpdate shape");
     };
     let total_elements =
         batch as f64 * layers as f64 * heads as f64 * dim_head as f64 * dim_state as f64;
-    device_latency(design, total_elements, true, design.state_update_slots_per_column())
+    device_latency(
+        design,
+        total_elements,
+        true,
+        design.state_update_slots_per_column(),
+    )
 }
 
 /// Latency of a full attention operator (score + attend over the whole KV cache) on
@@ -127,13 +141,25 @@ pub fn state_update_latency(design: &PimDesign, shape: &OpShape) -> PimLatency {
 ///
 /// Panics if `shape` is not an attention shape.
 pub fn attention_latency(design: &PimDesign, shape: &OpShape) -> PimLatency {
-    let OpShape::Attention { batch, layers, heads, dim_head, seq_len } = *shape else {
+    let OpShape::Attention {
+        batch,
+        layers,
+        heads,
+        dim_head,
+        seq_len,
+    } = *shape
+    else {
         panic!("attention_latency requires an Attention shape");
     };
     // Keys are streamed in the score phase, values in the attend phase.
     let total_elements =
         2.0 * batch as f64 * layers as f64 * heads as f64 * dim_head as f64 * seq_len as f64;
-    device_latency(design, total_elements, false, design.attention_slots_per_column())
+    device_latency(
+        design,
+        total_elements,
+        false,
+        design.attention_slots_per_column(),
+    )
 }
 
 #[cfg(test)]
@@ -153,7 +179,12 @@ mod tests {
         let d = pimba();
         let columns = d.geometry.banks_per_pseudo_channel() * d.geometry.columns_per_row();
         let comps = columns / d.units_per_pseudo_channel();
-        let plan = RowGroupPlan { comps, reg_writes: 8, result_reads: 8, writes_back: true };
+        let plan = RowGroupPlan {
+            comps,
+            reg_writes: 8,
+            result_reads: 8,
+            writes_back: true,
+        };
         let measured = measure_row_group(d.timing, d.geometry, &plan);
         let analytic = row_group_cycles(&d, 1, true);
         let comp_only = (comps as u64 * d.timing.t_ccd_l) as f64;
@@ -169,8 +200,13 @@ mod tests {
     fn state_update_speedup_over_gpu_is_about_an_order_of_magnitude() {
         // Mamba-2 2.7B, batch 128: the paper reports 14.6x lower state-update latency
         // than the GPU. The GPU needs ~(read+write of the fp16 state)/bandwidth.
-        let shape =
-            OpShape::StateUpdate { batch: 128, layers: 64, heads: 80, dim_head: 64, dim_state: 128 };
+        let shape = OpShape::StateUpdate {
+            batch: 128,
+            layers: 64,
+            heads: 80,
+            dim_head: 64,
+            dim_state: 128,
+        };
         let d = pimba();
         let pim = state_update_latency(&d, &shape);
         let elements = 128.0 * 64.0 * 80.0 * 64.0 * 128.0;
@@ -187,10 +223,20 @@ mod tests {
     #[test]
     fn latency_scales_linearly_with_batch() {
         let d = pimba();
-        let small =
-            OpShape::StateUpdate { batch: 32, layers: 64, heads: 80, dim_head: 64, dim_state: 128 };
-        let large =
-            OpShape::StateUpdate { batch: 128, layers: 64, heads: 80, dim_head: 64, dim_state: 128 };
+        let small = OpShape::StateUpdate {
+            batch: 32,
+            layers: 64,
+            heads: 80,
+            dim_head: 64,
+            dim_state: 128,
+        };
+        let large = OpShape::StateUpdate {
+            batch: 128,
+            layers: 64,
+            heads: 80,
+            dim_head: 64,
+            dim_state: 128,
+        };
         let a = state_update_latency(&d, &small).latency_ns;
         let b = state_update_latency(&d, &large).latency_ns;
         let ratio = b / a;
@@ -200,8 +246,20 @@ mod tests {
     #[test]
     fn attention_avoids_write_back_costs() {
         let d = pimba();
-        let su = OpShape::StateUpdate { batch: 64, layers: 32, heads: 32, dim_head: 128, dim_state: 128 };
-        let at = OpShape::Attention { batch: 64, layers: 32, heads: 32, dim_head: 128, seq_len: 64 };
+        let su = OpShape::StateUpdate {
+            batch: 64,
+            layers: 32,
+            heads: 32,
+            dim_head: 128,
+            dim_state: 128,
+        };
+        let at = OpShape::Attention {
+            batch: 64,
+            layers: 32,
+            heads: 32,
+            dim_head: 128,
+            seq_len: 64,
+        };
         // Same number of elements streamed (2 * seq_len == dim_state).
         let su_elems = 64.0 * 32.0 * 32.0 * 128.0 * 128.0;
         let at_elems = 2.0 * 64.0 * 32.0 * 32.0 * 128.0 * 64.0;
@@ -209,7 +267,10 @@ mod tests {
         let su_lat = state_update_latency(&d, &su);
         let at_lat = attention_latency(&d, &at);
         assert!(at_lat.latency_ns <= su_lat.latency_ns);
-        assert!(at_lat.energy.column_pj < su_lat.energy.column_pj, "no write-back energy");
+        assert!(
+            at_lat.energy.column_pj < su_lat.energy.column_pj,
+            "no write-back energy"
+        );
     }
 
     #[test]
@@ -217,8 +278,13 @@ mod tests {
         // The whole point of PIM: column/activation energy dominates, IO energy is a
         // small fraction because only operands and results cross the pins.
         let d = pimba();
-        let shape =
-            OpShape::StateUpdate { batch: 128, layers: 64, heads: 80, dim_head: 64, dim_state: 128 };
+        let shape = OpShape::StateUpdate {
+            batch: 128,
+            layers: 64,
+            heads: 80,
+            dim_head: 64,
+            dim_state: 128,
+        };
         let lat = state_update_latency(&d, &shape);
         assert!(lat.energy.io_pj < 0.2 * lat.energy.total_pj());
     }

@@ -81,7 +81,10 @@ pub fn measure_row_group(
     let mut reg_written = 0usize;
     for first in (0..banks).step_by(4) {
         let group = [first, first + 1, first + 2, first + 3];
-        pc.execute(DramCommand::Act4 { banks: group, row: 0 });
+        pc.execute(DramCommand::Act4 {
+            banks: group,
+            row: 0,
+        });
         while reg_written < plan.reg_writes
             && reg_written < (first / 4 + 1) * plan.reg_writes.div_ceil(banks / 4)
         {
@@ -126,7 +129,10 @@ pub fn measure_row_group(
 pub fn comp_cadence_cycles(timing: TimingParams, geometry: DramGeometry) -> u64 {
     let mut pc = PseudoChannel::new(timing, geometry);
     pc.set_auto_refresh(false);
-    pc.execute(DramCommand::Act4 { banks: [0, 1, 2, 3], row: 0 });
+    pc.execute(DramCommand::Act4 {
+        banks: [0, 1, 2, 3],
+        row: 0,
+    });
     let first = pc.execute(DramCommand::Comp);
     let second = pc.execute(DramCommand::Comp);
     second - first
@@ -151,7 +157,12 @@ mod tests {
         // A full row group (every bank streams its 32 columns through 8 SPUs => 64
         // COMPs at tCCD_L) must spend most of its time computing, not activating.
         let (t, g) = defaults();
-        let plan = RowGroupPlan { comps: 64, reg_writes: 8, result_reads: 4, writes_back: true };
+        let plan = RowGroupPlan {
+            comps: 64,
+            reg_writes: 8,
+            result_reads: 4,
+            writes_back: true,
+        };
         let timing = measure_row_group(t, g, &plan);
         assert!(timing.comp_cycles >= 63 * t.t_ccd_l);
         assert!(
@@ -159,7 +170,10 @@ mod tests {
             "compute fraction {} too low",
             timing.compute_fraction()
         );
-        assert!(timing.overhead_cycles > 0, "activation/precharge overhead cannot be zero");
+        assert!(
+            timing.overhead_cycles > 0,
+            "activation/precharge overhead cannot be zero"
+        );
     }
 
     #[test]
@@ -168,12 +182,22 @@ mod tests {
         let without = measure_row_group(
             t,
             g,
-            &RowGroupPlan { comps: 64, reg_writes: 0, result_reads: 4, writes_back: true },
+            &RowGroupPlan {
+                comps: 64,
+                reg_writes: 0,
+                result_reads: 4,
+                writes_back: true,
+            },
         );
         let with = measure_row_group(
             t,
             g,
-            &RowGroupPlan { comps: 64, reg_writes: 8, result_reads: 4, writes_back: true },
+            &RowGroupPlan {
+                comps: 64,
+                reg_writes: 8,
+                result_reads: 4,
+                writes_back: true,
+            },
         );
         // Eight operand bursts fit into the tFAW gaps between ACT4 commands, so the
         // total barely moves (Figure 11).
@@ -188,9 +212,19 @@ mod tests {
     #[test]
     fn result_read_overlaps_with_precharge() {
         let (t, g) = defaults();
-        let plan = RowGroupPlan { comps: 32, reg_writes: 4, result_reads: 4, writes_back: true };
+        let plan = RowGroupPlan {
+            comps: 32,
+            reg_writes: 4,
+            result_reads: 4,
+            writes_back: true,
+        };
         let timing = measure_row_group(t, g, &plan);
-        let plan_no_rr = RowGroupPlan { comps: 32, reg_writes: 4, result_reads: 0, writes_back: true };
+        let plan_no_rr = RowGroupPlan {
+            comps: 32,
+            reg_writes: 4,
+            result_reads: 0,
+            writes_back: true,
+        };
         let without = measure_row_group(t, g, &plan_no_rr);
         // Result reads ride on the data bus while the banks precharge; the extra cost
         // is bounded by the bus bursts themselves, not a serial tail.
@@ -203,15 +237,29 @@ mod tests {
         let small = measure_row_group(
             t,
             g,
-            &RowGroupPlan { comps: 32, reg_writes: 4, result_reads: 2, writes_back: true },
+            &RowGroupPlan {
+                comps: 32,
+                reg_writes: 4,
+                result_reads: 2,
+                writes_back: true,
+            },
         );
         let large = measure_row_group(
             t,
             g,
-            &RowGroupPlan { comps: 128, reg_writes: 4, result_reads: 2, writes_back: true },
+            &RowGroupPlan {
+                comps: 128,
+                reg_writes: 4,
+                result_reads: 2,
+                writes_back: true,
+            },
         );
         let delta = large.total_cycles - small.total_cycles;
-        assert_eq!(delta, 96 * t.t_ccd_l, "COMP stream must scale at the tCCD_L cadence");
+        assert_eq!(
+            delta,
+            96 * t.t_ccd_l,
+            "COMP stream must scale at the tCCD_L cadence"
+        );
     }
 
     #[test]
@@ -220,12 +268,22 @@ mod tests {
         let wb = measure_row_group(
             t,
             g,
-            &RowGroupPlan { comps: 64, reg_writes: 4, result_reads: 4, writes_back: true },
+            &RowGroupPlan {
+                comps: 64,
+                reg_writes: 4,
+                result_reads: 4,
+                writes_back: true,
+            },
         );
         let ro = measure_row_group(
             t,
             g,
-            &RowGroupPlan { comps: 64, reg_writes: 4, result_reads: 4, writes_back: false },
+            &RowGroupPlan {
+                comps: 64,
+                reg_writes: 4,
+                result_reads: 4,
+                writes_back: false,
+            },
         );
         assert!(ro.total_cycles <= wb.total_cycles);
     }

@@ -95,12 +95,18 @@ pub struct SpuPipeline {
 impl SpuPipeline {
     /// Pimba's SPU (4 stages, access interleaving).
     pub fn pimba() -> Self {
-        Self { stages: SPU_PIPELINE_STAGES, policy: FeedPolicy::AccessInterleaving }
+        Self {
+            stages: SPU_PIPELINE_STAGES,
+            policy: FeedPolicy::AccessInterleaving,
+        }
     }
 
     /// A per-bank processing element without interleaving.
     pub fn per_bank() -> Self {
-        Self { stages: SPU_PIPELINE_STAGES, policy: FeedPolicy::SingleBank }
+        Self {
+            stages: SPU_PIPELINE_STAGES,
+            policy: FeedPolicy::SingleBank,
+        }
     }
 
     /// Simulates the retirement of `sub_chunks` state sub-chunks.
@@ -125,7 +131,7 @@ impl SpuPipeline {
             // Which bank would the next fetch come from?
             let fetch_side = match self.policy {
                 FeedPolicy::AccessInterleaving => {
-                    if fetched % 2 == 0 {
+                    if fetched.is_multiple_of(2) {
                         BankSide::Upper
                     } else {
                         BankSide::Bottom
@@ -135,8 +141,10 @@ impl SpuPipeline {
             };
 
             // Is a write-back due this slot?
-            let due_write =
-                pending_writes.iter().position(|(due, _)| *due <= slot).map(|i| pending_writes.remove(i));
+            let due_write = pending_writes
+                .iter()
+                .position(|(due, _)| *due <= slot)
+                .map(|i| pending_writes.remove(i));
 
             if let Some((_, write_side)) = due_write {
                 this_slot.push(SlotAccess::Write(write_side));
@@ -179,7 +187,12 @@ impl SpuPipeline {
             }
         }
 
-        PipelineRun { slots: slot, bubble_slots, structural_hazard, accesses }
+        PipelineRun {
+            slots: slot,
+            bubble_slots,
+            structural_hazard,
+            accesses,
+        }
     }
 
     /// Effective sub-chunk throughput (sub-chunks per slot) in steady state.
@@ -196,10 +209,17 @@ mod tests {
     #[test]
     fn access_interleaving_is_hazard_free_and_fully_utilized() {
         let run = SpuPipeline::pimba().run(256);
-        assert!(!run.structural_hazard, "Pimba's interleaving must avoid structural hazards");
+        assert!(
+            !run.structural_hazard,
+            "Pimba's interleaving must avoid structural hazards"
+        );
         // Only the drain of the last few sub-chunks may bubble.
         assert!(run.bubble_slots <= SPU_PIPELINE_STAGES);
-        assert!(run.utilization() > 0.95, "utilization {}", run.utilization());
+        assert!(
+            run.utilization() > 0.95,
+            "utilization {}",
+            run.utilization()
+        );
     }
 
     #[test]

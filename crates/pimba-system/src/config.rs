@@ -3,8 +3,8 @@
 use pimba_gpu::cluster::GpuCluster;
 use pimba_gpu::device::GpuDevice;
 use pimba_models::workload::StorageFormats;
-use pimba_pim::designs::{PimDesign, PimDesignKind};
 use pimba_num::QuantFormat;
+use pimba_pim::designs::{PimDesign, PimDesignKind};
 use serde::{Deserialize, Serialize};
 
 /// The serving systems compared throughout the evaluation.
@@ -25,8 +25,12 @@ pub enum SystemKind {
 
 impl SystemKind {
     /// The four systems of Figures 12–14, in plotting order.
-    pub const MAIN_COMPARISON: [SystemKind; 4] =
-        [SystemKind::Gpu, SystemKind::GpuQuant, SystemKind::GpuPim, SystemKind::Pimba];
+    pub const MAIN_COMPARISON: [SystemKind; 4] = [
+        SystemKind::Gpu,
+        SystemKind::GpuQuant,
+        SystemKind::GpuPim,
+        SystemKind::Pimba,
+    ];
 
     /// Display name used in figures.
     pub fn name(self) -> &'static str {
@@ -85,14 +89,26 @@ impl SystemConfig {
         let (pim, formats) = match kind {
             SystemKind::Gpu => (None, StorageFormats::fp16()),
             SystemKind::GpuQuant => (None, StorageFormats::quantized_state(QuantFormat::Int8)),
-            SystemKind::GpuPim => (Some(mk_pim(PimDesignKind::HbmPimTwoBank)), StorageFormats::fp16()),
+            SystemKind::GpuPim => (
+                Some(mk_pim(PimDesignKind::HbmPimTwoBank)),
+                StorageFormats::fp16(),
+            ),
             SystemKind::Pimba => (
                 Some(mk_pim(PimDesignKind::Pimba)),
                 StorageFormats::quantized_state(QuantFormat::Mx8),
             ),
-            SystemKind::NeuPims => (Some(mk_pim(PimDesignKind::NeuPimsLike)), StorageFormats::fp16()),
+            SystemKind::NeuPims => (
+                Some(mk_pim(PimDesignKind::NeuPimsLike)),
+                StorageFormats::fp16(),
+            ),
         };
-        Self { kind, generation, cluster: GpuCluster::new(device, tensor_parallel), pim, formats }
+        Self {
+            kind,
+            generation,
+            cluster: GpuCluster::new(device, tensor_parallel),
+            pim,
+            formats,
+        }
     }
 
     /// Single-GPU A100 system (small-scale models, Figure 12 left half).
@@ -140,16 +156,40 @@ mod tests {
 
     #[test]
     fn formats_follow_the_system() {
-        assert_eq!(SystemConfig::small_scale(SystemKind::Gpu).formats.state, QuantFormat::Fp16);
-        assert_eq!(SystemConfig::small_scale(SystemKind::GpuQuant).formats.state, QuantFormat::Int8);
-        assert_eq!(SystemConfig::small_scale(SystemKind::Pimba).formats.state, QuantFormat::Mx8);
-        assert_eq!(SystemConfig::small_scale(SystemKind::GpuPim).formats.state, QuantFormat::Fp16);
+        assert_eq!(
+            SystemConfig::small_scale(SystemKind::Gpu).formats.state,
+            QuantFormat::Fp16
+        );
+        assert_eq!(
+            SystemConfig::small_scale(SystemKind::GpuQuant)
+                .formats
+                .state,
+            QuantFormat::Int8
+        );
+        assert_eq!(
+            SystemConfig::small_scale(SystemKind::Pimba).formats.state,
+            QuantFormat::Mx8
+        );
+        assert_eq!(
+            SystemConfig::small_scale(SystemKind::GpuPim).formats.state,
+            QuantFormat::Fp16
+        );
     }
 
     #[test]
     fn scale_presets() {
-        assert_eq!(SystemConfig::small_scale(SystemKind::Pimba).cluster.tensor_parallel, 1);
-        assert_eq!(SystemConfig::large_scale(SystemKind::Pimba).cluster.tensor_parallel, 8);
+        assert_eq!(
+            SystemConfig::small_scale(SystemKind::Pimba)
+                .cluster
+                .tensor_parallel,
+            1
+        );
+        assert_eq!(
+            SystemConfig::large_scale(SystemKind::Pimba)
+                .cluster
+                .tensor_parallel,
+            8
+        );
         let h100 = SystemConfig::h100_large_scale(SystemKind::Pimba);
         assert_eq!(h100.generation, GpuGeneration::H100);
         assert!(h100.cluster.device.mem_bw_gbps > 3000.0);

@@ -13,7 +13,11 @@
 //! * [`config`] — the system design points of the evaluation (Figure 12 onward),
 //! * [`serving`] — per-token-step latency breakdowns, throughput, request latency and
 //!   energy accounting,
-//! * [`memory`] — device memory footprints (parameters, state, KV cache).
+//! * [`memory`] — device memory footprints (parameters, state, KV cache),
+//! * [`cache`] — the shape-keyed latency cache that makes repeated evaluations of
+//!   identical operator shapes free (and bit-identical to the uncached path),
+//! * [`sweep`] — the parallel grid-sweep engine and SLO-capacity search powering the
+//!   figure benches.
 //!
 //! # Example
 //!
@@ -33,11 +37,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod config;
 pub mod memory;
 pub mod pipeline;
 pub mod serving;
+pub mod sweep;
 
+pub use cache::{CacheStats, LatencyCache};
 pub use config::{SystemConfig, SystemKind};
 pub use pipeline::PipelineDeployment;
 pub use serving::{EnergyBreakdown, ServingSimulator, StepBreakdown};
+pub use sweep::{max_batch_within_slo, SweepGrid, SweepRecord, SweepRunner};

@@ -17,6 +17,17 @@ pub struct MemoryBreakdown {
 }
 
 impl MemoryBreakdown {
+    /// The footprint of one generation-step workload — the single place the
+    /// component accounting lives, shared by [`memory_breakdown`] and
+    /// `ServingSimulator::memory_breakdown`.
+    pub fn of_workload(workload: &GenerationWorkload) -> Self {
+        Self {
+            params_bytes: workload.param_bytes(),
+            state_bytes: workload.state_bytes(),
+            kv_bytes: workload.kv_bytes(),
+        }
+    }
+
     /// Total bytes.
     pub fn total_bytes(&self) -> f64 {
         self.params_bytes + self.state_bytes + self.kv_bytes
@@ -37,11 +48,7 @@ pub fn memory_breakdown(
     seq_len: usize,
 ) -> MemoryBreakdown {
     let wl = GenerationWorkload::single_step_with_formats(model, batch, seq_len, config.formats);
-    MemoryBreakdown {
-        params_bytes: wl.param_bytes(),
-        state_bytes: wl.state_bytes(),
-        kv_bytes: wl.kv_bytes(),
-    }
+    MemoryBreakdown::of_workload(&wl)
 }
 
 /// Total memory usage in bytes (convenience wrapper).
@@ -82,7 +89,10 @@ mod tests {
         // batch/sequence (state vs KV cache) instead of absolute totals.
         let mamba_dyn = memory_breakdown(&cfg, &mamba, 64, 4096).state_bytes;
         let opt_dyn = memory_breakdown(&cfg, &opt, 64, 4096).kv_bytes;
-        assert!(opt_dyn > 2.0 * mamba_dyn, "KV cache {opt_dyn} vs state {mamba_dyn}");
+        assert!(
+            opt_dyn > 2.0 * mamba_dyn,
+            "KV cache {opt_dyn} vs state {mamba_dyn}"
+        );
         assert!(t > m);
     }
 

@@ -42,7 +42,10 @@ impl PipelineDeployment {
     pub fn new(stages: usize, micro_batches: usize) -> Self {
         assert!(stages > 0, "a pipeline needs at least one stage");
         assert!(micro_batches > 0, "at least one micro-batch is required");
-        Self { stages, micro_batches }
+        Self {
+            stages,
+            micro_batches,
+        }
     }
 
     /// Evaluates the deployment for `model` served by per-stage systems configured as
@@ -73,17 +76,20 @@ impl PipelineDeployment {
         stage_model.n_attention_layers = if model.n_attention_layers == 0 {
             0
         } else {
-            (model.n_attention_layers / self.stages).max(1).min(stage_model.n_layers)
+            (model.n_attention_layers / self.stages)
+                .max(1)
+                .min(stage_model.n_layers)
         };
 
         let micro_batch = (batch / self.micro_batches).max(1);
-        let single_device = SystemConfig { cluster: config.cluster.clone(), ..config.clone() };
         let single_device = SystemConfig {
-            cluster: pimba_gpu::cluster::GpuCluster::single(single_device.cluster.device),
-            ..single_device
+            cluster: pimba_gpu::cluster::GpuCluster::single(config.cluster.device.clone()),
+            ..config.clone()
         };
         let sim = ServingSimulator::new(single_device);
-        let stage_step_ns = sim.generation_step(&stage_model, micro_batch, seq_len).total_ns;
+        let stage_step_ns = sim
+            .generation_step(&stage_model, micro_batch, seq_len)
+            .total_ns;
 
         // Activation transfer between stages for one micro-batch (fp16 activations).
         let bytes = (micro_batch * model.d_model * 2) as f64;
@@ -148,8 +154,10 @@ mod tests {
         let m = model();
         let two = PipelineDeployment::new(2, 8).evaluate(&cfg, &m, 128, 2048);
         let eight = PipelineDeployment::new(8, 8).evaluate(&cfg, &m, 128, 2048);
-        assert!(eight.token_latency_ns < two.token_latency_ns * 4.5,
-            "per-stage work shrinks as stages grow");
+        assert!(
+            eight.token_latency_ns < two.token_latency_ns * 4.5,
+            "per-stage work shrinks as stages grow"
+        );
         assert!(eight.stage_utilization < two.stage_utilization);
     }
 

@@ -1,13 +1,16 @@
 //! Generation-phase serving simulation: per-operator latency breakdowns, token
 //! throughput, request latency and energy.
 
+use crate::cache::{CachedOpLatency, LatencyCache, OpKey, WorkloadKey};
 use crate::config::{SystemConfig, SystemKind};
 use pimba_dram::energy::EnergyCounters;
 use pimba_gpu::kernels::GpuKernelModel;
 use pimba_models::config::ModelConfig;
+use pimba_models::dedup::dedup_ops;
 use pimba_models::ops::{OpCost, OpInstance, OpKind, OpShape};
 use pimba_models::workload::GenerationWorkload;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Where an operator executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,7 +45,11 @@ pub struct StepBreakdown {
 impl StepBreakdown {
     /// Latency of one operator kind (0 if absent).
     pub fn latency_of(&self, kind: OpKind) -> f64 {
-        self.ops.iter().filter(|o| o.kind == kind).map(|o| o.latency_ns).sum()
+        self.ops
+            .iter()
+            .filter(|o| o.kind == kind)
+            .map(|o| o.latency_ns)
+            .sum()
     }
 
     /// Fraction of the step spent in one operator kind.
@@ -101,17 +108,44 @@ impl RequestLatency {
 }
 
 /// The serving simulator for one system configuration.
+///
+/// By default every simulator carries a shape-keyed [`LatencyCache`] (shared by
+/// clones), so repeated evaluations of the same operator shapes — across the decode
+/// samples of [`ServingSimulator::request_latency`], across sweep grid points, and
+/// across the threads of [`crate::sweep::SweepRunner`] — are computed once. Cached
+/// results are bit-identical to the uncached path by construction (the cache stores
+/// the exact `f64` the computation produced, keyed by every input of that
+/// computation); [`ServingSimulator::uncached`] builds a cache-free simulator for
+/// validation and baseline timing.
 #[derive(Debug, Clone)]
 pub struct ServingSimulator {
     config: SystemConfig,
     gpu: GpuKernelModel,
+    cache: Option<Arc<LatencyCache>>,
 }
 
 impl ServingSimulator {
-    /// Builds a simulator for `config`.
+    /// Builds a simulator for `config` with a fresh latency cache.
     pub fn new(config: SystemConfig) -> Self {
+        Self::build(config, Some(Arc::new(LatencyCache::new())))
+    }
+
+    /// Builds a simulator that recomputes every latency from scratch (the baseline
+    /// the cached path is validated and benchmarked against).
+    pub fn uncached(config: SystemConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// Builds a simulator sharing an existing cache (the cache must only ever be
+    /// shared between simulators of the same `config`, since the cache keys do not
+    /// cover the system configuration).
+    pub fn with_cache(config: SystemConfig, cache: Arc<LatencyCache>) -> Self {
+        Self::build(config, Some(cache))
+    }
+
+    fn build(config: SystemConfig, cache: Option<Arc<LatencyCache>>) -> Self {
         let gpu = GpuKernelModel::new(config.cluster.device.clone());
-        Self { config, gpu }
+        Self { config, gpu, cache }
     }
 
     /// The system configuration being simulated.
@@ -119,9 +153,29 @@ impl ServingSimulator {
         &self.config
     }
 
-    /// Builds the generation-step workload with this system's storage formats.
-    fn workload(&self, model: &ModelConfig, batch: usize, seq_len: usize) -> GenerationWorkload {
-        GenerationWorkload::single_step_with_formats(model, batch, seq_len, self.config.formats)
+    /// The latency cache, if this simulator uses one.
+    pub fn cache(&self) -> Option<&Arc<LatencyCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Builds the generation-step workload with this system's storage formats,
+    /// memoized per (model, batch, seq_len) when a cache is attached.
+    fn workload(
+        &self,
+        model: &ModelConfig,
+        batch: usize,
+        seq_len: usize,
+    ) -> Arc<GenerationWorkload> {
+        let build = || {
+            GenerationWorkload::single_step_with_formats(model, batch, seq_len, self.config.formats)
+        };
+        match &self.cache {
+            Some(cache) => cache.workload(
+                WorkloadKey::new(model, batch, seq_len, self.config.formats),
+                build,
+            ),
+            None => Arc::new(build()),
+        }
     }
 
     fn shard_cost(&self, cost: &OpCost) -> OpCost {
@@ -154,29 +208,120 @@ impl ServingSimulator {
         Some((result.latency_ns / tp, result.energy.scaled(1.0 / tp)))
     }
 
-    /// Simulates one generation step and returns its latency breakdown.
-    pub fn generation_step(&self, model: &ModelConfig, batch: usize, seq_len: usize) -> StepBreakdown {
-        let workload = self.workload(model, batch, seq_len);
-        let mut ops = Vec::new();
-        for op in &workload.ops {
+    /// Evaluates one operator — PIM if this system offloads it, GPU otherwise —
+    /// answering from the shape-keyed cache when one is attached.
+    fn evaluate_op(&self, op: &OpInstance) -> OpLatency {
+        let compute = || {
             if let Some((pim_ns, _)) = self.pim_latency(op) {
                 // Blocked execution: the GPU waits for the PIM result, then continues.
                 // Operand transfer / result readback is part of the PIM schedule.
-                ops.push(OpLatency { kind: op.kind, side: ExecutionSide::Pim, latency_ns: pim_ns });
+                CachedOpLatency {
+                    on_pim: true,
+                    latency_ns: pim_ns,
+                }
             } else {
-                ops.push(OpLatency {
-                    kind: op.kind,
-                    side: ExecutionSide::Gpu,
+                CachedOpLatency {
+                    on_pim: false,
                     latency_ns: self.gpu_latency(op),
-                });
+                }
             }
+        };
+        let evaluated = match &self.cache {
+            Some(cache) => cache.op_latency(OpKey::new(op, self.config.formats), compute),
+            None => compute(),
+        };
+        OpLatency {
+            kind: op.kind,
+            side: if evaluated.on_pim {
+                ExecutionSide::Pim
+            } else {
+                ExecutionSide::Gpu
+            },
+            latency_ns: evaluated.latency_ns,
         }
-        // Tensor-parallel communication (two all-reduces per block).
-        let comm =
-            self.config.cluster.step_communication_ns(batch, model.d_model, model.n_layers);
-        if comm > 0.0 {
-            ops.push(OpLatency { kind: OpKind::Communication, side: ExecutionSide::Gpu, latency_ns: comm });
-        }
+    }
+
+    /// Tensor-parallel communication of one step as an operator entry, if any.
+    fn communication_op(&self, model: &ModelConfig, batch: usize) -> Option<OpLatency> {
+        // Two all-reduces per block.
+        let comm = self
+            .config
+            .cluster
+            .step_communication_ns(batch, model.d_model, model.n_layers);
+        (comm > 0.0).then_some(OpLatency {
+            kind: OpKind::Communication,
+            side: ExecutionSide::Gpu,
+            latency_ns: comm,
+        })
+    }
+
+    /// Simulates one generation step and returns its latency breakdown.
+    pub fn generation_step(
+        &self,
+        model: &ModelConfig,
+        batch: usize,
+        seq_len: usize,
+    ) -> StepBreakdown {
+        let workload = self.workload(model, batch, seq_len);
+        let mut ops: Vec<OpLatency> = workload.ops.iter().map(|op| self.evaluate_op(op)).collect();
+        ops.extend(self.communication_op(model, batch));
+        let total_ns = ops.iter().map(|o| o.latency_ns).sum();
+        StepBreakdown { ops, total_ns }
+    }
+
+    /// Simulates one generation step the way a layer-by-layer engine would: every
+    /// one of the model's blocks contributes its own operator instances (one kernel
+    /// launch per block per operator), each evaluated independently —
+    /// `O(layers × ops)` latency-model invocations.
+    ///
+    /// This is the naive baseline that [`ServingSimulator::generation_step_dedup`]
+    /// collapses to `O(unique ops)`. Note its semantics differ slightly from
+    /// [`ServingSimulator::generation_step`]: the canonical path models one fused
+    /// kernel per operator kind (launch overhead paid once), the per-layer path
+    /// pays the launch overhead once per block.
+    pub fn generation_step_per_layer(
+        &self,
+        model: &ModelConfig,
+        batch: usize,
+        seq_len: usize,
+    ) -> StepBreakdown {
+        let workload = self.workload(model, batch, seq_len);
+        let mut ops: Vec<OpLatency> = workload
+            .expanded_ops()
+            .iter()
+            .map(|op| self.evaluate_op(op))
+            .collect();
+        ops.extend(self.communication_op(model, batch));
+        let total_ns = ops.iter().map(|o| o.latency_ns).sum();
+        StepBreakdown { ops, total_ns }
+    }
+
+    /// Like [`ServingSimulator::generation_step_per_layer`], but the `n_layers`
+    /// bit-identical per-block instances are deduplicated first: each unique
+    /// (kind, shape, cost) is evaluated exactly once and its latency multiplied by
+    /// the block multiplicity.
+    ///
+    /// Per unique operator the evaluation is bit-identical to the per-layer path;
+    /// the step total differs from the per-layer sum only by the floating-point
+    /// rounding of `latency × n` versus `n`-fold summation.
+    pub fn generation_step_dedup(
+        &self,
+        model: &ModelConfig,
+        batch: usize,
+        seq_len: usize,
+    ) -> StepBreakdown {
+        let workload = self.workload(model, batch, seq_len);
+        let mut ops: Vec<OpLatency> = dedup_ops(&workload.expanded_ops())
+            .iter()
+            .map(|group| {
+                let once = self.evaluate_op(&group.op);
+                OpLatency {
+                    latency_ns: once.latency_ns * group.multiplicity as f64,
+                    ..once
+                }
+            })
+            .collect();
+        ops.extend(self.communication_op(model, batch));
         let total_ns = ops.iter().map(|o| o.latency_ns).sum();
         StepBreakdown { ops, total_ns }
     }
@@ -202,7 +347,9 @@ impl ServingSimulator {
         let prefill_wl = GenerationWorkload::prefill(model, batch, prompt_len);
         let mut prefill_ns = 0.0;
         for op in &prefill_wl.ops {
-            prefill_ns += self.gpu.kernel_latency_ns(op.kind, &self.shard_cost(&op.cost));
+            prefill_ns += self
+                .gpu
+                .kernel_latency_ns(op.kind, &self.shard_cost(&op.cost));
         }
 
         // Generation: integrate the per-step latency over the growing sequence.
@@ -214,11 +361,19 @@ impl ServingSimulator {
             let step = self.generation_step(model, batch, seq.max(1));
             generation_ns += step.total_ns * output_len as f64 / samples as f64;
         }
-        RequestLatency { prefill_ms: prefill_ns / 1e6, generation_ms: generation_ns / 1e6 }
+        RequestLatency {
+            prefill_ms: prefill_ns / 1e6,
+            generation_ms: generation_ns / 1e6,
+        }
     }
 
     /// Energy of one generation step.
-    pub fn step_energy(&self, model: &ModelConfig, batch: usize, seq_len: usize) -> EnergyBreakdown {
+    pub fn step_energy(
+        &self,
+        model: &ModelConfig,
+        batch: usize,
+        seq_len: usize,
+    ) -> EnergyBreakdown {
         let workload = self.workload(model, batch, seq_len);
         let mut out = EnergyBreakdown::default();
         for op in &workload.ops {
@@ -259,9 +414,21 @@ impl ServingSimulator {
         out
     }
 
+    /// Memory footprint of serving `model` at the given batch and sequence length,
+    /// broken down by component (reuses the memoized workload when cached).
+    pub fn memory_breakdown(
+        &self,
+        model: &ModelConfig,
+        batch: usize,
+        seq_len: usize,
+    ) -> crate::memory::MemoryBreakdown {
+        let wl = self.workload(model, batch, seq_len);
+        crate::memory::MemoryBreakdown::of_workload(&wl)
+    }
+
     /// Total device memory in use across the cluster, in bytes.
     pub fn memory_usage_bytes(&self, model: &ModelConfig, batch: usize, seq_len: usize) -> f64 {
-        crate::memory::memory_usage_bytes(&self.config, model, batch, seq_len)
+        self.memory_breakdown(model, batch, seq_len).total_bytes()
     }
 }
 
@@ -319,8 +486,12 @@ mod tests {
         // Figure 3: RetNet state updates grow from ~42% at batch 32 to ~74% at 128.
         let m = model(ModelFamily::RetNet);
         let s = sim(SystemKind::Gpu);
-        let small = s.generation_step(&m, 32, 2048).fraction_of(OpKind::StateUpdate);
-        let large = s.generation_step(&m, 128, 2048).fraction_of(OpKind::StateUpdate);
+        let small = s
+            .generation_step(&m, 32, 2048)
+            .fraction_of(OpKind::StateUpdate);
+        let large = s
+            .generation_step(&m, 128, 2048)
+            .fraction_of(OpKind::StateUpdate);
         assert!(large > small);
         assert!(large > 0.5, "state update share at batch 128 is {large:.2}");
     }
@@ -331,17 +502,28 @@ mod tests {
         let gpu = sim(SystemKind::Gpu).generation_step(&m, 128, 2048);
         let pimba = sim(SystemKind::Pimba).generation_step(&m, 128, 2048);
         let ratio = gpu.latency_of(OpKind::StateUpdate) / pimba.latency_of(OpKind::StateUpdate);
-        assert!((8.0..25.0).contains(&ratio), "state-update latency ratio {ratio:.1}");
+        assert!(
+            (8.0..25.0).contains(&ratio),
+            "state-update latency ratio {ratio:.1}"
+        );
     }
 
     #[test]
     fn attention_is_offloaded_for_hybrids_and_transformers() {
         let m = model(ModelFamily::Zamba2);
         let pimba = sim(SystemKind::Pimba).generation_step(&m, 64, 2048);
-        let attn = pimba.ops.iter().find(|o| o.kind == OpKind::Attention).unwrap();
+        let attn = pimba
+            .ops
+            .iter()
+            .find(|o| o.kind == OpKind::Attention)
+            .unwrap();
         assert_eq!(attn.side, ExecutionSide::Pim);
         let gpu = sim(SystemKind::Gpu).generation_step(&m, 64, 2048);
-        let gpu_attn = gpu.ops.iter().find(|o| o.kind == OpKind::Attention).unwrap();
+        let gpu_attn = gpu
+            .ops
+            .iter()
+            .find(|o| o.kind == OpKind::Attention)
+            .unwrap();
         assert_eq!(gpu_attn.side, ExecutionSide::Gpu);
         assert!(attn.latency_ns < gpu_attn.latency_ns);
     }
@@ -351,12 +533,23 @@ mod tests {
         let m = model(ModelFamily::Zamba2);
         let neupims = ServingSimulator::new(SystemConfig::small_scale(SystemKind::NeuPims));
         let step = neupims.generation_step(&m, 64, 2048);
-        let su = step.ops.iter().find(|o| o.kind == OpKind::StateUpdate).unwrap();
-        let attn = step.ops.iter().find(|o| o.kind == OpKind::Attention).unwrap();
+        let su = step
+            .ops
+            .iter()
+            .find(|o| o.kind == OpKind::StateUpdate)
+            .unwrap();
+        let attn = step
+            .ops
+            .iter()
+            .find(|o| o.kind == OpKind::Attention)
+            .unwrap();
         assert_eq!(su.side, ExecutionSide::Gpu);
         assert_eq!(attn.side, ExecutionSide::Pim);
         let pimba = sim(SystemKind::Pimba).generation_step(&m, 64, 2048);
-        assert!(pimba.total_ns < step.total_ns, "Pimba must beat the attention-only PIM");
+        assert!(
+            pimba.total_ns < step.total_ns,
+            "Pimba must beat the attention-only PIM"
+        );
     }
 
     #[test]
@@ -385,7 +578,10 @@ mod tests {
         let s = sim(SystemKind::Pimba);
         let lat = s.request_latency(&m, 16, 512, 128);
         assert!(lat.prefill_ms > 0.0);
-        assert!(lat.generation_ms > lat.prefill_ms, "128 decode steps outweigh one prefill");
+        assert!(
+            lat.generation_ms > lat.prefill_ms,
+            "128 decode steps outweigh one prefill"
+        );
         assert!((lat.total_ms() - (lat.prefill_ms + lat.generation_ms)).abs() < 1e-9);
     }
 
@@ -412,7 +608,12 @@ mod tests {
     fn state_update_shape_helper() {
         let m = model(ModelFamily::Mamba2);
         match state_update_shape(&m, 64) {
-            OpShape::StateUpdate { batch, layers, heads, .. } => {
+            OpShape::StateUpdate {
+                batch,
+                layers,
+                heads,
+                ..
+            } => {
                 assert_eq!(batch, 64);
                 assert_eq!(layers, m.n_state_update_layers());
                 assert_eq!(heads, m.n_heads);

@@ -1,0 +1,331 @@
+//! Parallel grid sweeps over (system × model × batch × seq-len) — the batch-capacity
+//! search engine behind the figure benches.
+//!
+//! The paper's headline results (Figures 12–16 and the ablations) come from
+//! evaluating [`ServingSimulator::generation_step`] over large grids. The
+//! [`SweepRunner`] evaluates such grids with two optimizations stacked on top of
+//! each other:
+//!
+//! * **shape-keyed caching** — one shared [`LatencyCache`] per system
+//!   configuration, so identical operator shapes across grid points are evaluated
+//!   once (a model's state-update latency, for example, is independent of the
+//!   sequence length and is reused across the whole seq-len axis), and
+//! * **data parallelism** — grid points are partitioned over OS threads
+//!   (`std::thread::scope`; the environment has no crates.io access, so this
+//!   hand-rolled fork-join stands in for a `rayon` parallel iterator and keeps the
+//!   same deterministic output ordering).
+//!
+//! Results are returned in grid order regardless of the thread count, and are
+//! bit-identical to calling `generation_step` directly on uncached, freshly built
+//! simulators — asserted by `tests/sweep_regression.rs`.
+
+use crate::cache::LatencyCache;
+use crate::config::SystemConfig;
+use crate::serving::{ServingSimulator, StepBreakdown};
+use pimba_models::config::ModelConfig;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+
+/// The cartesian evaluation grid of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// System design points to evaluate.
+    pub systems: Vec<SystemConfig>,
+    /// Models to serve.
+    pub models: Vec<ModelConfig>,
+    /// Batch sizes.
+    pub batches: Vec<usize>,
+    /// Sequence lengths.
+    pub seq_lens: Vec<usize>,
+}
+
+impl SweepGrid {
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.systems.len() * self.models.len() * self.batches.len() * self.seq_lens.len()
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The (system, model, batch, seq_len) index tuple of flat grid index `i`,
+    /// seq-len fastest.
+    fn indices(&self, i: usize) -> (usize, usize, usize, usize) {
+        let s = i % self.seq_lens.len();
+        let rest = i / self.seq_lens.len();
+        let b = rest % self.batches.len();
+        let rest = rest / self.batches.len();
+        let m = rest % self.models.len();
+        let sys = rest / self.models.len();
+        (sys, m, b, s)
+    }
+}
+
+/// The evaluation of one grid point.
+#[derive(Debug, Clone)]
+pub struct SweepRecord {
+    /// Index into [`SweepGrid::systems`].
+    pub system: usize,
+    /// Index into [`SweepGrid::models`].
+    pub model: usize,
+    /// Batch size evaluated.
+    pub batch: usize,
+    /// Sequence length evaluated.
+    pub seq_len: usize,
+    /// Full latency breakdown of one generation step.
+    pub step: StepBreakdown,
+    /// Token throughput in tokens/s (whole batch).
+    pub throughput_tps: f64,
+    /// Aggregate device memory in use, in bytes.
+    pub memory_bytes: f64,
+}
+
+/// Parallel, cached evaluator of [`SweepGrid`]s.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    threads: usize,
+    cached: bool,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner using every available core and shape-keyed caching.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        Self {
+            threads,
+            cached: true,
+        }
+    }
+
+    /// A single-threaded runner that rebuilds every latency from scratch — the
+    /// naive baseline the cached/parallel path is validated and benchmarked
+    /// against.
+    pub fn naive() -> Self {
+        Self {
+            threads: 1,
+            cached: false,
+        }
+    }
+
+    /// Overrides the worker-thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables the shared latency caches.
+    pub fn with_caching(mut self, cached: bool) -> Self {
+        self.cached = cached;
+        self
+    }
+
+    /// Builds one simulator per system, sharing a cache per system when enabled.
+    fn simulators(&self, grid: &SweepGrid) -> Vec<ServingSimulator> {
+        grid.systems
+            .iter()
+            .map(|config| {
+                if self.cached {
+                    ServingSimulator::with_cache(config.clone(), Arc::new(LatencyCache::new()))
+                } else {
+                    ServingSimulator::uncached(config.clone())
+                }
+            })
+            .collect()
+    }
+
+    fn evaluate(grid: &SweepGrid, sims: &[ServingSimulator], i: usize) -> SweepRecord {
+        let (sys, m, b, s) = grid.indices(i);
+        let sim = &sims[sys];
+        let model = &grid.models[m];
+        let (batch, seq_len) = (grid.batches[b], grid.seq_lens[s]);
+        let step = sim.generation_step(model, batch, seq_len);
+        let throughput_tps = batch as f64 / (step.total_ns * 1e-9);
+        let memory_bytes = sim.memory_usage_bytes(model, batch, seq_len);
+        SweepRecord {
+            system: sys,
+            model: m,
+            batch,
+            seq_len,
+            step,
+            throughput_tps,
+            memory_bytes,
+        }
+    }
+
+    /// Evaluates every grid point and returns the records in grid order
+    /// (seq-len fastest, then batch, model, system).
+    pub fn run(&self, grid: &SweepGrid) -> Vec<SweepRecord> {
+        let total = grid.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let sims = self.simulators(grid);
+        // Thread spawn/join costs more than evaluating a handful of points, so
+        // small grids run inline; results are identical either way.
+        const MIN_POINTS_PER_THREAD: usize = 16;
+        let threads = self.threads.min(total.div_ceil(MIN_POINTS_PER_THREAD));
+        if threads == 1 {
+            return (0..total).map(|i| Self::evaluate(grid, &sims, i)).collect();
+        }
+
+        let mut results: Vec<Option<SweepRecord>> = vec![None; total];
+        let chunk = total.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, slot) in results.chunks_mut(chunk).enumerate() {
+                let sims = &sims;
+                scope.spawn(move || {
+                    let base = t * chunk;
+                    for (offset, out) in slot.iter_mut().enumerate() {
+                        *out = Some(Self::evaluate(grid, sims, base + offset));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every grid point evaluated"))
+            .collect()
+    }
+}
+
+/// The largest batch size in `1..=max_batch` whose generation-step latency stays
+/// within `slo_step_ms` milliseconds per token on `sim`, found by binary search
+/// (step latency is monotone in the batch size). Returns `None` when even batch 1
+/// misses the SLO.
+///
+/// This is the per-configuration capacity question behind the paper's Figure 12
+/// methodology: "how many concurrent requests can this system serve at a given
+/// token-latency target?"
+pub fn max_batch_within_slo(
+    sim: &ServingSimulator,
+    model: &ModelConfig,
+    seq_len: usize,
+    slo_step_ms: f64,
+    max_batch: usize,
+) -> Option<usize> {
+    let meets =
+        |batch: usize| sim.generation_step(model, batch, seq_len).total_ns * 1e-6 <= slo_step_ms;
+    if !meets(1) {
+        return None;
+    }
+    let (mut lo, mut hi) = (1usize, max_batch.max(1));
+    if meets(hi) {
+        return Some(hi);
+    }
+    // Invariant: lo meets the SLO, hi does not.
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if meets(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemKind;
+    use pimba_models::config::{ModelFamily, ModelScale};
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid {
+            systems: vec![
+                SystemConfig::small_scale(SystemKind::Gpu),
+                SystemConfig::small_scale(SystemKind::Pimba),
+            ],
+            models: vec![
+                ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small),
+                ModelConfig::preset(ModelFamily::Opt, ModelScale::Small),
+            ],
+            batches: vec![16, 64],
+            seq_lens: vec![512, 2048],
+        }
+    }
+
+    #[test]
+    fn grid_indexing_is_a_bijection() {
+        let grid = small_grid();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..grid.len() {
+            assert!(seen.insert(grid.indices(i)));
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn records_come_back_in_grid_order() {
+        let grid = small_grid();
+        let records = SweepRunner::new().with_threads(3).run(&grid);
+        assert_eq!(records.len(), grid.len());
+        for (i, record) in records.iter().enumerate() {
+            let (sys, m, b, s) = grid.indices(i);
+            assert_eq!((record.system, record.model), (sys, m));
+            assert_eq!(
+                (record.batch, record.seq_len),
+                (grid.batches[b], grid.seq_lens[s])
+            );
+            assert!(record.throughput_tps > 0.0);
+            assert!(record.memory_bytes > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_empty_result() {
+        let mut grid = small_grid();
+        grid.batches.clear();
+        assert!(grid.is_empty());
+        assert!(SweepRunner::new().run(&grid).is_empty());
+    }
+
+    #[test]
+    fn slo_search_is_monotone_and_tight() {
+        let sim = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
+        let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small);
+        // Pick an SLO between the latency of batch 1 and batch 512 so the search
+        // lands strictly inside the range.
+        let lo_ms = sim.generation_step(&model, 1, 2048).total_ns * 1e-6;
+        let hi_ms = sim.generation_step(&model, 512, 2048).total_ns * 1e-6;
+        assert!(hi_ms > lo_ms);
+        let slo = (lo_ms + hi_ms) / 2.0;
+        let best = max_batch_within_slo(&sim, &model, 2048, slo, 512).unwrap();
+        assert!((1..512).contains(&best));
+        assert!(sim.generation_step(&model, best, 2048).total_ns * 1e-6 <= slo);
+        assert!(sim.generation_step(&model, best + 1, 2048).total_ns * 1e-6 > slo);
+        // Impossible SLO -> None; infinitely lax SLO -> max_batch.
+        assert_eq!(
+            max_batch_within_slo(&sim, &model, 2048, lo_ms / 1e3, 512),
+            None
+        );
+        assert_eq!(
+            max_batch_within_slo(&sim, &model, 2048, hi_ms * 1e3, 512),
+            Some(512)
+        );
+    }
+
+    #[test]
+    fn pimba_serves_more_batch_than_gpu_at_equal_slo() {
+        let model = ModelConfig::preset(ModelFamily::RetNet, ModelScale::Small);
+        let gpu = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Gpu));
+        let pimba = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
+        let slo = gpu.generation_step(&model, 64, 2048).total_ns * 1e-6;
+        let gpu_cap = max_batch_within_slo(&gpu, &model, 2048, slo, 1024).unwrap();
+        let pimba_cap = max_batch_within_slo(&pimba, &model, 2048, slo, 1024).unwrap();
+        assert!(
+            pimba_cap > gpu_cap,
+            "Pimba capacity {pimba_cap} must exceed GPU capacity {gpu_cap}"
+        );
+    }
+}

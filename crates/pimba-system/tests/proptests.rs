@@ -18,7 +18,14 @@ fn family() -> impl Strategy<Value = ModelFamily> {
 }
 
 fn batch() -> impl Strategy<Value = usize> {
-    prop_oneof![Just(8usize), Just(16), Just(32), Just(64), Just(128), Just(192)]
+    prop_oneof![
+        Just(8usize),
+        Just(16),
+        Just(32),
+        Just(64),
+        Just(128),
+        Just(192)
+    ]
 }
 
 proptest! {

@@ -1,0 +1,200 @@
+//! Regression tests of the performance layer: shape-keyed caching, operator
+//! deduplication and the parallel sweep engine must leave every result exactly
+//! (bit-for-bit) identical to the plain uncached per-op evaluation.
+
+use pimba_models::config::{ModelConfig, ModelFamily, ModelScale};
+use pimba_models::ops::OpKind;
+use pimba_system::config::{SystemConfig, SystemKind};
+use pimba_system::serving::ServingSimulator;
+use pimba_system::sweep::{max_batch_within_slo, SweepGrid, SweepRunner};
+
+fn models() -> Vec<ModelConfig> {
+    [
+        ModelFamily::RetNet,
+        ModelFamily::Mamba2,
+        ModelFamily::Zamba2,
+        ModelFamily::Opt,
+    ]
+    .iter()
+    .map(|&f| ModelConfig::preset(f, ModelScale::Small))
+    .collect()
+}
+
+fn grid() -> SweepGrid {
+    SweepGrid {
+        systems: SystemKind::MAIN_COMPARISON
+            .iter()
+            .map(|&k| SystemConfig::small_scale(k))
+            .collect(),
+        models: models(),
+        batches: vec![16, 64, 128],
+        seq_lens: vec![512, 1024, 2048, 4096],
+    }
+}
+
+/// Asserts two f64 values are the same bit pattern (stronger than `==`).
+fn assert_bits_eq(a: f64, b: f64, context: &str) {
+    assert_eq!(
+        a.to_bits(),
+        b.to_bits(),
+        "{context}: {a} vs {b} differ in bits"
+    );
+}
+
+#[test]
+fn cached_steps_are_bit_identical_to_uncached() {
+    for system in grid().systems {
+        let cached = ServingSimulator::new(system.clone());
+        let uncached = ServingSimulator::uncached(system.clone());
+        for model in &models() {
+            for &batch in &[16usize, 64, 128] {
+                for &seq in &[512usize, 2048] {
+                    // Evaluate twice on the cached simulator so the second pass is
+                    // answered entirely from the cache.
+                    let first = cached.generation_step(model, batch, seq);
+                    let warm = cached.generation_step(model, batch, seq);
+                    let cold = uncached.generation_step(model, batch, seq);
+                    assert_eq!(first, warm, "cache warm-up changed a result");
+                    assert_eq!(warm.ops.len(), cold.ops.len());
+                    for (a, b) in warm.ops.iter().zip(&cold.ops) {
+                        assert_eq!((a.kind, a.side), (b.kind, b.side));
+                        assert_bits_eq(
+                            a.latency_ns,
+                            b.latency_ns,
+                            &format!(
+                                "{} {} b{batch} s{seq} {}",
+                                system.kind,
+                                model.label(),
+                                a.kind
+                            ),
+                        );
+                    }
+                    assert_bits_eq(warm.total_ns, cold.total_ns, "step total");
+                }
+            }
+        }
+        let stats = cached.cache().unwrap().op_stats();
+        assert!(
+            stats.hits > stats.misses,
+            "the grid must mostly hit the cache: {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn parallel_cached_sweep_matches_direct_uncached_evaluation() {
+    let grid = grid();
+    let records = SweepRunner::new().with_threads(8).run(&grid);
+    assert_eq!(records.len(), grid.len());
+    // Fresh uncached simulators, evaluated one grid point at a time.
+    let sims: Vec<ServingSimulator> = grid
+        .systems
+        .iter()
+        .map(|c| ServingSimulator::uncached(c.clone()))
+        .collect();
+    for record in &records {
+        let model = &grid.models[record.model];
+        let direct = sims[record.system].generation_step(model, record.batch, record.seq_len);
+        assert_eq!(direct.ops.len(), record.step.ops.len());
+        for (a, b) in record.step.ops.iter().zip(&direct.ops) {
+            assert_bits_eq(a.latency_ns, b.latency_ns, "sweep op latency");
+        }
+        assert_bits_eq(record.step.total_ns, direct.total_ns, "sweep step total");
+        assert_bits_eq(
+            record.throughput_tps,
+            record.batch as f64 / (direct.total_ns * 1e-9),
+            "sweep throughput",
+        );
+        assert_bits_eq(
+            record.memory_bytes,
+            sims[record.system].memory_usage_bytes(model, record.batch, record.seq_len),
+            "sweep memory",
+        );
+    }
+}
+
+#[test]
+fn sweep_is_deterministic_across_thread_counts() {
+    let grid = grid();
+    let serial = SweepRunner::new().with_threads(1).run(&grid);
+    for threads in [2, 3, 7, 16] {
+        let parallel = SweepRunner::new().with_threads(threads).run(&grid);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_bits_eq(a.step.total_ns, b.step.total_ns, "thread-count invariance");
+            assert_eq!(
+                (a.system, a.model, a.batch, a.seq_len),
+                (b.system, b.model, b.batch, b.seq_len)
+            );
+        }
+    }
+}
+
+#[test]
+fn dedup_collapses_per_layer_evaluation_to_unique_ops() {
+    let system = SystemConfig::small_scale(SystemKind::Pimba);
+    let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small);
+
+    // Mamba-2 has 64 identical blocks; the deduped step must have evaluated each
+    // unique op exactly once (cache misses == unique ops) while representing all
+    // 64 blocks per op kind.
+    let cached = ServingSimulator::new(system.clone());
+    let dedup = cached.generation_step_dedup(&model, 64, 2048);
+    let stats = cached.cache().unwrap().op_stats();
+    let unique_ops = dedup
+        .ops
+        .iter()
+        .filter(|o| o.kind != OpKind::Communication)
+        .count();
+    assert_eq!(stats.misses as usize, unique_ops);
+    assert_eq!(
+        stats.hits, 0,
+        "first deduped step must not need repeat evaluations"
+    );
+
+    // The naive per-layer path performs one evaluation per block per op.
+    let naive = ServingSimulator::uncached(system).generation_step_per_layer(&model, 64, 2048);
+    assert!(
+        naive.ops.len() >= 64 * dedup.ops.len() / 2,
+        "expansion must be O(layers x ops)"
+    );
+
+    // Per op kind, latency x multiplicity equals the per-layer sum up to f64
+    // summation order (n-fold sum vs single multiply).
+    for kind in OpKind::ALL {
+        let a = dedup.latency_of(kind);
+        let b = naive.latency_of(kind);
+        let tolerance = 1e-9 * a.abs().max(b.abs()).max(1.0);
+        assert!(
+            (a - b).abs() <= tolerance,
+            "{kind}: dedup {a} vs per-layer {b}"
+        );
+    }
+}
+
+#[test]
+fn request_latency_is_cache_invariant() {
+    for kind in SystemKind::MAIN_COMPARISON {
+        let system = SystemConfig::small_scale(kind);
+        let cached = ServingSimulator::new(system.clone());
+        let uncached = ServingSimulator::uncached(system);
+        let model = ModelConfig::preset(ModelFamily::Zamba2, ModelScale::Small);
+        let a = cached.request_latency(&model, 16, 512, 128);
+        let b = uncached.request_latency(&model, 16, 512, 128);
+        assert_bits_eq(a.prefill_ms, b.prefill_ms, "prefill");
+        assert_bits_eq(a.generation_ms, b.generation_ms, "generation");
+    }
+}
+
+#[test]
+fn slo_capacity_is_cache_invariant() {
+    let model = ModelConfig::preset(ModelFamily::RetNet, ModelScale::Small);
+    let system = SystemConfig::small_scale(SystemKind::Pimba);
+    let cached = ServingSimulator::new(system.clone());
+    let uncached = ServingSimulator::uncached(system);
+    let slo_ms = uncached.generation_step(&model, 96, 2048).total_ns * 1e-6;
+    assert_eq!(
+        max_batch_within_slo(&cached, &model, 2048, slo_ms, 1024),
+        max_batch_within_slo(&uncached, &model, 2048, slo_ms, 1024),
+    );
+}

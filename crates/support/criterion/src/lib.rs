@@ -1,0 +1,187 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds hermetically without crates.io access, so this crate
+//! provides the API slice the benches use — [`Criterion::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
+//! wall-clock harness: a short warm-up pass sizes the batch so a measurement
+//! takes a few milliseconds, then the median of several batches is reported in
+//! nanoseconds per iteration. There are no statistical comparisons against saved
+//! baselines; the output is one line per benchmark, which is what the figure
+//! harness and the perf-trajectory scripts consume.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` inputs are grouped (accepted for API compatibility; the
+/// harness always materializes one input per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Measurement state handed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: Vec<f64>,
+    target: Duration,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Self {
+        Self {
+            samples: Vec::new(),
+            target,
+        }
+    }
+
+    /// Times `routine`, running it in adaptively sized batches.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: find how many iterations fill ~1/5 of the target time.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target / 25 || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 4;
+        }
+        // Measurement: five batches, keep per-iteration timings.
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; only the routine is measured.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut measured = Duration::ZERO;
+        let mut iterations = 0u64;
+        let deadline = Instant::now() + self.target;
+        while Instant::now() < deadline && iterations < 1 << 20 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iterations += 1;
+        }
+        self.samples
+            .push(measured.as_secs_f64() * 1e9 / iterations.max(1) as f64);
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// Returns the substring filter from the command line, if any (the first
+/// argument not starting with `-`, mirroring criterion's positional filter).
+pub fn cli_filter() -> Option<String> {
+    std::env::args().skip(1).find(|arg| !arg.starts_with('-'))
+}
+
+/// Benchmark registry and runner (subset of `criterion::Criterion`).
+pub struct Criterion {
+    target: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            target: Duration::from_millis(60),
+            filter: cli_filter(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its median time per iteration.
+    /// Benchmarks whose id does not contain the command-line filter are skipped.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher::new(self.target);
+        f(&mut bencher);
+        let median = bencher.median_ns();
+        if median < 1_000.0 {
+            println!("{id:<44} {median:>10.1} ns/iter");
+        } else if median < 1_000_000.0 {
+            println!("{id:<44} {:>10.2} µs/iter", median / 1e3);
+        } else {
+            println!("{id:<44} {:>10.3} ms/iter", median / 1e6);
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function (subset of `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running benchmark groups (subset of `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_positive_time() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        let ns = b.median_ns();
+        assert!(ns.is_finite() && ns > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_reports_positive_time() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter_batched(
+            || vec![1u8; 64],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        let ns = b.median_ns();
+        assert!(ns.is_finite() && ns > 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds hermetically without crates.io access, so this crate
+//! reimplements the slice of proptest's API the repository's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, [`strategy::Just`], numeric range
+//!   strategies and tuple composition,
+//! * [`collection::vec`] with exact, half-open and inclusive size specifications,
+//! * the [`proptest!`] macro (including the `#![proptest_config(..)]` header),
+//!   [`prop_oneof!`], [`prop_assert!`] and [`prop_assert_eq!`],
+//! * a deterministic [`test_runner::TestRunner`] driving a configurable number of
+//!   cases from per-test seeds.
+//!
+//! The intentional omission is *shrinking*: a failing case reports the case number
+//! and the assertion message rather than a minimized input. Failures stay fully
+//! reproducible because every case derives its RNG seed from the test name and case
+//! index alone.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Re-exports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors `proptest::prelude::prop`, giving access to `prop::collection::vec`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runs all the test cases of one property. Used by the [`proptest!`] expansion; not
+/// part of the public mirror API.
+pub fn run_cases<S, F>(config: &test_runner::ProptestConfig, name: &str, strategy: &S, test: F)
+where
+    S: strategy::Strategy,
+    F: Fn(S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    let mut runner = test_runner::TestRunner::new(config.clone(), name);
+    runner.run(strategy, test);
+}
+
+/// The `proptest! { ... }` macro: declares deterministic property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strategy = ($($strat,)+);
+                $crate::run_cases(
+                    &config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &strategy,
+                    |($($arg,)+)| {
+                        #[allow(unreachable_code)]
+                        {
+                            $body
+                            ::std::result::Result::Ok(())
+                        }
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Picks uniformly between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        #[allow(unused_parens)]
+        let arms = vec![$($crate::strategy::boxed($arm)),+];
+        $crate::strategy::OneOf::new(arms)
+    }};
+}
+
+/// Fails the current test case unless `$cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {left:?} != {right:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: {left:?} != {right:?}", format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Fails the current test case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {left:?} == {right:?}"
+            )));
+        }
+    }};
+}

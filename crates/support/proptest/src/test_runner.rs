@@ -1,0 +1,128 @@
+//! Deterministic test-case driver (subset of `proptest::test_runner`).
+
+use crate::strategy::Strategy;
+
+/// Per-property configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed test case (the `Err` side of a property body).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic SplitMix64 entropy source for strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds an RNG from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        };
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Drives one property over its configured number of cases.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: String,
+}
+
+impl TestRunner {
+    /// Builds a runner for the property named `name` (used to derive case seeds).
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        Self {
+            config,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs every case, panicking (like `assert!`) on the first failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the case number and assertion message if any case fails, so the
+    /// failure integrates with the standard test harness.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(&self.name);
+        for case in 0..self.config.cases {
+            let seed = base ^ u64::from(case).wrapping_mul(0xA076_1D64_78BD_642F);
+            let mut rng = TestRng::from_seed(seed);
+            let value = strategy.generate(&mut rng);
+            if let Err(err) = test(value) {
+                panic!(
+                    "property '{}' failed at case {case}/{}: {err}",
+                    self.name, self.config.cases
+                );
+            }
+        }
+    }
+}

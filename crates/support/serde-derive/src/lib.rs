@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in a hermetic environment without access to crates.io, so
+//! this crate provides `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros that
+//! expand to nothing. The repository never serializes anything at runtime — the
+//! derives exist so that the public types stay annotated the way they would be with
+//! the real `serde`, and swapping the real crates back in is a one-line manifest
+//! change.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

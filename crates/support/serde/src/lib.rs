@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds hermetically (no crates.io access), so this crate supplies
+//! just enough of serde's surface for the repository: the `Serialize` /
+//! `Deserialize` marker traits and re-exports of the no-op derive macros. Nothing in
+//! the workspace performs actual serialization; the annotations are kept so the
+//! public API matches what it would look like with the real `serde`, making the
+//! swap back trivial.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the offline stand-in).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the offline stand-in).
+pub trait Deserialize<'de> {}

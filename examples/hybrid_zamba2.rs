@@ -21,7 +21,13 @@ fn main() {
         model.d_model
     );
 
-    let systems = [SystemKind::Gpu, SystemKind::GpuQuant, SystemKind::GpuPim, SystemKind::NeuPims, SystemKind::Pimba];
+    let systems = [
+        SystemKind::Gpu,
+        SystemKind::GpuQuant,
+        SystemKind::GpuPim,
+        SystemKind::NeuPims,
+        SystemKind::Pimba,
+    ];
     println!(
         "{:>8} | {:>10} {:>10} {:>10} {:>10} | {:>12} {:>11}",
         "seq len", "GPU", "GPU+Q", "GPU+PIM", "NeuPIMs", "Pimba", "tok/s (Pimba)"
@@ -49,7 +55,10 @@ fn main() {
 
     // Where does the time go at 8k context?
     println!("\nPer-operator breakdown at sequence length 8192 (ms per token step):");
-    println!("{:>10} {:>14} {:>12} {:>9} {:>14}", "system", "state update", "attention", "GEMM", "communication");
+    println!(
+        "{:>10} {:>14} {:>12} {:>9} {:>14}",
+        "system", "state update", "attention", "GEMM", "communication"
+    );
     for kind in systems {
         let sim = ServingSimulator::new(SystemConfig::large_scale(kind));
         let step = sim.generation_step(&model, batch, 8192);

@@ -16,10 +16,12 @@ fn main() {
     let timing = TimingParams::hbm2e();
     let geometry = DramGeometry::hbm2e();
 
-    println!("HBM2E pseudo-channel: {} banks, {} columns/row, PIM clock {:.0} MHz\n",
+    println!(
+        "HBM2E pseudo-channel: {} banks, {} columns/row, PIM clock {:.0} MHz\n",
         geometry.banks_per_pseudo_channel(),
         geometry.columns_per_row(),
-        timing.pim_frequency_mhz());
+        timing.pim_frequency_mhz()
+    );
 
     // 1. A hand-issued command trace for one 4-bank group.
     let mut pc = PseudoChannel::new(timing, geometry);
@@ -29,19 +31,40 @@ fn main() {
         let at = pc.execute(cmd);
         println!("{at:>5}  {cmd}");
     };
-    log(&mut pc, DramCommand::Act4 { banks: [0, 1, 2, 3], row: 42 });
+    log(
+        &mut pc,
+        DramCommand::Act4 {
+            banks: [0, 1, 2, 3],
+            row: 42,
+        },
+    );
     log(&mut pc, DramCommand::RegWrite);
     log(&mut pc, DramCommand::RegWrite);
-    log(&mut pc, DramCommand::Act4 { banks: [4, 5, 6, 7], row: 42 });
+    log(
+        &mut pc,
+        DramCommand::Act4 {
+            banks: [4, 5, 6, 7],
+            row: 42,
+        },
+    );
     for _ in 0..8 {
         log(&mut pc, DramCommand::Comp);
     }
     log(&mut pc, DramCommand::PrechargeAll);
     log(&mut pc, DramCommand::ResultRead);
-    println!("  ({} activations, {} COMP column accesses)\n", pc.stats().activations, pc.stats().comp_columns);
+    println!(
+        "  ({} activations, {} COMP column accesses)\n",
+        pc.stats().activations,
+        pc.stats().comp_columns
+    );
 
     // 2. Full row-group measurement (the unit of the latency model).
-    let plan = RowGroupPlan { comps: 64, reg_writes: 8, result_reads: 8, writes_back: true };
+    let plan = RowGroupPlan {
+        comps: 64,
+        reg_writes: 8,
+        result_reads: 8,
+        writes_back: true,
+    };
     let group = measure_row_group(timing, geometry, &plan);
     println!(
         "One full row group: {} cycles total, {} in COMP, {} overhead ({:.0}% compute)\n",

@@ -17,7 +17,10 @@ fn main() {
     let family = ModelFamily::Mamba2;
     let area = AreaModel::default();
 
-    println!("State quantization study for {family} (synthetic recurrence, {} steps)\n", cfg.steps);
+    println!(
+        "State quantization study for {family} (synthetic recurrence, {} steps)\n",
+        cfg.steps
+    );
     println!(
         "{:>8} {:>14} {:>12} {:>16} {:>12}",
         "format", "state error", "perplexity", "area overhead %", "verdict"

@@ -13,8 +13,15 @@ fn main() {
     let batch = 128;
     let seq_len = 2048;
 
-    println!("Model: {} ({} layers, d_model {}, {} heads, state {}x{})", model.label(),
-        model.n_layers, model.d_model, model.n_heads, model.dim_head, model.dim_state);
+    println!(
+        "Model: {} ({} layers, d_model {}, {} heads, state {}x{})",
+        model.label(),
+        model.n_layers,
+        model.d_model,
+        model.n_heads,
+        model.dim_head,
+        model.dim_state
+    );
     println!("Batch {batch}, sequence length {seq_len}\n");
     println!(
         "{:>10} {:>18} {:>22} {:>18}",
@@ -22,7 +29,12 @@ fn main() {
     );
 
     let mut gpu_throughput = None;
-    for kind in [SystemKind::Gpu, SystemKind::GpuQuant, SystemKind::GpuPim, SystemKind::Pimba] {
+    for kind in [
+        SystemKind::Gpu,
+        SystemKind::GpuQuant,
+        SystemKind::GpuPim,
+        SystemKind::Pimba,
+    ] {
         let sim = ServingSimulator::new(SystemConfig::small_scale(kind));
         let throughput = sim.generation_throughput(&model, batch, seq_len);
         let step = sim.generation_step(&model, batch, seq_len);

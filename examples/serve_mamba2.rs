@@ -14,17 +14,30 @@ fn main() {
         .skip(1)
         .filter_map(|a| a.parse().ok())
         .collect::<Vec<_>>();
-    let batches = if batches.is_empty() { vec![16, 32, 64, 128, 256] } else { batches };
+    let batches = if batches.is_empty() {
+        vec![16, 32, 64, 128, 256]
+    } else {
+        batches
+    };
 
     let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small);
     let seq_len = 2048;
     let gpu = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Gpu));
     let pimba = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
 
-    println!("Serving {} with (2048, 2048) input/output lengths\n", model.label());
+    println!(
+        "Serving {} with (2048, 2048) input/output lengths\n",
+        model.label()
+    );
     println!(
         "{:>6} | {:>14} {:>14} {:>12} | {:>14} {:>14} {:>9}",
-        "batch", "GPU tok/s", "GPU SU share", "GPU ms/tok", "Pimba tok/s", "Pimba ms/tok", "speedup"
+        "batch",
+        "GPU tok/s",
+        "GPU SU share",
+        "GPU ms/tok",
+        "Pimba tok/s",
+        "Pimba ms/tok",
+        "speedup"
     );
     for &batch in &batches {
         let gpu_step = gpu.generation_step(&model, batch, seq_len);

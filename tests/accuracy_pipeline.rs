@@ -23,7 +23,10 @@ fn figure4_ordering_fp8_collapses_int8_and_mx8_hold() {
         let e5m2 = perplexity(family, QuantFormat::E5m2, Rounding::Nearest, &c);
         assert!(int8 < 1.3 * fp16, "{family}: int8 {int8} vs fp16 {fp16}");
         assert!(mx8 < 1.6 * fp16, "{family}: mx8SR {mx8} vs fp16 {fp16}");
-        assert!(e5m2 > 3.0 * fp16, "{family}: e5m2 {e5m2} must collapse vs fp16 {fp16}");
+        assert!(
+            e5m2 > 3.0 * fp16,
+            "{family}: e5m2 {e5m2} must collapse vs fp16 {fp16}"
+        );
     }
 }
 
@@ -63,7 +66,11 @@ fn figure6_mx8_sr_is_pareto_optimal_among_8bit_formats() {
         }
     }
     // And fp16 is accurate but far too large.
-    let (fp16_area, _) = (area.format_breakdown(QuantFormat::Fp16, Rounding::Nearest).overhead_percent, 0.0);
+    let (fp16_area, _) = (
+        area.format_breakdown(QuantFormat::Fp16, Rounding::Nearest)
+            .overhead_percent,
+        0.0,
+    );
     assert!(fp16_area > 2.0 * mx_area);
 }
 
@@ -71,16 +78,25 @@ fn figure6_mx8_sr_is_pareto_optimal_among_8bit_formats() {
 fn table2_pimba_accuracy_tracks_the_gpu_baseline() {
     let c = cfg();
     for family in ModelFamily::PERFORMANCE_SET {
-        let gpu: Vec<f64> = Task::ALL.iter().map(|&t| baseline_accuracy(family, t)).collect();
+        let gpu: Vec<f64> = Task::ALL
+            .iter()
+            .map(|&t| baseline_accuracy(family, t))
+            .collect();
         let pimba: Vec<f64> = Task::ALL
             .iter()
             .map(|&t| task_accuracy(family, t, QuantFormat::Mx8, Rounding::Stochastic, &c))
             .collect();
         let drop = geometric_mean(&gpu) - geometric_mean(&pimba);
-        assert!(drop.abs() < 1.5, "{family}: geomean drop {drop:.2} too large");
+        assert!(
+            drop.abs() < 1.5,
+            "{family}: geomean drop {drop:.2} too large"
+        );
         let gpu_ppl = perplexity(family, QuantFormat::Fp16, Rounding::Nearest, &c);
         let pimba_ppl = perplexity(family, QuantFormat::Mx8, Rounding::Stochastic, &c);
-        assert!(pimba_ppl < 1.6 * gpu_ppl, "{family}: ppl {pimba_ppl:.2} vs {gpu_ppl:.2}");
+        assert!(
+            pimba_ppl < 1.6 * gpu_ppl,
+            "{family}: ppl {pimba_ppl:.2} vs {gpu_ppl:.2}"
+        );
     }
 }
 

@@ -30,7 +30,10 @@ fn every_model_runs_on_every_system_and_pimba_is_never_slower_than_gpu() {
                     .map(|(k, s)| (*k, s.generation_throughput(&model, batch, 2048)))
                     .collect();
                 for (kind, t) in &throughputs {
-                    assert!(t.is_finite() && *t > 0.0, "{family} {kind} produced throughput {t}");
+                    assert!(
+                        t.is_finite() && *t > 0.0,
+                        "{family} {kind} produced throughput {t}"
+                    );
                 }
                 let gpu = throughputs[0].1;
                 let pimba = throughputs[3].1;
@@ -51,7 +54,8 @@ fn pimba_gains_grow_with_batch_size_for_su_llms() {
     let gpu = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Gpu));
     let pimba = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
     let speedup = |batch| {
-        pimba.generation_throughput(&model, batch, 2048) / gpu.generation_throughput(&model, batch, 2048)
+        pimba.generation_throughput(&model, batch, 2048)
+            / gpu.generation_throughput(&model, batch, 2048)
     };
     assert!(speedup(128) > speedup(32));
 }
@@ -63,7 +67,11 @@ fn state_update_latency_reduction_is_an_order_of_magnitude_at_large_scale() {
     let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Large);
     let all = sims(ModelScale::Large);
     let step_of = |kind: SystemKind| {
-        all.iter().find(|(k, _)| *k == kind).unwrap().1.generation_step(&model, 128, 2048)
+        all.iter()
+            .find(|(k, _)| *k == kind)
+            .unwrap()
+            .1
+            .generation_step(&model, 128, 2048)
     };
     let gpu = step_of(SystemKind::Gpu).latency_of(OpKind::StateUpdate);
     let gpu_pim = step_of(SystemKind::GpuPim).latency_of(OpKind::StateUpdate);
@@ -71,7 +79,10 @@ fn state_update_latency_reduction_is_an_order_of_magnitude_at_large_scale() {
     let vs_gpu = gpu / pimba;
     let vs_gpupim = gpu_pim / pimba;
     assert!((7.0..30.0).contains(&vs_gpu), "vs GPU: {vs_gpu:.1}x");
-    assert!((3.0..15.0).contains(&vs_gpupim), "vs GPU+PIM: {vs_gpupim:.1}x");
+    assert!(
+        (3.0..15.0).contains(&vs_gpupim),
+        "vs GPU+PIM: {vs_gpupim:.1}x"
+    );
     assert!(vs_gpu > vs_gpupim);
 }
 
@@ -80,12 +91,19 @@ fn hybrid_models_benefit_from_attention_offload_too() {
     let model = ModelConfig::preset(ModelFamily::Zamba2, ModelScale::Large);
     let all = sims(ModelScale::Large);
     let step_of = |kind: SystemKind| {
-        all.iter().find(|(k, _)| *k == kind).unwrap().1.generation_step(&model, 128, 2048)
+        all.iter()
+            .find(|(k, _)| *k == kind)
+            .unwrap()
+            .1
+            .generation_step(&model, 128, 2048)
     };
     let gpu_attn = step_of(SystemKind::Gpu).latency_of(OpKind::Attention);
     let pimba_attn = step_of(SystemKind::Pimba).latency_of(OpKind::Attention);
     let reduction = gpu_attn / pimba_attn;
-    assert!((3.0..12.0).contains(&reduction), "attention reduction {reduction:.1}x");
+    assert!(
+        (3.0..12.0).contains(&reduction),
+        "attention reduction {reduction:.1}x"
+    );
 }
 
 #[test]
@@ -93,7 +111,12 @@ fn energy_ordering_matches_figure14() {
     let model = ModelConfig::preset(ModelFamily::Gla, ModelScale::Large);
     let all = sims(ModelScale::Large);
     let energy_of = |kind: SystemKind| {
-        all.iter().find(|(k, _)| *k == kind).unwrap().1.step_energy(&model, 128, 2048).total_pj()
+        all.iter()
+            .find(|(k, _)| *k == kind)
+            .unwrap()
+            .1
+            .step_energy(&model, 128, 2048)
+            .total_pj()
     };
     let gpu = energy_of(SystemKind::Gpu);
     let gpu_pim = energy_of(SystemKind::GpuPim);

@@ -48,8 +48,13 @@ fn table3_pimba_vs_hbm_pim_area_power() {
     let speedup = PimDesign::new(PimDesignKind::HbmPimTwoBank)
         .state_update_latency_ns(&shape)
         .unwrap()
-        / PimDesign::new(PimDesignKind::Pimba).state_update_latency_ns(&shape).unwrap();
-    assert!((4.0..12.0).contains(&speedup), "Pimba vs HBM-PIM state-update speedup {speedup:.1}x");
+        / PimDesign::new(PimDesignKind::Pimba)
+            .state_update_latency_ns(&shape)
+            .unwrap();
+    assert!(
+        (4.0..12.0).contains(&speedup),
+        "Pimba vs HBM-PIM state-update speedup {speedup:.1}x"
+    );
 }
 
 #[test]
@@ -61,7 +66,12 @@ fn pimba_command_stream_is_timing_clean_and_comp_runs_at_tccd_l() {
     // The full Figure 11 pattern executes without violating any constraint (the
     // controller would panic on a structurally invalid stream and refuses to issue
     // early — `execute` always picks the earliest legal cycle).
-    let plan = RowGroupPlan { comps: 128, reg_writes: 16, result_reads: 8, writes_back: true };
+    let plan = RowGroupPlan {
+        comps: 128,
+        reg_writes: 16,
+        result_reads: 8,
+        writes_back: true,
+    };
     let group = measure_row_group(timing, geometry, &plan);
     assert!(group.total_cycles > 0);
     assert!(group.compute_fraction() > 0.5);
@@ -70,13 +80,19 @@ fn pimba_command_stream_is_timing_clean_and_comp_runs_at_tccd_l() {
 #[test]
 fn manual_command_stream_respects_constraints() {
     let mut pc = PseudoChannel::new(TimingParams::hbm2e(), DramGeometry::hbm2e());
-    let act = pc.execute(DramCommand::Act4 { banks: [0, 1, 2, 3], row: 7 });
+    let act = pc.execute(DramCommand::Act4 {
+        banks: [0, 1, 2, 3],
+        row: 7,
+    });
     let comp = pc.execute(DramCommand::Comp);
     assert!(comp >= act + pc.timing().t_rcd);
     let pre = pc.execute(DramCommand::PrechargeAll);
     assert!(pre >= act + pc.timing().t_ras);
     // Re-activating the same banks honours tRP.
-    let act2 = pc.execute(DramCommand::Act4 { banks: [0, 1, 2, 3], row: 8 });
+    let act2 = pc.execute(DramCommand::Act4 {
+        banks: [0, 1, 2, 3],
+        row: 8,
+    });
     assert!(act2 >= pre + pc.timing().t_rp);
 }
 
@@ -84,8 +100,12 @@ fn manual_command_stream_respects_constraints() {
 fn hbm3_pim_scales_with_the_faster_clock() {
     let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Large);
     let shape = state_update_shape(&model, 128);
-    let hbm2e = PimDesign::new(PimDesignKind::Pimba).state_update_latency_ns(&shape).unwrap();
-    let hbm3 = PimDesign::with_hbm3(PimDesignKind::Pimba).state_update_latency_ns(&shape).unwrap();
+    let hbm2e = PimDesign::new(PimDesignKind::Pimba)
+        .state_update_latency_ns(&shape)
+        .unwrap();
+    let hbm3 = PimDesign::with_hbm3(PimDesignKind::Pimba)
+        .state_update_latency_ns(&shape)
+        .unwrap();
     let ratio = hbm2e / hbm3;
     assert!((1.4..2.0).contains(&ratio), "HBM3 speedup {ratio:.2}x");
 }
