@@ -91,17 +91,17 @@ fn run_sweep(grid: &SweepGrid) -> f64 {
         .sum()
 }
 
-/// Median wall-clock seconds of `reps` runs of `f`.
+/// Median wall-clock seconds of `reps` runs of `f` (exact order statistic via
+/// the shared `pimba_system::stats` helper).
 fn median_secs(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
-    let mut times: Vec<f64> = (0..reps)
+    let times: Vec<f64> = (0..reps)
         .map(|_| {
             let start = Instant::now();
             std::hint::black_box(f());
             start.elapsed().as_secs_f64()
         })
         .collect();
-    times.sort_by(|a, b| a.total_cmp(b));
-    times[times.len() / 2]
+    pimba_system::stats::median(&times).expect("at least one rep")
 }
 
 fn bench_grids(c: &mut Criterion) {

@@ -17,7 +17,7 @@
 //! * round-to-nearest-even and LFSR-driven stochastic [`rounding`],
 //! * bit-level models of the MX multiplier, MX adder and dot-product unit used by the
 //!   SPE ([`spe`]),
-//! * a format-dispatch layer ([`format`]) used by the model/accuracy studies to store
+//! * a format-dispatch layer ([`format`](mod@format)) used by the model/accuracy studies to store
 //!   tensors "as if" they lived in a given format.
 //!
 //! # Example

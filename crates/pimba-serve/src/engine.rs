@@ -1,0 +1,651 @@
+//! The discrete-event serving engine: one accelerator (a `ServingSimulator`
+//! system) executing a request trace under a pluggable scheduling policy.
+//!
+//! The engine models the serving loop of a single tensor-parallel replica: a
+//! FIFO wait queue, a batch of in-flight requests, and one work item in flight
+//! at a time (a batched prefill or one generation step — the blocked GPU/PIM
+//! execution model of the paper has no intra-replica overlap). Latencies come
+//! from the analytic step models of `pimba_system::ServingSimulator`, sharing
+//! its shape-keyed [`LatencyCache`](pimba_system::LatencyCache), so the event
+//! simulation composes *exactly* from the same numbers the steady-state figure
+//! benches report — the consistency oracle in `tests/oracle.rs` pins this down.
+//!
+//! Every run is a pure function of `(system, model, trace, policy, config)`:
+//! event ties break deterministically and all latency evaluations are
+//! memoized-pure, so results are bit-identical across repeat runs and across
+//! the thread counts of the grid runner.
+
+use crate::event::{EventKind, EventQueue};
+use crate::metrics::{RequestOutcome, SimResult, TimelinePoint};
+use crate::sched::{Action, Scheduler};
+use crate::traffic::{Trace, TraceRequest};
+use pimba_models::config::ModelConfig;
+use pimba_system::serving::ServingSimulator;
+use std::collections::VecDeque;
+
+/// Engine knobs independent of the scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Hard cap on concurrently admitted requests (decoding + prefilling).
+    pub max_batch: usize,
+    /// Device-memory budget for admission control; `None` uses the system
+    /// cluster's aggregate HBM capacity.
+    pub capacity_bytes: Option<f64>,
+    /// Rounds sequence/prompt lengths up to a multiple of this before decode
+    /// and prefill latency lookups (1 = exact). Larger buckets trade a
+    /// slightly conservative latency for far fewer unique shapes in the
+    /// latency caches.
+    pub seq_bucket: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 512,
+            capacity_bytes: None,
+            seq_bucket: 1,
+        }
+    }
+}
+
+/// A request waiting for admission (chunked-prefill tracks partial progress).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitingRequest {
+    /// Index of the request in the trace.
+    pub id: usize,
+    /// The request itself.
+    pub request: TraceRequest,
+    /// Prompt tokens already prefilled (chunked-prefill only).
+    pub prefilled: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveRequest {
+    id: usize,
+    prompt_len: usize,
+    output_len: usize,
+    generated: usize,
+}
+
+impl ActiveRequest {
+    fn seq_len(&self) -> usize {
+        self.prompt_len + self.generated
+    }
+
+    fn final_seq_len(&self) -> usize {
+        self.prompt_len + self.output_len
+    }
+}
+
+/// The read-only snapshot a [`Scheduler`] decides from.
+pub struct EngineView<'a> {
+    /// Current simulated time in nanoseconds.
+    pub now_ns: f64,
+    /// Requests waiting for admission, FIFO order.
+    pub queue: &'a [WaitingRequest],
+    /// Requests currently holding a batch slot (decoding or prefilling).
+    pub running: usize,
+    /// The engine's hard batch cap.
+    pub max_batch: usize,
+    admission: AdmissionProbe<'a>,
+}
+
+#[derive(Clone, Copy)]
+struct AdmissionProbe<'a> {
+    sim: &'a ServingSimulator,
+    model: &'a ModelConfig,
+    capacity_bytes: f64,
+    occupied: usize,
+    occupied_max_final_seq: usize,
+    max_batch: usize,
+}
+
+impl AdmissionProbe<'_> {
+    /// See [`EngineView::admissible_count`] — also used by the engine itself to
+    /// clamp whatever a policy asks for, so the batch cap and memory budget
+    /// hold for arbitrary `Scheduler` implementations.
+    fn admissible_count(&self, queue: &[WaitingRequest]) -> usize {
+        let mut count = 0;
+        let mut max_seq = self.occupied_max_final_seq;
+        for waiting in queue {
+            let candidate_batch = self.occupied + count + 1;
+            if candidate_batch > self.max_batch {
+                break;
+            }
+            max_seq = max_seq.max(waiting.request.prompt_len + waiting.request.output_len);
+            if self
+                .sim
+                .memory_usage_bytes(self.model, candidate_batch, max_seq)
+                > self.capacity_bytes
+            {
+                break;
+            }
+            count += 1;
+        }
+        if count == 0 && self.occupied == 0 && !queue.is_empty() {
+            1
+        } else {
+            count
+        }
+    }
+}
+
+impl EngineView<'_> {
+    /// How many queue-front requests can be admitted right now under the batch
+    /// cap and the memory budget (footprints are estimated at every request's
+    /// *final* sequence length, so an admitted request can always run to
+    /// completion without eviction).
+    ///
+    /// When the engine is empty the count is at least 1 for a non-empty queue:
+    /// a request that does not fit alone will never fit better, so it is
+    /// admitted alone rather than deadlocking the queue.
+    pub fn admissible_count(&self) -> usize {
+        self.admission.admissible_count(self.queue)
+    }
+}
+
+/// What the engine currently has in flight.
+#[derive(Debug, Clone)]
+enum Work {
+    /// A batched prefill of the requests parked in `Engine::prefilling`.
+    Prefill,
+    /// One generation step; `fused_tokens > 0` means a prefill chunk of the
+    /// queue head rode along, and `decoded` records whether a decode batch ran.
+    Step { fused_tokens: usize, decoded: bool },
+}
+
+/// The discrete-event serving engine. Build one per (system, model, policy)
+/// and call [`Engine::run`] per trace.
+pub struct Engine<'a> {
+    sim: &'a ServingSimulator,
+    model: &'a ModelConfig,
+    config: EngineConfig,
+    capacity_bytes: f64,
+}
+
+impl<'a> Engine<'a> {
+    /// Builds an engine for `sim` serving `model` under `config`.
+    pub fn new(sim: &'a ServingSimulator, model: &'a ModelConfig, config: EngineConfig) -> Self {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(config.seq_bucket > 0, "seq_bucket must be positive");
+        let capacity_bytes = config
+            .capacity_bytes
+            .unwrap_or_else(|| sim.config().cluster.total_capacity_bytes());
+        Self {
+            sim,
+            model,
+            config,
+            capacity_bytes,
+        }
+    }
+
+    /// Prefill latency via the simulator (memoized in the shared cache's
+    /// dedicated prefill layer when the simulator carries one, so entries are
+    /// reused across engines, grid cells and worker threads).
+    fn prefill_ns(&self, batch: usize, prompt_len: usize) -> f64 {
+        self.sim.prefill_latency_ns(self.model, batch, prompt_len)
+    }
+
+    fn bucketed(&self, seq: usize) -> usize {
+        seq.div_ceil(self.config.seq_bucket) * self.config.seq_bucket
+    }
+
+    /// Marginal cost of extending one request's prefill from `already` to
+    /// `already + tokens` prompt tokens, as the difference of cumulative
+    /// batch-1 prefills. This charges each chunk for attention against the
+    /// context already prefilled — a fixed-size chunk gets more expensive the
+    /// deeper into the prompt it lands (for attention-family models), instead
+    /// of every chunk being miscosted as a fresh short prompt.
+    fn chunk_prefill_ns(&self, already: usize, tokens: usize) -> f64 {
+        let up_to = self.prefill_ns(1, self.bucketed(already + tokens));
+        if already == 0 {
+            up_to
+        } else {
+            // Bucketing can land both boundaries in the same bucket; the
+            // marginal cost is then 0, which averages out across the chunks of
+            // one prompt (the cumulative cost is paid at bucket crossings).
+            (up_to - self.prefill_ns(1, self.bucketed(already))).max(0.0)
+        }
+    }
+
+    /// Simulates `trace` under `scheduler`, returning per-request outcomes and
+    /// the queue/occupancy timeline.
+    pub fn run(&self, trace: &Trace, scheduler: &mut dyn Scheduler) -> SimResult {
+        let mut events = EventQueue::new();
+        for (i, r) in trace.requests.iter().enumerate() {
+            events.push(r.arrival_ns, EventKind::Arrival(i));
+        }
+
+        let mut queue: VecDeque<WaitingRequest> = VecDeque::new();
+        let mut prefilling: Vec<ActiveRequest> = Vec::new();
+        let mut running: Vec<ActiveRequest> = Vec::new();
+        let mut work: Option<Work> = None;
+        let mut first_token: Vec<f64> = vec![f64::NAN; trace.len()];
+        let mut completion: Vec<f64> = vec![f64::NAN; trace.len()];
+        let mut timeline: Vec<TimelinePoint> = Vec::new();
+        let mut now_ns = 0.0;
+
+        while let Some(event) = events.pop() {
+            now_ns = event.time_ns;
+            match event.kind {
+                EventKind::Arrival(id) => {
+                    queue.push_back(WaitingRequest {
+                        id,
+                        request: trace.requests[id],
+                        prefilled: 0,
+                    });
+                }
+                EventKind::WorkDone => {
+                    match work.take().expect("WorkDone without work in flight") {
+                        Work::Prefill => {
+                            // The prefilled batch joins the decode set; tokens
+                            // start flowing from the next decode step.
+                            running.append(&mut prefilling);
+                        }
+                        Work::Step {
+                            fused_tokens,
+                            decoded,
+                        } => {
+                            if decoded {
+                                running.retain_mut(|r| {
+                                    r.generated += 1;
+                                    if r.generated == 1 {
+                                        first_token[r.id] = now_ns;
+                                    }
+                                    if r.generated >= r.output_len {
+                                        completion[r.id] = now_ns;
+                                        false
+                                    } else {
+                                        true
+                                    }
+                                });
+                            }
+                            if fused_tokens > 0 {
+                                let head = queue.front_mut().expect("fused chunk without a head");
+                                head.prefilled += fused_tokens;
+                                if head.prefilled >= head.request.prompt_len {
+                                    let head = queue.pop_front().expect("head vanished");
+                                    running.push(ActiveRequest {
+                                        id: head.id,
+                                        prompt_len: head.request.prompt_len,
+                                        output_len: head.request.output_len,
+                                        generated: 0,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Drain every event of this timestamp before deciding: simultaneous
+            // arrivals must all be visible to the scheduler at once.
+            if events.peek().is_some_and(|next| next.time_ns == now_ns) {
+                continue;
+            }
+
+            if work.is_none() {
+                if let Some((latency_ns, next)) =
+                    self.dispatch(now_ns, scheduler, &mut queue, &mut prefilling, &running)
+                {
+                    events.push(now_ns + latency_ns, EventKind::WorkDone);
+                    work = Some(next);
+                }
+            }
+
+            timeline.push(TimelinePoint {
+                time_ns: now_ns,
+                queue_depth: queue.len(),
+                batch_occupancy: running.len() + prefilling.len(),
+            });
+        }
+
+        assert!(
+            queue.is_empty() && running.is_empty() && prefilling.is_empty(),
+            "scheduler stalled with work pending: {} queued, {} running, {} prefilling",
+            queue.len(),
+            running.len(),
+            prefilling.len()
+        );
+
+        let outcomes = trace
+            .requests
+            .iter()
+            .enumerate()
+            .filter(|(id, _)| completion[*id].is_finite())
+            .map(|(id, r)| RequestOutcome {
+                id,
+                arrival_ns: r.arrival_ns,
+                first_token_ns: first_token[id],
+                completion_ns: completion[id],
+                prompt_len: r.prompt_len,
+                output_len: r.output_len,
+            })
+            .collect();
+        SimResult {
+            outcomes,
+            timeline,
+            makespan_ns: now_ns,
+        }
+    }
+
+    /// Asks the scheduler for the next action and starts it. Returns the work
+    /// item and its latency, or `None` to stay idle until the next event.
+    fn dispatch(
+        &self,
+        now_ns: f64,
+        scheduler: &mut dyn Scheduler,
+        queue: &mut VecDeque<WaitingRequest>,
+        prefilling: &mut Vec<ActiveRequest>,
+        running: &[ActiveRequest],
+    ) -> Option<(f64, Work)> {
+        queue.make_contiguous();
+        let occupied_max_final_seq = running
+            .iter()
+            .map(ActiveRequest::final_seq_len)
+            .max()
+            .unwrap_or(0);
+        let view = EngineView {
+            now_ns,
+            queue: queue.as_slices().0,
+            running: running.len(),
+            max_batch: self.config.max_batch,
+            admission: AdmissionProbe {
+                sim: self.sim,
+                model: self.model,
+                capacity_bytes: self.capacity_bytes,
+                occupied: running.len(),
+                occupied_max_final_seq,
+                max_batch: self.config.max_batch,
+            },
+        };
+        let probe = view.admission;
+        let mut action = scheduler.decide(&view);
+        if let Action::AdmitAndPrefill { count } = action {
+            // Enforce the batch cap and memory budget regardless of what the
+            // policy asked for (custom `Scheduler` impls included). An admit
+            // that clamps to nothing degrades to a decode step (if a batch is
+            // running) or idleness, so a greedy policy cannot stall the engine.
+            let count = count
+                .min(queue.len())
+                .min(probe.admissible_count(queue.as_slices().0));
+            action = if count > 0 {
+                Action::AdmitAndPrefill { count }
+            } else if running.is_empty() {
+                Action::Wait
+            } else {
+                Action::DecodeStep {
+                    fused_chunk_tokens: 0,
+                }
+            };
+        }
+        match action {
+            Action::Wait => None,
+            Action::AdmitAndPrefill { count } => {
+                let mut max_prompt = 0;
+                for _ in 0..count {
+                    let w = queue.pop_front().expect("count clamped to queue length");
+                    max_prompt = max_prompt.max(w.request.prompt_len);
+                    prefilling.push(ActiveRequest {
+                        id: w.id,
+                        prompt_len: w.request.prompt_len,
+                        output_len: w.request.output_len,
+                        generated: 0,
+                    });
+                }
+                let latency = self.prefill_ns(count, self.bucketed(max_prompt));
+                Some((latency, Work::Prefill))
+            }
+            Action::DecodeStep { fused_chunk_tokens } => {
+                let decoded = !running.is_empty();
+                let mut latency_ns = 0.0;
+                if decoded {
+                    let seq = running
+                        .iter()
+                        .map(ActiveRequest::seq_len)
+                        .max()
+                        .expect("running non-empty");
+                    latency_ns += self
+                        .sim
+                        .generation_step(self.model, running.len(), self.bucketed(seq.max(1)))
+                        .total_ns;
+                }
+                // Chunking the head is an admission: enforce the batch cap and
+                // memory budget here too, so a policy that skips the
+                // admissible_count() guard cannot grow the batch past them.
+                let fused_tokens = match queue.front() {
+                    Some(head)
+                        if fused_chunk_tokens > 0
+                            && probe.admissible_count(queue.as_slices().0) > 0 =>
+                    {
+                        let tokens = fused_chunk_tokens
+                            .min(head.request.prompt_len - head.prefilled)
+                            .max(1);
+                        latency_ns += self.chunk_prefill_ns(head.prefilled, tokens);
+                        tokens
+                    }
+                    _ => 0,
+                };
+                if !decoded && fused_tokens == 0 {
+                    // Defensive: a decode step with nothing to do is a policy
+                    // bug; treat it as Wait rather than spinning forever.
+                    return None;
+                }
+                Some((
+                    latency_ns,
+                    Work::Step {
+                        fused_tokens,
+                        decoded,
+                    },
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{ChunkedPrefill, ContinuousBatching, FcfsStatic};
+    use pimba_models::config::{ModelFamily, ModelScale};
+    use pimba_system::config::{SystemConfig, SystemKind};
+
+    fn setup() -> (ServingSimulator, ModelConfig) {
+        (
+            ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba)),
+            ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small),
+        )
+    }
+
+    fn trace() -> Trace {
+        Scenarios::burst(24)
+    }
+
+    /// Tiny deterministic traces for the unit tests.
+    struct Scenarios;
+    impl Scenarios {
+        /// `n` requests arriving in a tight burst with staggered lengths.
+        fn burst(n: usize) -> Trace {
+            Trace::from_requests(
+                (0..n)
+                    .map(|i| TraceRequest {
+                        arrival_ns: i as f64 * 1e6,
+                        prompt_len: 128 + 32 * (i % 5),
+                        output_len: 8 + 4 * (i % 3),
+                    })
+                    .collect(),
+            )
+        }
+    }
+
+    #[test]
+    fn all_policies_complete_every_request() {
+        let (sim, model) = setup();
+        let t = trace();
+        for policy in [
+            &mut FcfsStatic as &mut dyn Scheduler,
+            &mut ContinuousBatching,
+            &mut ChunkedPrefill::new(64),
+        ] {
+            let engine = Engine::new(&sim, &model, EngineConfig::default());
+            let result = engine.run(&t, policy);
+            assert_eq!(result.outcomes.len(), t.len(), "{}", policy.name());
+            for o in &result.outcomes {
+                assert!(o.first_token_ns > o.arrival_ns);
+                assert!(o.completion_ns >= o.first_token_ns);
+            }
+            assert!(result.makespan_ns > 0.0);
+            assert!(!result.timeline.is_empty());
+        }
+    }
+
+    #[test]
+    fn continuous_batching_beats_static_on_staggered_arrivals() {
+        let (sim, model) = setup();
+        let t = trace();
+        let e2e_mean = |policy: &mut dyn Scheduler| {
+            let engine = Engine::new(&sim, &model, EngineConfig::default());
+            let r = engine.run(&t, policy);
+            r.outcomes.iter().map(|o| o.e2e_ns()).sum::<f64>() / r.outcomes.len() as f64
+        };
+        let static_e2e = e2e_mean(&mut FcfsStatic);
+        let continuous_e2e = e2e_mean(&mut ContinuousBatching);
+        assert!(
+            continuous_e2e < static_e2e,
+            "continuous {continuous_e2e} must beat static {static_e2e}"
+        );
+    }
+
+    #[test]
+    fn max_batch_is_respected() {
+        let (sim, model) = setup();
+        let t = trace();
+        let engine = Engine::new(
+            &sim,
+            &model,
+            EngineConfig {
+                max_batch: 4,
+                ..EngineConfig::default()
+            },
+        );
+        let result = engine.run(&t, &mut ContinuousBatching);
+        assert_eq!(result.outcomes.len(), t.len());
+        assert!(result.timeline.iter().all(|p| p.batch_occupancy <= 4));
+        assert!(result.timeline.iter().any(|p| p.batch_occupancy == 4));
+    }
+
+    #[test]
+    fn seq_bucketing_is_conservative_but_close() {
+        let (sim, model) = setup();
+        let t = trace();
+        let run = |bucket: usize| {
+            let engine = Engine::new(
+                &sim,
+                &model,
+                EngineConfig {
+                    seq_bucket: bucket,
+                    ..EngineConfig::default()
+                },
+            );
+            engine.run(&t, &mut ContinuousBatching).makespan_ns
+        };
+        let exact = run(1);
+        let bucketed = run(64);
+        assert!(bucketed >= exact);
+        assert!(bucketed < 1.2 * exact, "bucketing overhead too large");
+    }
+
+    #[test]
+    fn tight_memory_throttles_admission() {
+        let (sim, model) = setup();
+        let t = trace();
+        // Enough memory for the weights plus a couple of requests only.
+        let params = sim.memory_breakdown(&model, 1, 256).params_bytes;
+        let engine = Engine::new(
+            &sim,
+            &model,
+            EngineConfig {
+                capacity_bytes: Some(params * 1.0001),
+                ..EngineConfig::default()
+            },
+        );
+        let result = engine.run(&t, &mut ContinuousBatching);
+        assert_eq!(result.outcomes.len(), t.len(), "all requests still finish");
+        let peak = result
+            .timeline
+            .iter()
+            .map(|p| p.batch_occupancy)
+            .max()
+            .unwrap();
+        assert!(peak <= 2, "tight memory must cap the batch, got {peak}");
+    }
+
+    #[test]
+    fn chunked_prefill_tracks_partial_progress() {
+        let (sim, model) = setup();
+        let t = trace();
+        let engine = Engine::new(&sim, &model, EngineConfig::default());
+        let chunked = engine.run(&t, &mut ChunkedPrefill::new(32));
+        assert_eq!(chunked.outcomes.len(), t.len());
+    }
+
+    #[test]
+    fn engine_clamps_greedy_policies_to_the_batch_cap() {
+        /// A pathological policy that always asks for the whole queue.
+        struct GreedyAdmit;
+        impl Scheduler for GreedyAdmit {
+            fn name(&self) -> &'static str {
+                "greedy"
+            }
+            fn decide(&mut self, view: &EngineView<'_>) -> Action {
+                if !view.queue.is_empty() {
+                    Action::AdmitAndPrefill { count: usize::MAX }
+                } else if view.running > 0 {
+                    Action::DecodeStep {
+                        fused_chunk_tokens: 0,
+                    }
+                } else {
+                    Action::Wait
+                }
+            }
+        }
+        let (sim, model) = setup();
+        let t = trace();
+        let engine = Engine::new(
+            &sim,
+            &model,
+            EngineConfig {
+                max_batch: 3,
+                ..EngineConfig::default()
+            },
+        );
+        let result = engine.run(&t, &mut GreedyAdmit);
+        assert_eq!(result.outcomes.len(), t.len());
+        assert!(
+            result.timeline.iter().all(|p| p.batch_occupancy <= 3),
+            "engine must clamp admissions to max_batch"
+        );
+    }
+
+    #[test]
+    fn chunked_prefill_cost_telescopes_to_the_whole_prompt() {
+        // For an attention model the chunk costs must sum to the full-prompt
+        // prefill (the marginal-cost formulation), not to N cheap short
+        // prefills: a single request's TTFT under chunking equals whole-prompt
+        // prefill + first decode step exactly (bucket 1, telescoping sum).
+        let sim = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Gpu));
+        let model = ModelConfig::preset(ModelFamily::Opt, ModelScale::Small);
+        let prompt = 2048;
+        let t = Trace::closed_loop(1, prompt, 2);
+        let engine = Engine::new(&sim, &model, EngineConfig::default());
+        let result = engine.run(&t, &mut ChunkedPrefill::new(256));
+        let expected = sim.prefill_latency_ns(&model, 1, prompt)
+            + sim.generation_step(&model, 1, prompt).total_ns;
+        let ttft = result.outcomes[0].ttft_ns();
+        let rel = (ttft - expected).abs() / expected;
+        assert!(
+            rel < 1e-9,
+            "chunked ttft {ttft} vs whole-prefill {expected}"
+        );
+    }
+}

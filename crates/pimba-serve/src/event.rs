@@ -1,0 +1,129 @@
+//! The discrete-event core: a binary-heap event queue with deterministic
+//! tie-breaking.
+//!
+//! Simulated time is `f64` nanoseconds. Events at equal times pop in insertion
+//! order (a monotone sequence number breaks ties), so a simulation is a pure
+//! function of its inputs — the foundation of the bit-identical-across-threads
+//! guarantee the traffic runner advertises.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happened at an event's timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Request `.0` (an index into the trace) arrived and joins the wait queue.
+    Arrival(usize),
+    /// The engine's in-flight work item (a prefill batch or one step) finished.
+    WorkDone,
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulated timestamp in nanoseconds.
+    pub time_ns: f64,
+    /// Insertion sequence number — the deterministic tie-breaker.
+    seq: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want earliest-first.
+        other
+            .time_ns
+            .total_cmp(&self.time_ns)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Earliest-first event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at `time_ns`.
+    pub fn push(&mut self, time_ns: f64, kind: EventKind) {
+        assert!(time_ns.is_finite(), "event times must be finite");
+        self.heap.push(Event {
+            time_ns,
+            seq: self.next_seq,
+            kind,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Removes and returns the earliest event (ties pop in insertion order).
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// The earliest pending event without removing it.
+    pub fn peek(&self) -> Option<&Event> {
+        self.heap.peek()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, EventKind::WorkDone);
+        q.push(1.0, EventKind::Arrival(0));
+        q.push(3.0, EventKind::Arrival(1));
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time_ns).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(2.0, EventKind::Arrival(i));
+        }
+        q.push(1.0, EventKind::WorkDone);
+        assert_eq!(q.pop().unwrap().kind, EventKind::WorkDone);
+        for i in 0..10 {
+            assert_eq!(q.pop().unwrap().kind, EventKind::Arrival(i));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_non_finite_times() {
+        EventQueue::new().push(f64::NAN, EventKind::WorkDone);
+    }
+}

@@ -1,0 +1,309 @@
+//! Per-request and aggregate serving metrics: TTFT / TPOT / E2E, exact
+//! percentiles, goodput, SLO attainment and occupancy time series.
+//!
+//! Conventions (chosen so the event simulator composes exactly from the
+//! analytic step models, see the consistency oracle in `tests/oracle.rs`):
+//! prefill prepares the prompt state and emits no token; each of the
+//! `output_len` decode steps emits one token; **TTFT** is arrival → end of the
+//! first decode step, **TPOT** is the mean gap between the remaining
+//! `output_len - 1` tokens, **E2E** is arrival → last token.
+
+use pimba_system::stats::percentile_of_sorted;
+use serde::{Deserialize, Serialize};
+
+/// The lifecycle timestamps of one completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// Index of the request in its trace.
+    pub id: usize,
+    /// Arrival time in nanoseconds.
+    pub arrival_ns: f64,
+    /// Completion time of the first decode step that produced a token.
+    pub first_token_ns: f64,
+    /// Completion time of the last token.
+    pub completion_ns: f64,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Output length in tokens.
+    pub output_len: usize,
+}
+
+impl RequestOutcome {
+    /// Time to first token in nanoseconds.
+    pub fn ttft_ns(&self) -> f64 {
+        self.first_token_ns - self.arrival_ns
+    }
+
+    /// Mean time per output token after the first, in nanoseconds (0 for
+    /// single-token outputs).
+    pub fn tpot_ns(&self) -> f64 {
+        if self.output_len > 1 {
+            (self.completion_ns - self.first_token_ns) / (self.output_len - 1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// End-to-end latency in nanoseconds.
+    pub fn e2e_ns(&self) -> f64 {
+        self.completion_ns - self.arrival_ns
+    }
+}
+
+/// One sample of the engine's queue/batch state (recorded at every event).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelinePoint {
+    /// Sample time in nanoseconds.
+    pub time_ns: f64,
+    /// Requests waiting for admission.
+    pub queue_depth: usize,
+    /// Requests holding a batch slot (decoding or prefilling).
+    pub batch_occupancy: usize,
+}
+
+/// The raw output of one simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Completed requests, in trace order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Queue-depth / batch-occupancy time series.
+    pub timeline: Vec<TimelinePoint>,
+    /// Simulated span from t = 0 to the last event, in nanoseconds.
+    pub makespan_ns: f64,
+}
+
+/// A latency service-level objective on TTFT and TPOT.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Time-to-first-token bound in milliseconds.
+    pub ttft_ms: f64,
+    /// Time-per-output-token bound in milliseconds.
+    pub tpot_ms: f64,
+}
+
+impl SloSpec {
+    /// Whether `outcome` met both bounds.
+    pub fn met(&self, outcome: &RequestOutcome) -> bool {
+        outcome.ttft_ns() <= self.ttft_ms * 1e6 && outcome.tpot_ns() <= self.tpot_ms * 1e6
+    }
+}
+
+impl Default for SloSpec {
+    /// A chat-grade objective: first token within a second, then 20 tokens/s.
+    fn default() -> Self {
+        Self {
+            ttft_ms: 1000.0,
+            tpot_ms: 50.0,
+        }
+    }
+}
+
+/// Exact p50/p90/p99 of one latency population (nearest-rank order statistics,
+/// see [`pimba_system::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Computes the triple (all zeros for an empty population).
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Self {
+            p50: percentile_of_sorted(&sorted, 50.0),
+            p90: percentile_of_sorted(&sorted, 90.0),
+            p99: percentile_of_sorted(&sorted, 99.0),
+        }
+    }
+}
+
+/// Aggregate metrics of one simulation under one SLO.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSummary {
+    /// Completed requests.
+    pub completed: usize,
+    /// TTFT percentiles in milliseconds.
+    pub ttft_ms: Percentiles,
+    /// TPOT percentiles in milliseconds.
+    pub tpot_ms: Percentiles,
+    /// End-to-end percentiles in milliseconds.
+    pub e2e_ms: Percentiles,
+    /// Completed requests per second of makespan.
+    pub throughput_rps: f64,
+    /// SLO-meeting completed requests per second of makespan.
+    pub goodput_rps: f64,
+    /// Fraction of completed requests meeting the SLO.
+    pub slo_attainment: f64,
+    /// Time-weighted mean number of requests holding a batch slot.
+    pub mean_batch_occupancy: f64,
+    /// Largest waiting-queue depth observed.
+    pub peak_queue_depth: usize,
+    /// Simulated makespan in seconds.
+    pub makespan_s: f64,
+}
+
+impl SimResult {
+    /// Summarizes the run under `slo`.
+    pub fn summary(&self, slo: &SloSpec) -> TrafficSummary {
+        let to_ms = |ns: f64| ns * 1e-6;
+        let ttft: Vec<f64> = self.outcomes.iter().map(|o| to_ms(o.ttft_ns())).collect();
+        let tpot: Vec<f64> = self.outcomes.iter().map(|o| to_ms(o.tpot_ns())).collect();
+        let e2e: Vec<f64> = self.outcomes.iter().map(|o| to_ms(o.e2e_ns())).collect();
+        let met = self.outcomes.iter().filter(|o| slo.met(o)).count();
+        let makespan_s = self.makespan_ns * 1e-9;
+        let per_second = |n: usize| {
+            if makespan_s > 0.0 {
+                n as f64 / makespan_s
+            } else {
+                0.0
+            }
+        };
+        TrafficSummary {
+            completed: self.outcomes.len(),
+            ttft_ms: Percentiles::of(&ttft),
+            tpot_ms: Percentiles::of(&tpot),
+            e2e_ms: Percentiles::of(&e2e),
+            throughput_rps: per_second(self.outcomes.len()),
+            goodput_rps: per_second(met),
+            slo_attainment: if self.outcomes.is_empty() {
+                0.0
+            } else {
+                met as f64 / self.outcomes.len() as f64
+            },
+            mean_batch_occupancy: self.mean_batch_occupancy(),
+            peak_queue_depth: self
+                .timeline
+                .iter()
+                .map(|p| p.queue_depth)
+                .max()
+                .unwrap_or(0),
+            makespan_s,
+        }
+    }
+
+    /// Time-weighted mean batch occupancy over the timeline (each sample holds
+    /// until the next one).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        let span = match (self.timeline.first(), self.timeline.last()) {
+            (Some(first), Some(last)) if last.time_ns > first.time_ns => {
+                last.time_ns - first.time_ns
+            }
+            _ => return 0.0,
+        };
+        let weighted: f64 = self
+            .timeline
+            .windows(2)
+            .map(|w| w[0].batch_occupancy as f64 * (w[1].time_ns - w[0].time_ns))
+            .sum();
+        weighted / span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(arrival: f64, first: f64, done: f64, out_len: usize) -> RequestOutcome {
+        RequestOutcome {
+            id: 0,
+            arrival_ns: arrival,
+            first_token_ns: first,
+            completion_ns: done,
+            prompt_len: 128,
+            output_len: out_len,
+        }
+    }
+
+    #[test]
+    fn request_latency_definitions() {
+        let o = outcome(100.0, 600.0, 1600.0, 11);
+        assert_eq!(o.ttft_ns(), 500.0);
+        assert_eq!(o.tpot_ns(), 100.0);
+        assert_eq!(o.e2e_ns(), 1500.0);
+        assert_eq!(outcome(0.0, 50.0, 50.0, 1).tpot_ns(), 0.0);
+    }
+
+    #[test]
+    fn slo_gates_both_axes() {
+        let slo = SloSpec {
+            ttft_ms: 1.0,
+            tpot_ms: 1.0,
+        };
+        // 0.5 ms TTFT, 0.5 ms TPOT -> met.
+        assert!(slo.met(&outcome(0.0, 0.5e6, 1.0e6, 2)));
+        // TTFT blown.
+        assert!(!slo.met(&outcome(0.0, 2.0e6, 2.5e6, 2)));
+        // TPOT blown.
+        assert!(!slo.met(&outcome(0.0, 0.5e6, 3.0e6, 2)));
+    }
+
+    #[test]
+    fn percentiles_of_empty_and_singleton() {
+        assert_eq!(Percentiles::of(&[]), Percentiles::default());
+        let p = Percentiles::of(&[4.0]);
+        assert_eq!((p.p50, p.p90, p.p99), (4.0, 4.0, 4.0));
+    }
+
+    #[test]
+    fn summary_counts_and_rates() {
+        let result = SimResult {
+            outcomes: vec![
+                outcome(0.0, 0.5e6, 1.0e6, 2),  // meets 1ms/1ms SLO
+                outcome(0.0, 5.0e6, 20.0e6, 2), // misses
+            ],
+            timeline: vec![
+                TimelinePoint {
+                    time_ns: 0.0,
+                    queue_depth: 2,
+                    batch_occupancy: 0,
+                },
+                TimelinePoint {
+                    time_ns: 10.0e6,
+                    queue_depth: 0,
+                    batch_occupancy: 2,
+                },
+                TimelinePoint {
+                    time_ns: 20.0e6,
+                    queue_depth: 0,
+                    batch_occupancy: 0,
+                },
+            ],
+            makespan_ns: 20.0e6,
+        };
+        let s = result.summary(&SloSpec {
+            ttft_ms: 1.0,
+            tpot_ms: 1.0,
+        });
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.slo_attainment, 0.5);
+        assert_eq!(s.peak_queue_depth, 2);
+        assert_eq!(s.throughput_rps, 2.0 / 0.02);
+        assert_eq!(s.goodput_rps, 1.0 / 0.02);
+        // Occupancy: 0 for the first half, 2 for the second -> 1.0 mean.
+        assert!((s.mean_batch_occupancy - 1.0).abs() < 1e-12);
+        assert_eq!(s.makespan_s, 0.02);
+    }
+
+    #[test]
+    fn empty_sim_result_summary_is_all_zeros() {
+        let s = SimResult {
+            outcomes: vec![],
+            timeline: vec![],
+            makespan_ns: 0.0,
+        }
+        .summary(&SloSpec::default());
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.slo_attainment, 0.0);
+        assert_eq!(s.throughput_rps, 0.0);
+        assert_eq!(s.mean_batch_occupancy, 0.0);
+    }
+}

@@ -1,0 +1,352 @@
+//! The traffic sweep runner: (system × scenario × arrival-rate) grids evaluated
+//! in parallel, with shared latency caches and reproducible per-cell traces.
+//!
+//! The runner mirrors the design of [`pimba_system::sweep::SweepRunner`] — in
+//! fact it reuses its builder-configured thread/caching settings and the shared
+//! [`parallel_map`] fan-out — but each grid point is a whole discrete-event
+//! simulation rather than one step evaluation. Traces are generated once per
+//! (scenario, rate) from split PCG streams and shared by every system, so
+//! systems are compared under *identical* arrival sequences; records come back
+//! in grid order and are bit-identical for any thread count.
+
+use crate::engine::{Engine, EngineConfig};
+use crate::metrics::{SloSpec, TrafficSummary};
+use crate::sched::PolicyKind;
+use crate::traffic::{Scenario, Trace};
+use pimba_models::config::ModelConfig;
+use pimba_system::cache::LatencyCache;
+use pimba_system::config::SystemConfig;
+use pimba_system::serving::ServingSimulator;
+use pimba_system::sweep::{max_batch_within_slo, parallel_map, SweepRunner};
+use rand::rngs::Pcg32;
+use rand::Rng;
+use std::sync::Arc;
+
+/// The cartesian (system × scenario × arrival-rate) grid of one traffic study.
+#[derive(Debug, Clone)]
+pub struct TrafficGrid {
+    /// Serving systems under comparison.
+    pub systems: Vec<SystemConfig>,
+    /// Traffic scenarios.
+    pub scenarios: Vec<Scenario>,
+    /// Mean arrival rates in requests/second.
+    pub rates_rps: Vec<f64>,
+    /// The model every system serves.
+    pub model: ModelConfig,
+    /// Scheduling policy (one per grid; sweep policies by running several grids).
+    pub policy: PolicyKind,
+    /// Requests generated per (scenario, rate) trace.
+    pub requests_per_cell: usize,
+    /// Base seed; every (scenario, rate) trace derives its own PCG stream.
+    pub seed: u64,
+    /// The SLO defining goodput and attainment.
+    pub slo: SloSpec,
+    /// Sequence-length bucket for step-latency lookups (see
+    /// [`EngineConfig::seq_bucket`]).
+    pub seq_bucket: usize,
+}
+
+impl TrafficGrid {
+    /// A grid serving `model` with no axes yet — chain the `with_*` builders;
+    /// defaults: continuous batching, 200 requests/cell, seed 0xC0FFEE, the
+    /// default chat SLO, exact (unbucketed) sequence lengths.
+    pub fn new(model: ModelConfig) -> Self {
+        Self {
+            systems: Vec::new(),
+            scenarios: Vec::new(),
+            rates_rps: Vec::new(),
+            model,
+            policy: PolicyKind::Continuous,
+            requests_per_cell: 200,
+            seed: 0xC0FFEE,
+            slo: SloSpec::default(),
+            seq_bucket: 1,
+        }
+    }
+
+    /// Replaces the system axis.
+    pub fn with_systems(mut self, systems: Vec<SystemConfig>) -> Self {
+        self.systems = systems;
+        self
+    }
+
+    /// Replaces the scenario axis.
+    pub fn with_scenarios(mut self, scenarios: Vec<Scenario>) -> Self {
+        self.scenarios = scenarios;
+        self
+    }
+
+    /// Replaces the arrival-rate axis.
+    pub fn with_rates(mut self, rates_rps: Vec<f64>) -> Self {
+        self.rates_rps = rates_rps;
+        self
+    }
+
+    /// Selects the scheduling policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the per-trace request count.
+    pub fn with_requests_per_cell(mut self, n: usize) -> Self {
+        self.requests_per_cell = n;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the SLO.
+    pub fn with_slo(mut self, slo: SloSpec) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Sets the sequence-length bucket for step-latency lookups (must be
+    /// positive, matching [`EngineConfig::seq_bucket`]'s contract).
+    pub fn with_seq_bucket(mut self, seq_bucket: usize) -> Self {
+        assert!(seq_bucket > 0, "seq_bucket must be positive");
+        self.seq_bucket = seq_bucket;
+        self
+    }
+
+    /// Number of grid cells.
+    pub fn len(&self) -> usize {
+        self.systems.len() * self.scenarios.len() * self.rates_rps.len()
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The (system, scenario, rate) index tuple of flat cell `i`, rate fastest.
+    fn indices(&self, i: usize) -> (usize, usize, usize) {
+        let r = i % self.rates_rps.len();
+        let rest = i / self.rates_rps.len();
+        (rest / self.scenarios.len(), rest % self.scenarios.len(), r)
+    }
+}
+
+/// The evaluation of one traffic grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficRecord {
+    /// Index into [`TrafficGrid::systems`].
+    pub system: usize,
+    /// Index into [`TrafficGrid::scenarios`].
+    pub scenario: usize,
+    /// Mean arrival rate simulated, in requests/second.
+    pub rate_rps: f64,
+    /// The batch cap the engine ran with (from the SLO capacity search).
+    pub max_batch: usize,
+    /// Aggregate metrics under the grid's SLO.
+    pub summary: TrafficSummary,
+}
+
+/// Parallel evaluator of [`TrafficGrid`]s.
+///
+/// Thread-count and caching configuration is delegated to an embedded
+/// [`SweepRunner`] so both sweep flavors share one builder vocabulary
+/// (`with_threads`, `with_caching`) and one fork-join implementation.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficRunner {
+    runner: SweepRunner,
+}
+
+impl TrafficRunner {
+    /// A runner using every available core and shared latency caches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the worker-thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.runner = self.runner.with_threads(threads);
+        self
+    }
+
+    /// Enables or disables the per-system shared latency caches.
+    pub fn with_caching(mut self, cached: bool) -> Self {
+        self.runner = self.runner.with_caching(cached);
+        self
+    }
+
+    /// Evaluates every cell and returns records in grid order (rate fastest,
+    /// then scenario, then system). Deterministic for any thread count.
+    pub fn run(&self, grid: &TrafficGrid) -> Vec<TrafficRecord> {
+        let total = grid.len();
+        if total == 0 {
+            return Vec::new();
+        }
+
+        // One simulator per system, sharing a shape-keyed cache across all of
+        // that system's cells (and worker threads) when caching is on.
+        let sims: Vec<ServingSimulator> = grid
+            .systems
+            .iter()
+            .map(|config| {
+                if self.runner.cached() {
+                    ServingSimulator::with_cache(config.clone(), Arc::new(LatencyCache::new()))
+                } else {
+                    ServingSimulator::uncached(config.clone())
+                }
+            })
+            .collect();
+
+        // One trace per (scenario, rate), shared by every system so the
+        // comparison sees identical arrivals. Each trace draws from its own
+        // stream of the grid seed.
+        let traces: Vec<Arc<Trace>> = grid
+            .scenarios
+            .iter()
+            .enumerate()
+            .flat_map(|(scn_idx, scenario)| {
+                grid.rates_rps
+                    .iter()
+                    .enumerate()
+                    .map(move |(r_idx, &rate)| {
+                        let stream = (scn_idx * grid.rates_rps.len() + r_idx) as u64;
+                        let trace_seed = Pcg32::new_stream(grid.seed, stream).next_u64();
+                        Arc::new(scenario.generate(rate, grid.requests_per_cell, trace_seed))
+                    })
+            })
+            .collect();
+
+        // Capacity planning once per (system, scenario): the largest batch that
+        // holds the per-step SLO at the scenario's typical sequence length.
+        // Independent of the rate axis, so hoisted out of the cell loop.
+        let max_batches: Vec<usize> = parallel_map(
+            grid.systems.len() * grid.scenarios.len(),
+            self.runner.threads(),
+            |i| {
+                let (sys, scn) = (i / grid.scenarios.len(), i % grid.scenarios.len());
+                let anchor_seq = (grid.scenarios[scn].mean_total_tokens() as usize).max(1);
+                max_batch_within_slo(&sims[sys], &grid.model, anchor_seq, grid.slo.tpot_ms, 512)
+                    .unwrap_or(1)
+            },
+        );
+
+        let cells = parallel_map(total, self.runner.threads(), |i| {
+            let (sys, scn, r) = grid.indices(i);
+            let sim = &sims[sys];
+            let trace = &traces[scn * grid.rates_rps.len() + r];
+            let max_batch = max_batches[sys * grid.scenarios.len() + scn];
+
+            let engine = Engine::new(
+                sim,
+                &grid.model,
+                EngineConfig {
+                    max_batch,
+                    capacity_bytes: None,
+                    seq_bucket: grid.seq_bucket,
+                },
+            );
+            let mut policy = grid.policy.build();
+            let result = engine.run(trace, policy.as_mut());
+            TrafficRecord {
+                system: sys,
+                scenario: scn,
+                rate_rps: grid.rates_rps[r],
+                max_batch,
+                summary: result.summary(&grid.slo),
+            }
+        });
+        cells
+    }
+}
+
+/// The SLO-attainment curve of one (system, scenario) pair: `(rate, attainment,
+/// goodput)` triples in ascending rate order, extracted from grid records.
+pub fn slo_curve(
+    records: &[TrafficRecord],
+    system: usize,
+    scenario: usize,
+) -> Vec<(f64, f64, f64)> {
+    let mut curve: Vec<(f64, f64, f64)> = records
+        .iter()
+        .filter(|r| r.system == system && r.scenario == scenario)
+        .map(|r| (r.rate_rps, r.summary.slo_attainment, r.summary.goodput_rps))
+        .collect();
+    curve.sort_by(|a, b| a.0.total_cmp(&b.0));
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimba_models::config::{ModelFamily, ModelScale};
+    use pimba_system::config::SystemKind;
+
+    fn small_grid() -> TrafficGrid {
+        TrafficGrid::new(ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small))
+            .with_systems(vec![
+                SystemConfig::small_scale(SystemKind::Gpu),
+                SystemConfig::small_scale(SystemKind::Pimba),
+            ])
+            .with_scenarios(vec![Scenario::chat()])
+            .with_rates(vec![4.0, 40.0])
+            .with_requests_per_cell(40)
+            .with_seq_bucket(32)
+    }
+
+    #[test]
+    fn records_come_back_in_grid_order_with_all_requests_served() {
+        let grid = small_grid();
+        let records = TrafficRunner::new().with_threads(3).run(&grid);
+        assert_eq!(records.len(), grid.len());
+        for (i, rec) in records.iter().enumerate() {
+            let (sys, scn, r) = grid.indices(i);
+            assert_eq!((rec.system, rec.scenario), (sys, scn));
+            assert_eq!(rec.rate_rps, grid.rates_rps[r]);
+            assert_eq!(rec.summary.completed, grid.requests_per_cell);
+            assert!(rec.summary.ttft_ms.p50 > 0.0);
+            assert!(rec.summary.e2e_ms.p99 >= rec.summary.e2e_ms.p50);
+        }
+    }
+
+    #[test]
+    fn higher_rate_never_improves_latency() {
+        let grid = small_grid();
+        let records = TrafficRunner::new().run(&grid);
+        for sys in 0..grid.systems.len() {
+            let curve = slo_curve(&records, sys, 0);
+            assert_eq!(curve.len(), 2);
+            let low = records
+                .iter()
+                .find(|r| r.system == sys && r.rate_rps == 4.0);
+            let high = records
+                .iter()
+                .find(|r| r.system == sys && r.rate_rps == 40.0);
+            let (low, high) = (low.unwrap(), high.unwrap());
+            assert!(high.summary.e2e_ms.p99 >= low.summary.e2e_ms.p99);
+        }
+    }
+
+    #[test]
+    fn pimba_sustains_at_least_the_gpu_goodput() {
+        let grid = small_grid();
+        let records = TrafficRunner::new().run(&grid);
+        // At the saturating rate, the PIM-offloaded system must hold at least
+        // the GPU baseline's goodput (its decode steps are strictly faster).
+        let goodput = |sys: usize| {
+            records
+                .iter()
+                .find(|r| r.system == sys && r.rate_rps == 40.0)
+                .unwrap()
+                .summary
+                .goodput_rps
+        };
+        assert!(goodput(1) >= goodput(0), "pimba goodput under gpu goodput");
+    }
+
+    #[test]
+    fn empty_grid_is_empty_result() {
+        let grid = small_grid().with_rates(Vec::new());
+        assert!(grid.is_empty());
+        assert!(TrafficRunner::new().run(&grid).is_empty());
+    }
+}

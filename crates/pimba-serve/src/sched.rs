@@ -1,0 +1,185 @@
+//! Admission/scheduling policies: what the engine does at every step boundary.
+//!
+//! The engine owns the mechanics (event queue, latency evaluation, memory
+//! accounting, metric stamping); a [`Scheduler`] owns the policy — whenever the
+//! engine is idle at a step boundary it asks the scheduler for the next
+//! [`Action`] given a read-only [`EngineView`]. Three policies ship:
+//!
+//! * [`FcfsStatic`] — static batching: admit a batch, run it to completion,
+//!   only then admit the next batch (requests that finish early free their slot
+//!   but nobody joins mid-flight),
+//! * [`ContinuousBatching`] — requests join and leave at step boundaries;
+//!   joiners run a dedicated whole-prompt prefill iteration that stalls the
+//!   decoding batch (Orca-style prefill priority),
+//! * [`ChunkedPrefill`] — continuous batching that never runs a standalone
+//!   prefill: prompts are split into fixed-size chunks and one chunk is fused
+//!   into each decode step, trading a small per-step overhead for the
+//!   elimination of multi-hundred-millisecond decode stalls.
+
+use crate::engine::EngineView;
+
+/// What the engine should do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Dequeue the first `count` waiting requests and run their prompts as one
+    /// batched prefill; they join the decode batch when it completes.
+    AdmitAndPrefill {
+        /// How many queue-front requests to admit. The engine clamps this to
+        /// the queue length *and* to [`EngineView::admissible_count`], so the
+        /// batch cap and memory budget hold even for policies that ask for
+        /// more; 0 (after clamping) is treated as [`Action::Wait`].
+        count: usize,
+    },
+    /// Run one decode step over the current batch, optionally fusing a prefill
+    /// chunk of the queue-head request into the same iteration.
+    DecodeStep {
+        /// Number of prompt tokens of the queue head to prefill alongside the
+        /// step (0 = pure decode). The head joins the batch once its whole
+        /// prompt has been chunked through.
+        fused_chunk_tokens: usize,
+    },
+    /// Nothing to do until the next arrival.
+    Wait,
+}
+
+/// A scheduling/admission policy.
+pub trait Scheduler {
+    /// Short policy name for records and bench output.
+    fn name(&self) -> &'static str;
+
+    /// Decides the next action. Called exactly when the engine is idle: at
+    /// simulation start, after every completed work item, and on arrivals
+    /// while idle.
+    fn decide(&mut self, view: &EngineView<'_>) -> Action;
+}
+
+/// FCFS static batching: a batch is admitted only when the previous one has
+/// fully drained.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FcfsStatic;
+
+impl Scheduler for FcfsStatic {
+    fn name(&self) -> &'static str {
+        "fcfs_static"
+    }
+
+    fn decide(&mut self, view: &EngineView<'_>) -> Action {
+        if view.running > 0 {
+            Action::DecodeStep {
+                fused_chunk_tokens: 0,
+            }
+        } else if !view.queue.is_empty() {
+            Action::AdmitAndPrefill {
+                count: view.admissible_count(),
+            }
+        } else {
+            Action::Wait
+        }
+    }
+}
+
+/// Continuous batching with prefill priority: at every boundary, admit as many
+/// waiting requests as memory and the batch cap allow (stalling decode for
+/// their prefill); otherwise keep decoding.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ContinuousBatching;
+
+impl Scheduler for ContinuousBatching {
+    fn name(&self) -> &'static str {
+        "continuous"
+    }
+
+    fn decide(&mut self, view: &EngineView<'_>) -> Action {
+        let admissible = view.admissible_count();
+        if admissible > 0 {
+            Action::AdmitAndPrefill { count: admissible }
+        } else if view.running > 0 {
+            Action::DecodeStep {
+                fused_chunk_tokens: 0,
+            }
+        } else {
+            Action::Wait
+        }
+    }
+}
+
+/// Chunked-prefill continuous batching: prompts enter `chunk_tokens` tokens at
+/// a time, fused into the running decode steps.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkedPrefill {
+    /// Prefill chunk size in tokens (clamped to at least 1).
+    pub chunk_tokens: usize,
+}
+
+impl ChunkedPrefill {
+    /// A policy with the given chunk size.
+    pub fn new(chunk_tokens: usize) -> Self {
+        Self {
+            chunk_tokens: chunk_tokens.max(1),
+        }
+    }
+}
+
+impl Default for ChunkedPrefill {
+    fn default() -> Self {
+        Self::new(512)
+    }
+}
+
+impl Scheduler for ChunkedPrefill {
+    fn name(&self) -> &'static str {
+        "chunked_prefill"
+    }
+
+    fn decide(&mut self, view: &EngineView<'_>) -> Action {
+        let head_can_join = view.admissible_count() > 0;
+        if head_can_join {
+            Action::DecodeStep {
+                fused_chunk_tokens: self.chunk_tokens.max(1),
+            }
+        } else if view.running > 0 {
+            Action::DecodeStep {
+                fused_chunk_tokens: 0,
+            }
+        } else {
+            Action::Wait
+        }
+    }
+}
+
+/// Scheduler policy selector — the value-level form used by grid configs,
+/// benches and CLI-ish entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`FcfsStatic`].
+    FcfsStatic,
+    /// [`ContinuousBatching`].
+    Continuous,
+    /// [`ChunkedPrefill`] with the given chunk size.
+    ChunkedPrefill {
+        /// Prefill chunk size in tokens.
+        chunk_tokens: usize,
+    },
+}
+
+impl PolicyKind {
+    /// Instantiates the scheduler.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match *self {
+            PolicyKind::FcfsStatic => Box::new(FcfsStatic),
+            PolicyKind::Continuous => Box::new(ContinuousBatching),
+            PolicyKind::ChunkedPrefill { chunk_tokens } => {
+                Box::new(ChunkedPrefill::new(chunk_tokens))
+            }
+        }
+    }
+
+    /// The policy's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::FcfsStatic => "fcfs_static",
+            PolicyKind::Continuous => "continuous",
+            PolicyKind::ChunkedPrefill { .. } => "chunked_prefill",
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Trace-driven traffic: seeded synthetic arrival processes and workload
+//! scenarios.
+//!
+//! A [`Trace`] is the input of one simulation — a time-sorted list of
+//! `(arrival, prompt_len, output_len)` tuples. Traces are either supplied
+//! directly (e.g. replayed from production logs) or generated from a
+//! [`Scenario`]: an arrival-process shape ([`ArrivalKind`]) combined with
+//! prompt/output length distributions. Generation is fully deterministic: every
+//! sampling concern (inter-arrival times, on/off window durations, request
+//! lengths) draws from its own [`Pcg32`] stream derived from one seed, so
+//! regenerating a trace — on any thread, in any order, next to any other trace —
+//! reproduces it bit for bit.
+
+use rand::rngs::Pcg32;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One request of a traffic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRequest {
+    /// Wall-clock arrival time in nanoseconds from the trace start.
+    pub arrival_ns: f64,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Number of output tokens the request decodes (always at least 1).
+    pub output_len: usize,
+}
+
+/// A time-sorted sequence of requests driving one simulation.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// The requests, ascending in `arrival_ns`.
+    pub requests: Vec<TraceRequest>,
+}
+
+impl Trace {
+    /// Builds a trace from raw tuples, sorting by arrival time (stable, so
+    /// equal-time requests keep their input order).
+    pub fn from_requests(mut requests: Vec<TraceRequest>) -> Self {
+        requests.sort_by(|a, b| a.arrival_ns.total_cmp(&b.arrival_ns));
+        Self { requests }
+    }
+
+    /// A closed-loop trace: `batch` identical requests all arriving at t = 0 —
+    /// the zero-queueing configuration of the analytic-consistency oracle.
+    pub fn closed_loop(batch: usize, prompt_len: usize, output_len: usize) -> Self {
+        Self {
+            requests: vec![
+                TraceRequest {
+                    arrival_ns: 0.0,
+                    prompt_len,
+                    output_len: output_len.max(1),
+                };
+                batch
+            ],
+        }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` when the trace has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Mean offered load in requests/second over the trace span (0 for traces
+    /// shorter than two requests).
+    pub fn offered_rate_rps(&self) -> f64 {
+        match (self.requests.first(), self.requests.last()) {
+            (Some(first), Some(last)) if self.len() > 1 && last.arrival_ns > first.arrival_ns => {
+                (self.len() - 1) as f64 / ((last.arrival_ns - first.arrival_ns) * 1e-9)
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// The shape of an arrival process (the rate is supplied at generation time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalKind {
+    /// Memoryless arrivals: exponential inter-arrival times.
+    Poisson,
+    /// Bursty on/off arrivals: exponentially-distributed "on" windows of Poisson
+    /// arrivals separated by silent "off" windows. The on-rate is scaled up so
+    /// the long-run average still matches the requested rate.
+    OnOff {
+        /// Mean duration of an "on" window, in seconds.
+        mean_on_s: f64,
+        /// Mean duration of an "off" window, in seconds.
+        mean_off_s: f64,
+    },
+}
+
+/// A canned traffic scenario: arrival shape plus request-length distributions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Display name (used in records and bench output).
+    pub name: String,
+    /// Arrival-process shape.
+    pub arrival: ArrivalKind,
+    /// Uniform prompt-length range `[lo, hi)`, in tokens.
+    pub prompt_range: (usize, usize),
+    /// Uniform output-length range `[lo, hi)`, in tokens.
+    pub output_range: (usize, usize),
+}
+
+impl Scenario {
+    /// Interactive chat: short prompts, short answers, memoryless arrivals.
+    pub fn chat() -> Self {
+        Self {
+            name: "chat".into(),
+            arrival: ArrivalKind::Poisson,
+            prompt_range: (64, 512),
+            output_range: (64, 256),
+        }
+    }
+
+    /// Summarization: long prompts, short outputs (prefill-heavy).
+    pub fn summarization() -> Self {
+        Self {
+            name: "summarization".into(),
+            arrival: ArrivalKind::Poisson,
+            prompt_range: (1536, 3584),
+            output_range: (64, 192),
+        }
+    }
+
+    /// Long-context RAG: very long prompts arriving in bursts (a retrieval tier
+    /// fans out and converges), short grounded answers.
+    pub fn rag_long_context() -> Self {
+        Self {
+            name: "rag_long_context".into(),
+            arrival: ArrivalKind::OnOff {
+                mean_on_s: 2.0,
+                mean_off_s: 2.0,
+            },
+            prompt_range: (2048, 6144),
+            output_range: (128, 384),
+        }
+    }
+
+    /// Reasoning-heavy decode: modest prompts, very long chains of thought
+    /// (decode-dominated, the regime where state-update offload matters most).
+    pub fn reasoning() -> Self {
+        Self {
+            name: "reasoning".into(),
+            arrival: ArrivalKind::Poisson,
+            prompt_range: (128, 512),
+            output_range: (512, 2048),
+        }
+    }
+
+    /// All canned presets, in presentation order.
+    pub fn presets() -> Vec<Scenario> {
+        vec![
+            Self::chat(),
+            Self::summarization(),
+            Self::rag_long_context(),
+            Self::reasoning(),
+        ]
+    }
+
+    /// Mean request length (prompt + output) of the scenario, in tokens — the
+    /// sequence-length anchor for capacity planning.
+    pub fn mean_total_tokens(&self) -> f64 {
+        let mean = |(lo, hi): (usize, usize)| (lo + hi) as f64 / 2.0;
+        mean(self.prompt_range) + mean(self.output_range)
+    }
+
+    /// Generates `n_requests` arrivals at a mean rate of `rate_rps`
+    /// requests/second. Deterministic in `(self, rate_rps, n_requests, seed)`;
+    /// arrival times, window durations and lengths draw from independent
+    /// [`Pcg32`] streams of `seed`.
+    pub fn generate(&self, rate_rps: f64, n_requests: usize, seed: u64) -> Trace {
+        assert!(rate_rps > 0.0, "arrival rate must be positive");
+        let mut arrivals_rng = Pcg32::new_stream(seed, 0);
+        let mut lengths_rng = Pcg32::new_stream(seed, 1);
+        let mut windows_rng = Pcg32::new_stream(seed, 2);
+
+        // Arrivals are Poisson in *active* time; the on/off shape maps active
+        // time onto wall time by inserting silent gaps between "on" windows.
+        let (active_rate, mean_on_s, mean_off_s) = match self.arrival {
+            ArrivalKind::Poisson => (rate_rps, f64::INFINITY, 0.0),
+            ArrivalKind::OnOff {
+                mean_on_s,
+                mean_off_s,
+            } => {
+                assert!(
+                    mean_on_s > 0.0 && mean_off_s >= 0.0,
+                    "on/off windows must have positive on-duration"
+                );
+                (
+                    rate_rps * (mean_on_s + mean_off_s) / mean_on_s,
+                    mean_on_s,
+                    mean_off_s,
+                )
+            }
+        };
+
+        let mut requests = Vec::with_capacity(n_requests);
+        let mut active_s = 0.0; // cumulative "on" time consumed
+        let mut wall_gap_s = 0.0; // cumulative "off" time inserted so far
+        let mut window_end_s = exp_with_mean(&mut windows_rng, mean_on_s);
+        for _ in 0..n_requests {
+            active_s += exp_with_mean(&mut arrivals_rng, 1.0 / active_rate);
+            while active_s >= window_end_s {
+                wall_gap_s += exp_with_mean(&mut windows_rng, mean_off_s);
+                window_end_s += exp_with_mean(&mut windows_rng, mean_on_s);
+            }
+            let prompt_len = sample_range(&mut lengths_rng, self.prompt_range).max(1);
+            let output_len = sample_range(&mut lengths_rng, self.output_range).max(1);
+            requests.push(TraceRequest {
+                arrival_ns: (active_s + wall_gap_s) * 1e9,
+                prompt_len,
+                output_len,
+            });
+        }
+        Trace { requests }
+    }
+}
+
+/// One exponential draw with the given mean. The degenerate means of the pure
+/// Poisson shape are handled exactly: an infinite mean (the never-ending "on"
+/// window) returns `INFINITY`, a zero mean (no "off" gap) returns 0 — both
+/// without consuming entropy, so the Poisson and on/off variants of a scenario
+/// draw identical arrival streams.
+fn exp_with_mean(rng: &mut Pcg32, mean: f64) -> f64 {
+    if mean == 0.0 {
+        return 0.0;
+    }
+    if mean.is_infinite() {
+        return f64::INFINITY;
+    }
+    let u: f64 = rng.gen_range(0.0f64..1.0);
+    -(1.0 - u).ln() * mean
+}
+
+fn sample_range(rng: &mut Pcg32, (lo, hi): (usize, usize)) -> usize {
+    if hi <= lo + 1 {
+        lo
+    } else {
+        rng.gen_range(lo..hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let s = Scenario::chat();
+        let a = s.generate(10.0, 200, 7);
+        let b = s.generate(10.0, 200, 7);
+        assert_eq!(a, b);
+        let c = s.generate(10.0, 200, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_lengths_in_range() {
+        for scenario in Scenario::presets() {
+            let trace = scenario.generate(20.0, 300, 11);
+            assert_eq!(trace.len(), 300);
+            let mut prev = 0.0;
+            for r in &trace.requests {
+                assert!(r.arrival_ns >= prev, "{}: arrivals unsorted", scenario.name);
+                prev = r.arrival_ns;
+                assert!((scenario.prompt_range.0..scenario.prompt_range.1).contains(&r.prompt_len));
+                assert!((scenario.output_range.0..scenario.output_range.1).contains(&r.output_len));
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_honored() {
+        let trace = Scenario::chat().generate(25.0, 4000, 3);
+        let rate = trace.offered_rate_rps();
+        assert!((20.0..30.0).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn onoff_matches_mean_rate_but_is_burstier() {
+        let smooth = Scenario::chat().generate(25.0, 4000, 5);
+        let bursty = Scenario {
+            arrival: ArrivalKind::OnOff {
+                mean_on_s: 1.0,
+                mean_off_s: 3.0,
+            },
+            ..Scenario::chat()
+        }
+        .generate(25.0, 4000, 5);
+        let rate = bursty.offered_rate_rps();
+        assert!((18.0..33.0).contains(&rate), "mean rate {rate}");
+        // Burstiness: the coefficient of variation of inter-arrival gaps exceeds
+        // the Poisson baseline (~1).
+        let cv = |t: &Trace| {
+            let gaps: Vec<f64> = t
+                .requests
+                .windows(2)
+                .map(|w| w[1].arrival_ns - w[0].arrival_ns)
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var.sqrt() / mean
+        };
+        assert!(
+            cv(&bursty) > 1.3 * cv(&smooth),
+            "on/off CV {} vs poisson CV {}",
+            cv(&bursty),
+            cv(&smooth)
+        );
+    }
+
+    #[test]
+    fn closed_loop_trace_shape() {
+        let t = Trace::closed_loop(8, 256, 32);
+        assert_eq!(t.len(), 8);
+        assert!(t
+            .requests
+            .iter()
+            .all(|r| r.arrival_ns == 0.0 && r.prompt_len == 256 && r.output_len == 32));
+        assert_eq!(t.offered_rate_rps(), 0.0);
+    }
+
+    #[test]
+    fn from_requests_sorts() {
+        let t = Trace::from_requests(vec![
+            TraceRequest {
+                arrival_ns: 5.0,
+                prompt_len: 1,
+                output_len: 1,
+            },
+            TraceRequest {
+                arrival_ns: 2.0,
+                prompt_len: 2,
+                output_len: 1,
+            },
+        ]);
+        assert_eq!(t.requests[0].arrival_ns, 2.0);
+        assert_eq!(t.requests[1].arrival_ns, 5.0);
+    }
+}

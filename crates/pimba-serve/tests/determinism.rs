@@ -1,0 +1,87 @@
+//! Determinism regression: traffic-grid results must be bit-identical across
+//! worker-thread counts, across repeat runs, and with caching on or off —
+//! the acceptance property that makes queueing studies reproducible.
+
+use pimba_models::config::{ModelConfig, ModelFamily, ModelScale};
+use pimba_serve::runner::{TrafficGrid, TrafficRecord, TrafficRunner};
+use pimba_serve::sched::PolicyKind;
+use pimba_serve::traffic::Scenario;
+use pimba_system::config::{SystemConfig, SystemKind};
+
+fn grid(policy: PolicyKind) -> TrafficGrid {
+    TrafficGrid::new(ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small))
+        .with_systems(vec![
+            SystemConfig::small_scale(SystemKind::Gpu),
+            SystemConfig::small_scale(SystemKind::Pimba),
+        ])
+        .with_scenarios(vec![Scenario::chat(), Scenario::rag_long_context()])
+        .with_rates(vec![4.0, 24.0])
+        .with_requests_per_cell(30)
+        .with_policy(policy)
+        .with_seq_bucket(32)
+        .with_seed(1234)
+}
+
+/// Every float of a record, as exact bit patterns.
+fn bits(records: &[TrafficRecord]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for r in records {
+        out.push(r.system as u64);
+        out.push(r.scenario as u64);
+        out.push(r.rate_rps.to_bits());
+        out.push(r.max_batch as u64);
+        let s = &r.summary;
+        out.push(s.completed as u64);
+        for p in [s.ttft_ms, s.tpot_ms, s.e2e_ms] {
+            out.extend([p.p50.to_bits(), p.p90.to_bits(), p.p99.to_bits()]);
+        }
+        out.extend([
+            s.throughput_rps.to_bits(),
+            s.goodput_rps.to_bits(),
+            s.slo_attainment.to_bits(),
+            s.mean_batch_occupancy.to_bits(),
+            s.peak_queue_depth as u64,
+            s.makespan_s.to_bits(),
+        ]);
+    }
+    out
+}
+
+#[test]
+fn records_are_bit_identical_across_thread_counts_and_repeats() {
+    for policy in [
+        PolicyKind::FcfsStatic,
+        PolicyKind::Continuous,
+        PolicyKind::ChunkedPrefill { chunk_tokens: 256 },
+    ] {
+        let g = grid(policy);
+        let reference = bits(&TrafficRunner::new().with_threads(1).run(&g));
+        for threads in [1, 2, 5, 8] {
+            let run = bits(&TrafficRunner::new().with_threads(threads).run(&g));
+            assert_eq!(
+                reference,
+                run,
+                "{}: thread count {threads} changed results",
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn caching_does_not_change_results() {
+    let g = grid(PolicyKind::Continuous);
+    let cached = bits(&TrafficRunner::new().run(&g));
+    let uncached = bits(&TrafficRunner::new().with_caching(false).run(&g));
+    assert_eq!(cached, uncached, "latency caching changed traffic results");
+}
+
+#[test]
+fn different_seeds_change_results_but_same_seed_reproduces() {
+    let g = grid(PolicyKind::Continuous);
+    let a = bits(&TrafficRunner::new().run(&g));
+    let b = bits(&TrafficRunner::new().run(&g.clone().with_seed(1234)));
+    let c = bits(&TrafficRunner::new().run(&g.clone().with_seed(4321)));
+    assert_eq!(a, b);
+    assert_ne!(a, c, "a different seed must draw a different trace");
+}

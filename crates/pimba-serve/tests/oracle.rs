@@ -1,0 +1,125 @@
+//! Consistency oracle: the event-driven simulator must compose *exactly* from
+//! the analytic step models it is built on.
+//!
+//! In a closed loop — `batch` identical requests arriving at t = 0, FCFS static
+//! batching, unlimited memory, no queueing — the engine executes precisely one
+//! batched prefill followed by `output_len` decode steps at sequence lengths
+//! `prompt_len + s`. For `output_len <= 8` the analytic
+//! `ServingSimulator::request_latency` evaluates the same prefill and the same
+//! per-step latencies (its 8-point integration degenerates to the exact
+//! per-step sum), so the per-request E2E of the two paths may differ only by
+//! floating-point summation order. The property is checked over random
+//! model/system configurations.
+
+use pimba_models::config::{ModelConfig, ModelFamily, ModelScale};
+use pimba_serve::engine::{Engine, EngineConfig};
+use pimba_serve::sched::FcfsStatic;
+use pimba_serve::traffic::Trace;
+use pimba_system::config::{SystemConfig, SystemKind};
+use pimba_system::serving::ServingSimulator;
+use proptest::prelude::*;
+
+const FAMILIES: [ModelFamily; 6] = [
+    ModelFamily::RetNet,
+    ModelFamily::Gla,
+    ModelFamily::Hgrn2,
+    ModelFamily::Mamba2,
+    ModelFamily::Zamba2,
+    ModelFamily::Opt,
+];
+
+const SYSTEMS: [SystemKind; 5] = [
+    SystemKind::Gpu,
+    SystemKind::GpuQuant,
+    SystemKind::GpuPim,
+    SystemKind::Pimba,
+    SystemKind::NeuPims,
+];
+
+fn closed_loop_e2e_matches_analytic(
+    family: ModelFamily,
+    kind: SystemKind,
+    batch: usize,
+    prompt_len: usize,
+    output_len: usize,
+) {
+    let model = ModelConfig::preset(family, ModelScale::Small);
+    let sim = ServingSimulator::new(SystemConfig::small_scale(kind));
+
+    let engine = Engine::new(
+        &sim,
+        &model,
+        EngineConfig {
+            max_batch: batch,
+            capacity_bytes: Some(f64::INFINITY),
+            seq_bucket: 1,
+        },
+    );
+    let trace = Trace::closed_loop(batch, prompt_len, output_len);
+    let result = engine.run(&trace, &mut FcfsStatic);
+    assert_eq!(result.outcomes.len(), batch);
+
+    let analytic = sim.request_latency(&model, batch, prompt_len, output_len);
+    let expected_ms = analytic.total_ms();
+    for outcome in &result.outcomes {
+        let event_ms = outcome.e2e_ns() * 1e-6;
+        let rel = (event_ms - expected_ms).abs() / expected_ms.max(1e-30);
+        assert!(
+            rel < 1e-9,
+            "{family:?}/{kind:?} b={batch} p={prompt_len} o={output_len}: \
+             event {event_ms} ms vs analytic {expected_ms} ms (rel {rel:.3e})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn event_sim_matches_analytic_request_latency(
+        family_idx in 0usize..6,
+        system_idx in 0usize..5,
+        batch in 1usize..=24,
+        prompt_len in 64usize..512,
+        output_len in 1usize..=8,
+    ) {
+        closed_loop_e2e_matches_analytic(
+            FAMILIES[family_idx],
+            SYSTEMS[system_idx],
+            batch,
+            prompt_len,
+            output_len,
+        );
+    }
+}
+
+/// The pinned corner cases the property test may not hit every run.
+#[test]
+fn oracle_corner_cases() {
+    closed_loop_e2e_matches_analytic(ModelFamily::Mamba2, SystemKind::Pimba, 1, 64, 1);
+    closed_loop_e2e_matches_analytic(ModelFamily::Opt, SystemKind::Gpu, 24, 511, 8);
+    closed_loop_e2e_matches_analytic(ModelFamily::Zamba2, SystemKind::NeuPims, 16, 256, 7);
+}
+
+/// TTFT decomposes the same way: queue wait 0 + prefill + first step.
+#[test]
+fn closed_loop_ttft_is_prefill_plus_first_step() {
+    let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small);
+    let sim = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
+    let (batch, prompt) = (8, 256);
+    let engine = Engine::new(
+        &sim,
+        &model,
+        EngineConfig {
+            max_batch: batch,
+            capacity_bytes: Some(f64::INFINITY),
+            seq_bucket: 1,
+        },
+    );
+    let result = engine.run(&Trace::closed_loop(batch, prompt, 4), &mut FcfsStatic);
+    let expected_ns = sim.prefill_latency_ns(&model, batch, prompt)
+        + sim.generation_step(&model, batch, prompt).total_ns;
+    for o in &result.outcomes {
+        let rel = (o.ttft_ns() - expected_ns).abs() / expected_ns;
+        assert!(rel < 1e-12, "ttft {} vs {}", o.ttft_ns(), expected_ns);
+    }
+}

@@ -13,7 +13,7 @@
 //!
 //! A cache entry stores the exact `f64` the uncached evaluation produced, and the
 //! key covers every input of that evaluation: operator kind, structural
-//! [`OpShape`], the IEEE-754 bit patterns of the FLOP/byte costs and the storage
+//! [`OpShape`](pimba_models::ops::OpShape), the IEEE-754 bit patterns of the FLOP/byte costs and the storage
 //! formats. Everything else that influences a latency (GPU device, PIM design,
 //! tensor-parallel width, …) is fixed per simulator instance, and caches are never
 //! shared across differently-configured simulators. Cached and uncached runs are
@@ -246,13 +246,17 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> Shard<K, V> {
 
 /// Memoization state shared by the simulators of one system configuration.
 ///
-/// Two layers: per-operator latency results keyed by [`OpKey`], and constructed
-/// [`GenerationWorkload`]s keyed by [`WorkloadKey`]. Both are safe to share across
-/// threads; cloning a [`crate::serving::ServingSimulator`] shares its cache.
+/// Three layers: per-operator latency results keyed by [`OpKey`], constructed
+/// [`GenerationWorkload`]s keyed by [`WorkloadKey`], and whole-prefill latencies
+/// keyed by [`WorkloadKey`] at the prompt length (prefill always runs on the
+/// GPU, so a separate layer keeps it from colliding with the PIM-aware decode
+/// evaluations). All are safe to share across threads; cloning a
+/// [`crate::serving::ServingSimulator`] shares its cache.
 #[derive(Debug, Default)]
 pub struct LatencyCache {
     ops: Shard<OpKey, CachedOpLatency>,
     workloads: Shard<WorkloadKey, Arc<GenerationWorkload>>,
+    prefills: Shard<WorkloadKey, f64>,
 }
 
 /// A memoized per-operator evaluation: where it ran and how long it took.
@@ -289,6 +293,12 @@ impl LatencyCache {
             .get_or_insert_with(key, || Arc::new(compute()))
     }
 
+    /// Looks up a whole-prefill latency (keyed by model/batch/prompt-length/
+    /// formats), computing and storing it on a miss.
+    pub fn prefill_latency(&self, key: WorkloadKey, compute: impl FnOnce() -> f64) -> f64 {
+        self.prefills.get_or_insert_with(key, compute)
+    }
+
     /// Counters of the per-operator latency layer.
     pub fn op_stats(&self) -> CacheStats {
         self.ops.stats()
@@ -299,10 +309,16 @@ impl LatencyCache {
         self.workloads.stats()
     }
 
+    /// Counters of the prefill-latency layer.
+    pub fn prefill_stats(&self) -> CacheStats {
+        self.prefills.stats()
+    }
+
     /// Drops every entry and resets the counters.
     pub fn clear(&self) {
         self.ops.clear();
         self.workloads.clear();
+        self.prefills.clear();
     }
 }
 

@@ -17,7 +17,9 @@
 //! * [`cache`] — the shape-keyed latency cache that makes repeated evaluations of
 //!   identical operator shapes free (and bit-identical to the uncached path),
 //! * [`sweep`] — the parallel grid-sweep engine and SLO-capacity search powering the
-//!   figure benches.
+//!   figure benches (and the shared [`sweep::parallel_map`] fan-out),
+//! * [`stats`] — exact order-statistic percentiles shared by the sweep engine, the
+//!   `pimba-serve` traffic metrics and the benches.
 //!
 //! # Example
 //!
@@ -42,10 +44,12 @@ pub mod config;
 pub mod memory;
 pub mod pipeline;
 pub mod serving;
+pub mod stats;
 pub mod sweep;
 
 pub use cache::{CacheStats, LatencyCache};
 pub use config::{SystemConfig, SystemKind};
 pub use pipeline::PipelineDeployment;
 pub use serving::{EnergyBreakdown, ServingSimulator, StepBreakdown};
-pub use sweep::{max_batch_within_slo, SweepGrid, SweepRecord, SweepRunner};
+pub use stats::{exact_percentile, median, percentile_of_sorted};
+pub use sweep::{max_batch_within_slo, parallel_map, SweepGrid, SweepRecord, SweepRunner};

@@ -333,6 +333,32 @@ impl ServingSimulator {
         batch as f64 / (step.total_ns * 1e-9)
     }
 
+    /// Latency in nanoseconds of prefilling `prompt_len` tokens for a batch of
+    /// requests. Prefill runs on the GPU in every system (the state update can be
+    /// restructured into compute-dense matrix form, Section 5.1), so this is a pure
+    /// GPU-kernel sum — also the prefill building block of the event-driven
+    /// traffic simulator (`pimba-serve`). Memoized per (model, batch, prompt_len)
+    /// in the shared cache's dedicated prefill layer when one is attached.
+    pub fn prefill_latency_ns(&self, model: &ModelConfig, batch: usize, prompt_len: usize) -> f64 {
+        let compute = || {
+            let prefill_wl = GenerationWorkload::prefill(model, batch, prompt_len);
+            let mut prefill_ns = 0.0;
+            for op in &prefill_wl.ops {
+                prefill_ns += self
+                    .gpu
+                    .kernel_latency_ns(op.kind, &self.shard_cost(&op.cost));
+            }
+            prefill_ns
+        };
+        match &self.cache {
+            Some(cache) => cache.prefill_latency(
+                WorkloadKey::new(model, batch, prompt_len, self.config.formats),
+                compute,
+            ),
+            None => compute(),
+        }
+    }
+
     /// Latency of serving a batch end to end: a prefill over `prompt_len` tokens
     /// followed by `output_len` generation steps (attention cost grows as the sequence
     /// extends; sampled at a handful of points and integrated).
@@ -343,14 +369,7 @@ impl ServingSimulator {
         prompt_len: usize,
         output_len: usize,
     ) -> RequestLatency {
-        // Prefill runs on the GPU in all systems.
-        let prefill_wl = GenerationWorkload::prefill(model, batch, prompt_len);
-        let mut prefill_ns = 0.0;
-        for op in &prefill_wl.ops {
-            prefill_ns += self
-                .gpu
-                .kernel_latency_ns(op.kind, &self.shard_cost(&op.cost));
-        }
+        let prefill_ns = self.prefill_latency_ns(model, batch, prompt_len);
 
         // Generation: integrate the per-step latency over the growing sequence.
         let samples = 8usize.min(output_len.max(1));

@@ -26,8 +26,49 @@ use pimba_models::config::ModelConfig;
 use std::num::NonZeroUsize;
 use std::sync::Arc;
 
+/// Evaluates `total` items with up to `threads` scoped worker threads, returning
+/// `eval(0..total)` in index order regardless of the thread count.
+///
+/// This is the one fork-join fan-out of the workspace (the environment has no
+/// crates.io access, so `std::thread::scope` stands in for a `rayon` parallel
+/// iterator): [`SweepRunner::run`] partitions step-latency grids over it and the
+/// traffic runner of `pimba-serve` partitions (system × scenario × rate) cells
+/// over it. `eval` must be deterministic per index for the output to be
+/// reproducible — both callers guarantee this (and their regression tests assert
+/// bit-identical results across thread counts).
+pub fn parallel_map<T, F>(total: usize, threads: usize, eval: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if total == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, total);
+    if threads == 1 {
+        return (0..total).map(eval).collect();
+    }
+    let mut results: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    let chunk = total.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, slot) in results.chunks_mut(chunk).enumerate() {
+            let eval = &eval;
+            scope.spawn(move || {
+                let base = t * chunk;
+                for (offset, out) in slot.iter_mut().enumerate() {
+                    *out = Some(eval(base + offset));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every item evaluated"))
+        .collect()
+}
+
 /// The cartesian evaluation grid of one sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SweepGrid {
     /// System design points to evaluate.
     pub systems: Vec<SystemConfig>,
@@ -40,6 +81,35 @@ pub struct SweepGrid {
 }
 
 impl SweepGrid {
+    /// An empty grid — identical to [`SweepGrid::default`], the starting point of
+    /// the builder chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the system axis.
+    pub fn with_systems(mut self, systems: Vec<SystemConfig>) -> Self {
+        self.systems = systems;
+        self
+    }
+
+    /// Replaces the model axis.
+    pub fn with_models(mut self, models: Vec<ModelConfig>) -> Self {
+        self.models = models;
+        self
+    }
+
+    /// Replaces the batch-size axis.
+    pub fn with_batches(mut self, batches: Vec<usize>) -> Self {
+        self.batches = batches;
+        self
+    }
+
+    /// Replaces the sequence-length axis.
+    pub fn with_seq_lens(mut self, seq_lens: Vec<usize>) -> Self {
+        self.seq_lens = seq_lens;
+        self
+    }
     /// Number of grid points.
     pub fn len(&self) -> usize {
         self.systems.len() * self.models.len() * self.batches.len() * self.seq_lens.len()
@@ -129,6 +199,16 @@ impl SweepRunner {
         self
     }
 
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether shape-keyed caching is enabled.
+    pub fn cached(&self) -> bool {
+        self.cached
+    }
+
     /// Builds one simulator per system, sharing a cache per system when enabled.
     fn simulators(&self, grid: &SweepGrid) -> Vec<ServingSimulator> {
         grid.systems
@@ -174,27 +254,7 @@ impl SweepRunner {
         // small grids run inline; results are identical either way.
         const MIN_POINTS_PER_THREAD: usize = 16;
         let threads = self.threads.min(total.div_ceil(MIN_POINTS_PER_THREAD));
-        if threads == 1 {
-            return (0..total).map(|i| Self::evaluate(grid, &sims, i)).collect();
-        }
-
-        let mut results: Vec<Option<SweepRecord>> = vec![None; total];
-        let chunk = total.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (t, slot) in results.chunks_mut(chunk).enumerate() {
-                let sims = &sims;
-                scope.spawn(move || {
-                    let base = t * chunk;
-                    for (offset, out) in slot.iter_mut().enumerate() {
-                        *out = Some(Self::evaluate(grid, sims, base + offset));
-                    }
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|r| r.expect("every grid point evaluated"))
-            .collect()
+        parallel_map(total, threads, |i| Self::evaluate(grid, &sims, i))
     }
 }
 
@@ -280,6 +340,35 @@ mod tests {
             assert!(record.throughput_tps > 0.0);
             assert!(record.memory_bytes > 0.0);
         }
+    }
+
+    #[test]
+    fn builder_matches_literal_and_default_is_empty() {
+        assert!(SweepGrid::default().is_empty());
+        assert!(SweepGrid::new().is_empty());
+        let lit = small_grid();
+        let built = SweepGrid::new()
+            .with_systems(lit.systems.clone())
+            .with_models(lit.models.clone())
+            .with_batches(lit.batches.clone())
+            .with_seq_lens(lit.seq_lens.clone());
+        assert_eq!(built.len(), lit.len());
+        assert_eq!(built.batches, lit.batches);
+        assert_eq!(built.seq_lens, lit.seq_lens);
+        let runner = SweepRunner::default();
+        assert_eq!(runner.threads(), SweepRunner::new().threads());
+        assert!(runner.cached());
+        assert!(!SweepRunner::naive().cached());
+        assert_eq!(SweepRunner::naive().threads(), 1);
+    }
+
+    #[test]
+    fn parallel_map_is_order_preserving_for_any_thread_count() {
+        for threads in [0, 1, 2, 3, 7, 64] {
+            let out = parallel_map(13, threads, |i| i * i);
+            assert_eq!(out, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(parallel_map(0, 4, |i| i).is_empty());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// Length specification accepted by [`vec`]: an exact count, `a..b` or `a..=b`.
+/// Length specification accepted by [`vec`](fn@vec): an exact count, `a..b` or `a..=b`.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     min: usize,
@@ -50,7 +50,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec`](fn@vec).
 #[derive(Debug, Clone, Copy)]
 pub struct VecStrategy<S> {
     element: S,

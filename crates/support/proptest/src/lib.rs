@@ -3,7 +3,7 @@
 //! The workspace builds hermetically without crates.io access, so this crate
 //! reimplements the slice of proptest's API the repository's property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, [`strategy::Just`], numeric range
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`, [`strategy::Just`], numeric range
 //!   strategies and tuple composition,
 //! * [`collection::vec`] with exact, half-open and inclusive size specifications,
 //! * the [`proptest!`] macro (including the `#![proptest_config(..)]` header),

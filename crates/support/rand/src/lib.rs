@@ -84,6 +84,73 @@ pub mod rngs {
         state: u64,
     }
 
+    /// A splittable PCG-XSH-RR 32 generator: one 64-bit *seed* fans out into up to
+    /// 2^63 statistically independent *streams* (PCG's odd-increment sequences).
+    ///
+    /// This is the reproducibility workhorse of the serving simulator: every
+    /// scenario/trace derives its own stream from one experiment seed, so traces
+    /// are bit-identical regardless of which thread (or in which order) they are
+    /// generated, and perturbing one stream never shifts the draws of another.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Pcg32 {
+        state: u64,
+        inc: u64,
+    }
+
+    impl Pcg32 {
+        const MULT: u64 = 6_364_136_223_846_793_005;
+
+        /// Builds the generator of stream `stream` under `seed`. Different streams
+        /// of the same seed produce independent sequences; the same (seed, stream)
+        /// pair always produces the same sequence.
+        pub fn new_stream(seed: u64, stream: u64) -> Self {
+            // Standard PCG32 seeding: the sequence selector lives in the (odd)
+            // increment; advance once past the seed before the first output.
+            let inc = (stream << 1) | 1;
+            let mut rng = Self { state: 0, inc };
+            rng.next_u32();
+            rng.state = rng.state.wrapping_add(seed);
+            rng.next_u32();
+            rng
+        }
+
+        /// Derives the generator of stream `stream` from this generator's seed
+        /// space without consuming any of this generator's state.
+        pub fn split(&self, stream: u64) -> Self {
+            // Mix the parent's increment into the child seed so nested splits
+            // (stream i of stream j) stay distinct from flat streams.
+            let child_seed = self
+                .state
+                .rotate_left(17)
+                .wrapping_mul(Self::MULT)
+                .wrapping_add(self.inc);
+            Self::new_stream(child_seed, stream)
+        }
+
+        /// Next 32 raw bits (the native PCG32 output).
+        pub fn next_u32(&mut self) -> u32 {
+            let old = self.state;
+            self.state = old.wrapping_mul(Self::MULT).wrapping_add(self.inc);
+            let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+            let rot = (old >> 59) as u32;
+            xorshifted.rotate_right(rot)
+        }
+    }
+
+    impl SeedableRng for Pcg32 {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self::new_stream(seed, 0)
+        }
+    }
+
+    impl Rng for Pcg32 {
+        fn next_u64(&mut self) -> u64 {
+            let hi = self.next_u32() as u64;
+            let lo = self.next_u32() as u64;
+            (hi << 32) | lo
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             // Scramble the seed once so that small consecutive seeds do not produce
@@ -109,8 +176,83 @@ pub mod rngs {
 
 #[cfg(test)]
 mod tests {
-    use super::rngs::StdRng;
+    use super::rngs::{Pcg32, StdRng};
     use super::{Rng, SeedableRng};
+
+    #[test]
+    fn pcg32_streams_are_deterministic_and_independent() {
+        let mut a = Pcg32::new_stream(42, 3);
+        let mut b = Pcg32::new_stream(42, 3);
+        let mut c = Pcg32::new_stream(42, 4);
+        let mut d = Pcg32::new_stream(43, 3);
+        let mut same = 0;
+        for _ in 0..64 {
+            let va = a.next_u64();
+            assert_eq!(va, b.next_u64());
+            if va == c.next_u64() {
+                same += 1;
+            }
+            if va == d.next_u64() {
+                same += 1;
+            }
+        }
+        assert_eq!(same, 0, "streams/seeds must not collide");
+    }
+
+    #[test]
+    fn pcg32_split_matches_flat_stream_derivation_and_leaves_parent_intact() {
+        let parent = Pcg32::seed_from_u64(7);
+        let mut s1 = parent.split(1);
+        let mut s1_again = parent.split(1);
+        let mut s2 = parent.split(2);
+        for _ in 0..32 {
+            assert_eq!(s1.next_u64(), s1_again.next_u64());
+        }
+        assert_ne!(s1.next_u64(), s2.next_u64());
+        // Splitting consumed nothing from the parent.
+        let mut p1 = parent.clone();
+        let mut p2 = Pcg32::seed_from_u64(7);
+        for _ in 0..8 {
+            assert_eq!(p1.next_u64(), p2.next_u64());
+        }
+    }
+
+    #[test]
+    fn pcg32_streams_agree_across_thread_counts() {
+        // Generate 8 streams sequentially, then the same streams from 8 threads:
+        // the draws must be bit-identical, whatever the parallelism.
+        let sequential: Vec<Vec<u64>> = (0..8u64)
+            .map(|s| {
+                let mut rng = Pcg32::new_stream(99, s);
+                (0..100).map(|_| rng.next_u64()).collect()
+            })
+            .collect();
+        let threaded: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8u64)
+                .map(|s| {
+                    scope.spawn(move || {
+                        let mut rng = Pcg32::new_stream(99, s);
+                        (0..100).map(|_| rng.next_u64()).collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(sequential, threaded);
+    }
+
+    #[test]
+    fn pcg32_gen_range_is_plausibly_uniform() {
+        let mut rng = Pcg32::new_stream(5, 17);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
 
     #[test]
     fn deterministic_per_seed() {

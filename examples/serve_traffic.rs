@@ -1,0 +1,96 @@
+//! Scenario: live traffic against the GPU baseline and Pimba — queueing, tail
+//! latencies and SLO attainment, the dimension the steady-state figures cannot
+//! show.
+//!
+//! Runs the chat scenario at increasing arrival rates under all three
+//! scheduling policies and prints the p99 TTFT/TPOT and goodput each system
+//! sustains.
+//!
+//! Run with `cargo run --release --example serve_traffic [-- <rate_rps> ...]`.
+
+use pimba::models::{ModelConfig, ModelFamily, ModelScale};
+use pimba::serve::runner::{TrafficGrid, TrafficRunner};
+use pimba::serve::sched::PolicyKind;
+use pimba::serve::traffic::Scenario;
+use pimba::system::config::{SystemConfig, SystemKind};
+
+fn main() {
+    let rates: Vec<f64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let rates = if rates.is_empty() {
+        vec![2.0, 8.0, 32.0]
+    } else {
+        rates
+    };
+
+    let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small);
+    let systems = vec![
+        SystemConfig::small_scale(SystemKind::Gpu),
+        SystemConfig::small_scale(SystemKind::Pimba),
+    ];
+    let policies = [
+        PolicyKind::FcfsStatic,
+        PolicyKind::Continuous,
+        PolicyKind::ChunkedPrefill { chunk_tokens: 256 },
+    ];
+
+    println!(
+        "Chat traffic against {} — 120 requests per cell, identical traces per system\n",
+        model.label()
+    );
+    println!(
+        "{:>16} {:>7} {:>9} | {:>12} {:>12} {:>12} {:>8}",
+        "policy", "system", "rate r/s", "p99 TTFT ms", "p99 TPOT ms", "goodput r/s", "SLO %"
+    );
+    let mut pimba_goodput_wins = 0usize;
+    let mut cells = 0usize;
+    let mut best_attainment: [f64; 2] = [0.0, 0.0]; // [static, continuous-family]
+    for policy in policies {
+        let grid = TrafficGrid::new(model.clone())
+            .with_systems(systems.clone())
+            .with_scenarios(vec![Scenario::chat()])
+            .with_rates(rates.clone())
+            .with_policy(policy)
+            .with_requests_per_cell(120)
+            .with_seq_bucket(64);
+        let records = TrafficRunner::new().run(&grid);
+        // Tally the comparisons the closing summary reports (Pimba vs GPU
+        // goodput per rate; best top-rate SLO attainment per policy family).
+        // Grid order: the first `rates` rows are GPU, the next are Pimba.
+        let (gpu_rows, pimba_rows) = records.split_at(rates.len());
+        for (g, p) in gpu_rows.iter().zip(pimba_rows) {
+            cells += 1;
+            if p.summary.goodput_rps >= g.summary.goodput_rps {
+                pimba_goodput_wins += 1;
+            }
+        }
+        let slot = usize::from(policy != PolicyKind::FcfsStatic);
+        if let Some(last) = records.last() {
+            best_attainment[slot] = best_attainment[slot].max(last.summary.slo_attainment);
+        }
+        for r in &records {
+            let s = &r.summary;
+            println!(
+                "{:>16} {:>7} {:>9.1} | {:>12.1} {:>12.2} {:>12.2} {:>7.1}%",
+                policy.name(),
+                grid.systems[r.system].kind.name(),
+                r.rate_rps,
+                s.ttft_ms.p99,
+                s.tpot_ms.p99,
+                s.goodput_rps,
+                100.0 * s.slo_attainment,
+            );
+        }
+        println!();
+    }
+    println!(
+        "Pimba sustained at least the GPU baseline's goodput in {pimba_goodput_wins}/{cells} \
+         (policy, rate) cells, and at the top rate the continuous-batching family reached \
+         {:.0}% SLO attainment (Pimba) vs {:.0}% for static batching — the request-level \
+         consequence of the paper's step-latency speedups.",
+        100.0 * best_attainment[1],
+        100.0 * best_attainment[0],
+    );
+}

@@ -16,7 +16,10 @@
 //!   scheduling and the area/power model,
 //! * [`gpu`] — the analytic A100/H100 GPU and NVLink model,
 //! * [`system`] — the end-to-end serving systems (GPU, GPU+Q, GPU+PIM, Pimba,
-//!   NeuPIMs-like) with latency, throughput, energy and memory accounting.
+//!   NeuPIMs-like) with latency, throughput, energy and memory accounting,
+//! * [`serve`] — the discrete-event request-level traffic simulator: arrival
+//!   processes and scenario traces, continuous-batching schedulers, TTFT/TPOT
+//!   tail percentiles, goodput and SLO-attainment sweeps.
 //!
 //! # Quickstart
 //!
@@ -42,4 +45,5 @@ pub use pimba_gpu as gpu;
 pub use pimba_models as models;
 pub use pimba_num as num;
 pub use pimba_pim as pim;
+pub use pimba_serve as serve;
 pub use pimba_system as system;
