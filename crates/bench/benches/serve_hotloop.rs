@@ -1,0 +1,196 @@
+//! Serving-engine hot-loop throughput: per-step event loop vs macro-step
+//! fast-forwarding, on identical traces.
+//!
+//! For every (scenario × policy) cell the same trace is simulated twice on the
+//! Pimba system — once with `fast_forward: false` (the step-by-step oracle,
+//! one heap event + scheduler call + latency lookup + `O(batch)` bookkeeping
+//! pass per decode step) and once with `fast_forward: true` — and the two
+//! `SimResult`s are asserted **bit-identical** before any number is reported.
+//! Reported per cell: wall time, simulation events per second of wall time,
+//! and the wall-time speedup. Writes `results/BENCH_serve_hotloop.json`.
+//!
+//! The run doubles as the CI divergence gate: any fast-forward mismatch panics.
+//! Set `SERVE_HOTLOOP_REQUESTS` to shrink the trace for smoke runs; pass a
+//! criterion-style filter to skip the recording pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pimba_models::config::{ModelConfig, ModelFamily, ModelScale};
+use pimba_serve::engine::{Engine, EngineConfig};
+use pimba_serve::metrics::SimResult;
+use pimba_serve::sched::PolicyKind;
+use pimba_serve::traffic::Scenario;
+use pimba_system::config::{SystemConfig, SystemKind};
+use pimba_system::serving::ServingSimulator;
+
+fn requests_per_cell() -> usize {
+    std::env::var("SERVE_HOTLOOP_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+fn policies() -> [PolicyKind; 3] {
+    [
+        PolicyKind::FcfsStatic,
+        PolicyKind::Continuous,
+        PolicyKind::ChunkedPrefill { chunk_tokens: 256 },
+    ]
+}
+
+fn scenarios() -> [Scenario; 2] {
+    [Scenario::chat(), Scenario::reasoning()]
+}
+
+struct Cell {
+    scenario: String,
+    policy: &'static str,
+    events: u64,
+    per_step_ms: f64,
+    fast_forward_ms: f64,
+    speedup: f64,
+    per_step_events_per_s: f64,
+    fast_forward_events_per_s: f64,
+}
+
+/// A realistic SLO-constrained replica: decode batches capped at 64 (between
+/// the GPU's and Pimba's `max_batch_within_slo` capacity under the
+/// `serving_traffic` interactive SLO), seq-bucketed latency lookups.
+fn engine_config(fast_forward: bool) -> EngineConfig {
+    EngineConfig {
+        max_batch: 64,
+        seq_bucket: 64,
+        fast_forward,
+        ..EngineConfig::default()
+    }
+}
+
+fn simulate(
+    sim: &ServingSimulator,
+    model: &ModelConfig,
+    trace: &pimba_serve::traffic::Trace,
+    policy: PolicyKind,
+    fast_forward: bool,
+) -> SimResult {
+    let mut scheduler = policy.build();
+    Engine::new(sim, model, engine_config(fast_forward)).run(trace, scheduler.as_mut())
+}
+
+fn bench_cells(c: &mut Criterion) {
+    let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small);
+    let sim = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
+    let trace = Scenario::reasoning().generate(24.0, requests_per_cell(), 2025);
+    c.bench_function("serve_hotloop_reasoning_continuous_per_step", |b| {
+        b.iter(|| simulate(&sim, &model, &trace, PolicyKind::Continuous, false))
+    });
+    c.bench_function("serve_hotloop_reasoning_continuous_fast_forward", |b| {
+        b.iter(|| simulate(&sim, &model, &trace, PolicyKind::Continuous, true))
+    });
+}
+
+fn record_results(_c: &mut Criterion) {
+    if criterion::cli_filter().is_some() {
+        println!("(bench filter given — skipping hot-loop recording)");
+        return;
+    }
+    let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small);
+    let sim = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
+    let n = requests_per_cell();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for scenario in scenarios() {
+        // A saturating arrival rate: deep queues and full batches are the
+        // regime the hot loop matters in.
+        let trace = scenario.generate(24.0, n, 2025);
+        for policy in policies() {
+            // Divergence gate first: the engines must agree bit for bit.
+            let per_step = simulate(&sim, &model, &trace, policy, false);
+            let fast = simulate(&sim, &model, &trace, policy, true);
+            assert_eq!(
+                per_step,
+                fast,
+                "fast-forward diverged from the per-step oracle on {}/{}",
+                scenario.name,
+                policy.name()
+            );
+            assert_eq!(per_step.outcomes.len(), trace.len(), "requests lost");
+            let events = per_step.telemetry.events;
+
+            let per_step_s =
+                bench::median_secs(5, || simulate(&sim, &model, &trace, policy, false));
+            let fast_s = bench::median_secs(5, || simulate(&sim, &model, &trace, policy, true));
+            cells.push(Cell {
+                scenario: scenario.name.clone(),
+                policy: policy.name(),
+                events,
+                per_step_ms: per_step_s * 1e3,
+                fast_forward_ms: fast_s * 1e3,
+                speedup: per_step_s / fast_s,
+                per_step_events_per_s: events as f64 / per_step_s,
+                fast_forward_events_per_s: events as f64 / fast_s,
+            });
+        }
+    }
+
+    let header = [
+        "scenario",
+        "policy",
+        "events",
+        "per_step_ms",
+        "fast_fwd_ms",
+        "speedup",
+        "per_step_ev/s",
+        "fast_fwd_ev/s",
+    ];
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.scenario.to_string(),
+                c.policy.to_string(),
+                c.events.to_string(),
+                bench::fmt(c.per_step_ms, 3),
+                bench::fmt(c.fast_forward_ms, 3),
+                bench::fmt(c.speedup, 1),
+                bench::fmt(c.per_step_events_per_s / 1e6, 2) + "M",
+                bench::fmt(c.fast_forward_events_per_s / 1e6, 2) + "M",
+            ]
+        })
+        .collect();
+    bench::print_table(
+        "Serving hot loop: per-step event loop vs macro-step fast-forward (bit-identical results)",
+        &header,
+        &rows,
+    );
+    bench::write_csv("serve_hotloop", &header, &rows);
+
+    let json_cells: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"scenario\": \"{}\", \"policy\": \"{}\", \"events\": {}, \
+                 \"per_step_ms\": {:.4}, \"fast_forward_ms\": {:.4}, \"speedup\": {:.2}, \
+                 \"per_step_events_per_s\": {:.0}, \"fast_forward_events_per_s\": {:.0}, \
+                 \"bit_identical\": true}}",
+                c.scenario,
+                c.policy,
+                c.events,
+                c.per_step_ms,
+                c.fast_forward_ms,
+                c.speedup,
+                c.per_step_events_per_s,
+                c.fast_forward_events_per_s,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_hotloop\",\n  \"system\": \"Pimba\",\n  \
+         \"requests_per_cell\": {n},\n  \"rate_rps\": 24.0,\n  \"cells\": [\n{}\n  ]\n}}\n",
+        json_cells.join(",\n"),
+    );
+    let path = bench::results_dir().join("BENCH_serve_hotloop.json");
+    std::fs::write(&path, json).expect("failed to write BENCH_serve_hotloop.json");
+    println!("  -> wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_cells, record_results);
+criterion_main!(benches);

@@ -20,7 +20,6 @@ use pimba_models::config::{ModelConfig, ModelFamily, ModelScale};
 use pimba_system::config::{SystemConfig, SystemKind};
 use pimba_system::serving::ServingSimulator;
 use pimba_system::sweep::{SweepGrid, SweepRunner};
-use std::time::Instant;
 
 fn systems() -> Vec<SystemConfig> {
     SystemKind::MAIN_COMPARISON
@@ -73,13 +72,29 @@ fn run_naive_per_layer(grid: &SweepGrid) -> f64 {
     checksum
 }
 
-/// The seed's path: uncached fused per-kind evaluation, single thread.
+/// The seed's path: uncached fused per-kind evaluation, one `generation_step`
+/// plus one `memory_usage_bytes` per point, single thread. (Hand-rolled: the
+/// `SweepRunner` itself — even its `naive()` flavor — now evaluates rows
+/// through the seq-invariant `StepFunction`, so the point-by-point baseline
+/// must be spelled out to stay the baseline.)
 fn run_canonical_serial(grid: &SweepGrid) -> f64 {
-    SweepRunner::naive()
-        .run(grid)
+    let sims: Vec<ServingSimulator> = grid
+        .systems
         .iter()
-        .map(|r| r.step.total_ns)
-        .sum()
+        .map(|c| ServingSimulator::uncached(c.clone()))
+        .collect();
+    let mut checksum = 0.0;
+    for sim in &sims {
+        for model in &grid.models {
+            for &batch in &grid.batches {
+                for &seq in &grid.seq_lens {
+                    checksum += sim.generation_step(model, batch, seq).total_ns;
+                    checksum += sim.memory_usage_bytes(model, batch, seq);
+                }
+            }
+        }
+    }
+    checksum
 }
 
 /// The fast path under test.
@@ -89,19 +104,6 @@ fn run_sweep(grid: &SweepGrid) -> f64 {
         .iter()
         .map(|r| r.step.total_ns)
         .sum()
-}
-
-/// Median wall-clock seconds of `reps` runs of `f` (exact order statistic via
-/// the shared `pimba_system::stats` helper).
-fn median_secs(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
-    let times: Vec<f64> = (0..reps)
-        .map(|_| {
-            let start = Instant::now();
-            std::hint::black_box(f());
-            start.elapsed().as_secs_f64()
-        })
-        .collect();
-    pimba_system::stats::median(&times).expect("at least one rep")
 }
 
 fn bench_grids(c: &mut Criterion) {
@@ -134,11 +136,11 @@ fn record_trajectory(_c: &mut Criterion) {
     let small = small_grid();
     let fleet = fleet_grid();
 
-    let naive_small = median_secs(9, || run_naive_per_layer(&small));
-    let canonical_small = median_secs(9, || run_canonical_serial(&small));
-    let sweep_small = median_secs(9, || run_sweep(&small));
-    let canonical_fleet = median_secs(5, || run_canonical_serial(&fleet));
-    let sweep_fleet = median_secs(5, || run_sweep(&fleet));
+    let naive_small = bench::median_secs(9, || run_naive_per_layer(&small));
+    let canonical_small = bench::median_secs(9, || run_canonical_serial(&small));
+    let sweep_small = bench::median_secs(9, || run_sweep(&small));
+    let canonical_fleet = bench::median_secs(5, || run_canonical_serial(&fleet));
+    let sweep_fleet = bench::median_secs(5, || run_sweep(&fleet));
 
     let speedup_small = naive_small / sweep_small;
     let speedup_fleet = canonical_fleet / sweep_fleet;

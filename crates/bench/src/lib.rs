@@ -10,6 +10,21 @@ use pimba_models::config::{ModelConfig, ModelFamily, ModelScale};
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::time::Instant;
+
+/// Median wall-clock seconds of `reps` runs of `f` (exact order statistic via
+/// the shared `pimba_system::stats` helper); results are black-boxed so the
+/// timed work is not optimized away.
+pub fn median_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    pimba_system::stats::median(&times).expect("at least one rep")
+}
 
 /// Batch sizes swept in the throughput and latency-breakdown figures.
 pub const BATCH_SIZES: [usize; 3] = [32, 64, 128];

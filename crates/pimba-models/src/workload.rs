@@ -137,30 +137,9 @@ impl GenerationWorkload {
             ));
         }
 
-        // ---- Attention over the KV cache.
-        if config.n_attention_layers > 0 {
-            let kv_bytes = formats.kv_cache.bytes_per_value();
-            let layers = config.n_attention_layers as f64;
-            let heads = config.n_heads as f64;
-            let dh = config.dim_head as f64;
-            let s = seq_len as f64;
-            let cost = OpCost::new(
-                4.0 * b * layers * heads * s * dh,
-                b * layers * heads * (2.0 * s * dh * kv_bytes + 2.0 * dh * act_bytes),
-                b * layers * heads * (2.0 * dh * kv_bytes + dh * act_bytes),
-            );
-            ops.push(OpInstance::new(
-                OpKind::Attention,
-                cost,
-                OpShape::Attention {
-                    batch,
-                    layers: config.n_attention_layers,
-                    heads: config.n_heads,
-                    dim_head: config.dim_head,
-                    seq_len,
-                },
-            ));
-        }
+        // ---- Attention over the KV cache (the only seq-len-dependent operator;
+        // shared with the seq-invariant fast path via `attention_op`).
+        ops.extend(Self::attention_op(config, batch, seq_len, formats));
 
         // ---- Causal convolution (Mamba-2 style blocks only).
         if config.conv_width > 0 && su_layers > 0 {
@@ -206,6 +185,50 @@ impl GenerationWorkload {
             formats,
             ops,
         }
+    }
+
+    /// The attention operator of one generation step at `seq_len`, or `None` for
+    /// attention-free models.
+    ///
+    /// This is the *only* operator of [`GenerationWorkload::single_step_with_formats`]
+    /// whose cost or shape depends on the sequence length — every other operator is a
+    /// function of `(config, batch, formats)` alone. Seq-invariant fast paths (the
+    /// sweep-row evaluator of `pimba-system`) exploit this by evaluating the rest of
+    /// the step once and calling this helper per sequence length; because the full
+    /// workload builder delegates to the same function, the two can never disagree
+    /// on a single bit of the attention cost.
+    pub fn attention_op(
+        config: &ModelConfig,
+        batch: usize,
+        seq_len: usize,
+        formats: StorageFormats,
+    ) -> Option<OpInstance> {
+        if config.n_attention_layers == 0 {
+            return None;
+        }
+        let b = batch as f64;
+        let act_bytes = formats.activations.bytes_per_value();
+        let kv_bytes = formats.kv_cache.bytes_per_value();
+        let layers = config.n_attention_layers as f64;
+        let heads = config.n_heads as f64;
+        let dh = config.dim_head as f64;
+        let s = seq_len as f64;
+        let cost = OpCost::new(
+            4.0 * b * layers * heads * s * dh,
+            b * layers * heads * (2.0 * s * dh * kv_bytes + 2.0 * dh * act_bytes),
+            b * layers * heads * (2.0 * dh * kv_bytes + dh * act_bytes),
+        );
+        Some(OpInstance::new(
+            OpKind::Attention,
+            cost,
+            OpShape::Attention {
+                batch,
+                layers: config.n_attention_layers,
+                heads: config.n_heads,
+                dim_head: config.dim_head,
+                seq_len,
+            },
+        ))
     }
 
     /// Builds the workload of a whole prefill over `prompt_len` tokens. Prefill is

@@ -14,14 +14,49 @@
 //! event ties break deterministically and all latency evaluations are
 //! memoized-pure, so results are bit-identical across repeat runs and across
 //! the thread counts of the grid runner.
+//!
+//! # The hot loop, and how it is made fast
+//!
+//! [`EngineConfig::fast_forward`] selects between two executions of the same
+//! simulation. `false` is the unoptimized step-by-step oracle — one heap
+//! event, one scheduler consult and one latency evaluation through the
+//! simulator (and its shared, locked
+//! [`LatencyCache`](pimba_system::LatencyCache)) per decode step. `true`
+//! (the default) layers three optimizations on top, none of which changes a
+//! single output bit (`tests/fastforward.rs` asserts bit-identity property-
+//! style, and the `serve_hotloop` bench re-asserts it on every run):
+//!
+//! * **Dense latency tables** — the run carries private
+//!   [`StepLatencyTable`]/[`PrefillLatencyTable`] memos indexed by
+//!   `(batch, seq-bucket)`, so hot-loop latency reads are plain array indexing
+//!   — no workload construction, no hashing, no locks. A table entry stores
+//!   the exact `f64` the simulator returns.
+//! * **Macro-step fast-forwarding** — when the scheduler certifies its pure
+//!   decode decision as *stable* ([`Scheduler::decode_stability`]), the whole
+//!   run of decode steps up to the next arrival (or completion, depending on
+//!   the certified [`DecodeStability`] level) is advanced inline: per elided
+//!   step the engine performs one floating-point add (the same
+//!   `now + latency` the event queue would have computed, so timestamps match
+//!   bit for bit) plus a telemetry sample, instead of a heap push/pop, a
+//!   scheduler consult, a latency lookup and an `O(batch)` bookkeeping pass.
+//!   Seq-bucket crossings and — when nothing is waiting — completions are
+//!   absorbed without leaving the macro-step; first-token and completion
+//!   times are reconstructed exactly.
+//! * **Closed-form admission accounting** — the memory probe behind
+//!   [`EngineView::admissible_count`] answers from a precomputed
+//!   [`MemoryModel`] (a handful of multiply-adds, bit-identical to the
+//!   workload-based accounting) instead of building a workload per queued
+//!   candidate. This one is shared by both modes: it cannot change decisions,
+//!   only the cost of asking.
 
-use crate::event::{EventKind, EventQueue};
-use crate::metrics::{RequestOutcome, SimResult, TimelinePoint};
-use crate::sched::{Action, Scheduler};
+use crate::event::{Event, EventKind, EventQueue, SingleFlightEvents};
+use crate::metrics::{RequestOutcome, SimResult, Telemetry};
+use crate::sched::{Action, DecodeStability, Scheduler};
 use crate::traffic::{Trace, TraceRequest};
 use pimba_models::config::ModelConfig;
+use pimba_system::memory::MemoryModel;
 use pimba_system::serving::ServingSimulator;
-use std::collections::VecDeque;
+use pimba_system::table::{PrefillLatencyTable, StepLatencyTable};
 
 /// Engine knobs independent of the scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,8 +69,20 @@ pub struct EngineConfig {
     /// Rounds sequence/prompt lengths up to a multiple of this before decode
     /// and prefill latency lookups (1 = exact). Larger buckets trade a
     /// slightly conservative latency for far fewer unique shapes in the
-    /// latency caches.
+    /// latency caches — and proportionally longer fast-forward macro-steps.
     pub seq_bucket: usize,
+    /// Macro-step fast-forwarding of stable pure-decode runs (see the module
+    /// docs). Results are bit-identical either way; `false` forces the
+    /// step-by-step event loop (the oracle the `serve_hotloop` bench and the
+    /// fast-forward property tests compare against).
+    pub fast_forward: bool,
+    /// Store every k-th queue/occupancy
+    /// [`TimelinePoint`](crate::metrics::TimelinePoint): 1 records every
+    /// event (the full time series), larger values decimate storage for long
+    /// traces, 0 stores no points at all. The aggregate metrics of
+    /// [`SimResult::summary`](crate::metrics::SimResult::summary) come from
+    /// exact running aggregates and are unaffected by this knob.
+    pub timeline_sample_every: usize,
 }
 
 impl Default for EngineConfig {
@@ -44,6 +91,8 @@ impl Default for EngineConfig {
             max_batch: 512,
             capacity_bytes: None,
             seq_bucket: 1,
+            fast_forward: true,
+            timeline_sample_every: 1,
         }
     }
 }
@@ -92,8 +141,7 @@ pub struct EngineView<'a> {
 
 #[derive(Clone, Copy)]
 struct AdmissionProbe<'a> {
-    sim: &'a ServingSimulator,
-    model: &'a ModelConfig,
+    memory: &'a MemoryModel<'a>,
     capacity_bytes: f64,
     occupied: usize,
     occupied_max_final_seq: usize,
@@ -113,11 +161,7 @@ impl AdmissionProbe<'_> {
                 break;
             }
             max_seq = max_seq.max(waiting.request.prompt_len + waiting.request.output_len);
-            if self
-                .sim
-                .memory_usage_bytes(self.model, candidate_batch, max_seq)
-                > self.capacity_bytes
-            {
+            if self.memory.usage_bytes(candidate_batch, max_seq) > self.capacity_bytes {
                 break;
             }
             count += 1;
@@ -144,6 +188,172 @@ impl EngineView<'_> {
     }
 }
 
+/// The FIFO wait queue: a head-indexed `Vec`, always contiguous.
+///
+/// The scheduler view and the admission probe both need the waiting requests
+/// as one slice per decision; a `VecDeque` would need `make_contiguous` —
+/// an `O(queue)` memmove whenever the ring has wrapped, paid at every
+/// dispatch. Here `pop_front` just advances a head index (the prefix is
+/// compacted away only once it outgrows the live tail), so `as_slice` is
+/// always free.
+#[derive(Debug, Default)]
+struct FifoQueue {
+    items: Vec<WaitingRequest>,
+    head: usize,
+}
+
+impl FifoQueue {
+    fn push_back(&mut self, request: WaitingRequest) {
+        self.items.push(request);
+    }
+
+    fn pop_front(&mut self) -> Option<WaitingRequest> {
+        let popped = self.items.get(self.head).copied();
+        if popped.is_some() {
+            self.head += 1;
+            if self.head >= self.items.len() || self.head > self.items.len() / 2 {
+                self.items.drain(..self.head);
+                self.head = 0;
+            }
+        }
+        popped
+    }
+
+    fn front(&self) -> Option<&WaitingRequest> {
+        self.items.get(self.head)
+    }
+
+    fn front_mut(&mut self) -> Option<&mut WaitingRequest> {
+        self.items.get_mut(self.head)
+    }
+
+    fn as_slice(&self) -> &[WaitingRequest] {
+        &self.items[self.head..]
+    }
+
+    fn len(&self) -> usize {
+        self.items.len() - self.head
+    }
+
+    fn is_empty(&self) -> bool {
+        self.head == self.items.len()
+    }
+}
+
+/// The run's event source. The step-by-step oracle keeps the general
+/// binary-heap [`EventQueue`] loaded with every arrival up front (the PR 2
+/// engine); the fast-forward mode exploits the single-flight invariant and
+/// the pre-sorted trace through [`SingleFlightEvents`] — `O(1)` pops and
+/// pushes with identical ordering.
+enum Events {
+    Heap(EventQueue),
+    Single(SingleFlightEvents),
+}
+
+impl Events {
+    fn pop(&mut self) -> Option<Event> {
+        match self {
+            Self::Heap(queue) => queue.pop(),
+            Self::Single(single) => single.pop(),
+        }
+    }
+
+    fn peek_time_ns(&self) -> Option<f64> {
+        match self {
+            Self::Heap(queue) => queue.peek().map(|e| e.time_ns),
+            Self::Single(single) => single.peek_time_ns(),
+        }
+    }
+
+    fn push_work(&mut self, time_ns: f64) {
+        match self {
+            Self::Heap(queue) => queue.push(time_ns, EventKind::WorkDone),
+            Self::Single(single) => single.push_work(time_ns),
+        }
+    }
+}
+
+/// Where the engine reads step/prefill latencies from — dense per-run tables
+/// in fast-forward mode, direct per-call simulator evaluation in the
+/// step-by-step oracle mode. Both apply the same seq-bucketing and return the
+/// same bits ([`StepLatencyTable`] stores exactly what the simulator
+/// computes), so the mode affects wall time only.
+enum Latencies<'a> {
+    Tables {
+        /// Dense decode-step memo.
+        steps: StepLatencyTable<'a>,
+        /// Dense prefill memo.
+        prefills: PrefillLatencyTable<'a>,
+    },
+    Direct {
+        sim: &'a ServingSimulator,
+        model: &'a ModelConfig,
+        seq_bucket: usize,
+    },
+}
+
+impl<'a> Latencies<'a> {
+    fn tables(
+        sim: &'a ServingSimulator,
+        model: &'a ModelConfig,
+        config: EngineConfig,
+        max_seq: usize,
+        max_prompt: usize,
+    ) -> Self {
+        Self::Tables {
+            steps: StepLatencyTable::new(sim, model, config.seq_bucket, config.max_batch, max_seq),
+            prefills: PrefillLatencyTable::new(
+                sim,
+                model,
+                config.seq_bucket,
+                config.max_batch,
+                max_prompt,
+            ),
+        }
+    }
+
+    fn direct(sim: &'a ServingSimulator, model: &'a ModelConfig, seq_bucket: usize) -> Self {
+        Self::Direct {
+            sim,
+            model,
+            seq_bucket,
+        }
+    }
+
+    /// Latency of one decode step over `batch` requests at `seq_len` (rounded
+    /// up to the configured bucket).
+    fn step_ns(&mut self, batch: usize, seq_len: usize) -> f64 {
+        match self {
+            Self::Tables { steps, .. } => steps.step_ns(batch, seq_len),
+            Self::Direct {
+                sim,
+                model,
+                seq_bucket,
+            } => {
+                let seq = seq_len.max(1);
+                let bucketed = seq.div_ceil(*seq_bucket) * *seq_bucket;
+                sim.generation_step(model, batch, bucketed).total_ns
+            }
+        }
+    }
+
+    /// Latency of prefilling `batch` prompts of `prompt_len` tokens (rounded
+    /// up to the configured bucket).
+    fn prefill_ns(&mut self, batch: usize, prompt_len: usize) -> f64 {
+        match self {
+            Self::Tables { prefills, .. } => prefills.prefill_ns(batch, prompt_len),
+            Self::Direct {
+                sim,
+                model,
+                seq_bucket,
+            } => {
+                let bucketed = prompt_len.div_ceil(*seq_bucket) * *seq_bucket;
+                sim.prefill_latency_ns(model, batch, bucketed)
+            }
+        }
+    }
+}
+
 /// What the engine currently has in flight.
 #[derive(Debug, Clone)]
 enum Work {
@@ -161,6 +371,8 @@ pub struct Engine<'a> {
     model: &'a ModelConfig,
     config: EngineConfig,
     capacity_bytes: f64,
+    /// Closed-form admission accounting (bit-identical to the workload path).
+    memory: MemoryModel<'a>,
 }
 
 impl<'a> Engine<'a> {
@@ -176,18 +388,8 @@ impl<'a> Engine<'a> {
             model,
             config,
             capacity_bytes,
+            memory: MemoryModel::new(sim.config(), model),
         }
-    }
-
-    /// Prefill latency via the simulator (memoized in the shared cache's
-    /// dedicated prefill layer when the simulator carries one, so entries are
-    /// reused across engines, grid cells and worker threads).
-    fn prefill_ns(&self, batch: usize, prompt_len: usize) -> f64 {
-        self.sim.prefill_latency_ns(self.model, batch, prompt_len)
-    }
-
-    fn bucketed(&self, seq: usize) -> usize {
-        seq.div_ceil(self.config.seq_bucket) * self.config.seq_bucket
     }
 
     /// Marginal cost of extending one request's prefill from `already` to
@@ -196,33 +398,68 @@ impl<'a> Engine<'a> {
     /// context already prefilled — a fixed-size chunk gets more expensive the
     /// deeper into the prompt it lands (for attention-family models), instead
     /// of every chunk being miscosted as a fresh short prompt.
-    fn chunk_prefill_ns(&self, already: usize, tokens: usize) -> f64 {
-        let up_to = self.prefill_ns(1, self.bucketed(already + tokens));
+    fn chunk_prefill_ns(
+        &self,
+        latencies: &mut Latencies<'_>,
+        already: usize,
+        tokens: usize,
+    ) -> f64 {
+        let up_to = latencies.prefill_ns(1, already + tokens);
         if already == 0 {
             up_to
         } else {
             // Bucketing can land both boundaries in the same bucket; the
             // marginal cost is then 0, which averages out across the chunks of
             // one prompt (the cumulative cost is paid at bucket crossings).
-            (up_to - self.prefill_ns(1, self.bucketed(already))).max(0.0)
+            (up_to - latencies.prefill_ns(1, already)).max(0.0)
         }
     }
 
     /// Simulates `trace` under `scheduler`, returning per-request outcomes and
     /// the queue/occupancy timeline.
     pub fn run(&self, trace: &Trace, scheduler: &mut dyn Scheduler) -> SimResult {
-        let mut events = EventQueue::new();
-        for (i, r) in trace.requests.iter().enumerate() {
-            events.push(r.arrival_ns, EventKind::Arrival(i));
-        }
+        let mut events = if self.config.fast_forward {
+            let arrivals: Vec<f64> = trace.requests.iter().map(|r| r.arrival_ns).collect();
+            Events::Single(SingleFlightEvents::new(&arrivals))
+        } else {
+            let mut heap = EventQueue::new();
+            for (i, r) in trace.requests.iter().enumerate() {
+                heap.push(r.arrival_ns, EventKind::Arrival(i));
+            }
+            Events::Heap(heap)
+        };
 
-        let mut queue: VecDeque<WaitingRequest> = VecDeque::new();
+        // Fast mode: per-run dense latency memos, so the hot loop reads
+        // step/prefill latencies with O(1) array indexing (the shared
+        // shape-keyed cache, when the simulator carries one, still
+        // deduplicates the fills across engines, grid cells and worker
+        // threads). Oracle mode evaluates through the simulator per step,
+        // exactly as the pre-fast-forward engine did.
+        let mut latencies = if self.config.fast_forward {
+            let max_seq = trace
+                .requests
+                .iter()
+                .map(|r| r.prompt_len + r.output_len)
+                .max()
+                .unwrap_or(1);
+            let max_prompt = trace
+                .requests
+                .iter()
+                .map(|r| r.prompt_len)
+                .max()
+                .unwrap_or(1);
+            Latencies::tables(self.sim, self.model, self.config, max_seq, max_prompt)
+        } else {
+            Latencies::direct(self.sim, self.model, self.config.seq_bucket)
+        };
+
+        let mut queue = FifoQueue::default();
         let mut prefilling: Vec<ActiveRequest> = Vec::new();
         let mut running: Vec<ActiveRequest> = Vec::new();
         let mut work: Option<Work> = None;
         let mut first_token: Vec<f64> = vec![f64::NAN; trace.len()];
         let mut completion: Vec<f64> = vec![f64::NAN; trace.len()];
-        let mut timeline: Vec<TimelinePoint> = Vec::new();
+        let mut telemetry = Telemetry::new(self.config.timeline_sample_every);
         let mut now_ns = 0.0;
 
         while let Some(event) = events.pop() {
@@ -280,24 +517,66 @@ impl<'a> Engine<'a> {
 
             // Drain every event of this timestamp before deciding: simultaneous
             // arrivals must all be visible to the scheduler at once.
-            if events.peek().is_some_and(|next| next.time_ns == now_ns) {
+            if events.peek_time_ns().is_some_and(|next| next == now_ns) {
                 continue;
             }
 
-            if work.is_none() {
-                if let Some((latency_ns, next)) =
-                    self.dispatch(now_ns, scheduler, &mut queue, &mut prefilling, &running)
-                {
-                    events.push(now_ns + latency_ns, EventKind::WorkDone);
-                    work = Some(next);
+            // Dispatch-and-advance: exactly one telemetry sample is recorded
+            // per (possibly virtual) event timestamp, mirroring the one point
+            // per popped event the plain event loop records. A stable pure
+            // decode re-enters the loop at the macro-step boundary (new
+            // latency, or requests completed) and dispatches again at the same
+            // timestamp — just as a per-step run would after the corresponding
+            // `WorkDone` event.
+            loop {
+                if work.is_some() {
+                    // A step is in flight (this event was an arrival): sample
+                    // and wait for the WorkDone.
+                    telemetry.record(now_ns, queue.len(), running.len() + prefilling.len());
+                    break;
                 }
+                let Some((latency_ns, next, stability)) = self.dispatch(
+                    now_ns,
+                    scheduler,
+                    &mut queue,
+                    &mut prefilling,
+                    &running,
+                    &mut latencies,
+                ) else {
+                    // Idle until the next arrival.
+                    telemetry.record(now_ns, queue.len(), running.len() + prefilling.len());
+                    break;
+                };
+                if !self.config.fast_forward || stability == DecodeStability::PerStep {
+                    events.push_work(now_ns + latency_ns);
+                    work = Some(next);
+                    telemetry.record(now_ns, queue.len(), running.len() + prefilling.len());
+                    break;
+                }
+                // A stable pure decode: the dispatch mutated nothing, so this
+                // timestamp's sample equals the pre-dispatch state.
+                telemetry.record(now_ns, queue.len(), running.len() + prefilling.len());
+                if !self.fast_forward(
+                    stability,
+                    &mut now_ns,
+                    latency_ns,
+                    &mut events,
+                    trace,
+                    &mut queue,
+                    &mut running,
+                    &mut first_token,
+                    &mut completion,
+                    &mut telemetry,
+                    &mut latencies,
+                ) {
+                    // Interrupted by an arrival: the current step stays in
+                    // flight as a real event (pushed by `fast_forward`).
+                    work = Some(next);
+                    break;
+                }
+                // Macro-step boundary (the batch drained, or a completion the
+                // policy must see) at the advanced `now_ns`: dispatch again.
             }
-
-            timeline.push(TimelinePoint {
-                time_ns: now_ns,
-                queue_depth: queue.len(),
-                batch_occupancy: running.len() + prefilling.len(),
-            });
         }
 
         assert!(
@@ -322,37 +601,234 @@ impl<'a> Engine<'a> {
                 output_len: r.output_len,
             })
             .collect();
+        let (timeline, stats) = telemetry.finish();
         SimResult {
             outcomes,
             timeline,
             makespan_ns: now_ns,
+            telemetry: stats,
+        }
+    }
+
+    /// Advances a run of stable pure-decode steps without handing each one to
+    /// the event queue. The macro-step is built from *sub-segments* of
+    /// constant step latency (constant batch size and bucketed sequence
+    /// length). A sub-segment ends at the earliest request completion or the
+    /// next seq-bucket crossing; what hands control back to the dispatcher
+    /// depends on the scheduler's certified [`DecodeStability`]:
+    ///
+    /// * bucket crossings never do — the engine re-reads the new latency and
+    ///   continues (the policy's decision does not depend on the latency),
+    /// * completions do at [`DecodeStability::UntilBatchChange`]; at
+    ///   [`DecodeStability::UntilAdmissible`] only when something is waiting
+    ///   at that moment; at [`DecodeStability::UntilBatchDrains`] never,
+    /// * arrivals do at [`DecodeStability::UntilBatchChange`], and at
+    ///   [`DecodeStability::UntilAdmissible`] while the batch has a free
+    ///   slot; otherwise (full batch, or a run-to-completion policy) the
+    ///   engine absorbs them — queueing the request and recording its
+    ///   telemetry sample exactly as the event loop would, without waking the
+    ///   policy that could not have acted on it,
+    /// * the batch draining always does.
+    ///
+    /// An interrupting arrival leaves the current step in flight as a real
+    /// `WorkDone` event (return `false`, the caller marks it in flight) so
+    /// the scheduler sees the arrival before the *following* step is decided;
+    /// boundary exits return `true` and the caller re-dispatches at the
+    /// advanced timestamp.
+    ///
+    /// Bit-exactness: timestamps advance by the same `now + latency` addition
+    /// the event queue performs per step; arrivals are absorbed with the
+    /// event loop's tie-breaking (arrivals pop ahead of a simultaneous step
+    /// completion) and same-timestamp sample coalescing; first-token times
+    /// are stamped at the first advanced step's timestamp and completions at
+    /// their sub-segment's last one; `Telemetry::record` observes every
+    /// virtual event — so outcomes, timeline and aggregates are identical to
+    /// the step-by-step loop.
+    #[allow(clippy::too_many_arguments)]
+    fn fast_forward(
+        &self,
+        stability: DecodeStability,
+        now_ns: &mut f64,
+        first_step_ns: f64,
+        events: &mut Events,
+        trace: &Trace,
+        queue: &mut FifoQueue,
+        running: &mut Vec<ActiveRequest>,
+        first_token: &mut [f64],
+        completion: &mut [f64],
+        telemetry: &mut Telemetry,
+        latencies: &mut Latencies<'_>,
+    ) -> bool {
+        let bucket = self.config.seq_bucket;
+        let mut step_ns = first_step_ns;
+        loop {
+            debug_assert!(!running.is_empty(), "pure decode with empty batch");
+            // One pass over the batch: steps until the earliest completion
+            // shrinks it, and the longest current sequence. A degenerate
+            // zero-output request (constructible through the public
+            // `TraceRequest` fields; the generators clamp to >= 1) completes
+            // at its first decode step in the per-step loop, so it
+            // contributes one remaining step, not zero — which would stall
+            // the horizon.
+            let (to_completion, seq0) =
+                running
+                    .iter()
+                    .fold((usize::MAX, 1usize), |(remaining, seq), r| {
+                        (
+                            remaining.min((r.output_len - r.generated).max(1)),
+                            seq.max(r.seq_len()),
+                        )
+                    });
+            // Steps sharing the current bucketed latency: step i (1-based)
+            // runs at sequence length `seq0 + i - 1`, which stays in the
+            // current bucket while `seq0 + i - 1 <= round_up(seq0)`.
+            let in_bucket = seq0.div_ceil(bucket) * bucket - seq0 + 1;
+            let horizon = to_completion.min(in_bucket);
+            let occupancy = running.len();
+            let absorb_arrivals = match stability {
+                DecodeStability::UntilBatchDrains => true,
+                DecodeStability::UntilAdmissible => occupancy == self.config.max_batch,
+                _ => false,
+            };
+
+            let mut executed = 0usize;
+            let mut t_first = *now_ns;
+            let mut interrupted = false;
+            'steps: loop {
+                let t_next = *now_ns + step_ns;
+                // Arrivals preceding (or tying with) this step's completion
+                // pop first, exactly as in the event loop.
+                while let Some(event_ns) = events.peek_time_ns() {
+                    if event_ns > t_next {
+                        break;
+                    }
+                    if !absorb_arrivals {
+                        // The policy must see this arrival before the next
+                        // decision: hand the current step back to the queue.
+                        events.push_work(t_next);
+                        interrupted = true;
+                        break 'steps;
+                    }
+                    let event = events.pop().expect("peeked event vanished");
+                    let EventKind::Arrival(id) = event.kind else {
+                        unreachable!("only arrivals are pending while fast-forwarding")
+                    };
+                    queue.push_back(WaitingRequest {
+                        id,
+                        request: trace.requests[id],
+                        prefilled: 0,
+                    });
+                    // Same-timestamp coalescing: only the last event of a
+                    // timestamp group records a sample, and a group tying
+                    // with the step's own completion is covered by the step's
+                    // sample.
+                    let following = events.peek_time_ns().unwrap_or(f64::INFINITY).min(t_next);
+                    if following != event.time_ns {
+                        telemetry.record(event.time_ns, queue.len(), occupancy);
+                    }
+                }
+                *now_ns = t_next;
+                executed += 1;
+                if executed == 1 {
+                    t_first = t_next;
+                }
+                if executed == horizon {
+                    break;
+                }
+                // Interior step: batch membership is unchanged by
+                // construction, only time moves (and possibly the queue, via
+                // absorbed arrivals).
+                telemetry.record(t_next, queue.len(), occupancy);
+            }
+
+            if executed > 0 {
+                // Replay the executed steps onto the batch in one pass. Only
+                // the final step can complete requests (`executed <=
+                // to_completion`, with equality exactly when the sub-segment
+                // ended on a completion).
+                let t_last = *now_ns;
+                running.retain_mut(|r| {
+                    if r.generated == 0 {
+                        first_token[r.id] = t_first;
+                    }
+                    r.generated += executed;
+                    // Degenerate zero-output requests overshoot by the one
+                    // step that completes them; everyone else lands exactly.
+                    debug_assert!(r.generated <= r.output_len.max(1));
+                    if r.generated >= r.output_len {
+                        completion[r.id] = t_last;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            if interrupted {
+                return false;
+            }
+            let completed = executed == to_completion;
+            let wake_the_policy = running.is_empty()
+                || (completed
+                    && match stability {
+                        DecodeStability::UntilBatchChange => true,
+                        DecodeStability::UntilAdmissible => !queue.is_empty(),
+                        DecodeStability::UntilBatchDrains => false,
+                        DecodeStability::PerStep => {
+                            unreachable!("per-step work never fast-forwards")
+                        }
+                    });
+            if wake_the_policy {
+                // The dispatcher must see this boundary; it records the
+                // boundary step's telemetry sample after deciding.
+                return true;
+            }
+            // Absorb the boundary inline: record its sample (post-completion
+            // state, as the step-by-step loop would after handling the event)
+            // and continue with the new sub-segment's latency (the next
+            // iteration's batch pass recomputes the horizon; the bucketed
+            // sequence after `executed` steps is what the table reads).
+            telemetry.record(*now_ns, queue.len(), running.len());
+            let seq = running
+                .iter()
+                .map(ActiveRequest::seq_len)
+                .max()
+                .expect("running non-empty");
+            step_ns = latencies.step_ns(running.len(), seq);
         }
     }
 
     /// Asks the scheduler for the next action and starts it. Returns the work
-    /// item and its latency, or `None` to stay idle until the next event.
+    /// item, its latency and the fast-forward [`DecodeStability`] of a pure
+    /// decode ([`DecodeStability::PerStep`] for all other work); `None` means
+    /// stay idle until the next event.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
         now_ns: f64,
         scheduler: &mut dyn Scheduler,
-        queue: &mut VecDeque<WaitingRequest>,
+        queue: &mut FifoQueue,
         prefilling: &mut Vec<ActiveRequest>,
         running: &[ActiveRequest],
-    ) -> Option<(f64, Work)> {
-        queue.make_contiguous();
-        let occupied_max_final_seq = running
-            .iter()
-            .map(ActiveRequest::final_seq_len)
-            .max()
-            .unwrap_or(0);
+        latencies: &mut Latencies<'_>,
+    ) -> Option<(f64, Work, DecodeStability)> {
+        // The admission probe anchors footprints at the occupants' final
+        // sequence lengths — only relevant when something is waiting.
+        let occupied_max_final_seq = if queue.is_empty() {
+            0
+        } else {
+            running
+                .iter()
+                .map(ActiveRequest::final_seq_len)
+                .max()
+                .unwrap_or(0)
+        };
         let view = EngineView {
             now_ns,
-            queue: queue.as_slices().0,
+            queue: queue.as_slice(),
             running: running.len(),
             max_batch: self.config.max_batch,
             admission: AdmissionProbe {
-                sim: self.sim,
-                model: self.model,
+                memory: &self.memory,
                 capacity_bytes: self.capacity_bytes,
                 occupied: running.len(),
                 occupied_max_final_seq,
@@ -361,6 +837,17 @@ impl<'a> Engine<'a> {
         };
         let probe = view.admission;
         let mut action = scheduler.decide(&view);
+        // Stability is only meaningful for a pure decode the *scheduler*
+        // chose; an admit that the engine clamps down to a decode step is
+        // never fast-forwarded (the policy's intent may change next boundary).
+        let stability = if action
+            == (Action::DecodeStep {
+                fused_chunk_tokens: 0,
+            }) {
+            scheduler.decode_stability(&view)
+        } else {
+            DecodeStability::PerStep
+        };
         if let Action::AdmitAndPrefill { count } = action {
             // Enforce the batch cap and memory budget regardless of what the
             // policy asked for (custom `Scheduler` impls included). An admit
@@ -368,7 +855,7 @@ impl<'a> Engine<'a> {
             // running) or idleness, so a greedy policy cannot stall the engine.
             let count = count
                 .min(queue.len())
-                .min(probe.admissible_count(queue.as_slices().0));
+                .min(probe.admissible_count(queue.as_slice()));
             action = if count > 0 {
                 Action::AdmitAndPrefill { count }
             } else if running.is_empty() {
@@ -393,8 +880,8 @@ impl<'a> Engine<'a> {
                         generated: 0,
                     });
                 }
-                let latency = self.prefill_ns(count, self.bucketed(max_prompt));
-                Some((latency, Work::Prefill))
+                let latency = latencies.prefill_ns(count, max_prompt);
+                Some((latency, Work::Prefill, DecodeStability::PerStep))
             }
             Action::DecodeStep { fused_chunk_tokens } => {
                 let decoded = !running.is_empty();
@@ -405,10 +892,7 @@ impl<'a> Engine<'a> {
                         .map(ActiveRequest::seq_len)
                         .max()
                         .expect("running non-empty");
-                    latency_ns += self
-                        .sim
-                        .generation_step(self.model, running.len(), self.bucketed(seq.max(1)))
-                        .total_ns;
+                    latency_ns += latencies.step_ns(running.len(), seq);
                 }
                 // Chunking the head is an admission: enforce the batch cap and
                 // memory budget here too, so a policy that skips the
@@ -416,12 +900,12 @@ impl<'a> Engine<'a> {
                 let fused_tokens = match queue.front() {
                     Some(head)
                         if fused_chunk_tokens > 0
-                            && probe.admissible_count(queue.as_slices().0) > 0 =>
+                            && probe.admissible_count(queue.as_slice()) > 0 =>
                     {
                         let tokens = fused_chunk_tokens
                             .min(head.request.prompt_len - head.prefilled)
                             .max(1);
-                        latency_ns += self.chunk_prefill_ns(head.prefilled, tokens);
+                        latency_ns += self.chunk_prefill_ns(latencies, head.prefilled, tokens);
                         tokens
                     }
                     _ => 0,
@@ -436,6 +920,11 @@ impl<'a> Engine<'a> {
                     Work::Step {
                         fused_tokens,
                         decoded,
+                    },
+                    if decoded && fused_tokens == 0 {
+                        stability
+                    } else {
+                        DecodeStability::PerStep
                     },
                 ))
             }

@@ -92,6 +92,99 @@ impl EventQueue {
     }
 }
 
+/// The degenerate event queue of the fast-forward engine.
+///
+/// The serving engine holds at most **one** work item in flight, and every
+/// other event is a trace arrival whose timestamp is known before the
+/// simulation starts. The binary heap therefore collapses to a cursor over
+/// the time-sorted arrival order merged with a single pending-work slot:
+/// `pop`/`push` are a comparison and a field write instead of `O(log n)`
+/// sift operations against a heap holding every future arrival.
+///
+/// Ordering is identical to [`EventQueue`] loaded with the same arrivals
+/// first: arrivals are sorted stably by timestamp (equal times keep trace
+/// order, matching the heap's insertion-sequence tie-break), and an arrival
+/// ties ahead of a simultaneous `WorkDone` (its insertion sequence is always
+/// lower, since all arrivals are pushed before any work completes).
+#[derive(Debug)]
+pub struct SingleFlightEvents {
+    /// Arrival timestamps in pop order.
+    times: Vec<f64>,
+    /// Trace index of each arrival, parallel to `times`.
+    ids: Vec<u32>,
+    cursor: usize,
+    pending_work_ns: Option<f64>,
+}
+
+impl SingleFlightEvents {
+    /// Builds the source from arrival times in trace order.
+    pub fn new(arrivals: &[f64]) -> Self {
+        assert!(
+            arrivals.iter().all(|t| t.is_finite()),
+            "event times must be finite"
+        );
+        assert!(arrivals.len() <= u32::MAX as usize, "trace too large");
+        let mut ids: Vec<u32> = (0..arrivals.len() as u32).collect();
+        ids.sort_by(|&a, &b| arrivals[a as usize].total_cmp(&arrivals[b as usize]));
+        let times = ids.iter().map(|&i| arrivals[i as usize]).collect();
+        Self {
+            times,
+            ids,
+            cursor: 0,
+            pending_work_ns: None,
+        }
+    }
+
+    /// Schedules the one in-flight work item's completion.
+    ///
+    /// # Panics
+    /// If a work completion is already pending — the engine's single-flight
+    /// invariant would be violated.
+    pub fn push_work(&mut self, time_ns: f64) {
+        assert!(time_ns.is_finite(), "event times must be finite");
+        assert!(
+            self.pending_work_ns.is_none(),
+            "single-flight violation: a work completion is already pending"
+        );
+        self.pending_work_ns = Some(time_ns);
+    }
+
+    /// Removes and returns the earliest event (arrivals win ties).
+    pub fn pop(&mut self) -> Option<Event> {
+        let arrival = self.times.get(self.cursor).copied();
+        match (arrival, self.pending_work_ns) {
+            (Some(a), work) if work.is_none_or(|w| a <= w) => {
+                let id = self.ids[self.cursor] as usize;
+                self.cursor += 1;
+                Some(Event {
+                    time_ns: a,
+                    seq: self.cursor as u64,
+                    kind: EventKind::Arrival(id),
+                })
+            }
+            (_, Some(w)) => {
+                self.pending_work_ns = None;
+                Some(Event {
+                    time_ns: w,
+                    seq: u64::MAX,
+                    kind: EventKind::WorkDone,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The earliest pending timestamp without removing it.
+    pub fn peek_time_ns(&self) -> Option<f64> {
+        let arrival = self.times.get(self.cursor).copied();
+        match (arrival, self.pending_work_ns) {
+            (Some(a), Some(w)) => Some(if a <= w { a } else { w }),
+            (Some(a), None) => Some(a),
+            (None, w) => w,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +218,60 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn rejects_non_finite_times() {
         EventQueue::new().push(f64::NAN, EventKind::WorkDone);
+    }
+
+    /// The cursor-based source must replay any arrival pattern in exactly the
+    /// order the heap would, including simultaneous arrivals and work ties.
+    #[test]
+    fn single_flight_matches_heap_order() {
+        let arrivals = [5.0, 1.0, 3.0, 3.0, 3.0, 9.0];
+        let mut heap = EventQueue::new();
+        for (i, &t) in arrivals.iter().enumerate() {
+            heap.push(t, EventKind::Arrival(i));
+        }
+        let mut single = SingleFlightEvents::new(&arrivals);
+        let mut work_pushes = 0;
+        loop {
+            let (a, b) = (heap.pop(), single.pop());
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!((x.time_ns, x.kind), (y.time_ns, y.kind));
+                    // Exercise the work slot: schedule completions that tie
+                    // with and precede upcoming arrivals (two rounds only).
+                    if (x.time_ns == 1.0 || x.kind == EventKind::WorkDone) && work_pushes < 2 {
+                        let t = 3.0 + work_pushes as f64;
+                        heap.push(t, EventKind::WorkDone);
+                        single.push_work(t);
+                        work_pushes += 1;
+                    }
+                    assert_eq!(
+                        heap.peek().map(|e| e.time_ns),
+                        single.peek_time_ns(),
+                        "peek diverged after {x:?}"
+                    );
+                }
+                (None, None) => break,
+                (a, b) => panic!("length mismatch: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_flight_ties_prefer_arrivals_and_slot_is_exclusive() {
+        let mut s = SingleFlightEvents::new(&[2.0, 2.0]);
+        s.push_work(2.0);
+        assert_eq!(s.pop().unwrap().kind, EventKind::Arrival(0));
+        assert_eq!(s.pop().unwrap().kind, EventKind::Arrival(1));
+        assert_eq!(s.pop().unwrap().kind, EventKind::WorkDone);
+        assert_eq!(s.pop(), None);
+        assert_eq!(s.peek_time_ns(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-flight")]
+    fn single_flight_rejects_a_second_pending_work() {
+        let mut s = SingleFlightEvents::new(&[1.0]);
+        s.push_work(2.0);
+        s.push_work(3.0);
     }
 }

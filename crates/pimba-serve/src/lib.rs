@@ -11,18 +11,48 @@
 //!   request traces and canned scenario presets (chat, summarization,
 //!   long-context RAG, reasoning-heavy decode),
 //! * [`event`] — the binary-heap event queue with deterministic tie-breaking,
+//!   and the degenerate single-flight/arrival-cursor source the fast engine
+//!   uses,
 //! * [`sched`] — the admission/scheduler trait and three policies: FCFS static
 //!   batching, continuous batching, chunked-prefill continuous batching,
 //! * [`engine`] — the event loop driving `ServingSimulator` step latencies,
-//!   with memory-capacity admission control,
+//!   with memory-capacity admission control and macro-step fast-forwarding,
 //! * [`metrics`] — per-request TTFT/TPOT/E2E, exact-order-statistic
-//!   percentiles, goodput, SLO attainment and occupancy time series,
+//!   percentiles, goodput, SLO attainment and (optionally decimated)
+//!   occupancy time series with exact running aggregates,
 //! * [`runner`] — the parallel (system × scenario × rate) grid runner and
 //!   SLO-attainment curves.
 //!
 //! Simulations are bit-identical across repeat runs and thread counts, and the
 //! closed-loop configuration reproduces `ServingSimulator::request_latency`
 //! exactly (see `tests/oracle.rs`).
+//!
+//! # Fast-forward invariants
+//!
+//! The default engine advances runs of scheduler-stable pure-decode steps in
+//! *macro-steps* instead of per-step heap events, reading latencies from
+//! dense per-run `(batch, seq-bucket)` tables
+//! ([`pimba_system::table`]) — one to two orders of magnitude faster on
+//! decode-heavy traffic (`serve_hotloop` bench) while **bit-identical** to
+//! the step-by-step oracle (`EngineConfig::fast_forward = false`). The
+//! invariants that make that exactness hold, property-tested in
+//! `tests/fastforward.rs`:
+//!
+//! 1. a macro-step's sub-segments have constant step latency (fixed batch
+//!    membership and bucketed sequence length), and timestamps advance by the
+//!    same sequential `now + latency` additions the event queue would
+//!    perform — never by a closed-form `k × latency` product, which would
+//!    round differently;
+//! 2. the scheduler is consulted at exactly the boundaries its certified
+//!    [`DecodeStability`] level says its decision could change at — arrivals
+//!    absorbed into a full batch (or under a run-to-completion policy) are
+//!    queued and sampled by the engine with the event loop's tie-breaking and
+//!    same-timestamp coalescing;
+//! 3. dense-table entries store the exact `f64` the simulator computes, so a
+//!    table read and a simulator call are interchangeable;
+//! 4. telemetry observes every (virtual) event: aggregates accumulate in the
+//!    same order either way, and timeline decimation only thins what is
+//!    *stored*, never what is *measured*.
 //!
 //! # Example
 //!
@@ -59,7 +89,12 @@ pub mod sched;
 pub mod traffic;
 
 pub use engine::{Engine, EngineConfig, EngineView};
-pub use metrics::{Percentiles, RequestOutcome, SimResult, SloSpec, TimelinePoint, TrafficSummary};
+pub use metrics::{
+    Percentiles, RequestOutcome, SimResult, SloSpec, Telemetry, TelemetryStats, TimelinePoint,
+    TrafficSummary,
+};
 pub use runner::{slo_curve, TrafficGrid, TrafficRecord, TrafficRunner};
-pub use sched::{Action, ChunkedPrefill, ContinuousBatching, FcfsStatic, PolicyKind, Scheduler};
+pub use sched::{
+    Action, ChunkedPrefill, ContinuousBatching, DecodeStability, FcfsStatic, PolicyKind, Scheduler,
+};
 pub use traffic::{ArrivalKind, Scenario, Trace, TraceRequest};

@@ -7,6 +7,15 @@
 //! `output_len` decode steps emits one token; **TTFT** is arrival → end of the
 //! first decode step, **TPOT** is the mean gap between the remaining
 //! `output_len - 1` tokens, **E2E** is arrival → last token.
+//!
+//! Queue/occupancy telemetry is recorded through a [`Telemetry`] collector that
+//! keeps *exact running aggregates* (event count, peaks, the time-weighted
+//! occupancy integral) at every event while storing only every k-th
+//! [`TimelinePoint`] (`k` =
+//! [`EngineConfig::timeline_sample_every`](crate::engine::EngineConfig::timeline_sample_every)).
+//! Aggregate metrics in
+//! [`TrafficSummary`] therefore never depend on the sampling rate — only the
+//! resolution of the stored time series does.
 
 use pimba_system::stats::percentile_of_sorted;
 use serde::{Deserialize, Serialize};
@@ -50,7 +59,7 @@ impl RequestOutcome {
     }
 }
 
-/// One sample of the engine's queue/batch state (recorded at every event).
+/// One sample of the engine's queue/batch state.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TimelinePoint {
     /// Sample time in nanoseconds.
@@ -61,15 +70,130 @@ pub struct TimelinePoint {
     pub batch_occupancy: usize,
 }
 
+/// Exact whole-run aggregates of the queue/occupancy telemetry, maintained at
+/// every simulation event regardless of how sparsely [`TimelinePoint`]s are
+/// stored.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TelemetryStats {
+    /// Event *timestamps* observed: arrivals and completed work items, with
+    /// simultaneous events coalesced into one (the engine drains every event
+    /// of a timestamp before sampling). Also the number of timeline points a
+    /// `timeline_sample_every = 1` run stores.
+    pub events: u64,
+    /// Largest waiting-queue depth observed at any event.
+    pub peak_queue_depth: usize,
+    /// Largest number of requests holding a batch slot at any event.
+    pub peak_batch_occupancy: usize,
+    /// Time-weighted mean number of requests holding a batch slot (each
+    /// event's occupancy holds until the next event).
+    pub mean_batch_occupancy: f64,
+}
+
+impl TelemetryStats {
+    /// The aggregates of a fully sampled timeline — what a
+    /// `timeline_sample_every = 1` run would have accumulated while recording
+    /// exactly these points.
+    pub fn from_timeline(points: &[TimelinePoint]) -> Self {
+        let mut telemetry = Telemetry::new(0);
+        for p in points {
+            telemetry.record(p.time_ns, p.queue_depth, p.batch_occupancy);
+        }
+        telemetry.finish().1
+    }
+}
+
+/// The streaming telemetry collector of one engine run: exact aggregates at
+/// every event, decimated [`TimelinePoint`] storage.
+///
+/// `sample_every` = 1 stores every event (the fully sampled time series), k
+/// stores every k-th event, 0 stores nothing — the aggregates are exact in all
+/// cases, so a 10-million-step simulation can keep its memory footprint flat
+/// without perturbing any [`TrafficSummary`] metric.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    sample_every: usize,
+    events: u64,
+    peak_queue_depth: usize,
+    peak_batch_occupancy: usize,
+    first_ns: f64,
+    last_ns: f64,
+    last_occupancy: usize,
+    weighted_occupancy_ns: f64,
+    points: Vec<TimelinePoint>,
+}
+
+impl Telemetry {
+    /// A collector storing every `sample_every`-th point (0 = aggregates only).
+    pub fn new(sample_every: usize) -> Self {
+        Self {
+            sample_every,
+            events: 0,
+            peak_queue_depth: 0,
+            peak_batch_occupancy: 0,
+            first_ns: 0.0,
+            last_ns: 0.0,
+            last_occupancy: 0,
+            weighted_occupancy_ns: 0.0,
+            points: Vec::new(),
+        }
+    }
+
+    /// Records the engine state at one event. The occupancy integral
+    /// accumulates in call order with the same floating-point operations a
+    /// fully stored timeline would be summed with, so aggregates are
+    /// bit-identical across sampling rates and engine modes.
+    pub fn record(&mut self, time_ns: f64, queue_depth: usize, batch_occupancy: usize) {
+        if self.events == 0 {
+            self.first_ns = time_ns;
+        } else {
+            self.weighted_occupancy_ns += self.last_occupancy as f64 * (time_ns - self.last_ns);
+        }
+        self.last_ns = time_ns;
+        self.last_occupancy = batch_occupancy;
+        self.peak_queue_depth = self.peak_queue_depth.max(queue_depth);
+        self.peak_batch_occupancy = self.peak_batch_occupancy.max(batch_occupancy);
+        if self.sample_every > 0 && self.events.is_multiple_of(self.sample_every as u64) {
+            self.points.push(TimelinePoint {
+                time_ns,
+                queue_depth,
+                batch_occupancy,
+            });
+        }
+        self.events += 1;
+    }
+
+    /// Consumes the collector into the stored points and the exact aggregates.
+    pub fn finish(self) -> (Vec<TimelinePoint>, TelemetryStats) {
+        let mean_batch_occupancy = if self.events > 1 && self.last_ns > self.first_ns {
+            self.weighted_occupancy_ns / (self.last_ns - self.first_ns)
+        } else {
+            0.0
+        };
+        (
+            self.points,
+            TelemetryStats {
+                events: self.events,
+                peak_queue_depth: self.peak_queue_depth,
+                peak_batch_occupancy: self.peak_batch_occupancy,
+                mean_batch_occupancy,
+            },
+        )
+    }
+}
+
 /// The raw output of one simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
     /// Completed requests, in trace order.
     pub outcomes: Vec<RequestOutcome>,
-    /// Queue-depth / batch-occupancy time series.
+    /// Queue-depth / batch-occupancy time series (possibly decimated, see
+    /// [`Telemetry`]).
     pub timeline: Vec<TimelinePoint>,
     /// Simulated span from t = 0 to the last event, in nanoseconds.
     pub makespan_ns: f64,
+    /// Exact whole-run telemetry aggregates (independent of the timeline
+    /// sampling rate).
+    pub telemetry: TelemetryStats,
 }
 
 /// A latency service-level objective on TTFT and TPOT.
@@ -180,31 +304,16 @@ impl SimResult {
                 met as f64 / self.outcomes.len() as f64
             },
             mean_batch_occupancy: self.mean_batch_occupancy(),
-            peak_queue_depth: self
-                .timeline
-                .iter()
-                .map(|p| p.queue_depth)
-                .max()
-                .unwrap_or(0),
+            peak_queue_depth: self.telemetry.peak_queue_depth,
             makespan_s,
         }
     }
 
-    /// Time-weighted mean batch occupancy over the timeline (each sample holds
-    /// until the next one).
+    /// Time-weighted mean batch occupancy (each event's occupancy holds until
+    /// the next event) — the exact aggregate, independent of how sparsely the
+    /// timeline was sampled.
     pub fn mean_batch_occupancy(&self) -> f64 {
-        let span = match (self.timeline.first(), self.timeline.last()) {
-            (Some(first), Some(last)) if last.time_ns > first.time_ns => {
-                last.time_ns - first.time_ns
-            }
-            _ => return 0.0,
-        };
-        let weighted: f64 = self
-            .timeline
-            .windows(2)
-            .map(|w| w[0].batch_occupancy as f64 * (w[1].time_ns - w[0].time_ns))
-            .sum();
-        weighted / span
+        self.telemetry.mean_batch_occupancy
     }
 }
 
@@ -255,28 +364,30 @@ mod tests {
 
     #[test]
     fn summary_counts_and_rates() {
+        let timeline = vec![
+            TimelinePoint {
+                time_ns: 0.0,
+                queue_depth: 2,
+                batch_occupancy: 0,
+            },
+            TimelinePoint {
+                time_ns: 10.0e6,
+                queue_depth: 0,
+                batch_occupancy: 2,
+            },
+            TimelinePoint {
+                time_ns: 20.0e6,
+                queue_depth: 0,
+                batch_occupancy: 0,
+            },
+        ];
         let result = SimResult {
             outcomes: vec![
                 outcome(0.0, 0.5e6, 1.0e6, 2),  // meets 1ms/1ms SLO
                 outcome(0.0, 5.0e6, 20.0e6, 2), // misses
             ],
-            timeline: vec![
-                TimelinePoint {
-                    time_ns: 0.0,
-                    queue_depth: 2,
-                    batch_occupancy: 0,
-                },
-                TimelinePoint {
-                    time_ns: 10.0e6,
-                    queue_depth: 0,
-                    batch_occupancy: 2,
-                },
-                TimelinePoint {
-                    time_ns: 20.0e6,
-                    queue_depth: 0,
-                    batch_occupancy: 0,
-                },
-            ],
+            telemetry: TelemetryStats::from_timeline(&timeline),
+            timeline,
             makespan_ns: 20.0e6,
         };
         let s = result.summary(&SloSpec {
@@ -299,11 +410,68 @@ mod tests {
             outcomes: vec![],
             timeline: vec![],
             makespan_ns: 0.0,
+            telemetry: TelemetryStats::default(),
         }
         .summary(&SloSpec::default());
         assert_eq!(s.completed, 0);
         assert_eq!(s.slo_attainment, 0.0);
         assert_eq!(s.throughput_rps, 0.0);
         assert_eq!(s.mean_batch_occupancy, 0.0);
+    }
+
+    #[test]
+    fn telemetry_aggregates_are_sampling_invariant() {
+        let mut full = Telemetry::new(1);
+        let mut sparse = Telemetry::new(7);
+        let mut none = Telemetry::new(0);
+        for i in 0..100u64 {
+            let (t, q, occ) = (i as f64 * 3.0, (i % 5) as usize, (i % 9) as usize);
+            full.record(t, q, occ);
+            sparse.record(t, q, occ);
+            none.record(t, q, occ);
+        }
+        let (full_points, full_stats) = full.finish();
+        let (sparse_points, sparse_stats) = sparse.finish();
+        let (no_points, none_stats) = none.finish();
+        assert_eq!(full_points.len(), 100);
+        assert_eq!(sparse_points.len(), 100usize.div_ceil(7));
+        assert!(no_points.is_empty());
+        assert_eq!(full_stats, sparse_stats);
+        assert_eq!(full_stats, none_stats);
+        assert_eq!(full_stats.events, 100);
+        assert_eq!(full_stats.peak_queue_depth, 4);
+        assert_eq!(full_stats.peak_batch_occupancy, 8);
+        assert!(full_stats.mean_batch_occupancy > 0.0);
+    }
+
+    #[test]
+    fn telemetry_from_timeline_matches_windowed_integration() {
+        let timeline = [
+            TimelinePoint {
+                time_ns: 0.0,
+                queue_depth: 1,
+                batch_occupancy: 0,
+            },
+            TimelinePoint {
+                time_ns: 10.0,
+                queue_depth: 0,
+                batch_occupancy: 4,
+            },
+            TimelinePoint {
+                time_ns: 30.0,
+                queue_depth: 0,
+                batch_occupancy: 0,
+            },
+        ];
+        let stats = TelemetryStats::from_timeline(&timeline);
+        // 0 for 10 ns, then 4 for 20 ns over a 30 ns span.
+        assert!((stats.mean_batch_occupancy - 4.0 * 20.0 / 30.0).abs() < 1e-12);
+        assert_eq!(stats.peak_batch_occupancy, 4);
+        assert_eq!(stats.events, 3);
+        // Degenerate spans integrate to zero.
+        assert_eq!(
+            TelemetryStats::from_timeline(&timeline[..1]).mean_batch_occupancy,
+            0.0
+        );
     }
 }

@@ -44,6 +44,12 @@ pub struct TrafficGrid {
     /// Sequence-length bucket for step-latency lookups (see
     /// [`EngineConfig::seq_bucket`]).
     pub seq_bucket: usize,
+    /// Macro-step fast-forwarding (see [`EngineConfig::fast_forward`]).
+    /// Results are bit-identical either way; `false` forces the per-step
+    /// oracle loop.
+    pub fast_forward: bool,
+    /// Timeline decimation (see [`EngineConfig::timeline_sample_every`]).
+    pub timeline_sample_every: usize,
 }
 
 impl TrafficGrid {
@@ -61,6 +67,8 @@ impl TrafficGrid {
             seed: 0xC0FFEE,
             slo: SloSpec::default(),
             seq_bucket: 1,
+            fast_forward: true,
+            timeline_sample_every: 1,
         }
     }
 
@@ -111,6 +119,20 @@ impl TrafficGrid {
     pub fn with_seq_bucket(mut self, seq_bucket: usize) -> Self {
         assert!(seq_bucket > 0, "seq_bucket must be positive");
         self.seq_bucket = seq_bucket;
+        self
+    }
+
+    /// Enables or disables macro-step fast-forwarding (on by default; results
+    /// are bit-identical either way).
+    pub fn with_fast_forward(mut self, fast_forward: bool) -> Self {
+        self.fast_forward = fast_forward;
+        self
+    }
+
+    /// Sets the timeline sampling stride (1 = store every event, 0 = store no
+    /// points; aggregate metrics are exact in all cases).
+    pub fn with_timeline_sampling(mut self, sample_every: usize) -> Self {
+        self.timeline_sample_every = sample_every;
         self
     }
 
@@ -243,6 +265,8 @@ impl TrafficRunner {
                     max_batch,
                     capacity_bytes: None,
                     seq_bucket: grid.seq_bucket,
+                    fast_forward: grid.fast_forward,
+                    timeline_sample_every: grid.timeline_sample_every,
                 },
             );
             let mut policy = grid.policy.build();

@@ -42,6 +42,38 @@ pub enum Action {
     Wait,
 }
 
+/// How long a just-requested pure decode decision remains valid — the
+/// contract that lets the engine fast-forward runs of identical decode steps
+/// instead of re-consulting the scheduler at every boundary. Results are
+/// bit-identical at every level; stronger levels only skip scheduler consults
+/// that provably could not change the outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeStability {
+    /// Re-consult the scheduler at every step boundary (always safe; the
+    /// default for custom policies).
+    PerStep,
+    /// The pure decode stands until the next request **arrival** or request
+    /// **completion** — the two events that change what the policy observes
+    /// (queue contents and batch membership; the admission probe is invariant
+    /// in between because footprints are estimated at *final* sequence
+    /// lengths). Seq-bucket crossings only change the step latency, which the
+    /// engine re-reads itself. The conservative choice for custom policies
+    /// that admit work-conservingly but inspect more than admissibility.
+    UntilBatchChange,
+    /// The decision tracks **admissibility** alone: re-consult at a completion
+    /// only if something is waiting at that moment, and at an arrival only if
+    /// the batch has a free slot. Arrivals into a full batch and completions
+    /// with an empty queue are absorbed into the macro-step (queued/recorded
+    /// by the engine, policy not consulted — it could not have acted). The
+    /// contract of admission policies whose only reason to interrupt decoding
+    /// is to admit: continuous batching and chunked prefill.
+    UntilAdmissible,
+    /// The pure decode stands until the batch **drains**: neither arrivals
+    /// nor completions change the decision while anything is still decoding.
+    /// The contract of run-to-completion policies: FCFS static batching.
+    UntilBatchDrains,
+}
+
 /// A scheduling/admission policy.
 pub trait Scheduler {
     /// Short policy name for records and bench output.
@@ -51,6 +83,18 @@ pub trait Scheduler {
     /// simulation start, after every completed work item, and on arrivals
     /// while idle.
     fn decide(&mut self, view: &EngineView<'_>) -> Action;
+
+    /// The stability of the pure decode step just requested: consulted by the
+    /// engine immediately after [`Scheduler::decide`] returned
+    /// `DecodeStep { fused_chunk_tokens: 0 }`. See [`DecodeStability`] for the
+    /// contract each level asserts; anything beyond
+    /// [`DecodeStability::PerStep`] lets the engine fast-forward the run of
+    /// decode steps in macro-steps (identical results, orders of magnitude
+    /// fewer event-loop iterations). The default is always safe: stateful or
+    /// time-dependent policies simply run step by step.
+    fn decode_stability(&self, _view: &EngineView<'_>) -> DecodeStability {
+        DecodeStability::PerStep
+    }
 }
 
 /// FCFS static batching: a batch is admitted only when the previous one has
@@ -76,6 +120,13 @@ impl Scheduler for FcfsStatic {
             Action::Wait
         }
     }
+
+    /// A running FCFS batch decodes to completion regardless of what queues up
+    /// behind it or finishes inside it: only the batch draining entirely
+    /// brings the policy back in.
+    fn decode_stability(&self, _view: &EngineView<'_>) -> DecodeStability {
+        DecodeStability::UntilBatchDrains
+    }
 }
 
 /// Continuous batching with prefill priority: at every boundary, admit as many
@@ -100,6 +151,13 @@ impl Scheduler for ContinuousBatching {
         } else {
             Action::Wait
         }
+    }
+
+    /// A pure decode means `admissible_count() == 0`; the decision flips
+    /// exactly when admission becomes possible, which is what
+    /// [`DecodeStability::UntilAdmissible`] encodes.
+    fn decode_stability(&self, _view: &EngineView<'_>) -> DecodeStability {
+        DecodeStability::UntilAdmissible
     }
 }
 
@@ -144,6 +202,13 @@ impl Scheduler for ChunkedPrefill {
         } else {
             Action::Wait
         }
+    }
+
+    /// A chunk-free decode means the queue head cannot join
+    /// (`admissible_count() == 0`) — the same admissibility argument as
+    /// continuous batching.
+    fn decode_stability(&self, _view: &EngineView<'_>) -> DecodeStability {
+        DecodeStability::UntilAdmissible
     }
 }
 

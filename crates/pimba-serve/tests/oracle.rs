@@ -52,7 +52,7 @@ fn closed_loop_e2e_matches_analytic(
         EngineConfig {
             max_batch: batch,
             capacity_bytes: Some(f64::INFINITY),
-            seq_bucket: 1,
+            ..EngineConfig::default()
         },
     );
     let trace = Trace::closed_loop(batch, prompt_len, output_len);
@@ -112,7 +112,7 @@ fn closed_loop_ttft_is_prefill_plus_first_step() {
         EngineConfig {
             max_batch: batch,
             capacity_bytes: Some(f64::INFINITY),
-            seq_bucket: 1,
+            ..EngineConfig::default()
         },
     );
     let result = engine.run(&Trace::closed_loop(batch, prompt, 4), &mut FcfsStatic);

@@ -194,14 +194,21 @@ impl CacheStats {
     }
 }
 
+/// Number of independently locked sub-maps per cache layer. Lookups pick a
+/// sub-shard from the high bits of the key hash (the map itself indexes by the
+/// low bits), so concurrent sweep/traffic workers contend on a lock only when
+/// they race on keys that land in the same 1/16th of the key space — instead of
+/// on one global `RwLock` per layer as before.
+const SHARD_WAYS: usize = 16;
+
 #[derive(Debug)]
-struct Shard<K, V> {
+struct SubShard<K, V> {
     map: RwLock<HashMap<K, V, FxBuildHasher>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl<K, V> Default for Shard<K, V> {
+impl<K, V> Default for SubShard<K, V> {
     fn default() -> Self {
         Self {
             map: RwLock::new(HashMap::default()),
@@ -211,17 +218,44 @@ impl<K, V> Default for Shard<K, V> {
     }
 }
 
+/// One cache layer: a 16-way sharded, read-mostly hash map. Reads take a shared
+/// lock on a single sub-shard; writes (misses) take that sub-shard's exclusive
+/// lock only while inserting the already-computed value.
+#[derive(Debug)]
+struct Shard<K, V> {
+    ways: [SubShard<K, V>; SHARD_WAYS],
+}
+
+impl<K, V> Default for Shard<K, V> {
+    fn default() -> Self {
+        Self {
+            ways: std::array::from_fn(|_| SubShard::default()),
+        }
+    }
+}
+
 impl<K: std::hash::Hash + Eq + Clone, V: Clone> Shard<K, V> {
+    fn way(&self, key: &K) -> &SubShard<K, V> {
+        use std::hash::BuildHasher;
+        let hash = FxBuildHasher::default().hash_one(key);
+        // The inner HashMap consumes the low bits (bucket index) and the top
+        // seven bits (hashbrown's control tag) of this same hash; the
+        // sub-shard is selected from bits 48..52 so all three partitions stay
+        // independent.
+        &self.ways[(hash >> 48) as usize % SHARD_WAYS]
+    }
+
     fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
-        if let Some(value) = self.map.read().expect("cache lock poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        let way = self.way(&key);
+        if let Some(value) = way.map.read().expect("cache lock poisoned").get(&key) {
+            way.hits.fetch_add(1, Ordering::Relaxed);
             return value.clone();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        way.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute();
         // A racing thread may have inserted the same key meanwhile; both computed
         // the same deterministic value, so either insert order is fine.
-        self.map
+        way.map
             .write()
             .expect("cache lock poisoned")
             .entry(key)
@@ -230,17 +264,21 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> Shard<K, V> {
     }
 
     fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.read().expect("cache lock poisoned").len(),
+        let mut stats = CacheStats::default();
+        for way in &self.ways {
+            stats.hits += way.hits.load(Ordering::Relaxed);
+            stats.misses += way.misses.load(Ordering::Relaxed);
+            stats.entries += way.map.read().expect("cache lock poisoned").len();
         }
+        stats
     }
 
     fn clear(&self) {
-        self.map.write().expect("cache lock poisoned").clear();
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        for way in &self.ways {
+            way.map.write().expect("cache lock poisoned").clear();
+            way.hits.store(0, Ordering::Relaxed);
+            way.misses.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -250,7 +288,9 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> Shard<K, V> {
 /// [`GenerationWorkload`]s keyed by [`WorkloadKey`], and whole-prefill latencies
 /// keyed by [`WorkloadKey`] at the prompt length (prefill always runs on the
 /// GPU, so a separate layer keeps it from colliding with the PIM-aware decode
-/// evaluations). All are safe to share across threads; cloning a
+/// evaluations). Each layer is a 16-way sharded, read-mostly map, so worker
+/// threads contend on a lock only when racing on the same slice of the key
+/// space. All are safe to share across threads; cloning a
 /// [`crate::serving::ServingSimulator`] shares its cache.
 #[derive(Debug, Default)]
 pub struct LatencyCache {

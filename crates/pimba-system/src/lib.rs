@@ -14,10 +14,14 @@
 //! * [`serving`] — per-token-step latency breakdowns, throughput, request latency and
 //!   energy accounting,
 //! * [`memory`] — device memory footprints (parameters, state, KV cache),
-//! * [`cache`] — the shape-keyed latency cache that makes repeated evaluations of
-//!   identical operator shapes free (and bit-identical to the uncached path),
+//! * [`cache`] — the sharded shape-keyed latency cache that makes repeated
+//!   evaluations of identical operator shapes free (and bit-identical to the
+//!   uncached path),
+//! * [`table`] — dense per-run `(batch, seq-bucket)` latency tables: the
+//!   lock-free O(1) lookup layer of the `pimba-serve` event loop,
 //! * [`sweep`] — the parallel grid-sweep engine and SLO-capacity search powering the
-//!   figure benches (and the shared [`sweep::parallel_map`] fan-out),
+//!   figure benches (and the shared [`sweep::parallel_map`] fan-out), built on the
+//!   seq-invariant [`serving::StepFunction`] row evaluator,
 //! * [`stats`] — exact order-statistic percentiles shared by the sweep engine, the
 //!   `pimba-serve` traffic metrics and the benches.
 //!
@@ -46,10 +50,13 @@ pub mod pipeline;
 pub mod serving;
 pub mod stats;
 pub mod sweep;
+pub mod table;
 
 pub use cache::{CacheStats, LatencyCache};
 pub use config::{SystemConfig, SystemKind};
+pub use memory::MemoryModel;
 pub use pipeline::PipelineDeployment;
-pub use serving::{EnergyBreakdown, ServingSimulator, StepBreakdown};
+pub use serving::{EnergyBreakdown, ServingSimulator, StepBreakdown, StepFunction};
 pub use stats::{exact_percentile, median, percentile_of_sorted};
 pub use sweep::{max_batch_within_slo, parallel_map, SweepGrid, SweepRecord, SweepRunner};
+pub use table::{PrefillLatencyTable, StepLatencyTable};

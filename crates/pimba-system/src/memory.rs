@@ -39,6 +39,49 @@ impl MemoryBreakdown {
     }
 }
 
+/// Closed-form memory accounting for one `(system, model)` pair: the
+/// admission-control fast path of the `pimba-serve` engine.
+///
+/// `memory_usage_bytes` builds (or looks up) a whole [`GenerationWorkload`]
+/// only to read three footprint numbers off it; an admission probe asks that
+/// question once per queued candidate per scheduling decision, which makes the
+/// workload round trip the hot-path cost. This model precomputes the
+/// batch/seq-invariant factors once and answers with a handful of
+/// multiply-adds — performed in exactly the same order as the workload
+/// accessors ([`GenerationWorkload::param_bytes`]/`state_bytes`/`kv_bytes` and
+/// [`MemoryBreakdown::total_bytes`]), so the result is bit-identical and an
+/// admission decision can never differ between the two paths.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryModel<'a> {
+    model: &'a ModelConfig,
+    params_bytes: f64,
+    state_elems_per_request: f64,
+    state_bytes_per_value: f64,
+    kv_bytes_per_value: f64,
+}
+
+impl<'a> MemoryModel<'a> {
+    /// Builds the model for `model` stored with `config`'s formats.
+    pub fn new(config: &SystemConfig, model: &'a ModelConfig) -> Self {
+        Self {
+            model,
+            params_bytes: model.param_count() * config.formats.weights.bytes_per_value(),
+            state_elems_per_request: model.state_elements_per_request(),
+            state_bytes_per_value: config.formats.state.bytes_per_value(),
+            kv_bytes_per_value: config.formats.kv_cache.bytes_per_value(),
+        }
+    }
+
+    /// Total device memory in bytes at the given batch and sequence length —
+    /// bit-identical to [`memory_usage_bytes`].
+    pub fn usage_bytes(&self, batch: usize, seq_len: usize) -> f64 {
+        let state_bytes = batch as f64 * self.state_elems_per_request * self.state_bytes_per_value;
+        let kv_bytes =
+            batch as f64 * self.model.kv_elements_per_request(seq_len) * self.kv_bytes_per_value;
+        self.params_bytes + state_bytes + kv_bytes
+    }
+}
+
 /// Memory footprint of serving `model` on `config` with the given batch and sequence
 /// length (aggregate across the tensor-parallel group).
 pub fn memory_breakdown(
@@ -117,6 +160,26 @@ mod tests {
         let short = memory_usage_bytes(&cfg, &model, 128, 1024);
         let long = memory_usage_bytes(&cfg, &model, 128, 2048);
         assert!(long > short);
+    }
+
+    #[test]
+    fn memory_model_is_bit_identical_to_the_workload_path() {
+        for kind in [SystemKind::Gpu, SystemKind::GpuQuant, SystemKind::Pimba] {
+            let cfg = SystemConfig::small_scale(kind);
+            for family in [ModelFamily::Mamba2, ModelFamily::Opt, ModelFamily::Zamba2] {
+                let model = ModelConfig::preset(family, ModelScale::Small);
+                let fast = MemoryModel::new(&cfg, &model);
+                for batch in [1usize, 7, 64, 311] {
+                    for seq in [1usize, 129, 2048, 8191] {
+                        assert_eq!(
+                            fast.usage_bytes(batch, seq),
+                            memory_usage_bytes(&cfg, &model, batch, seq),
+                            "{kind:?}/{family:?} b={batch} s={seq}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -208,24 +208,29 @@ impl ServingSimulator {
         Some((result.latency_ns / tp, result.energy.scaled(1.0 / tp)))
     }
 
-    /// Evaluates one operator — PIM if this system offloads it, GPU otherwise —
-    /// answering from the shape-keyed cache when one is attached.
-    fn evaluate_op(&self, op: &OpInstance) -> OpLatency {
-        let compute = || {
-            if let Some((pim_ns, _)) = self.pim_latency(op) {
-                // Blocked execution: the GPU waits for the PIM result, then continues.
-                // Operand transfer / result readback is part of the PIM schedule.
-                CachedOpLatency {
-                    on_pim: true,
-                    latency_ns: pim_ns,
-                }
-            } else {
-                CachedOpLatency {
-                    on_pim: false,
-                    latency_ns: self.gpu_latency(op),
-                }
+    /// The raw (uncached) evaluation of one operator — PIM if this system
+    /// offloads it, GPU otherwise. The single source of truth both the cached
+    /// lookup and the seq-invariant [`StepFunction`] fast path compute with.
+    fn evaluate_op_uncached(&self, op: &OpInstance) -> CachedOpLatency {
+        if let Some((pim_ns, _)) = self.pim_latency(op) {
+            // Blocked execution: the GPU waits for the PIM result, then continues.
+            // Operand transfer / result readback is part of the PIM schedule.
+            CachedOpLatency {
+                on_pim: true,
+                latency_ns: pim_ns,
             }
-        };
+        } else {
+            CachedOpLatency {
+                on_pim: false,
+                latency_ns: self.gpu_latency(op),
+            }
+        }
+    }
+
+    /// Evaluates one operator, answering from the shape-keyed cache when one is
+    /// attached.
+    fn evaluate_op(&self, op: &OpInstance) -> OpLatency {
+        let compute = || self.evaluate_op_uncached(op);
         let evaluated = match &self.cache {
             Some(cache) => cache.op_latency(OpKey::new(op, self.config.formats), compute),
             None => compute(),
@@ -253,6 +258,68 @@ impl ServingSimulator {
             side: ExecutionSide::Gpu,
             latency_ns: comm,
         })
+    }
+
+    /// Like [`ServingSimulator::evaluate_op`] but always computing directly,
+    /// bypassing the shape-keyed cache. Used where the caller knows the key is
+    /// unique (one-shot evaluations along a sweep row): the analytic roofline
+    /// recompute is cheaper than a hash-map round trip, and the value is
+    /// bit-identical either way.
+    fn evaluate_op_direct(&self, op: &OpInstance) -> OpLatency {
+        let evaluated = self.evaluate_op_uncached(op);
+        OpLatency {
+            kind: op.kind,
+            side: if evaluated.on_pim {
+                ExecutionSide::Pim
+            } else {
+                ExecutionSide::Gpu
+            },
+            latency_ns: evaluated.latency_ns,
+        }
+    }
+
+    /// Builds the seq-invariant [`StepFunction`] of one `(model, batch)` pair:
+    /// every operator except attention is evaluated once up front, after which
+    /// [`StepFunction::breakdown`] and [`StepFunction::memory_bytes`] answer any
+    /// sequence length with a single attention evaluation and a handful of
+    /// floating-point additions — no workload construction, no hashing, no
+    /// locks. Results are bit-identical to [`ServingSimulator::generation_step`]
+    /// and [`ServingSimulator::memory_usage_bytes`] (asserted by
+    /// `tests/sweep_regression.rs`).
+    pub fn step_function<'a>(&'a self, model: &'a ModelConfig, batch: usize) -> StepFunction<'a> {
+        // The probe sequence length is irrelevant: the attention operator is
+        // skipped and every other operator ignores it (the single invariant
+        // `GenerationWorkload::attention_op` exists to encode). Built and
+        // evaluated directly — a step function's whole point is to amortize
+        // these one-shot evaluations over a row, so routing them through the
+        // shared cache would only add hashing and locking to keys no other row
+        // can reuse.
+        let workload =
+            GenerationWorkload::single_step_with_formats(model, batch, 1, self.config.formats);
+        let mut pre = Vec::new();
+        let mut post = Vec::new();
+        let mut seen_attention = false;
+        for op in &workload.ops {
+            if op.kind == OpKind::Attention {
+                seen_attention = true;
+                continue;
+            }
+            let latency = self.evaluate_op_direct(op);
+            if seen_attention {
+                post.push(latency);
+            } else {
+                pre.push(latency);
+            }
+        }
+        post.extend(self.communication_op(model, batch));
+        StepFunction {
+            sim: self,
+            model,
+            batch,
+            pre,
+            post,
+            params_plus_state_bytes: workload.param_bytes() + workload.state_bytes(),
+        }
     }
 
     /// Simulates one generation step and returns its latency breakdown.
@@ -448,6 +515,89 @@ impl ServingSimulator {
     /// Total device memory in use across the cluster, in bytes.
     pub fn memory_usage_bytes(&self, model: &ModelConfig, batch: usize, seq_len: usize) -> f64 {
         self.memory_breakdown(model, batch, seq_len).total_bytes()
+    }
+}
+
+/// The generation step of one `(system, model, batch)` as a function of the
+/// sequence length alone.
+///
+/// Built by [`ServingSimulator::step_function`]. Everything that does not
+/// depend on the sequence length — all operators except attention, the
+/// tensor-parallel communication, the parameter and state footprints — is
+/// evaluated exactly once at construction; per sequence length only the
+/// attention operator is evaluated (directly, skipping the cache: along a sweep
+/// row every attention shape is unique, so a lookup would cost more than the
+/// roofline recompute it fronts). Sum order matches
+/// [`ServingSimulator::generation_step`] term for term, so totals are
+/// bit-identical, not merely close.
+#[derive(Debug, Clone)]
+pub struct StepFunction<'a> {
+    sim: &'a ServingSimulator,
+    model: &'a ModelConfig,
+    batch: usize,
+    /// Evaluated operators preceding attention in workload order.
+    pre: Vec<OpLatency>,
+    /// Evaluated operators following attention (communication last).
+    post: Vec<OpLatency>,
+    /// Parameter + state footprint (the seq-invariant part of the memory sum).
+    params_plus_state_bytes: f64,
+}
+
+impl StepFunction<'_> {
+    /// The batch size this function was built for.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The full latency breakdown of one generation step at `seq_len` —
+    /// bit-identical to `generation_step(model, batch, seq_len)`.
+    pub fn breakdown(&self, seq_len: usize) -> StepBreakdown {
+        let mut ops = Vec::with_capacity(self.pre.len() + self.post.len() + 1);
+        ops.extend_from_slice(&self.pre);
+        if let Some(op) = GenerationWorkload::attention_op(
+            self.model,
+            self.batch,
+            seq_len,
+            self.sim.config.formats,
+        ) {
+            ops.push(self.sim.evaluate_op_direct(&op));
+        }
+        ops.extend_from_slice(&self.post);
+        let total_ns = ops.iter().map(|o| o.latency_ns).sum();
+        StepBreakdown { ops, total_ns }
+    }
+
+    /// The total step latency at `seq_len` without materializing the
+    /// breakdown — the same additions in the same order as
+    /// [`StepFunction::breakdown`]'s `total_ns` (and therefore as
+    /// `generation_step`), just with no per-call allocation. This is the fill
+    /// path of the dense [`StepLatencyTable`](crate::table::StepLatencyTable).
+    pub fn total_ns(&self, seq_len: usize) -> f64 {
+        let mut total = 0.0;
+        for op in &self.pre {
+            total += op.latency_ns;
+        }
+        if let Some(op) = GenerationWorkload::attention_op(
+            self.model,
+            self.batch,
+            seq_len,
+            self.sim.config.formats,
+        ) {
+            total += self.sim.evaluate_op_direct(&op).latency_ns;
+        }
+        for op in &self.post {
+            total += op.latency_ns;
+        }
+        total
+    }
+
+    /// Aggregate device memory at `seq_len` — bit-identical to
+    /// `memory_usage_bytes(model, batch, seq_len)`.
+    pub fn memory_bytes(&self, seq_len: usize) -> f64 {
+        let kv_bytes = self.batch as f64
+            * self.model.kv_elements_per_request(seq_len)
+            * self.sim.config.formats.kv_cache.bytes_per_value();
+        self.params_plus_state_bytes + kv_bytes
     }
 }
 

@@ -223,23 +223,36 @@ impl SweepRunner {
             .collect()
     }
 
-    fn evaluate(grid: &SweepGrid, sims: &[ServingSimulator], i: usize) -> SweepRecord {
-        let (sys, m, b, s) = grid.indices(i);
-        let sim = &sims[sys];
+    /// Evaluates one `(system, model, batch)` row — the whole seq-len axis —
+    /// through a single seq-invariant [`StepFunction`](crate::serving::StepFunction):
+    /// every operator except attention is evaluated once per row instead of
+    /// once per point, and no workload is constructed (or hashed, or locked) in
+    /// the per-point loop. Records are bit-identical to evaluating
+    /// `generation_step` point by point (`tests/sweep_regression.rs`).
+    fn evaluate_row(grid: &SweepGrid, sims: &[ServingSimulator], row: usize) -> Vec<SweepRecord> {
+        // A row is one contiguous block of the flat grid order; its first point
+        // carries the row's (system, model, batch) coordinates.
+        let (sys, m, b, _) = grid.indices(row * grid.seq_lens.len());
         let model = &grid.models[m];
-        let (batch, seq_len) = (grid.batches[b], grid.seq_lens[s]);
-        let step = sim.generation_step(model, batch, seq_len);
-        let throughput_tps = batch as f64 / (step.total_ns * 1e-9);
-        let memory_bytes = sim.memory_usage_bytes(model, batch, seq_len);
-        SweepRecord {
-            system: sys,
-            model: m,
-            batch,
-            seq_len,
-            step,
-            throughput_tps,
-            memory_bytes,
-        }
+        let batch = grid.batches[b];
+        let step_fn = sims[sys].step_function(model, batch);
+        grid.seq_lens
+            .iter()
+            .map(|&seq_len| {
+                let step = step_fn.breakdown(seq_len);
+                let throughput_tps = batch as f64 / (step.total_ns * 1e-9);
+                let memory_bytes = step_fn.memory_bytes(seq_len);
+                SweepRecord {
+                    system: sys,
+                    model: m,
+                    batch,
+                    seq_len,
+                    step,
+                    throughput_tps,
+                    memory_bytes,
+                }
+            })
+            .collect()
     }
 
     /// Evaluates every grid point and returns the records in grid order
@@ -250,11 +263,22 @@ impl SweepRunner {
             return Vec::new();
         }
         let sims = self.simulators(grid);
-        // Thread spawn/join costs more than evaluating a handful of points, so
-        // small grids run inline; results are identical either way.
+        // Work is partitioned in rows of one full seq-len axis (the unit the
+        // seq-invariant evaluator amortizes over); flattening row results in
+        // row order reproduces grid order exactly, since seq-len is the
+        // fastest-varying grid axis. Thread spawn/join costs more than
+        // evaluating a handful of points, so small grids run inline; results
+        // are identical either way.
         const MIN_POINTS_PER_THREAD: usize = 16;
-        let threads = self.threads.min(total.div_ceil(MIN_POINTS_PER_THREAD));
-        parallel_map(total, threads, |i| Self::evaluate(grid, &sims, i))
+        let rows = grid.systems.len() * grid.models.len() * grid.batches.len();
+        let threads = self
+            .threads
+            .min(total.div_ceil(MIN_POINTS_PER_THREAD))
+            .min(rows);
+        parallel_map(rows, threads, |row| Self::evaluate_row(grid, &sims, row))
+            .into_iter()
+            .flatten()
+            .collect()
     }
 }
 
