@@ -1,0 +1,575 @@
+//! The fleet co-simulator: N per-replica `pimba-serve` engine sessions under
+//! a front-door router, colocated or disaggregated.
+//!
+//! Each replica is one incrementally-steppable
+//! [`Session`] of the single-replica engine — the same
+//! event loop, schedulers, admission control and fast-forward machinery,
+//! advanced here in co-simulation windows. The driver walks the global trace
+//! in time order; before an arrival at `t` every replica that could be
+//! routed to is stepped to `t` (exclusive — see the `pimba-serve` engine
+//! docs for why the exclusive horizon makes incremental feeding exact), the
+//! [`Router`] picks a replica from the [`ReplicaLoad`] snapshot, and the
+//! request is injected. A colocated fleet of one replica therefore computes
+//! **bit-identically** to a plain `Engine::run` over the same trace — the
+//! anchor the fleet test-suite (and the `fleet_scale` bench, on every run)
+//! asserts.
+//!
+//! # Disaggregated prefill/decode
+//!
+//! [`FleetMode::Disaggregated`] splits the fleet into a prefill pool and a
+//! decode pool. The front door routes arrivals over the prefill pool, where a
+//! request runs its prompt prefill plus the first decode step (producing the
+//! first token — TTFT is paid here). Its decoding context — the SU-LLM state
+//! and any KV cache, sized by
+//! [`MemoryModel::dynamic_bytes`] in the system's storage formats — then
+//! ships to a decode replica through the [`StateTransferModel`], arriving
+//! `transfer_ns(bytes)` later; a second router (its own keyed PCG stream)
+//! places it, and [`Session::inject_prefilled`] resumes decoding at full
+//! context without re-prefilling. Handoffs are delivered in global
+//! arrival-time order (completion windows between trace arrivals guarantee no
+//! earlier handoff can appear later), so the co-simulation stays
+//! deterministic for any worker-thread count of the grid runner above it.
+
+use crate::metrics::{FleetResult, ReplicaReport, ReplicaRole};
+use crate::router::{streams, ReplicaLoad, Router, RouterKind};
+use pimba_models::config::ModelConfig;
+use pimba_serve::engine::{Engine, EngineConfig, Session};
+use pimba_serve::metrics::{RequestOutcome, SimResult};
+use pimba_serve::sched::{PolicyKind, Scheduler};
+use pimba_serve::traffic::{Trace, TraceRequest};
+use pimba_system::memory::MemoryModel;
+use pimba_system::serving::ServingSimulator;
+use pimba_system::transfer::StateTransferModel;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// How the fleet's replicas divide the request lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetMode {
+    /// Every replica serves requests end to end.
+    Colocated {
+        /// Number of replicas.
+        replicas: usize,
+    },
+    /// Prefill-pool replicas hand decoding requests to decode-pool replicas
+    /// through a state-transfer latency model.
+    Disaggregated {
+        /// Replicas in the prefill pool.
+        prefill_replicas: usize,
+        /// Replicas in the decode pool.
+        decode_replicas: usize,
+        /// The prefill→decode state-handoff cost model.
+        transfer: StateTransferModel,
+    },
+}
+
+impl FleetMode {
+    /// Total replica count.
+    pub fn replicas(&self) -> usize {
+        match *self {
+            FleetMode::Colocated { replicas } => replicas,
+            FleetMode::Disaggregated {
+                prefill_replicas,
+                decode_replicas,
+                ..
+            } => prefill_replicas + decode_replicas,
+        }
+    }
+}
+
+/// One fleet simulation's configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Replica topology.
+    pub mode: FleetMode,
+    /// Front-door routing policy (also used, on its own PCG stream, for the
+    /// decode pool of a disaggregated fleet).
+    pub router: RouterKind,
+    /// Per-replica scheduling policy.
+    pub policy: PolicyKind,
+    /// Per-replica engine knobs (batch cap, memory budget, seq bucketing,
+    /// fast-forward, timeline decimation).
+    pub engine: EngineConfig,
+    /// Seed of the router's sampling substreams.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A colocated fleet of `replicas` continuous-batching replicas under
+    /// join-shortest-queue routing — chain field updates for anything else.
+    pub fn colocated(replicas: usize) -> Self {
+        Self {
+            mode: FleetMode::Colocated { replicas },
+            router: RouterKind::Jsq,
+            policy: PolicyKind::Continuous,
+            engine: EngineConfig::default(),
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// A pool of co-simulated replica sessions advancing in lockstep windows.
+struct Pool<'a> {
+    sessions: Vec<Session<'a>>,
+    schedulers: Vec<Box<dyn Scheduler>>,
+    loads: Vec<ReplicaLoad>,
+}
+
+impl<'a> Pool<'a> {
+    fn new(
+        engine: &'a Engine<'a>,
+        replicas: usize,
+        policy: PolicyKind,
+        max_seq_hint: usize,
+        max_prompt_hint: usize,
+    ) -> Self {
+        assert!(replicas > 0, "a pool needs at least one replica");
+        Self {
+            sessions: (0..replicas)
+                .map(|_| engine.session(max_seq_hint, max_prompt_hint))
+                .collect(),
+            schedulers: (0..replicas).map(|_| policy.build()).collect(),
+            loads: Vec::with_capacity(replicas),
+        }
+    }
+
+    /// Advances every replica through its events strictly before `t`.
+    fn step_until(&mut self, t: f64) {
+        for (session, scheduler) in self.sessions.iter_mut().zip(self.schedulers.iter_mut()) {
+            session.step_until(t, scheduler.as_mut());
+        }
+    }
+
+    /// Refreshes and returns the per-replica load snapshot.
+    fn loads(&mut self) -> &[ReplicaLoad] {
+        self.loads.clear();
+        self.loads.extend(self.sessions.iter().map(|s| ReplicaLoad {
+            outstanding: s.outstanding(),
+            queue_depth: s.queue_depth(),
+            occupancy: s.occupancy(),
+        }));
+        &self.loads
+    }
+
+    /// Drains every replica to completion and returns the per-replica results.
+    fn finish(mut self) -> Vec<SimResult> {
+        self.step_until(f64::INFINITY);
+        self.sessions.into_iter().map(Session::finish).collect()
+    }
+}
+
+/// A pending prefill→decode handoff, ordered earliest-first with a creation
+/// sequence number breaking timestamp ties (completion order, which is itself
+/// deterministic).
+struct Handoff {
+    time_ns: f64,
+    seq: u64,
+    id: usize,
+}
+
+impl PartialEq for Handoff {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_ns == other.time_ns && self.seq == other.seq
+    }
+}
+impl Eq for Handoff {}
+impl Ord for Handoff {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want earliest-first.
+        other
+            .time_ns
+            .total_cmp(&self.time_ns)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Handoff {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The cluster-level simulator for one (system, model) pair.
+pub struct FleetSim<'a> {
+    sim: &'a ServingSimulator,
+    model: &'a ModelConfig,
+}
+
+impl<'a> FleetSim<'a> {
+    /// A fleet of replicas of `sim` serving `model`. All replicas share the
+    /// simulator (and therefore its shape-keyed latency cache).
+    pub fn new(sim: &'a ServingSimulator, model: &'a ModelConfig) -> Self {
+        Self { sim, model }
+    }
+
+    /// Runs `trace` through the fleet. Deterministic in
+    /// `(system, model, trace, config)`; a single-replica colocated fleet is
+    /// bit-identical to `Engine::run` on the same trace.
+    pub fn run(&self, trace: &Trace, config: &FleetConfig) -> FleetResult {
+        assert!(
+            trace
+                .requests
+                .windows(2)
+                .all(|w| w[0].arrival_ns <= w[1].arrival_ns),
+            "fleet traces must be time-sorted (use Trace::from_requests)"
+        );
+        match config.mode {
+            FleetMode::Colocated { replicas } => self.run_colocated(trace, replicas, config),
+            FleetMode::Disaggregated {
+                prefill_replicas,
+                decode_replicas,
+                transfer,
+            } => self.run_disaggregated(trace, prefill_replicas, decode_replicas, transfer, config),
+        }
+    }
+
+    fn run_colocated(&self, trace: &Trace, replicas: usize, config: &FleetConfig) -> FleetResult {
+        let engine = Engine::new(self.sim, self.model, config.engine);
+        let (max_seq, max_prompt) = trace_bounds(trace);
+        let mut pool = Pool::new(&engine, replicas, config.policy, max_seq, max_prompt);
+        let mut router = config.router.build(config.seed, streams::ROUTER_FRONT, 0);
+        let mut assignment = Vec::with_capacity(trace.len());
+
+        for (id, request) in trace.requests.iter().enumerate() {
+            pool.step_until(request.arrival_ns);
+            let choice = router.route(id, request, pool.loads());
+            assert!(choice < replicas, "router returned replica {choice}");
+            pool.sessions[choice].inject(id, *request);
+            assignment.push(choice as u32);
+        }
+        let results = pool.finish();
+
+        let mut outcomes: Vec<RequestOutcome> = results
+            .iter()
+            .flat_map(|r| r.outcomes.iter().copied())
+            .collect();
+        outcomes.sort_by_key(|o| o.id);
+        let makespan_ns = results.iter().map(|r| r.makespan_ns).fold(0.0, f64::max);
+        let replicas = results
+            .into_iter()
+            .enumerate()
+            .map(|(replica, result)| ReplicaReport {
+                replica,
+                role: ReplicaRole::Colocated,
+                result,
+            })
+            .collect();
+        FleetResult {
+            outcomes,
+            replicas,
+            assignment,
+            decode_assignment: Vec::new(),
+            makespan_ns,
+        }
+    }
+
+    fn run_disaggregated(
+        &self,
+        trace: &Trace,
+        prefill_replicas: usize,
+        decode_replicas: usize,
+        transfer: StateTransferModel,
+        config: &FleetConfig,
+    ) -> FleetResult {
+        let engine = Engine::new(self.sim, self.model, config.engine);
+        let (max_seq, max_prompt) = trace_bounds(trace);
+        // Prefill replicas never hold a sequence past prompt+1; decode
+        // replicas never prefill (their prompt table hint stays minimal).
+        let mut prefill = Pool::new(
+            &engine,
+            prefill_replicas,
+            config.policy,
+            max_prompt + 1,
+            max_prompt,
+        );
+        let mut decode = Pool::new(&engine, decode_replicas, config.policy, max_seq + 1, 1);
+        let mut front = config.router.build(config.seed, streams::ROUTER_FRONT, 0);
+        let mut back = config.router.build(config.seed, streams::ROUTER_DECODE, 1);
+        let memory = MemoryModel::new(self.sim.config(), self.model);
+
+        let mut handoffs: BinaryHeap<Handoff> = BinaryHeap::new();
+        let mut handoff_seq = 0u64;
+        let mut assignment = Vec::with_capacity(trace.len());
+        let mut decode_assignment = vec![u32::MAX; trace.len()];
+
+        // Collects newly completed prefills into the handoff heap: the state
+        // ships `transfer_ns(dynamic bytes at prompt+1 context)` after the
+        // first token. Single-token requests never hand off.
+        let collect =
+            |prefill: &mut Pool<'_>, handoffs: &mut BinaryHeap<Handoff>, handoff_seq: &mut u64| {
+                let mut fresh = Vec::new();
+                for session in prefill.sessions.iter_mut() {
+                    fresh.extend(session.drain_completions());
+                }
+                fresh.sort_by(|a, b| {
+                    a.completion_ns
+                        .total_cmp(&b.completion_ns)
+                        .then_with(|| a.id.cmp(&b.id))
+                });
+                for done in fresh {
+                    let original = trace.requests[done.id];
+                    if original.output_len <= 1 {
+                        continue;
+                    }
+                    let bytes = memory.dynamic_bytes(1, original.prompt_len + 1);
+                    handoffs.push(Handoff {
+                        time_ns: done.completion_ns + transfer.transfer_ns(bytes),
+                        seq: *handoff_seq,
+                        id: done.id,
+                    });
+                    *handoff_seq += 1;
+                }
+            };
+
+        for (id, request) in trace.requests.iter().enumerate() {
+            let t = request.arrival_ns;
+            prefill.step_until(t);
+            collect(&mut prefill, &mut handoffs, &mut handoff_seq);
+            // Handoffs before the next trace arrival are final: every future
+            // prefill completion happens at or after `t`, so nothing earlier
+            // can still appear. Deliver them in time order.
+            while handoffs.peek().is_some_and(|h| h.time_ns < t) {
+                let h = handoffs.pop().expect("peeked handoff vanished");
+                deliver(
+                    &mut decode,
+                    back.as_mut(),
+                    trace,
+                    &h,
+                    &mut decode_assignment,
+                );
+            }
+            let pre_request = TraceRequest {
+                arrival_ns: t,
+                prompt_len: request.prompt_len,
+                output_len: 1,
+            };
+            let choice = front.route(id, &pre_request, prefill.loads());
+            assert!(
+                choice < prefill_replicas,
+                "router returned replica {choice}"
+            );
+            prefill.sessions[choice].inject(id, pre_request);
+            assignment.push(choice as u32);
+        }
+
+        // Drain the prefill pool, then deliver every remaining handoff and
+        // drain the decode pool.
+        prefill.step_until(f64::INFINITY);
+        collect(&mut prefill, &mut handoffs, &mut handoff_seq);
+        while let Some(h) = handoffs.pop() {
+            deliver(
+                &mut decode,
+                back.as_mut(),
+                trace,
+                &h,
+                &mut decode_assignment,
+            );
+        }
+        let prefill_results = prefill.finish();
+        let decode_results = decode.finish();
+
+        // Stitch the stages into end-to-end outcomes.
+        let mut first_token = vec![f64::NAN; trace.len()];
+        let mut completion = vec![f64::NAN; trace.len()];
+        for r in &prefill_results {
+            for o in &r.outcomes {
+                first_token[o.id] = o.first_token_ns;
+                completion[o.id] = o.completion_ns;
+            }
+        }
+        for r in &decode_results {
+            for o in &r.outcomes {
+                completion[o.id] = o.completion_ns;
+            }
+        }
+        let outcomes = trace
+            .requests
+            .iter()
+            .enumerate()
+            .filter(|(id, _)| completion[*id].is_finite())
+            .map(|(id, r)| RequestOutcome {
+                id,
+                arrival_ns: r.arrival_ns,
+                first_token_ns: first_token[id],
+                completion_ns: completion[id],
+                prompt_len: r.prompt_len,
+                output_len: r.output_len,
+            })
+            .collect();
+        let makespan_ns = prefill_results
+            .iter()
+            .chain(decode_results.iter())
+            .map(|r| r.makespan_ns)
+            .fold(0.0, f64::max);
+        let replicas = prefill_results
+            .into_iter()
+            .map(|result| (ReplicaRole::Prefill, result))
+            .chain(
+                decode_results
+                    .into_iter()
+                    .map(|result| (ReplicaRole::Decode, result)),
+            )
+            .enumerate()
+            .map(|(replica, (role, result))| ReplicaReport {
+                replica,
+                role,
+                result,
+            })
+            .collect();
+        FleetResult {
+            outcomes,
+            replicas,
+            assignment,
+            decode_assignment,
+            makespan_ns,
+        }
+    }
+}
+
+/// Delivers one handoff: steps the decode pool to the handoff instant, routes
+/// it and injects the remaining-decode request fully prefilled.
+fn deliver(
+    decode: &mut Pool<'_>,
+    back: &mut dyn Router,
+    trace: &Trace,
+    handoff: &Handoff,
+    decode_assignment: &mut [u32],
+) {
+    decode.step_until(handoff.time_ns);
+    let original = trace.requests[handoff.id];
+    // The decode-side request resumes after prefill + first token: full
+    // context is prompt+1, and output_len-1 tokens remain.
+    let request = TraceRequest {
+        arrival_ns: handoff.time_ns,
+        prompt_len: original.prompt_len + 1,
+        output_len: original.output_len - 1,
+    };
+    let choice = back.route(handoff.id, &request, decode.loads());
+    decode.sessions[choice].inject_prefilled(handoff.id, request);
+    decode_assignment[handoff.id] = choice as u32;
+}
+
+/// `(max final sequence, max prompt)` of a trace — the latency-table sizing
+/// hints of the replica sessions.
+fn trace_bounds(trace: &Trace) -> (usize, usize) {
+    let max_seq = trace
+        .requests
+        .iter()
+        .map(|r| r.prompt_len + r.output_len)
+        .max()
+        .unwrap_or(1);
+    let max_prompt = trace
+        .requests
+        .iter()
+        .map(|r| r.prompt_len)
+        .max()
+        .unwrap_or(1);
+    (max_seq, max_prompt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimba_models::config::{ModelFamily, ModelScale};
+    use pimba_serve::traffic::Scenario;
+    use pimba_system::config::{SystemConfig, SystemKind};
+
+    fn setup() -> (ServingSimulator, ModelConfig) {
+        (
+            ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba)),
+            ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small),
+        )
+    }
+
+    fn small_trace(n: usize) -> Trace {
+        Scenario::chat().generate(40.0, n, 99)
+    }
+
+    #[test]
+    fn colocated_fleet_conserves_requests() {
+        let (sim, model) = setup();
+        let trace = small_trace(60);
+        for router in RouterKind::ALL {
+            let config = FleetConfig {
+                router,
+                ..FleetConfig::colocated(4)
+            };
+            let result = FleetSim::new(&sim, &model).run(&trace, &config);
+            assert_eq!(result.outcomes.len(), trace.len(), "{}", router.name());
+            for (id, o) in result.outcomes.iter().enumerate() {
+                assert_eq!(o.id, id);
+                assert!(o.first_token_ns > o.arrival_ns);
+                assert!(o.completion_ns >= o.first_token_ns);
+            }
+            let per_replica: usize = result.per_replica_completed().iter().sum();
+            assert_eq!(per_replica, trace.len());
+            assert_eq!(result.assignment.len(), trace.len());
+        }
+    }
+
+    #[test]
+    fn disaggregated_fleet_conserves_requests_and_orders_stages() {
+        let (sim, model) = setup();
+        let trace = small_trace(40);
+        let config = FleetConfig {
+            mode: FleetMode::Disaggregated {
+                prefill_replicas: 2,
+                decode_replicas: 2,
+                transfer: StateTransferModel::nvlink(),
+            },
+            ..FleetConfig::colocated(4)
+        };
+        let result = FleetSim::new(&sim, &model).run(&trace, &config);
+        assert_eq!(result.outcomes.len(), trace.len());
+        for (id, o) in result.outcomes.iter().enumerate() {
+            assert_eq!(o.id, id);
+            assert!(o.first_token_ns > o.arrival_ns, "ttft after arrival");
+            assert!(
+                o.completion_ns >= o.first_token_ns,
+                "decode stage after prefill stage"
+            );
+            // Multi-token requests must have handed off.
+            if o.output_len > 1 {
+                assert_ne!(result.decode_assignment[id], u32::MAX);
+            }
+        }
+        assert_eq!(result.replicas.len(), 4);
+        assert_eq!(result.replicas[0].role, ReplicaRole::Prefill);
+        assert_eq!(result.replicas[3].role, ReplicaRole::Decode);
+        // Every multi-token request shows up in exactly one decode replica.
+        let decode_served: usize = result.replicas[2..]
+            .iter()
+            .map(ReplicaReport::completed)
+            .sum();
+        let multi = trace.requests.iter().filter(|r| r.output_len > 1).count();
+        assert_eq!(decode_served, multi);
+    }
+
+    #[test]
+    fn load_aware_routing_beats_round_robin_on_tail_ttft() {
+        let (sim, model) = setup();
+        // High-variance reasoning traffic under an SLO-constrained batch cap
+        // is where load-aware routing pays: round-robin parks long requests
+        // behind each other while an idle replica sits elsewhere.
+        let trace = Scenario::reasoning().generate(24.0, 80, 7);
+        let p99_ttft = |router: RouterKind| {
+            let mut config = FleetConfig::colocated(4);
+            config.router = router;
+            config.engine.max_batch = 16;
+            config.engine.seq_bucket = 32;
+            let result = FleetSim::new(&sim, &model).run(&trace, &config);
+            result
+                .summary(&pimba_serve::metrics::SloSpec::default())
+                .ttft_ms
+                .p99
+        };
+        let rr = p99_ttft(RouterKind::RoundRobin);
+        assert!(
+            p99_ttft(RouterKind::Jsq) < rr,
+            "jsq p99 TTFT must beat round-robin's {rr}"
+        );
+        assert!(
+            p99_ttft(RouterKind::PowerOfTwo) < rr,
+            "po2 p99 TTFT must beat round-robin's {rr}"
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Fleet-level results: merged per-request outcomes, per-replica reports and
+//! aggregate SLO metrics.
+
+use pimba_serve::metrics::{RequestOutcome, SimResult, SloSpec, TelemetryStats, TrafficSummary};
+use serde::{Deserialize, Serialize};
+
+/// What a replica did in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplicaRole {
+    /// Full-lifecycle replica of a colocated fleet.
+    Colocated,
+    /// Prefill-pool replica of a disaggregated fleet (runs prefill plus the
+    /// first decode step, then hands the state off).
+    Prefill,
+    /// Decode-pool replica of a disaggregated fleet (receives prefilled
+    /// state, decodes the remaining tokens).
+    Decode,
+}
+
+impl ReplicaRole {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicaRole::Colocated => "colocated",
+            ReplicaRole::Prefill => "prefill",
+            ReplicaRole::Decode => "decode",
+        }
+    }
+}
+
+/// One replica's view of the fleet run: its role and its own complete
+/// [`SimResult`] — queue/occupancy timeline, telemetry aggregates and the
+/// (stage-local) outcomes of every request it served.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaReport {
+    /// Replica index within the fleet (pool-local for disaggregated fleets:
+    /// prefill replicas first, then decode replicas).
+    pub replica: usize,
+    /// The replica's role.
+    pub role: ReplicaRole,
+    /// The replica's own simulation result. For disaggregated roles the
+    /// outcomes are *stage-local* (a prefill replica's `completion_ns` is the
+    /// handoff point, not the request's end); the fleet-level
+    /// [`FleetResult::outcomes`] stitch the stages together.
+    pub result: SimResult,
+}
+
+impl ReplicaReport {
+    /// Requests this replica served (to completion of its stage).
+    pub fn completed(&self) -> usize {
+        self.result.outcomes.len()
+    }
+}
+
+/// The result of one fleet simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetResult {
+    /// End-to-end per-request outcomes, ascending in trace id: arrival is the
+    /// trace arrival, `first_token_ns` comes from wherever the first token
+    /// was produced (the prefill pool in disaggregated mode) and
+    /// `completion_ns` from wherever the last token was produced — so
+    /// TTFT/TPOT/E2E include routing, queueing and state-transfer delays.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Per-replica reports, fleet order (prefill pool before decode pool).
+    pub replicas: Vec<ReplicaReport>,
+    /// Front-door assignment: the (pool-local) replica each request was
+    /// routed to — a colocated replica, or the prefill replica.
+    pub assignment: Vec<u32>,
+    /// Decode-pool assignment of each request in a disaggregated fleet
+    /// (`u32::MAX` for requests that never handed off, i.e. single-token
+    /// outputs); empty for colocated fleets.
+    pub decode_assignment: Vec<u32>,
+    /// Fleet makespan: the latest event time across all replicas, in
+    /// nanoseconds.
+    pub makespan_ns: f64,
+}
+
+impl FleetResult {
+    /// Fleet-level telemetry: event counts summed, peaks maxed, and the
+    /// time-weighted mean occupancy summed across replicas (replica spans
+    /// differ slightly, so the sum is the fleet's mean *occupied slots* up to
+    /// that per-replica windowing — exact per replica, additive as an
+    /// approximation).
+    pub fn fleet_telemetry(&self) -> TelemetryStats {
+        let mut out = TelemetryStats::default();
+        for r in &self.replicas {
+            let t = &r.result.telemetry;
+            out.events += t.events;
+            out.peak_queue_depth = out.peak_queue_depth.max(t.peak_queue_depth);
+            out.peak_batch_occupancy = out.peak_batch_occupancy.max(t.peak_batch_occupancy);
+            out.mean_batch_occupancy += t.mean_batch_occupancy;
+        }
+        out
+    }
+
+    /// Aggregate fleet metrics under `slo` — the same [`TrafficSummary`]
+    /// shape the single-replica runner reports, computed over the end-to-end
+    /// outcomes and the fleet makespan.
+    pub fn summary(&self, slo: &SloSpec) -> TrafficSummary {
+        SimResult {
+            outcomes: self.outcomes.clone(),
+            timeline: Vec::new(),
+            makespan_ns: self.makespan_ns,
+            telemetry: self.fleet_telemetry(),
+        }
+        .summary(slo)
+    }
+
+    /// Requests completed per replica, fleet order — the balance/imbalance
+    /// fingerprint of a routing policy.
+    pub fn per_replica_completed(&self) -> Vec<usize> {
+        self.replicas.iter().map(ReplicaReport::completed).collect()
+    }
+
+    /// Goodput per replica under `slo` (SLO-meeting completions per second of
+    /// fleet makespan, divided by the replica count) — the scaling-efficiency
+    /// metric of the `fleet_scale` bench.
+    pub fn goodput_per_replica(&self, slo: &SloSpec) -> f64 {
+        if self.replicas.is_empty() {
+            return 0.0;
+        }
+        self.summary(slo).goodput_rps / self.replicas.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimba_serve::metrics::TimelinePoint;
+
+    fn outcome(id: usize, arrival: f64, first: f64, done: f64) -> RequestOutcome {
+        RequestOutcome {
+            id,
+            arrival_ns: arrival,
+            first_token_ns: first,
+            completion_ns: done,
+            prompt_len: 64,
+            output_len: 4,
+        }
+    }
+
+    fn replica(role: ReplicaRole, outcomes: Vec<RequestOutcome>, makespan: f64) -> ReplicaReport {
+        let timeline = vec![
+            TimelinePoint {
+                time_ns: 0.0,
+                queue_depth: outcomes.len(),
+                batch_occupancy: 0,
+            },
+            TimelinePoint {
+                time_ns: makespan,
+                queue_depth: 0,
+                batch_occupancy: outcomes.len(),
+            },
+        ];
+        ReplicaReport {
+            replica: 0,
+            role,
+            result: SimResult {
+                outcomes,
+                telemetry: TelemetryStats::from_timeline(&timeline),
+                timeline,
+                makespan_ns: makespan,
+            },
+        }
+    }
+
+    #[test]
+    fn fleet_summary_aggregates_across_replicas() {
+        let result = FleetResult {
+            outcomes: vec![
+                outcome(0, 0.0, 1.0e6, 2.0e6),
+                outcome(1, 0.0, 1.0e6, 3.0e6),
+                outcome(2, 0.0, 900.0e6, 950.0e6), // SLO-blown TTFT
+            ],
+            replicas: vec![
+                replica(
+                    ReplicaRole::Colocated,
+                    vec![outcome(0, 0.0, 1.0e6, 2.0e6)],
+                    10.0e9,
+                ),
+                replica(
+                    ReplicaRole::Colocated,
+                    vec![
+                        outcome(1, 0.0, 1.0e6, 3.0e6),
+                        outcome(2, 0.0, 900.0e6, 950.0e6),
+                    ],
+                    10.0e9,
+                ),
+            ],
+            assignment: vec![0, 1, 1],
+            decode_assignment: Vec::new(),
+            makespan_ns: 10.0e9,
+        };
+        let slo = SloSpec {
+            ttft_ms: 100.0,
+            tpot_ms: 50.0,
+        };
+        let s = result.summary(&slo);
+        assert_eq!(s.completed, 3);
+        assert!((s.slo_attainment - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.throughput_rps, 3.0 / 10.0);
+        assert_eq!(result.per_replica_completed(), vec![1, 2]);
+        let telemetry = result.fleet_telemetry();
+        assert_eq!(telemetry.events, 4);
+        assert_eq!(telemetry.peak_queue_depth, 2);
+        assert!(result.goodput_per_replica(&slo) > 0.0);
+    }
+
+    /// A replica that served zero requests must not break the aggregation —
+    /// the empty-population edge the `pimba_system::stats` helpers document.
+    #[test]
+    fn empty_replica_and_empty_fleet_aggregate_cleanly() {
+        let result = FleetResult {
+            outcomes: vec![outcome(0, 0.0, 1.0e6, 2.0e6)],
+            replicas: vec![
+                replica(
+                    ReplicaRole::Colocated,
+                    vec![outcome(0, 0.0, 1.0e6, 2.0e6)],
+                    2.0e6,
+                ),
+                replica(ReplicaRole::Colocated, Vec::new(), 0.0),
+            ],
+            assignment: vec![0],
+            decode_assignment: Vec::new(),
+            makespan_ns: 2.0e6,
+        };
+        let s = result.summary(&SloSpec::default());
+        assert_eq!(s.completed, 1);
+        assert_eq!(result.per_replica_completed(), vec![1, 0]);
+        // The idle replica's own summary hits the empty-percentile path.
+        let idle = result.replicas[1].result.summary(&SloSpec::default());
+        assert_eq!(idle.completed, 0);
+        assert_eq!(idle.ttft_ms.p99, 0.0);
+
+        let empty = FleetResult {
+            outcomes: Vec::new(),
+            replicas: Vec::new(),
+            assignment: Vec::new(),
+            decode_assignment: Vec::new(),
+            makespan_ns: 0.0,
+        };
+        assert_eq!(empty.goodput_per_replica(&SloSpec::default()), 0.0);
+        assert_eq!(empty.summary(&SloSpec::default()).completed, 0);
+    }
+}

@@ -48,6 +48,24 @@
 //!   workload-based accounting) instead of building a workload per queued
 //!   candidate. This one is shared by both modes: it cannot change decisions,
 //!   only the cost of asking.
+//!
+//! # Incremental co-simulation
+//!
+//! [`Engine::run`] is a thin wrapper over the steppable [`Session`]: the whole
+//! trace is injected up front and the session is stepped to the end. A
+//! cluster-level driver (the `pimba-fleet` crate) instead builds one
+//! [`Session`] per replica via [`Engine::session`] and co-simulates them:
+//! [`Session::step_until`] advances a replica through every event *strictly
+//! before* a horizon, and [`Session::inject`] hands it a routed arrival at (or
+//! after) that horizon. The exclusive horizon is what makes incremental
+//! feeding exact: an arrival at time `t` always enters the event source
+//! before any of the replica's own events at `t` are processed, reproducing
+//! the arrival-wins-ties ordering of a preloaded run. Fast-forward
+//! macro-steps pause at the horizon through the same mechanism that pauses
+//! them at an observed arrival (the in-flight step becomes a real `WorkDone`
+//! event), so a run fed incrementally at its own arrival times is
+//! **bit-identical** to [`Engine::run`] on the full trace — asserted by this
+//! module's tests and by the single-replica fleet equivalence suite.
 
 use crate::event::{Event, EventKind, EventQueue, SingleFlightEvents};
 use crate::metrics::{RequestOutcome, SimResult, Telemetry};
@@ -100,11 +118,14 @@ impl Default for EngineConfig {
 /// A request waiting for admission (chunked-prefill tracks partial progress).
 #[derive(Debug, Clone, Copy)]
 pub struct WaitingRequest {
-    /// Index of the request in the trace.
+    /// Index of the request within its session (equal to the trace index for
+    /// [`Engine::run`]).
     pub id: usize,
     /// The request itself.
     pub request: TraceRequest,
-    /// Prompt tokens already prefilled (chunked-prefill only).
+    /// Prompt tokens already prefilled — by fused chunks (chunked-prefill), or
+    /// before injection on another replica (disaggregated prefill/decode
+    /// handoff, see [`Session::inject_prefilled`]).
     pub prefilled: usize,
 }
 
@@ -240,11 +261,13 @@ impl FifoQueue {
     }
 }
 
-/// The run's event source. The step-by-step oracle keeps the general
-/// binary-heap [`EventQueue`] loaded with every arrival up front (the PR 2
-/// engine); the fast-forward mode exploits the single-flight invariant and
-/// the pre-sorted trace through [`SingleFlightEvents`] — `O(1)` pops and
-/// pushes with identical ordering.
+/// The run's event source. The step-by-step oracle of [`Engine::run`] keeps
+/// the general binary-heap [`EventQueue`] loaded with every arrival up front
+/// (the PR 2 engine); every other execution exploits the single-flight
+/// invariant through [`SingleFlightEvents`] — `O(1)` pops and pushes with
+/// identical ordering, and the only source that accepts arrivals appended
+/// mid-run (a late arrival tying with an already-scheduled work completion
+/// still pops first, which a seq-numbered heap would get backwards).
 enum Events {
     Heap(EventQueue),
     Single(SingleFlightEvents),
@@ -255,6 +278,16 @@ impl Events {
         match self {
             Self::Heap(queue) => queue.pop(),
             Self::Single(single) => single.pop(),
+        }
+    }
+
+    /// Pops the earliest event strictly before `horizon_ns` (the co-sim
+    /// window: events at or after the horizon may still gain a preceding or
+    /// tying arrival from the driver).
+    fn pop_before(&mut self, horizon_ns: f64) -> Option<Event> {
+        match self.peek_time_ns() {
+            Some(t) if t < horizon_ns => self.pop(),
+            _ => None,
         }
     }
 
@@ -357,15 +390,41 @@ impl<'a> Latencies<'a> {
 /// What the engine currently has in flight.
 #[derive(Debug, Clone)]
 enum Work {
-    /// A batched prefill of the requests parked in `Engine::prefilling`.
+    /// A batched prefill of the requests parked in `Session::prefilling`.
     Prefill,
     /// One generation step; `fused_tokens > 0` means a prefill chunk of the
     /// queue head rode along, and `decoded` records whether a decode batch ran.
     Step { fused_tokens: usize, decoded: bool },
 }
 
+/// One request as a session knows it: the caller-facing id (the trace index
+/// for [`Engine::run`], the fleet-global id for co-simulated replicas), the
+/// request, and how much of its prompt arrived already prefilled.
+#[derive(Debug, Clone, Copy)]
+struct SessionRequest {
+    id: usize,
+    request: TraceRequest,
+    prefilled: usize,
+}
+
+/// A request that finished inside a [`Session`], as drained by
+/// [`Session::drain_completions`] — the handoff record of a disaggregated
+/// prefill pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedRequest {
+    /// The id the request was injected under.
+    pub id: usize,
+    /// The request as injected.
+    pub request: TraceRequest,
+    /// Completion time of the first decode step that produced a token.
+    pub first_token_ns: f64,
+    /// Completion time of the last token.
+    pub completion_ns: f64,
+}
+
 /// The discrete-event serving engine. Build one per (system, model, policy)
-/// and call [`Engine::run`] per trace.
+/// and call [`Engine::run`] per trace — or [`Engine::session`] to co-simulate
+/// it incrementally as one replica of a fleet.
 pub struct Engine<'a> {
     sim: &'a ServingSimulator,
     model: &'a ModelConfig,
@@ -392,33 +451,39 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Marginal cost of extending one request's prefill from `already` to
-    /// `already + tokens` prompt tokens, as the difference of cumulative
-    /// batch-1 prefills. This charges each chunk for attention against the
-    /// context already prefilled — a fixed-size chunk gets more expensive the
-    /// deeper into the prompt it lands (for attention-family models), instead
-    /// of every chunk being miscosted as a fresh short prompt.
-    fn chunk_prefill_ns(
-        &self,
-        latencies: &mut Latencies<'_>,
-        already: usize,
-        tokens: usize,
-    ) -> f64 {
-        let up_to = latencies.prefill_ns(1, already + tokens);
-        if already == 0 {
-            up_to
+    /// The engine's configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Starts an incremental co-simulation session: an engine run whose
+    /// arrivals are [`Session::inject`]ed one at a time by an external driver
+    /// instead of being preloaded from a trace.
+    ///
+    /// `max_seq_hint` / `max_prompt_hint` size the dense latency tables of a
+    /// fast-forward session (pass the maxima of the traffic the session will
+    /// see; out-of-range lookups fall back to the simulator with identical
+    /// results, so the hints affect only memoization, never a single bit of
+    /// output).
+    pub fn session(&'a self, max_seq_hint: usize, max_prompt_hint: usize) -> Session<'a> {
+        let latencies = if self.config.fast_forward {
+            Latencies::tables(
+                self.sim,
+                self.model,
+                self.config,
+                max_seq_hint.max(1),
+                max_prompt_hint.max(1),
+            )
         } else {
-            // Bucketing can land both boundaries in the same bucket; the
-            // marginal cost is then 0, which averages out across the chunks of
-            // one prompt (the cumulative cost is paid at bucket crossings).
-            (up_to - latencies.prefill_ns(1, already)).max(0.0)
-        }
+            Latencies::direct(self.sim, self.model, self.config.seq_bucket)
+        };
+        Session::build(self, Events::Single(SingleFlightEvents::empty()), latencies)
     }
 
     /// Simulates `trace` under `scheduler`, returning per-request outcomes and
     /// the queue/occupancy timeline.
     pub fn run(&self, trace: &Trace, scheduler: &mut dyn Scheduler) -> SimResult {
-        let mut events = if self.config.fast_forward {
+        let events = if self.config.fast_forward {
             let arrivals: Vec<f64> = trace.requests.iter().map(|r| r.arrival_ns).collect();
             Events::Single(SingleFlightEvents::new(&arrivals))
         } else {
@@ -435,7 +500,7 @@ impl<'a> Engine<'a> {
         // deduplicates the fills across engines, grid cells and worker
         // threads). Oracle mode evaluates through the simulator per step,
         // exactly as the pre-fast-forward engine did.
-        let mut latencies = if self.config.fast_forward {
+        let latencies = if self.config.fast_forward {
             let max_seq = trace
                 .requests
                 .iter()
@@ -453,44 +518,214 @@ impl<'a> Engine<'a> {
             Latencies::direct(self.sim, self.model, self.config.seq_bucket)
         };
 
-        let mut queue = FifoQueue::default();
-        let mut prefilling: Vec<ActiveRequest> = Vec::new();
-        let mut running: Vec<ActiveRequest> = Vec::new();
-        let mut work: Option<Work> = None;
-        let mut first_token: Vec<f64> = vec![f64::NAN; trace.len()];
-        let mut completion: Vec<f64> = vec![f64::NAN; trace.len()];
-        let mut telemetry = Telemetry::new(self.config.timeline_sample_every);
-        let mut now_ns = 0.0;
+        let mut session = Session::build(self, events, latencies);
+        session.requests = trace
+            .requests
+            .iter()
+            .enumerate()
+            .map(|(i, &request)| SessionRequest {
+                id: i,
+                request,
+                prefilled: 0,
+            })
+            .collect();
+        session.first_token = vec![f64::NAN; trace.len()];
+        session.completion = vec![f64::NAN; trace.len()];
+        session.step_until(f64::INFINITY, scheduler);
+        session.finish()
+    }
+}
 
-        while let Some(event) = events.pop() {
-            now_ns = event.time_ns;
+/// One steppable engine run: the whole state of a simulation between events,
+/// advanced in co-simulation windows by [`Session::step_until`].
+///
+/// [`Engine::run`] is `session + inject everything + step to infinity`; the
+/// fleet simulator instead interleaves windows across replicas, injecting each
+/// routed arrival at its timestamp. The invariants that make the incremental
+/// execution bit-identical to a preloaded run are spelled out in the
+/// module-level docs.
+pub struct Session<'a> {
+    engine: &'a Engine<'a>,
+    events: Events,
+    latencies: Latencies<'a>,
+    /// Injection-ordered request table; event ids index into it.
+    requests: Vec<SessionRequest>,
+    queue: FifoQueue,
+    prefilling: Vec<ActiveRequest>,
+    running: Vec<ActiveRequest>,
+    work: Option<Work>,
+    first_token: Vec<f64>,
+    completion: Vec<f64>,
+    /// Local indices in completion order (the drain log of a prefill pool).
+    completed_log: Vec<usize>,
+    drained: usize,
+    telemetry: Telemetry,
+    now_ns: f64,
+}
+
+impl<'a> Session<'a> {
+    fn build(engine: &'a Engine<'a>, events: Events, latencies: Latencies<'a>) -> Self {
+        Self {
+            engine,
+            events,
+            latencies,
+            requests: Vec::new(),
+            queue: FifoQueue::default(),
+            prefilling: Vec::new(),
+            running: Vec::new(),
+            work: None,
+            first_token: Vec::new(),
+            completion: Vec::new(),
+            completed_log: Vec::new(),
+            drained: 0,
+            telemetry: Telemetry::new(engine.config.timeline_sample_every),
+            now_ns: 0.0,
+        }
+    }
+
+    /// Injects one arrival at `request.arrival_ns` under the caller's `id`
+    /// (reported back in the request's [`RequestOutcome`]). Injections must be
+    /// non-decreasing in arrival time and must not precede the session's last
+    /// processed event — step each replica to the arrival's timestamp first
+    /// (exclusive horizon), then inject.
+    pub fn inject(&mut self, id: usize, request: TraceRequest) {
+        self.inject_at(id, request, 0);
+    }
+
+    /// Injects an arrival whose prompt state already exists on this replica's
+    /// device memory — the receiving side of a disaggregated prefill/decode
+    /// handoff. The request skips prefill entirely: admission costs nothing,
+    /// decoding starts at `prompt_len` context, and the memory probe accounts
+    /// its full final-sequence footprint exactly as for a local request.
+    pub fn inject_prefilled(&mut self, id: usize, request: TraceRequest) {
+        self.inject_at(id, request, request.prompt_len);
+    }
+
+    fn inject_at(&mut self, id: usize, request: TraceRequest, prefilled: usize) {
+        assert!(
+            request.arrival_ns >= self.now_ns,
+            "arrival at {} precedes the session's last processed event at {}",
+            request.arrival_ns,
+            self.now_ns
+        );
+        let local = self.requests.len();
+        self.requests.push(SessionRequest {
+            id,
+            request,
+            prefilled,
+        });
+        self.first_token.push(f64::NAN);
+        self.completion.push(f64::NAN);
+        match &mut self.events {
+            Events::Single(single) => single.push_arrival(request.arrival_ns, local),
+            Events::Heap(_) => unreachable!("incremental sessions use the single-flight source"),
+        }
+    }
+
+    /// The session's next pending event time, if any — the co-simulation
+    /// coordination point: a fleet may safely advance any replica to the
+    /// minimum of these and the next external arrival.
+    pub fn next_event_time_ns(&self) -> Option<f64> {
+        self.events.peek_time_ns()
+    }
+
+    /// The timestamp of the last processed event.
+    pub fn now_ns(&self) -> f64 {
+        self.now_ns
+    }
+
+    /// Requests injected so far.
+    pub fn injected(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> usize {
+        self.completed_log.len()
+    }
+
+    /// Injected-but-not-completed requests — the load metric the fleet
+    /// routers balance on.
+    pub fn outstanding(&self) -> usize {
+        self.requests.len() - self.completed_log.len()
+    }
+
+    /// Requests waiting for admission (of the arrivals processed so far).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests holding a batch slot (decoding or prefilling).
+    pub fn occupancy(&self) -> usize {
+        self.running.len() + self.prefilling.len()
+    }
+
+    /// Drains the requests completed since the last drain, in completion
+    /// order (ties keep batch order). A disaggregated prefill pool turns
+    /// these into decode-pool handoffs.
+    pub fn drain_completions(&mut self) -> Vec<CompletedRequest> {
+        let drained = self.completed_log[self.drained..]
+            .iter()
+            .map(|&local| {
+                let sr = self.requests[local];
+                CompletedRequest {
+                    id: sr.id,
+                    request: sr.request,
+                    first_token_ns: self.first_token[local],
+                    completion_ns: self.completion[local],
+                }
+            })
+            .collect();
+        self.drained = self.completed_log.len();
+        drained
+    }
+
+    /// Processes every pending event strictly before `horizon_ns` (pass
+    /// `f64::INFINITY` to drain the session). Events at or after the horizon
+    /// stay pending: the driver may still inject an arrival at the horizon,
+    /// and arrivals tie ahead of simultaneous work completions. Fast-forward
+    /// macro-steps likewise pause any decode step completing at or after the
+    /// horizon — the step stays in flight as a real event, exactly as when a
+    /// macro-step is interrupted by an observed arrival, so windowed
+    /// execution never changes an output bit.
+    pub fn step_until(&mut self, horizon_ns: f64, scheduler: &mut dyn Scheduler) {
+        while let Some(event) = self.events.pop_before(horizon_ns) {
+            self.now_ns = event.time_ns;
             match event.kind {
                 EventKind::Arrival(id) => {
-                    queue.push_back(WaitingRequest {
+                    let sr = self.requests[id];
+                    self.queue.push_back(WaitingRequest {
                         id,
-                        request: trace.requests[id],
-                        prefilled: 0,
+                        request: sr.request,
+                        prefilled: sr.prefilled,
                     });
                 }
                 EventKind::WorkDone => {
-                    match work.take().expect("WorkDone without work in flight") {
+                    match self.work.take().expect("WorkDone without work in flight") {
                         Work::Prefill => {
                             // The prefilled batch joins the decode set; tokens
                             // start flowing from the next decode step.
-                            running.append(&mut prefilling);
+                            self.running.append(&mut self.prefilling);
                         }
                         Work::Step {
                             fused_tokens,
                             decoded,
                         } => {
                             if decoded {
-                                running.retain_mut(|r| {
+                                let now_ns = self.now_ns;
+                                let (first_token, completion, completed_log) = (
+                                    &mut self.first_token,
+                                    &mut self.completion,
+                                    &mut self.completed_log,
+                                );
+                                self.running.retain_mut(|r| {
                                     r.generated += 1;
                                     if r.generated == 1 {
                                         first_token[r.id] = now_ns;
                                     }
                                     if r.generated >= r.output_len {
                                         completion[r.id] = now_ns;
+                                        completed_log.push(r.id);
                                         false
                                     } else {
                                         true
@@ -498,11 +733,12 @@ impl<'a> Engine<'a> {
                                 });
                             }
                             if fused_tokens > 0 {
-                                let head = queue.front_mut().expect("fused chunk without a head");
+                                let head =
+                                    self.queue.front_mut().expect("fused chunk without a head");
                                 head.prefilled += fused_tokens;
                                 if head.prefilled >= head.request.prompt_len {
-                                    let head = queue.pop_front().expect("head vanished");
-                                    running.push(ActiveRequest {
+                                    let head = self.queue.pop_front().expect("head vanished");
+                                    self.running.push(ActiveRequest {
                                         id: head.id,
                                         prompt_len: head.request.prompt_len,
                                         output_len: head.request.output_len,
@@ -517,7 +753,11 @@ impl<'a> Engine<'a> {
 
             // Drain every event of this timestamp before deciding: simultaneous
             // arrivals must all be visible to the scheduler at once.
-            if events.peek_time_ns().is_some_and(|next| next == now_ns) {
+            if self
+                .events
+                .peek_time_ns()
+                .is_some_and(|next| next == self.now_ns)
+            {
                 continue;
             }
 
@@ -529,84 +769,101 @@ impl<'a> Engine<'a> {
             // timestamp — just as a per-step run would after the corresponding
             // `WorkDone` event.
             loop {
-                if work.is_some() {
+                if self.work.is_some() {
                     // A step is in flight (this event was an arrival): sample
                     // and wait for the WorkDone.
-                    telemetry.record(now_ns, queue.len(), running.len() + prefilling.len());
+                    self.record_sample();
                     break;
                 }
-                let Some((latency_ns, next, stability)) = self.dispatch(
-                    now_ns,
-                    scheduler,
-                    &mut queue,
-                    &mut prefilling,
-                    &running,
-                    &mut latencies,
-                ) else {
+                let Some((latency_ns, next, stability)) = self.dispatch(scheduler) else {
                     // Idle until the next arrival.
-                    telemetry.record(now_ns, queue.len(), running.len() + prefilling.len());
+                    self.record_sample();
                     break;
                 };
-                if !self.config.fast_forward || stability == DecodeStability::PerStep {
-                    events.push_work(now_ns + latency_ns);
-                    work = Some(next);
-                    telemetry.record(now_ns, queue.len(), running.len() + prefilling.len());
+                if !self.engine.config.fast_forward || stability == DecodeStability::PerStep {
+                    self.events.push_work(self.now_ns + latency_ns);
+                    self.work = Some(next);
+                    self.record_sample();
                     break;
                 }
                 // A stable pure decode: the dispatch mutated nothing, so this
                 // timestamp's sample equals the pre-dispatch state.
-                telemetry.record(now_ns, queue.len(), running.len() + prefilling.len());
-                if !self.fast_forward(
-                    stability,
-                    &mut now_ns,
-                    latency_ns,
-                    &mut events,
-                    trace,
-                    &mut queue,
-                    &mut running,
-                    &mut first_token,
-                    &mut completion,
-                    &mut telemetry,
-                    &mut latencies,
-                ) {
-                    // Interrupted by an arrival: the current step stays in
-                    // flight as a real event (pushed by `fast_forward`).
-                    work = Some(next);
+                self.record_sample();
+                if !self.fast_forward(stability, latency_ns, horizon_ns) {
+                    // Interrupted by an arrival (or paused at the co-sim
+                    // horizon): the current step stays in flight as a real
+                    // event (pushed by `fast_forward`).
+                    self.work = Some(next);
                     break;
                 }
                 // Macro-step boundary (the batch drained, or a completion the
                 // policy must see) at the advanced `now_ns`: dispatch again.
             }
         }
+    }
 
+    fn record_sample(&mut self) {
+        let (queue_depth, occupancy) = (self.queue.len(), self.occupancy());
+        self.telemetry.record(self.now_ns, queue_depth, occupancy);
+    }
+
+    /// Consumes the session into its [`SimResult`]. Outcomes come back in
+    /// injection order (trace order for [`Engine::run`]) under the caller's
+    /// ids.
+    ///
+    /// # Panics
+    /// If work is still queued, running or in flight — a co-sim driver must
+    /// first drain the session with `step_until(f64::INFINITY, ..)`.
+    pub fn finish(self) -> SimResult {
         assert!(
-            queue.is_empty() && running.is_empty() && prefilling.is_empty(),
+            self.queue.is_empty()
+                && self.running.is_empty()
+                && self.prefilling.is_empty()
+                && self.work.is_none(),
             "scheduler stalled with work pending: {} queued, {} running, {} prefilling",
-            queue.len(),
-            running.len(),
-            prefilling.len()
+            self.queue.len(),
+            self.running.len(),
+            self.prefilling.len()
         );
 
-        let outcomes = trace
+        let outcomes = self
             .requests
             .iter()
             .enumerate()
-            .filter(|(id, _)| completion[*id].is_finite())
-            .map(|(id, r)| RequestOutcome {
-                id,
-                arrival_ns: r.arrival_ns,
-                first_token_ns: first_token[id],
-                completion_ns: completion[id],
-                prompt_len: r.prompt_len,
-                output_len: r.output_len,
+            .filter(|(local, _)| self.completion[*local].is_finite())
+            .map(|(local, sr)| RequestOutcome {
+                id: sr.id,
+                arrival_ns: sr.request.arrival_ns,
+                first_token_ns: self.first_token[local],
+                completion_ns: self.completion[local],
+                prompt_len: sr.request.prompt_len,
+                output_len: sr.request.output_len,
             })
             .collect();
-        let (timeline, stats) = telemetry.finish();
+        let (timeline, stats) = self.telemetry.finish();
         SimResult {
             outcomes,
             timeline,
-            makespan_ns: now_ns,
+            makespan_ns: self.now_ns,
             telemetry: stats,
+        }
+    }
+
+    /// Marginal cost of extending one request's prefill from `already` to
+    /// `already + tokens` prompt tokens, as the difference of cumulative
+    /// batch-1 prefills. This charges each chunk for attention against the
+    /// context already prefilled — a fixed-size chunk gets more expensive the
+    /// deeper into the prompt it lands (for attention-family models), instead
+    /// of every chunk being miscosted as a fresh short prompt.
+    fn chunk_prefill_ns(&mut self, already: usize, tokens: usize) -> f64 {
+        let up_to = self.latencies.prefill_ns(1, already + tokens);
+        if already == 0 {
+            up_to
+        } else {
+            // Bucketing can land both boundaries in the same bucket; the
+            // marginal cost is then 0, which averages out across the chunks of
+            // one prompt (the cumulative cost is paid at bucket crossings).
+            (up_to - self.latencies.prefill_ns(1, already)).max(0.0)
         }
     }
 
@@ -633,6 +890,8 @@ impl<'a> Engine<'a> {
     /// An interrupting arrival leaves the current step in flight as a real
     /// `WorkDone` event (return `false`, the caller marks it in flight) so
     /// the scheduler sees the arrival before the *following* step is decided;
+    /// a step that would complete at or past the co-sim `horizon_ns` pauses
+    /// through the same path (an arrival may still be injected there);
     /// boundary exits return `true` and the caller re-dispatches at the
     /// advanced timestamp.
     ///
@@ -644,25 +903,17 @@ impl<'a> Engine<'a> {
     /// their sub-segment's last one; `Telemetry::record` observes every
     /// virtual event — so outcomes, timeline and aggregates are identical to
     /// the step-by-step loop.
-    #[allow(clippy::too_many_arguments)]
     fn fast_forward(
-        &self,
+        &mut self,
         stability: DecodeStability,
-        now_ns: &mut f64,
         first_step_ns: f64,
-        events: &mut Events,
-        trace: &Trace,
-        queue: &mut FifoQueue,
-        running: &mut Vec<ActiveRequest>,
-        first_token: &mut [f64],
-        completion: &mut [f64],
-        telemetry: &mut Telemetry,
-        latencies: &mut Latencies<'_>,
+        horizon_ns: f64,
     ) -> bool {
-        let bucket = self.config.seq_bucket;
+        let bucket = self.engine.config.seq_bucket;
+        let max_batch = self.engine.config.max_batch;
         let mut step_ns = first_step_ns;
         loop {
-            debug_assert!(!running.is_empty(), "pure decode with empty batch");
+            debug_assert!(!self.running.is_empty(), "pure decode with empty batch");
             // One pass over the batch: steps until the earliest completion
             // shrinks it, and the longest current sequence. A degenerate
             // zero-output request (constructible through the public
@@ -671,7 +922,7 @@ impl<'a> Engine<'a> {
             // contributes one remaining step, not zero — which would stall
             // the horizon.
             let (to_completion, seq0) =
-                running
+                self.running
                     .iter()
                     .fold((usize::MAX, 1usize), |(remaining, seq), r| {
                         (
@@ -684,50 +935,65 @@ impl<'a> Engine<'a> {
             // current bucket while `seq0 + i - 1 <= round_up(seq0)`.
             let in_bucket = seq0.div_ceil(bucket) * bucket - seq0 + 1;
             let horizon = to_completion.min(in_bucket);
-            let occupancy = running.len();
+            let occupancy = self.running.len();
             let absorb_arrivals = match stability {
                 DecodeStability::UntilBatchDrains => true,
-                DecodeStability::UntilAdmissible => occupancy == self.config.max_batch,
+                DecodeStability::UntilAdmissible => occupancy == max_batch,
                 _ => false,
             };
 
             let mut executed = 0usize;
-            let mut t_first = *now_ns;
+            let mut t_first = self.now_ns;
             let mut interrupted = false;
             'steps: loop {
-                let t_next = *now_ns + step_ns;
+                let t_next = self.now_ns + step_ns;
+                // The co-sim window ends before this step completes: an
+                // arrival may still be injected at any time >= horizon_ns,
+                // and arrivals tie ahead of a step completion — park the step
+                // as a real event and hand control back to the driver.
+                if t_next >= horizon_ns {
+                    self.events.push_work(t_next);
+                    interrupted = true;
+                    break 'steps;
+                }
                 // Arrivals preceding (or tying with) this step's completion
                 // pop first, exactly as in the event loop.
-                while let Some(event_ns) = events.peek_time_ns() {
+                while let Some(event_ns) = self.events.peek_time_ns() {
                     if event_ns > t_next {
                         break;
                     }
                     if !absorb_arrivals {
                         // The policy must see this arrival before the next
                         // decision: hand the current step back to the queue.
-                        events.push_work(t_next);
+                        self.events.push_work(t_next);
                         interrupted = true;
                         break 'steps;
                     }
-                    let event = events.pop().expect("peeked event vanished");
+                    let event = self.events.pop().expect("peeked event vanished");
                     let EventKind::Arrival(id) = event.kind else {
                         unreachable!("only arrivals are pending while fast-forwarding")
                     };
-                    queue.push_back(WaitingRequest {
+                    let sr = self.requests[id];
+                    self.queue.push_back(WaitingRequest {
                         id,
-                        request: trace.requests[id],
-                        prefilled: 0,
+                        request: sr.request,
+                        prefilled: sr.prefilled,
                     });
                     // Same-timestamp coalescing: only the last event of a
                     // timestamp group records a sample, and a group tying
                     // with the step's own completion is covered by the step's
                     // sample.
-                    let following = events.peek_time_ns().unwrap_or(f64::INFINITY).min(t_next);
+                    let following = self
+                        .events
+                        .peek_time_ns()
+                        .unwrap_or(f64::INFINITY)
+                        .min(t_next);
                     if following != event.time_ns {
-                        telemetry.record(event.time_ns, queue.len(), occupancy);
+                        let queue_depth = self.queue.len();
+                        self.telemetry.record(event.time_ns, queue_depth, occupancy);
                     }
                 }
-                *now_ns = t_next;
+                self.now_ns = t_next;
                 executed += 1;
                 if executed == 1 {
                     t_first = t_next;
@@ -738,7 +1004,8 @@ impl<'a> Engine<'a> {
                 // Interior step: batch membership is unchanged by
                 // construction, only time moves (and possibly the queue, via
                 // absorbed arrivals).
-                telemetry.record(t_next, queue.len(), occupancy);
+                let queue_depth = self.queue.len();
+                self.telemetry.record(t_next, queue_depth, occupancy);
             }
 
             if executed > 0 {
@@ -746,8 +1013,13 @@ impl<'a> Engine<'a> {
                 // the final step can complete requests (`executed <=
                 // to_completion`, with equality exactly when the sub-segment
                 // ended on a completion).
-                let t_last = *now_ns;
-                running.retain_mut(|r| {
+                let t_last = self.now_ns;
+                let (first_token, completion, completed_log) = (
+                    &mut self.first_token,
+                    &mut self.completion,
+                    &mut self.completed_log,
+                );
+                self.running.retain_mut(|r| {
                     if r.generated == 0 {
                         first_token[r.id] = t_first;
                     }
@@ -757,6 +1029,7 @@ impl<'a> Engine<'a> {
                     debug_assert!(r.generated <= r.output_len.max(1));
                     if r.generated >= r.output_len {
                         completion[r.id] = t_last;
+                        completed_log.push(r.id);
                         false
                     } else {
                         true
@@ -767,11 +1040,11 @@ impl<'a> Engine<'a> {
                 return false;
             }
             let completed = executed == to_completion;
-            let wake_the_policy = running.is_empty()
+            let wake_the_policy = self.running.is_empty()
                 || (completed
                     && match stability {
                         DecodeStability::UntilBatchChange => true,
-                        DecodeStability::UntilAdmissible => !queue.is_empty(),
+                        DecodeStability::UntilAdmissible => !self.queue.is_empty(),
                         DecodeStability::UntilBatchDrains => false,
                         DecodeStability::PerStep => {
                             unreachable!("per-step work never fast-forwards")
@@ -787,13 +1060,15 @@ impl<'a> Engine<'a> {
             // and continue with the new sub-segment's latency (the next
             // iteration's batch pass recomputes the horizon; the bucketed
             // sequence after `executed` steps is what the table reads).
-            telemetry.record(*now_ns, queue.len(), running.len());
-            let seq = running
+            let (now_ns, queue_depth, batch) = (self.now_ns, self.queue.len(), self.running.len());
+            self.telemetry.record(now_ns, queue_depth, batch);
+            let seq = self
+                .running
                 .iter()
                 .map(ActiveRequest::seq_len)
                 .max()
                 .expect("running non-empty");
-            step_ns = latencies.step_ns(running.len(), seq);
+            step_ns = self.latencies.step_ns(batch, seq);
         }
     }
 
@@ -801,41 +1076,33 @@ impl<'a> Engine<'a> {
     /// item, its latency and the fast-forward [`DecodeStability`] of a pure
     /// decode ([`DecodeStability::PerStep`] for all other work); `None` means
     /// stay idle until the next event.
-    #[allow(clippy::too_many_arguments)]
-    fn dispatch(
-        &self,
-        now_ns: f64,
-        scheduler: &mut dyn Scheduler,
-        queue: &mut FifoQueue,
-        prefilling: &mut Vec<ActiveRequest>,
-        running: &[ActiveRequest],
-        latencies: &mut Latencies<'_>,
-    ) -> Option<(f64, Work, DecodeStability)> {
+    fn dispatch(&mut self, scheduler: &mut dyn Scheduler) -> Option<(f64, Work, DecodeStability)> {
+        let engine = self.engine;
         // The admission probe anchors footprints at the occupants' final
         // sequence lengths — only relevant when something is waiting.
-        let occupied_max_final_seq = if queue.is_empty() {
+        let occupied_max_final_seq = if self.queue.is_empty() {
             0
         } else {
-            running
+            self.running
                 .iter()
                 .map(ActiveRequest::final_seq_len)
                 .max()
                 .unwrap_or(0)
         };
-        let view = EngineView {
-            now_ns,
-            queue: queue.as_slice(),
-            running: running.len(),
-            max_batch: self.config.max_batch,
-            admission: AdmissionProbe {
-                memory: &self.memory,
-                capacity_bytes: self.capacity_bytes,
-                occupied: running.len(),
-                occupied_max_final_seq,
-                max_batch: self.config.max_batch,
-            },
+        let probe = AdmissionProbe {
+            memory: &engine.memory,
+            capacity_bytes: engine.capacity_bytes,
+            occupied: self.running.len(),
+            occupied_max_final_seq,
+            max_batch: engine.config.max_batch,
         };
-        let probe = view.admission;
+        let view = EngineView {
+            now_ns: self.now_ns,
+            queue: self.queue.as_slice(),
+            running: self.running.len(),
+            max_batch: engine.config.max_batch,
+            admission: probe,
+        };
         let mut action = scheduler.decide(&view);
         // Stability is only meaningful for a pure decode the *scheduler*
         // chose; an admit that the engine clamps down to a decode step is
@@ -854,11 +1121,11 @@ impl<'a> Engine<'a> {
             // that clamps to nothing degrades to a decode step (if a batch is
             // running) or idleness, so a greedy policy cannot stall the engine.
             let count = count
-                .min(queue.len())
-                .min(probe.admissible_count(queue.as_slice()));
+                .min(self.queue.len())
+                .min(probe.admissible_count(self.queue.as_slice()));
             action = if count > 0 {
                 Action::AdmitAndPrefill { count }
-            } else if running.is_empty() {
+            } else if self.running.is_empty() {
                 Action::Wait
             } else {
                 Action::DecodeStep {
@@ -869,43 +1136,68 @@ impl<'a> Engine<'a> {
         match action {
             Action::Wait => None,
             Action::AdmitAndPrefill { count } => {
+                // Requests that arrived fully prefilled (a disaggregated
+                // handoff) cost no prefill work; everyone else is charged the
+                // whole prompt (a partially chunked-in request admitted
+                // wholesale by a custom policy included — the cheaper marginal
+                // cost is only accounted through fused chunks).
                 let mut max_prompt = 0;
+                let mut prefill_count = 0;
                 for _ in 0..count {
-                    let w = queue.pop_front().expect("count clamped to queue length");
-                    max_prompt = max_prompt.max(w.request.prompt_len);
-                    prefilling.push(ActiveRequest {
+                    let w = self
+                        .queue
+                        .pop_front()
+                        .expect("count clamped to queue length");
+                    if w.prefilled < w.request.prompt_len {
+                        prefill_count += 1;
+                        max_prompt = max_prompt.max(w.request.prompt_len);
+                    }
+                    self.prefilling.push(ActiveRequest {
                         id: w.id,
                         prompt_len: w.request.prompt_len,
                         output_len: w.request.output_len,
                         generated: 0,
                     });
                 }
-                let latency = latencies.prefill_ns(count, max_prompt);
+                let latency = if prefill_count > 0 {
+                    self.latencies.prefill_ns(prefill_count, max_prompt)
+                } else {
+                    0.0
+                };
                 Some((latency, Work::Prefill, DecodeStability::PerStep))
             }
             Action::DecodeStep { fused_chunk_tokens } => {
-                let decoded = !running.is_empty();
+                let decoded = !self.running.is_empty();
                 let mut latency_ns = 0.0;
                 if decoded {
-                    let seq = running
+                    let seq = self
+                        .running
                         .iter()
                         .map(ActiveRequest::seq_len)
                         .max()
                         .expect("running non-empty");
-                    latency_ns += latencies.step_ns(running.len(), seq);
+                    latency_ns += self.latencies.step_ns(self.running.len(), seq);
                 }
                 // Chunking the head is an admission: enforce the batch cap and
                 // memory budget here too, so a policy that skips the
                 // admissible_count() guard cannot grow the batch past them.
-                let fused_tokens = match queue.front() {
-                    Some(head)
+                let head = self
+                    .queue
+                    .front()
+                    .map(|h| (h.prefilled, h.request.prompt_len));
+                let fused_tokens = match head {
+                    Some((prefilled, prompt_len))
                         if fused_chunk_tokens > 0
-                            && probe.admissible_count(queue.as_slice()) > 0 =>
+                            && probe.admissible_count(self.queue.as_slice()) > 0 =>
                     {
-                        let tokens = fused_chunk_tokens
-                            .min(head.request.prompt_len - head.prefilled)
-                            .max(1);
-                        latency_ns += self.chunk_prefill_ns(latencies, head.prefilled, tokens);
+                        // A head that arrived fully prefilled (a disaggregated
+                        // handoff) still rides one zero-cost phantom token so
+                        // the completion path moves it into the batch; only
+                        // real remaining prompt work is charged.
+                        let tokens = fused_chunk_tokens.min(prompt_len - prefilled).max(1);
+                        if prefilled < prompt_len {
+                            latency_ns += self.chunk_prefill_ns(prefilled, tokens);
+                        }
                         tokens
                     }
                     _ => 0,
@@ -1135,6 +1427,160 @@ mod tests {
         assert!(
             rel < 1e-9,
             "chunked ttft {ttft} vs whole-prefill {expected}"
+        );
+    }
+
+    /// The co-simulation contract: injecting the trace one arrival at a time
+    /// with an exclusive-horizon `step_until` between injections must
+    /// reproduce `Engine::run` on the full trace bit for bit — in both engine
+    /// modes, including windows that chop macro-steps at every arrival.
+    #[test]
+    fn incremental_session_is_bit_identical_to_run() {
+        let (sim, model) = setup();
+        let t = trace();
+        for fast_forward in [true, false] {
+            for policy in [
+                &mut FcfsStatic as &mut dyn Scheduler,
+                &mut ContinuousBatching,
+                &mut ChunkedPrefill::new(64),
+            ] {
+                let config = EngineConfig {
+                    fast_forward,
+                    seq_bucket: 16,
+                    max_batch: 8,
+                    ..EngineConfig::default()
+                };
+                let engine = Engine::new(&sim, &model, config);
+                let expected = engine.run(&t, policy);
+
+                let max_seq = t
+                    .requests
+                    .iter()
+                    .map(|r| r.prompt_len + r.output_len)
+                    .max()
+                    .unwrap();
+                let max_prompt = t.requests.iter().map(|r| r.prompt_len).max().unwrap();
+                let mut session = engine.session(max_seq, max_prompt);
+                for (id, r) in t.requests.iter().enumerate() {
+                    session.step_until(r.arrival_ns, policy);
+                    session.inject(id, *r);
+                }
+                session.step_until(f64::INFINITY, policy);
+                assert_eq!(session.completed(), t.len());
+                assert_eq!(session.outstanding(), 0);
+                let got = session.finish();
+                assert_eq!(got, expected, "ff={fast_forward}");
+            }
+        }
+    }
+
+    /// Chopping the run into many arbitrary windows (not aligned to arrivals)
+    /// must not change a bit either — the horizon pause path is exercised at
+    /// timestamps that land mid-macro-step.
+    #[test]
+    fn windowed_stepping_is_bit_identical_to_run() {
+        let (sim, model) = setup();
+        let t = trace();
+        let engine = Engine::new(&sim, &model, EngineConfig::default());
+        let expected = engine.run(&t, &mut ContinuousBatching);
+
+        let mut session = engine.session(4096, 4096);
+        for (id, r) in t.requests.iter().enumerate() {
+            session.inject(id, *r);
+        }
+        let mut policy = ContinuousBatching;
+        // Windows deliberately unrelated to event times.
+        let mut h = 0.37e6;
+        while session.next_event_time_ns().is_some() {
+            session.step_until(h, &mut policy);
+            h *= 1.31;
+        }
+        assert_eq!(session.finish(), expected);
+    }
+
+    /// A fully prefilled injection (the decode side of a disaggregated
+    /// handoff) must skip the prefill cost entirely — under every shipped
+    /// policy, including chunked prefill's fused-token admission path: its
+    /// first token lands one decode step after arrival, nothing more.
+    #[test]
+    fn prefilled_injection_skips_prefill() {
+        let (sim, model) = setup();
+        let engine = Engine::new(&sim, &model, EngineConfig::default());
+        let request = TraceRequest {
+            arrival_ns: 0.0,
+            prompt_len: 2048,
+            output_len: 4,
+        };
+        for policy in [
+            &mut ContinuousBatching as &mut dyn Scheduler,
+            &mut FcfsStatic,
+            &mut ChunkedPrefill::new(64),
+        ] {
+            let mut session = engine.session(4096, 4096);
+            session.inject_prefilled(7, request);
+            session.step_until(f64::INFINITY, policy);
+            let handoff = session.drain_completions();
+            let result = session.finish();
+            assert_eq!(result.outcomes.len(), 1, "{}", policy.name());
+            let o = result.outcomes[0];
+            assert_eq!(o.id, 7);
+            let first_step = sim.generation_step(&model, 1, request.prompt_len).total_ns;
+            assert!(
+                (o.ttft_ns() - first_step).abs() < 1e-9,
+                "{}: prefilled ttft {} must equal one decode step {first_step}",
+                policy.name(),
+                o.ttft_ns()
+            );
+            assert_eq!(handoff.len(), 1);
+            assert_eq!(handoff[0].id, 7);
+            assert_eq!(handoff[0].completion_ns, o.completion_ns);
+        }
+    }
+
+    #[test]
+    fn drain_completions_is_incremental() {
+        let (sim, model) = setup();
+        let t = Scenarios::burst(6);
+        let engine = Engine::new(&sim, &model, EngineConfig::default());
+        let mut session = engine.session(4096, 4096);
+        let mut policy = ContinuousBatching;
+        for (id, r) in t.requests.iter().enumerate() {
+            session.step_until(r.arrival_ns, &mut policy);
+            session.inject(id, *r);
+        }
+        session.step_until(f64::INFINITY, &mut policy);
+        let first = session.drain_completions();
+        assert_eq!(first.len(), 6);
+        assert!(session.drain_completions().is_empty(), "drain is a cursor");
+        // Completion order is non-decreasing in time.
+        for pair in first.windows(2) {
+            assert!(pair[0].completion_ns <= pair[1].completion_ns);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes the session")]
+    fn injecting_into_the_past_panics() {
+        let (sim, model) = setup();
+        let engine = Engine::new(&sim, &model, EngineConfig::default());
+        let mut session = engine.session(256, 256);
+        let mut policy = ContinuousBatching;
+        session.inject(
+            0,
+            TraceRequest {
+                arrival_ns: 1e6,
+                prompt_len: 64,
+                output_len: 2,
+            },
+        );
+        session.step_until(f64::INFINITY, &mut policy);
+        session.inject(
+            1,
+            TraceRequest {
+                arrival_ns: 0.0,
+                prompt_len: 64,
+                output_len: 2,
+            },
         );
     }
 }

@@ -135,6 +135,39 @@ impl SingleFlightEvents {
         }
     }
 
+    /// An empty source for incremental co-simulation: arrivals are appended
+    /// one at a time via [`SingleFlightEvents::push_arrival`] as an external
+    /// driver (the fleet simulator's front-door router) hands them over.
+    pub fn empty() -> Self {
+        Self {
+            times: Vec::new(),
+            ids: Vec::new(),
+            cursor: 0,
+            pending_work_ns: None,
+        }
+    }
+
+    /// Appends one arrival. Appended times must be non-decreasing — the
+    /// cluster driver injects arrivals in global time order — which keeps the
+    /// cursor merge identical to a heap loaded with the same sequence (and,
+    /// unlike a heap, preserves the arrival-wins-ties rule even for arrivals
+    /// appended *after* the tying work completion was scheduled).
+    ///
+    /// # Panics
+    /// If `time_ns` is not finite or precedes the last appended arrival.
+    pub fn push_arrival(&mut self, time_ns: f64, id: usize) {
+        assert!(time_ns.is_finite(), "event times must be finite");
+        if let Some(&last) = self.times.last() {
+            assert!(
+                time_ns >= last,
+                "arrivals must be appended in time order ({time_ns} < {last})"
+            );
+        }
+        assert!(id <= u32::MAX as usize, "arrival id too large");
+        self.times.push(time_ns);
+        self.ids.push(id as u32);
+    }
+
     /// Schedules the one in-flight work item's completion.
     ///
     /// # Panics
@@ -273,5 +306,39 @@ mod tests {
         let mut s = SingleFlightEvents::new(&[1.0]);
         s.push_work(2.0);
         s.push_work(3.0);
+    }
+
+    /// Appending arrivals incrementally must replay the same order as
+    /// preloading them, including an arrival appended after (and tying with)
+    /// a scheduled work completion.
+    #[test]
+    fn incremental_appends_match_the_preloaded_order() {
+        let mut preloaded = SingleFlightEvents::new(&[1.0, 3.0, 3.0, 5.0]);
+        let mut incremental = SingleFlightEvents::empty();
+        incremental.push_arrival(1.0, 0);
+        assert_eq!(incremental.pop().unwrap().kind, EventKind::Arrival(0));
+        assert_eq!(preloaded.pop().unwrap().kind, EventKind::Arrival(0));
+        // Work scheduled before the tying arrivals are even known.
+        incremental.push_work(3.0);
+        preloaded.push_work(3.0);
+        incremental.push_arrival(3.0, 1);
+        incremental.push_arrival(3.0, 2);
+        incremental.push_arrival(5.0, 3);
+        loop {
+            let (a, b) = (preloaded.pop(), incremental.pop());
+            match (a, b) {
+                (Some(x), Some(y)) => assert_eq!((x.time_ns, x.kind), (y.time_ns, y.kind)),
+                (None, None) => break,
+                (a, b) => panic!("length mismatch: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn incremental_appends_reject_time_regressions() {
+        let mut s = SingleFlightEvents::empty();
+        s.push_arrival(2.0, 0);
+        s.push_arrival(1.0, 1);
     }
 }

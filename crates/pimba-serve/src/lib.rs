@@ -8,8 +8,8 @@
 //! under a live arrival process?"*
 //!
 //! * [`traffic`] — seeded synthetic arrival processes (Poisson, bursty on/off),
-//!   request traces and canned scenario presets (chat, summarization,
-//!   long-context RAG, reasoning-heavy decode),
+//!   request traces with bit-exact JSONL dump/replay, and canned scenario
+//!   presets (chat, summarization, long-context RAG, reasoning-heavy decode),
 //! * [`event`] — the binary-heap event queue with deterministic tie-breaking,
 //!   and the degenerate single-flight/arrival-cursor source the fast engine
 //!   uses,
@@ -26,6 +26,20 @@
 //! Simulations are bit-identical across repeat runs and thread counts, and the
 //! closed-loop configuration reproduces `ServingSimulator::request_latency`
 //! exactly (see `tests/oracle.rs`).
+//!
+//! # The steppable session (co-simulation)
+//!
+//! [`Engine::run`] is a wrapper over [`Session`]: the engine's whole state
+//! between events, advanced window by window. `pimba-fleet` co-simulates one
+//! session per replica: [`Session::step_until`] processes every event
+//! *strictly before* a horizon, [`Session::inject`] delivers a routed arrival
+//! at (or after) it, and [`Session::inject_prefilled`] receives a
+//! disaggregated prefill→decode handoff that skips prefill entirely. The
+//! invariants that keep windowed execution bit-identical to a preloaded run —
+//! the exclusive horizon preserving arrival-wins-ties ordering, and
+//! macro-steps pausing at the horizon through the arrival-interrupt path —
+//! are spelled out in the [`engine`] module docs and asserted by this
+//! crate's tests and the fleet equivalence suite.
 //!
 //! # Fast-forward invariants
 //!
@@ -88,7 +102,7 @@ pub mod runner;
 pub mod sched;
 pub mod traffic;
 
-pub use engine::{Engine, EngineConfig, EngineView};
+pub use engine::{CompletedRequest, Engine, EngineConfig, EngineView, Session};
 pub use metrics::{
     Percentiles, RequestOutcome, SimResult, SloSpec, Telemetry, TelemetryStats, TimelinePoint,
     TrafficSummary,

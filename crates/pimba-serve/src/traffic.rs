@@ -76,6 +76,129 @@ impl Trace {
             _ => 0.0,
         }
     }
+
+    /// Serializes the trace as JSON Lines: one
+    /// `{"arrival_ns":…,"prompt_len":…,"output_len":…}` object per request,
+    /// in trace order. Arrival times use Rust's shortest round-trip `f64`
+    /// formatting, so [`Trace::from_jsonl`] reconstructs them bit for bit —
+    /// the property that lets a fleet run and a single-replica run replay the
+    /// *identical* trace from one file.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.len() * 64);
+        for r in &self.requests {
+            out.push_str(&format!(
+                "{{\"arrival_ns\":{},\"prompt_len\":{},\"output_len\":{}}}\n",
+                r.arrival_ns, r.prompt_len, r.output_len
+            ));
+        }
+        out
+    }
+
+    /// Parses a JSON Lines trace produced by [`Trace::to_jsonl`] (or by any
+    /// tool emitting one flat object per line with the three fields in any
+    /// order; blank lines are skipped). Requests are re-sorted by arrival
+    /// time — a no-op for well-formed dumps — so the result is always a valid
+    /// trace.
+    pub fn from_jsonl(text: &str) -> Result<Self, TraceParseError> {
+        let mut requests = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            requests.push(
+                parse_jsonl_request(line).map_err(|message| TraceParseError {
+                    line: lineno + 1,
+                    message,
+                })?,
+            );
+        }
+        Ok(Self::from_requests(requests))
+    }
+
+    /// Writes the JSONL serialization to `path`.
+    pub fn write_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Reads a JSONL trace from `path` (I/O errors and parse errors are both
+    /// reported as `io::Error`, parse errors with `InvalidData` kind).
+    pub fn read_jsonl(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_jsonl(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// A malformed line in a JSONL trace dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parses one flat JSONL object (no nesting, string values unsupported — the
+/// trace schema needs none) into a [`TraceRequest`].
+fn parse_jsonl_request(line: &str) -> Result<TraceRequest, String> {
+    let body = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "expected one flat JSON object per line".to_string())?;
+    let mut arrival_ns: Option<f64> = None;
+    let mut prompt_len: Option<usize> = None;
+    let mut output_len: Option<usize> = None;
+    for field in body.split(',') {
+        let field = field.trim();
+        if field.is_empty() {
+            continue;
+        }
+        let (key, value) = field
+            .split_once(':')
+            .ok_or_else(|| format!("field `{field}` is not key:value"))?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "arrival_ns" => {
+                let v: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad arrival_ns `{value}`"))?;
+                if !v.is_finite() {
+                    return Err(format!("non-finite arrival_ns `{value}`"));
+                }
+                arrival_ns = Some(v);
+            }
+            "prompt_len" => {
+                prompt_len = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad prompt_len `{value}`"))?,
+                );
+            }
+            "output_len" => {
+                output_len = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad output_len `{value}`"))?,
+                );
+            }
+            other => return Err(format!("unknown field `{other}`")),
+        }
+    }
+    Ok(TraceRequest {
+        arrival_ns: arrival_ns.ok_or("missing arrival_ns")?,
+        prompt_len: prompt_len.ok_or("missing prompt_len")?,
+        output_len: output_len.ok_or("missing output_len")?,
+    })
 }
 
 /// The shape of an arrival process (the rate is supplied at generation time).
@@ -324,6 +447,64 @@ mod tests {
             .iter()
             .all(|r| r.arrival_ns == 0.0 && r.prompt_len == 256 && r.output_len == 32));
         assert_eq!(t.offered_rate_rps(), 0.0);
+    }
+
+    /// The JSONL round trip must be exact — same requests, same bits — for
+    /// every generator family, so fleet runs and single-replica runs can
+    /// replay one shared trace file.
+    #[test]
+    fn jsonl_round_trip_is_bit_exact() {
+        for (i, scenario) in Scenario::presets().into_iter().enumerate() {
+            let trace = scenario.generate(17.3, 250, 1000 + i as u64);
+            let restored = Trace::from_jsonl(&trace.to_jsonl()).unwrap();
+            assert_eq!(restored, trace, "{} round trip", scenario.name);
+        }
+        // Awkward but exactly-representable times survive too.
+        let trace = Trace::from_requests(vec![
+            TraceRequest {
+                arrival_ns: 0.1 + 0.2, // 0.30000000000000004
+                prompt_len: 1,
+                output_len: 1,
+            },
+            TraceRequest {
+                arrival_ns: 1e17 + 1.0,
+                prompt_len: 9999,
+                output_len: 1,
+            },
+        ]);
+        assert_eq!(Trace::from_jsonl(&trace.to_jsonl()).unwrap(), trace);
+        assert_eq!(Trace::from_jsonl("").unwrap(), Trace::default());
+    }
+
+    #[test]
+    fn jsonl_round_trip_through_a_file() {
+        let trace = Scenario::chat().generate(10.0, 50, 42);
+        let path = std::env::temp_dir().join("pimba_trace_roundtrip_test.jsonl");
+        trace.write_jsonl(&path).unwrap();
+        let restored = Trace::read_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(restored, trace);
+    }
+
+    #[test]
+    fn jsonl_parser_tolerates_field_order_and_reports_errors() {
+        let ok = Trace::from_jsonl(
+            "{\"output_len\": 3, \"arrival_ns\": 5.5, \"prompt_len\": 7}\n\n{\"arrival_ns\":1,\"prompt_len\":2,\"output_len\":4}\n",
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 2);
+        // Re-sorted by arrival.
+        assert_eq!(ok.requests[0].arrival_ns, 1.0);
+        assert_eq!(ok.requests[1].prompt_len, 7);
+
+        let err = Trace::from_jsonl("{\"arrival_ns\":1,\"prompt_len\":2}").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("output_len"), "{}", err.message);
+        let err = Trace::from_jsonl("not json").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        assert!(
+            Trace::from_jsonl("{\"arrival_ns\":inf,\"prompt_len\":1,\"output_len\":1}").is_err()
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //!   figure benches (and the shared [`sweep::parallel_map`] fan-out), built on the
 //!   seq-invariant [`serving::StepFunction`] row evaluator,
 //! * [`stats`] — exact order-statistic percentiles shared by the sweep engine, the
-//!   `pimba-serve` traffic metrics and the benches.
+//!   `pimba-serve` traffic metrics and the benches,
+//! * [`transfer`] — the inter-replica state-handoff latency model of
+//!   disaggregated prefill/decode serving (`pimba-fleet`).
 //!
 //! # Example
 //!
@@ -51,6 +53,7 @@ pub mod serving;
 pub mod stats;
 pub mod sweep;
 pub mod table;
+pub mod transfer;
 
 pub use cache::{CacheStats, LatencyCache};
 pub use config::{SystemConfig, SystemKind};
@@ -60,3 +63,4 @@ pub use serving::{EnergyBreakdown, ServingSimulator, StepBreakdown, StepFunction
 pub use stats::{exact_percentile, median, percentile_of_sorted};
 pub use sweep::{max_batch_within_slo, parallel_map, SweepGrid, SweepRecord, SweepRunner};
 pub use table::{PrefillLatencyTable, StepLatencyTable};
+pub use transfer::{handoff_bytes, StateTransferModel};

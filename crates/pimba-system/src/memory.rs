@@ -73,12 +73,25 @@ impl<'a> MemoryModel<'a> {
     }
 
     /// Total device memory in bytes at the given batch and sequence length —
-    /// bit-identical to [`memory_usage_bytes`].
+    /// bit-identical to [`memory_usage_bytes`] (the sum associates exactly as
+    /// [`MemoryBreakdown::total_bytes`] does).
     pub fn usage_bytes(&self, batch: usize, seq_len: usize) -> f64 {
         let state_bytes = batch as f64 * self.state_elems_per_request * self.state_bytes_per_value;
         let kv_bytes =
             batch as f64 * self.model.kv_elements_per_request(seq_len) * self.kv_bytes_per_value;
         self.params_bytes + state_bytes + kv_bytes
+    }
+
+    /// The per-batch dynamic term of the footprint — recurrent state plus KV
+    /// cache, excluding the (never-shipped) parameters. This is what a
+    /// disaggregated prefill→decode handoff moves between replicas (see
+    /// [`crate::transfer`]); bit-identical to summing the corresponding
+    /// [`MemoryBreakdown`] components.
+    pub fn dynamic_bytes(&self, batch: usize, seq_len: usize) -> f64 {
+        let state_bytes = batch as f64 * self.state_elems_per_request * self.state_bytes_per_value;
+        let kv_bytes =
+            batch as f64 * self.model.kv_elements_per_request(seq_len) * self.kv_bytes_per_value;
+        state_bytes + kv_bytes
     }
 }
 

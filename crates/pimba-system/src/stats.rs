@@ -14,6 +14,18 @@
 /// the maximum, `pct = 50` the lower median. NaN values are ordered last by
 /// `f64::total_cmp`, so a NaN can only be returned if it is genuinely within
 /// the requested rank.
+///
+/// # Edge cases (the fleet-aggregation contract)
+///
+/// Replica-level aggregation routinely produces degenerate populations — a
+/// replica that received **zero** requests, or exactly **one** — so the edges
+/// are part of the API, not accidents:
+///
+/// * empty input → `None`, never a panic (callers decide the sentinel; the
+///   `pimba-serve` `Percentiles` wrapper reports zeros),
+/// * a single sample **is** every percentile: for `n = 1` the nearest rank
+///   `ceil(p/100 · 1)` clamps to 1 for all `p`, including `p = 0` and
+///   `p = 100`.
 pub fn exact_percentile(values: &[f64], pct: f64) -> Option<f64> {
     if values.is_empty() {
         return None;
@@ -24,10 +36,14 @@ pub fn exact_percentile(values: &[f64], pct: f64) -> Option<f64> {
 }
 
 /// Nearest-rank percentile of an already ascending-sorted, non-empty slice.
-/// The one-sort-many-percentiles companion of [`exact_percentile`].
+/// The one-sort-many-percentiles companion of [`exact_percentile`]. A
+/// single-sample slice returns that sample for every `pct` (see
+/// [`exact_percentile`]'s edge-case contract).
 ///
 /// # Panics
-/// Panics if `sorted` is empty.
+/// Panics if `sorted` is empty — callers aggregating over possibly-empty
+/// populations (a fleet replica that served no requests) must gate on
+/// emptiness or use [`exact_percentile`].
 pub fn percentile_of_sorted(sorted: &[f64], pct: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of an empty sample");
     let n = sorted.len();
@@ -55,8 +71,18 @@ mod tests {
     fn single_value_is_every_percentile() {
         for pct in [0.0, 1.0, 50.0, 99.0, 100.0] {
             assert_eq!(exact_percentile(&[3.5], pct), Some(3.5));
+            // The sorted variant agrees, including out-of-range pct clamping.
+            assert_eq!(percentile_of_sorted(&[3.5], pct), 3.5);
         }
+        assert_eq!(percentile_of_sorted(&[3.5], -10.0), 3.5);
+        assert_eq!(percentile_of_sorted(&[3.5], 250.0), 3.5);
         assert_eq!(median(&[3.5]), Some(3.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn sorted_variant_panics_on_empty_input() {
+        percentile_of_sorted(&[], 50.0);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Scenario: a multi-replica Pimba fleet under live traffic — how routing
+//! policy and replica count move the tail latencies, and what disaggregated
+//! prefill/decode buys when the state handoff is cheap.
+//!
+//! Run with `cargo run --release --example serve_fleet [-- <replicas> ...]`.
+
+use pimba::fleet::cluster::{FleetConfig, FleetMode, FleetSim};
+use pimba::fleet::router::RouterKind;
+use pimba::models::{ModelConfig, ModelFamily, ModelScale};
+use pimba::serve::metrics::SloSpec;
+use pimba::serve::traffic::Scenario;
+use pimba::system::config::{SystemConfig, SystemKind};
+use pimba::system::serving::ServingSimulator;
+use pimba::system::transfer::StateTransferModel;
+
+fn main() {
+    let replica_counts: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![2, 4, 8]
+        } else {
+            args
+        }
+    };
+
+    let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small);
+    let sim = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
+    let slo = SloSpec::default();
+    let trace = Scenario::reasoning().generate(14.0 * 2.0, 600, 42);
+    println!(
+        "Pimba fleet, reasoning traffic @ {:.0} rps fleet load, {} requests\n",
+        trace.offered_rate_rps(),
+        trace.len()
+    );
+
+    println!("replicas  router       p50_ttft   p99_ttft   attainment  goodput");
+    for &replicas in &replica_counts {
+        for router in RouterKind::ALL {
+            let mut config = FleetConfig::colocated(replicas);
+            config.router = router;
+            config.engine.max_batch = 16;
+            config.engine.seq_bucket = 32;
+            let result = FleetSim::new(&sim, &model).run(&trace, &config);
+            let s = result.summary(&slo);
+            println!(
+                "{replicas:>8}  {:<11}  {:>7.1}ms  {:>7.1}ms  {:>10.3}  {:>5.1}/s",
+                router.name(),
+                s.ttft_ms.p50,
+                s.ttft_ms.p99,
+                s.slo_attainment,
+                s.goodput_rps
+            );
+        }
+    }
+
+    // Disaggregated prefill/decode: the decode pool never stalls for a
+    // prefill, and the SU-LLM state handoff is tiny.
+    let chat = Scenario::chat().generate(60.0, 600, 43);
+    println!("\nchat @ 60 rps, 4 replicas: colocated vs disaggregated (2P+2D over NVLink)");
+    for (name, mode) in [
+        ("colocated", FleetMode::Colocated { replicas: 4 }),
+        (
+            "disaggregated",
+            FleetMode::Disaggregated {
+                prefill_replicas: 2,
+                decode_replicas: 2,
+                transfer: StateTransferModel::nvlink(),
+            },
+        ),
+    ] {
+        let mut config = FleetConfig::colocated(4);
+        config.mode = mode;
+        config.engine.max_batch = 32;
+        config.engine.seq_bucket = 32;
+        let result = FleetSim::new(&sim, &model).run(&chat, &config);
+        let s = result.summary(&slo);
+        println!(
+            "  {name:<13}  p99 TTFT {:>6.1}ms   p99 TPOT {:>5.2}ms   p99 E2E {:>7.1}ms",
+            s.ttft_ms.p99, s.tpot_ms.p99, s.e2e_ms.p99
+        );
+    }
+}

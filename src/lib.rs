@@ -19,7 +19,10 @@
 //!   NeuPIMs-like) with latency, throughput, energy and memory accounting,
 //! * [`serve`] — the discrete-event request-level traffic simulator: arrival
 //!   processes and scenario traces, continuous-batching schedulers, TTFT/TPOT
-//!   tail percentiles, goodput and SLO-attainment sweeps.
+//!   tail percentiles, goodput and SLO-attainment sweeps,
+//! * [`fleet`] — the cluster layer above it: multi-replica fleets under
+//!   pluggable routing (round-robin / JSQ / power-of-two-choices) and
+//!   disaggregated prefill/decode pools with a state-transfer cost model.
 //!
 //! # Quickstart
 //!
@@ -41,6 +44,7 @@
 #![warn(rust_2018_idioms)]
 
 pub use pimba_dram as dram;
+pub use pimba_fleet as fleet;
 pub use pimba_gpu as gpu;
 pub use pimba_models as models;
 pub use pimba_num as num;
