@@ -339,8 +339,8 @@ impl<'a> FleetSim<'a> {
             }
             let pre_request = TraceRequest {
                 arrival_ns: t,
-                prompt_len: request.prompt_len,
                 output_len: 1,
+                ..*request
             };
             let choice = front.route(id, &pre_request, prefill.loads());
             assert!(
@@ -393,6 +393,8 @@ impl<'a> FleetSim<'a> {
                 completion_ns: completion[id],
                 prompt_len: r.prompt_len,
                 output_len: r.output_len,
+                tenant: r.tenant,
+                priority: r.priority,
             })
             .collect();
         let makespan_ns = prefill_results
@@ -437,11 +439,13 @@ fn deliver(
     decode.step_until(handoff.time_ns);
     let original = trace.requests[handoff.id];
     // The decode-side request resumes after prefill + first token: full
-    // context is prompt+1, and output_len-1 tokens remain.
+    // context is prompt+1, and output_len-1 tokens remain (tenant/priority
+    // tags ride along through the handoff).
     let request = TraceRequest {
         arrival_ns: handoff.time_ns,
         prompt_len: original.prompt_len + 1,
         output_len: original.output_len - 1,
+        ..original
     };
     let choice = back.route(handoff.id, &request, decode.loads());
     decode.sessions[choice].inject_prefilled(handoff.id, request);

@@ -63,5 +63,6 @@ pub use cluster::{FleetConfig, FleetMode, FleetSim};
 pub use metrics::{FleetResult, ReplicaReport, ReplicaRole};
 pub use router::{
     JoinShortestQueue, PowerOfTwoChoices, ReplicaLoad, RoundRobin, Router, RouterKind,
+    TenantAffinity,
 };
 pub use runner::{replicas_to_hold, FleetGrid, FleetModeSpec, FleetRecord, FleetRunner};

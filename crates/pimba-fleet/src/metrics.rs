@@ -1,7 +1,10 @@
 //! Fleet-level results: merged per-request outcomes, per-replica reports and
 //! aggregate SLO metrics.
 
-use pimba_serve::metrics::{RequestOutcome, SimResult, SloSpec, TelemetryStats, TrafficSummary};
+use pimba_serve::metrics::{
+    PreemptionStats, RequestOutcome, SimResult, SloSpec, TelemetryStats, TenantSlos, TenantSummary,
+    TrafficSummary,
+};
 use serde::{Deserialize, Serialize};
 
 /// What a replica did in the fleet.
@@ -93,17 +96,48 @@ impl FleetResult {
         out
     }
 
+    /// Fleet-level checkpoint-restore counters: per-replica
+    /// [`PreemptionStats`] summed (all zeros for preemption-free fleets).
+    pub fn fleet_preemption(&self) -> PreemptionStats {
+        let mut out = PreemptionStats::default();
+        for r in &self.replicas {
+            let p = &r.result.preemption;
+            out.evictions += p.evictions;
+            out.resumes += p.resumes;
+            out.checkpoint_bytes += p.checkpoint_bytes;
+            out.restore_bytes += p.restore_bytes;
+            out.checkpoint_stall_ns += p.checkpoint_stall_ns;
+            out.restore_stall_ns += p.restore_stall_ns;
+        }
+        out
+    }
+
     /// Aggregate fleet metrics under `slo` — the same [`TrafficSummary`]
     /// shape the single-replica runner reports, computed over the end-to-end
     /// outcomes and the fleet makespan.
     pub fn summary(&self, slo: &SloSpec) -> TrafficSummary {
+        self.as_sim_result().summary(slo)
+    }
+
+    /// Per-tenant fleet aggregates, ascending tenant order: each tenant's
+    /// end-to-end outcomes (routing, queueing and transfer delays included)
+    /// summarized under its own objective from `slos` — the multi-tenant
+    /// answer to "does every traffic class hold *its* SLO across the
+    /// cluster?".
+    pub fn per_tenant_summary(&self, slos: &TenantSlos) -> Vec<TenantSummary> {
+        self.as_sim_result().per_tenant_summaries(slos)
+    }
+
+    /// The fleet flattened into one [`SimResult`]-shaped view (end-to-end
+    /// outcomes, summed telemetry and preemption counters, fleet makespan).
+    fn as_sim_result(&self) -> SimResult {
         SimResult {
             outcomes: self.outcomes.clone(),
             timeline: Vec::new(),
             makespan_ns: self.makespan_ns,
             telemetry: self.fleet_telemetry(),
+            preemption: self.fleet_preemption(),
         }
-        .summary(slo)
     }
 
     /// Requests completed per replica, fleet order — the balance/imbalance
@@ -136,6 +170,7 @@ mod tests {
             completion_ns: done,
             prompt_len: 64,
             output_len: 4,
+            ..RequestOutcome::default()
         }
     }
 
@@ -160,8 +195,59 @@ mod tests {
                 telemetry: TelemetryStats::from_timeline(&timeline),
                 timeline,
                 makespan_ns: makespan,
+                preemption: PreemptionStats::default(),
             },
         }
+    }
+
+    /// Per-tenant fleet aggregation: outcomes split by tenant, each class
+    /// judged against its own SLO.
+    #[test]
+    fn per_tenant_fleet_summary_splits_classes() {
+        let interactive = RequestOutcome {
+            tenant: 1,
+            ..outcome(0, 0.0, 1.0e6, 2.0e6)
+        };
+        let batchy = RequestOutcome {
+            tenant: 2,
+            ..outcome(1, 0.0, 600.0e6, 900.0e6)
+        };
+        let result = FleetResult {
+            outcomes: vec![interactive, batchy],
+            replicas: vec![replica(
+                ReplicaRole::Colocated,
+                vec![interactive, batchy],
+                1.0e9,
+            )],
+            assignment: vec![0, 0],
+            decode_assignment: Vec::new(),
+            makespan_ns: 1.0e9,
+        };
+        // Tenant 1 interactive (100 ms TTFT), tenant 2 lax (2 s TTFT).
+        let slos = TenantSlos::uniform(SloSpec {
+            ttft_ms: 100.0,
+            tpot_ms: 50.0,
+        })
+        .with(
+            2,
+            SloSpec {
+                ttft_ms: 2000.0,
+                tpot_ms: 200.0,
+            },
+        );
+        let per_tenant = result.per_tenant_summary(&slos);
+        assert_eq!(per_tenant.len(), 2);
+        assert_eq!(per_tenant[0].tenant, 1);
+        assert_eq!(per_tenant[0].summary.slo_attainment, 1.0);
+        assert_eq!(per_tenant[1].tenant, 2);
+        // 600 ms TTFT meets the lax objective but would blow the strict one.
+        assert_eq!(per_tenant[1].summary.slo_attainment, 1.0);
+        let strict = result.per_tenant_summary(&TenantSlos::uniform(SloSpec {
+            ttft_ms: 100.0,
+            tpot_ms: 50.0,
+        }));
+        assert_eq!(strict[1].summary.slo_attainment, 0.0);
+        assert_eq!(result.fleet_preemption(), PreemptionStats::default());
     }
 
     #[test]

@@ -135,6 +135,48 @@ impl Router for PowerOfTwoChoices {
     }
 }
 
+/// Tenant-affinity routing: each tenant has a *home* replica
+/// (`tenant mod pool size`) it sticks to while the home's load stays within
+/// `slack` outstanding requests of the least-loaded replica; beyond that the
+/// router spills to the JSQ choice. Affinity keeps a tenant's traffic (and
+/// any tenant-local cache/state the replica accumulates) on one machine and
+/// isolates classes from each other's bursts, while the spill valve prevents
+/// a hot tenant from drowning its home.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantAffinity {
+    /// How many outstanding requests above the fleet minimum the home
+    /// replica may carry before the tenant spills (default 2).
+    pub slack: usize,
+}
+
+impl Default for TenantAffinity {
+    fn default() -> Self {
+        Self { slack: 2 }
+    }
+}
+
+impl Router for TenantAffinity {
+    fn name(&self) -> &'static str {
+        "tenant_affinity"
+    }
+
+    fn route(&mut self, _id: usize, request: &TraceRequest, loads: &[ReplicaLoad]) -> usize {
+        assert!(!loads.is_empty(), "route over an empty pool");
+        let home = request.tenant as usize % loads.len();
+        let (least, least_load) = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.outstanding)
+            .map(|(i, l)| (i, l.outstanding))
+            .expect("non-empty pool");
+        if loads[home].outstanding <= least_load + self.slack {
+            home
+        } else {
+            least
+        }
+    }
+}
+
 /// Router selector — the value-level form used by fleet configs, grids and
 /// benches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -145,10 +187,15 @@ pub enum RouterKind {
     Jsq,
     /// [`PowerOfTwoChoices`].
     PowerOfTwo,
+    /// [`TenantAffinity`] with the default spill slack.
+    TenantAffinity,
 }
 
 impl RouterKind {
-    /// All selectors, in presentation order.
+    /// The classic load-balancing selectors, in presentation order — the
+    /// router axis of the scaling benches. [`RouterKind::TenantAffinity`] is
+    /// excluded (it is a placement policy, only meaningful for multi-tenant
+    /// traffic) and selected explicitly where wanted.
     pub const ALL: [RouterKind; 3] = [
         RouterKind::RoundRobin,
         RouterKind::Jsq,
@@ -162,6 +209,7 @@ impl RouterKind {
             RouterKind::RoundRobin => Box::new(RoundRobin::default()),
             RouterKind::Jsq => Box::new(JoinShortestQueue),
             RouterKind::PowerOfTwo => Box::new(PowerOfTwoChoices::new(seed, domain, stream)),
+            RouterKind::TenantAffinity => Box::new(TenantAffinity::default()),
         }
     }
 
@@ -171,6 +219,7 @@ impl RouterKind {
             RouterKind::RoundRobin => "round_robin",
             RouterKind::Jsq => "jsq",
             RouterKind::PowerOfTwo => "po2",
+            RouterKind::TenantAffinity => "tenant_affinity",
         }
     }
 }
@@ -195,6 +244,7 @@ mod tests {
             arrival_ns: 0.0,
             prompt_len: 64,
             output_len: 8,
+            ..TraceRequest::default()
         }
     }
 
@@ -254,11 +304,37 @@ mod tests {
 
     #[test]
     fn kind_builds_and_names() {
-        for kind in RouterKind::ALL {
+        for kind in RouterKind::ALL
+            .into_iter()
+            .chain([RouterKind::TenantAffinity])
+        {
             let mut router = kind.build(1, streams::ROUTER_FRONT, 0);
             assert_eq!(router.name(), kind.name());
             let choice = router.route(0, &request(), &loads(&[0, 0]));
             assert!(choice < 2);
         }
+    }
+
+    #[test]
+    fn tenant_affinity_pins_home_and_spills_under_imbalance() {
+        let mut affinity = TenantAffinity::default();
+        let request_of = |tenant: u32| TraceRequest {
+            tenant,
+            ..request()
+        };
+        // Balanced pool: every tenant lands on its home replica.
+        let balanced = loads(&[1, 1, 1, 1]);
+        for tenant in 0..8u32 {
+            assert_eq!(
+                affinity.route(tenant as usize, &request_of(tenant), &balanced),
+                tenant as usize % 4
+            );
+        }
+        // Home overloaded past the slack: spill to the least-loaded replica.
+        let skewed = loads(&[9, 0, 1, 1]);
+        assert_eq!(affinity.route(0, &request_of(0), &skewed), 1);
+        // Within slack: stick with home even if not the minimum.
+        let slightly = loads(&[2, 0, 1, 1]);
+        assert_eq!(affinity.route(0, &request_of(0), &slightly), 0);
     }
 }

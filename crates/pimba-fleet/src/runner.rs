@@ -14,7 +14,7 @@ use crate::metrics::FleetResult;
 use crate::router::RouterKind;
 use pimba_models::config::ModelConfig;
 use pimba_serve::engine::EngineConfig;
-use pimba_serve::metrics::{SloSpec, TrafficSummary};
+use pimba_serve::metrics::{SloSpec, TenantSlos, TenantSummary, TrafficSummary};
 use pimba_serve::sched::PolicyKind;
 use pimba_serve::traffic::{Scenario, Trace};
 use pimba_system::cache::LatencyCache;
@@ -92,6 +92,9 @@ pub struct FleetGrid {
     pub seed: u64,
     /// The SLO defining goodput and attainment.
     pub slo: SloSpec,
+    /// Per-tenant SLO overrides for the per-tenant record summaries; `None`
+    /// holds every tenant to [`FleetGrid::slo`].
+    pub tenant_slos: Option<TenantSlos>,
     /// Per-replica batch cap; `None` runs the SLO capacity search per
     /// (system, scenario), like the single-replica traffic runner.
     pub max_batch: Option<usize>,
@@ -121,6 +124,7 @@ impl FleetGrid {
             requests_per_cell: 400,
             seed: 0xF1EE7,
             slo: SloSpec::default(),
+            tenant_slos: None,
             max_batch: None,
             seq_bucket: 32,
             fast_forward: true,
@@ -185,6 +189,13 @@ impl FleetGrid {
     /// Sets the SLO.
     pub fn with_slo(mut self, slo: SloSpec) -> Self {
         self.slo = slo;
+        self
+    }
+
+    /// Sets per-tenant SLO targets for the per-tenant summaries of every
+    /// record.
+    pub fn with_tenant_slos(mut self, tenant_slos: TenantSlos) -> Self {
+        self.tenant_slos = Some(tenant_slos);
         self
     }
 
@@ -267,6 +278,9 @@ pub struct FleetRecord {
     pub goodput_per_replica: f64,
     /// Requests completed per replica (the balance fingerprint).
     pub per_replica_completed: Vec<usize>,
+    /// Per-tenant fleet metrics, ascending tenant order, each under its own
+    /// SLO from [`FleetGrid::tenant_slos`].
+    pub per_tenant: Vec<TenantSummary>,
 }
 
 /// Parallel evaluator of [`FleetGrid`]s.
@@ -361,6 +375,7 @@ impl FleetRunner {
                     seq_bucket: grid.seq_bucket,
                     fast_forward: grid.fast_forward,
                     timeline_sample_every: grid.timeline_sample_every,
+                    ..EngineConfig::default()
                 },
                 // Every cell gets its own deterministic router stream.
                 seed: Pcg32::new_stream(grid.seed, 0x7007 + i as u64).next_u64(),
@@ -380,6 +395,10 @@ fn record_of(
     rate_rps: f64,
     config: &FleetConfig,
 ) -> FleetRecord {
+    let tenant_slos = grid
+        .tenant_slos
+        .clone()
+        .unwrap_or_else(|| TenantSlos::uniform(grid.slo));
     FleetRecord {
         system,
         scenario,
@@ -390,6 +409,7 @@ fn record_of(
         summary: result.summary(&grid.slo),
         goodput_per_replica: result.goodput_per_replica(&grid.slo),
         per_replica_completed: result.per_replica_completed(),
+        per_tenant: result.per_tenant_summary(&tenant_slos),
     }
 }
 

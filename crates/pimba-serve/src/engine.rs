@@ -2,13 +2,31 @@
 //! system) executing a request trace under a pluggable scheduling policy.
 //!
 //! The engine models the serving loop of a single tensor-parallel replica: a
-//! FIFO wait queue, a batch of in-flight requests, and one work item in flight
-//! at a time (a batched prefill or one generation step — the blocked GPU/PIM
-//! execution model of the paper has no intra-replica overlap). Latencies come
+//! FIFO wait queue, a batch of in-flight requests, an off-device pool of
+//! checkpointed (evicted) requests, and one work item in flight at a time (a
+//! batched prefill, one generation step, or a checkpoint/restore state
+//! transfer — the blocked GPU/PIM execution model of the paper has no
+//! intra-replica overlap). Latencies come
 //! from the analytic step models of `pimba_system::ServingSimulator`, sharing
 //! its shape-keyed [`LatencyCache`](pimba_system::LatencyCache), so the event
 //! simulation composes *exactly* from the same numbers the steady-state figure
 //! benches report — the consistency oracle in `tests/oracle.rs` pins this down.
+//!
+//! # Preemption (checkpoint-restore eviction)
+//!
+//! Policies can *remove* work, not just add it: [`Action::Preempt`]
+//! checkpoints running requests' decoding state off device (priced by
+//! [`EngineConfig::checkpoint_link`] over
+//! [`MemoryModel::dynamic_bytes`] at the *current* sequence length — a few
+//! tens of constant megabytes for an SU-LLM state, a context-proportional
+//! KV cache for a transformer), and [`Action::Resume`] ships it back, with
+//! generation continuing exactly where it stopped. Admission can likewise
+//! anchor at live footprints ([`AdmissionMode::LiveOccupancy`]) instead of
+//! the conservative final-sequence estimates. All of it is opt-in: under the
+//! default [`EngineConfig`] and the preemption-free policies the engine is
+//! **bit-identical** to its pre-preemption behavior, which the committed
+//! `BENCH_serving_traffic.json` / `BENCH_fleet_scale.json` artifacts (and
+//! their bench divergence gates) pin down.
 //!
 //! Every run is a pure function of `(system, model, trace, policy, config)`:
 //! event ties break deterministically and all latency evaluations are
@@ -68,13 +86,34 @@
 //! module's tests and by the single-replica fleet equivalence suite.
 
 use crate::event::{Event, EventKind, EventQueue, SingleFlightEvents};
-use crate::metrics::{RequestOutcome, SimResult, Telemetry};
+use crate::metrics::{PreemptionStats, RequestOutcome, SimResult, Telemetry};
 use crate::sched::{Action, DecodeStability, Scheduler};
 use crate::traffic::{Trace, TraceRequest};
 use pimba_models::config::ModelConfig;
 use pimba_system::memory::MemoryModel;
 use pimba_system::serving::ServingSimulator;
 use pimba_system::table::{PrefillLatencyTable, StepLatencyTable};
+use pimba_system::transfer::StateTransferModel;
+
+/// How the admission probe anchors request footprints against the memory
+/// budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionMode {
+    /// Footprints are estimated at every request's **final** sequence length:
+    /// an admitted request can always run to completion without eviction.
+    /// Conservative — memory that the batch will only need hundreds of steps
+    /// from now blocks admission today. The historical (and default)
+    /// behavior.
+    #[default]
+    FinalSeqLen,
+    /// Footprints are taken at **current** sequence lengths (live occupancy):
+    /// admission packs the batch against what is actually resident, which is
+    /// exact for constant-state SU-LLMs and optimistic for growing KV caches —
+    /// the mode a preemptive policy pairs with checkpoint-restore eviction
+    /// ([`Action::Preempt`] / [`Action::Resume`]) for when the batch outgrows
+    /// the budget.
+    LiveOccupancy,
+}
 
 /// Engine knobs independent of the scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,6 +140,17 @@ pub struct EngineConfig {
     /// [`SimResult::summary`](crate::metrics::SimResult::summary) come from
     /// exact running aggregates and are unaffected by this knob.
     pub timeline_sample_every: usize,
+    /// Footprint anchoring of the admission probe (see [`AdmissionMode`]).
+    /// The default [`AdmissionMode::FinalSeqLen`] reproduces the
+    /// pre-preemption engine bit for bit.
+    pub admission: AdmissionMode,
+    /// The link checkpoint/restore state transfers are priced over
+    /// ([`Action::Preempt`] / [`Action::Resume`]): a victim's
+    /// [`MemoryModel::dynamic_bytes`] at its current sequence length ships at
+    /// [`StateTransferModel::transfer_ns`], and the engine blocks for the
+    /// transfer (the paper's no-overlap execution model). Irrelevant — and
+    /// cost-free — for policies that never preempt.
+    pub checkpoint_link: StateTransferModel,
 }
 
 impl Default for EngineConfig {
@@ -111,6 +161,8 @@ impl Default for EngineConfig {
             seq_bucket: 1,
             fast_forward: true,
             timeline_sample_every: 1,
+            admission: AdmissionMode::FinalSeqLen,
+            checkpoint_link: StateTransferModel::nvlink(),
         }
     }
 }
@@ -129,22 +181,54 @@ pub struct WaitingRequest {
     pub prefilled: usize,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct ActiveRequest {
-    id: usize,
-    prompt_len: usize,
-    output_len: usize,
-    generated: usize,
+/// One request holding a batch slot (decoding, or parked for the in-flight
+/// batched prefill) — the per-occupant visibility a preemptive or
+/// tenant-aware policy decides from via [`EngineView::batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchSlot {
+    /// The session-local request id — what [`Action::Preempt`] victims name.
+    pub id: usize,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Output budget in tokens.
+    pub output_len: usize,
+    /// Tokens generated so far.
+    pub generated: usize,
+    /// Tenant tag of the request.
+    pub tenant: u32,
+    /// Priority class of the request.
+    pub priority: u8,
 }
 
-impl ActiveRequest {
-    fn seq_len(&self) -> usize {
+impl BatchSlot {
+    /// Current sequence length (prompt plus generated tokens) — what the
+    /// request's state occupies *now*.
+    pub fn seq_len(&self) -> usize {
         self.prompt_len + self.generated
     }
 
-    fn final_seq_len(&self) -> usize {
+    /// Sequence length at completion — what the request will occupy at its
+    /// last decode step.
+    pub fn final_seq_len(&self) -> usize {
         self.prompt_len + self.output_len
     }
+}
+
+/// A checkpointed (evicted) request: its decoding state has been shipped off
+/// device over the checkpoint link and it waits — generation progress intact —
+/// for an [`Action::Resume`] to restore it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvictedRequest {
+    /// The batch slot exactly as it was suspended (`slot.generated` is where
+    /// decoding resumes); restoring pushes this slot back into the batch
+    /// unchanged, so nothing is lost across a checkpoint round trip.
+    pub slot: BatchSlot,
+    /// Checkpointed state size in bytes
+    /// ([`MemoryModel::dynamic_bytes`] at the eviction-time sequence
+    /// length) — what the restore transfer will ship back.
+    pub state_bytes: f64,
+    /// When the eviction's checkpoint transfer was dispatched.
+    pub evicted_at_ns: f64,
 }
 
 /// The read-only snapshot a [`Scheduler`] decides from.
@@ -157,6 +241,23 @@ pub struct EngineView<'a> {
     pub running: usize,
     /// The engine's hard batch cap.
     pub max_batch: usize,
+    /// The occupants of the batch (`batch.len() == running`) — per-request
+    /// sequence progress, tenant and priority, the visibility preemptive and
+    /// tenant-aware policies decide from. Locally admitted requests appear
+    /// in admission order; requests restored from a checkpoint rejoin at the
+    /// tail, so age-sensitive policies should key on [`BatchSlot::id`]
+    /// (injection order), not slice position.
+    pub batch: &'a [BatchSlot],
+    /// Checkpointed requests awaiting [`Action::Resume`], eviction order
+    /// (oldest first — the order `Resume { count }` restores them in).
+    pub evicted: &'a [EvictedRequest],
+    /// The engine's device-memory budget in bytes.
+    pub capacity_bytes: f64,
+    /// The engine's admission-probe anchoring, so mode-sensitive policies
+    /// ([`MemoryPressureEviction`](crate::sched::MemoryPressureEviction))
+    /// can adapt instead of silently misbehaving under the wrong
+    /// configuration.
+    pub admission_mode: AdmissionMode,
     admission: AdmissionProbe<'a>,
 }
 
@@ -165,23 +266,38 @@ struct AdmissionProbe<'a> {
     memory: &'a MemoryModel<'a>,
     capacity_bytes: f64,
     occupied: usize,
-    occupied_max_final_seq: usize,
+    /// The occupants' footprint anchor: max final sequence length under
+    /// [`AdmissionMode::FinalSeqLen`] (0 when nothing is waiting — the probe
+    /// is never consulted then), max *current* sequence length under
+    /// [`AdmissionMode::LiveOccupancy`].
+    anchor_seq: usize,
     max_batch: usize,
+    mode: AdmissionMode,
 }
 
 impl AdmissionProbe<'_> {
+    /// A queued candidate's footprint anchor under the probe's mode: final
+    /// sequence length, or the current (post-prefill) length for live
+    /// accounting.
+    fn candidate_seq(&self, request: &TraceRequest) -> usize {
+        match self.mode {
+            AdmissionMode::FinalSeqLen => request.prompt_len + request.output_len,
+            AdmissionMode::LiveOccupancy => request.prompt_len,
+        }
+    }
+
     /// See [`EngineView::admissible_count`] — also used by the engine itself to
     /// clamp whatever a policy asks for, so the batch cap and memory budget
     /// hold for arbitrary `Scheduler` implementations.
     fn admissible_count(&self, queue: &[WaitingRequest]) -> usize {
         let mut count = 0;
-        let mut max_seq = self.occupied_max_final_seq;
+        let mut max_seq = self.anchor_seq;
         for waiting in queue {
             let candidate_batch = self.occupied + count + 1;
             if candidate_batch > self.max_batch {
                 break;
             }
-            max_seq = max_seq.max(waiting.request.prompt_len + waiting.request.output_len);
+            max_seq = max_seq.max(self.candidate_seq(&waiting.request));
             if self.memory.usage_bytes(candidate_batch, max_seq) > self.capacity_bytes {
                 break;
             }
@@ -193,19 +309,118 @@ impl AdmissionProbe<'_> {
             count
         }
     }
+
+    /// The admissible prefix of an arbitrary pick order (see
+    /// [`EngineView::admissible_among`]): the same walk as
+    /// [`AdmissionProbe::admissible_count`], but over `picks` instead of the
+    /// queue front. An out-of-range or repeated index ends the prefix.
+    fn admissible_prefix(&self, queue: &[WaitingRequest], picks: &[usize]) -> usize {
+        let mut count = 0;
+        let mut max_seq = self.anchor_seq;
+        for (i, &pick) in picks.iter().enumerate() {
+            // Duplicate detection by scanning the accepted prefix: the walk
+            // breaks at the first repeat, so everything before `i` is
+            // unique, and a well-behaved caller's picks are bounded by the
+            // free batch slots — no queue-sized allocation per consult.
+            if pick >= queue.len() || picks[..i].contains(&pick) {
+                break;
+            }
+            let candidate_batch = self.occupied + count + 1;
+            if candidate_batch > self.max_batch {
+                break;
+            }
+            max_seq = max_seq.max(self.candidate_seq(&queue[pick].request));
+            if self.memory.usage_bytes(candidate_batch, max_seq) > self.capacity_bytes {
+                break;
+            }
+            count += 1;
+        }
+        if count == 0 && self.occupied == 0 && picks.first().is_some_and(|&p| p < queue.len()) {
+            1
+        } else {
+            count
+        }
+    }
+
+    /// How many of the oldest evicted requests (up to `requested`) fit back
+    /// under the batch cap and the memory budget — the clamp behind
+    /// [`Action::Resume`]. Mirrors the admission escape: an engine with an
+    /// empty batch always restores at least one.
+    fn resumable_count(&self, evicted: &[EvictedRequest], requested: usize) -> usize {
+        let mut count = 0;
+        let mut max_seq = self.anchor_seq;
+        for e in evicted.iter().take(requested) {
+            let candidate_batch = self.occupied + count + 1;
+            if candidate_batch > self.max_batch {
+                break;
+            }
+            max_seq = max_seq.max(match self.mode {
+                AdmissionMode::FinalSeqLen => e.slot.final_seq_len(),
+                AdmissionMode::LiveOccupancy => e.slot.seq_len(),
+            });
+            if self.memory.usage_bytes(candidate_batch, max_seq) > self.capacity_bytes {
+                break;
+            }
+            count += 1;
+        }
+        if count == 0 && self.occupied == 0 && requested > 0 && !evicted.is_empty() {
+            1
+        } else {
+            count
+        }
+    }
 }
 
 impl EngineView<'_> {
-    /// How many queue-front requests can be admitted right now under the batch
-    /// cap and the memory budget (footprints are estimated at every request's
-    /// *final* sequence length, so an admitted request can always run to
-    /// completion without eviction).
+    /// How many queue-front requests can be admitted right now under the
+    /// batch cap and the memory budget. Footprint anchoring follows the
+    /// engine's [`AdmissionMode`]: under the default
+    /// [`AdmissionMode::FinalSeqLen`] every footprint is estimated at the
+    /// request's *final* sequence length, so an admitted request can always
+    /// run to completion without eviction; under
+    /// [`AdmissionMode::LiveOccupancy`] footprints are taken at *current*
+    /// lengths — more aggressive, and paired by preemptive policies with
+    /// checkpoint-restore eviction for when the growing batch outruns the
+    /// budget.
     ///
     /// When the engine is empty the count is at least 1 for a non-empty queue:
     /// a request that does not fit alone will never fit better, so it is
     /// admitted alone rather than deadlocking the queue.
     pub fn admissible_count(&self) -> usize {
         self.admission.admissible_count(self.queue)
+    }
+
+    /// The admissible *prefix length* of a policy-chosen admission order:
+    /// how many of `picks` (indices into [`EngineView::queue`], walked in
+    /// order) fit under the batch cap and memory budget. This is exactly the
+    /// clamp the engine applies to [`Action::AdmitSelected`], so a policy can
+    /// pre-truncate its picks and know they will all be admitted. Shares the
+    /// deadlock escape of [`EngineView::admissible_count`].
+    pub fn admissible_among(&self, picks: &[usize]) -> usize {
+        self.admission.admissible_prefix(self.queue, picks)
+    }
+
+    /// Live device-memory occupancy in bytes: parameters plus the batch's
+    /// state/KV at *current* sequence lengths — the number a memory-pressure
+    /// policy compares against [`EngineView::capacity_bytes`] watermarks.
+    pub fn occupancy_bytes(&self) -> f64 {
+        let max_seq = self.batch.iter().map(BatchSlot::seq_len).max().unwrap_or(1);
+        self.admission.memory.usage_bytes(self.batch.len(), max_seq)
+    }
+
+    /// Total device memory a hypothetical `(batch, max_seq)` configuration
+    /// would occupy — the engine's closed-form [`MemoryModel`], exposed so
+    /// policies can price what-if projections (eviction targets, restore
+    /// headroom) with the exact accounting the admission probe uses.
+    pub fn memory_usage_bytes(&self, batch: usize, max_seq: usize) -> f64 {
+        self.admission.memory.usage_bytes(batch, max_seq)
+    }
+
+    /// The dynamic (state + KV, parameter-free) bytes of a `(batch, seq)`
+    /// configuration — what one checkpoint/restore transfer of such a batch
+    /// would ship (see [`MemoryModel::dynamic_bytes`]).
+    pub fn dynamic_bytes(&self, batch: usize, seq_len: usize) -> f64 {
+        self.admission.memory.dynamic_bytes(batch, seq_len)
     }
 }
 
@@ -246,6 +461,13 @@ impl FifoQueue {
 
     fn front_mut(&mut self) -> Option<&mut WaitingRequest> {
         self.items.get_mut(self.head)
+    }
+
+    /// Removes the request at `index` (0 = front) — the out-of-FIFO dequeue
+    /// behind [`Action::AdmitSelected`]. `O(queue)` like a front compaction;
+    /// selective admission pays it only on actual admissions.
+    fn remove_at(&mut self, index: usize) -> WaitingRequest {
+        self.items.remove(self.head + index)
     }
 
     fn as_slice(&self) -> &[WaitingRequest] {
@@ -395,6 +617,12 @@ enum Work {
     /// One generation step; `fused_tokens > 0` means a prefill chunk of the
     /// queue head rode along, and `decoded` records whether a decode batch ran.
     Step { fused_tokens: usize, decoded: bool },
+    /// A checkpoint transfer shipping evicted victims' state off device (the
+    /// victims already moved to `Session::evicted` at dispatch).
+    Checkpoint,
+    /// A restore transfer shipping the oldest `count` evicted requests'
+    /// state back; they rejoin the batch when it completes.
+    Restore { count: usize },
 }
 
 /// One request as a session knows it: the caller-facing id (the trace index
@@ -551,8 +779,12 @@ pub struct Session<'a> {
     /// Injection-ordered request table; event ids index into it.
     requests: Vec<SessionRequest>,
     queue: FifoQueue,
-    prefilling: Vec<ActiveRequest>,
-    running: Vec<ActiveRequest>,
+    prefilling: Vec<BatchSlot>,
+    running: Vec<BatchSlot>,
+    /// Checkpointed requests awaiting restore, eviction order.
+    evicted: Vec<EvictedRequest>,
+    /// Whole-run checkpoint-restore counters.
+    preemption: PreemptionStats,
     work: Option<Work>,
     first_token: Vec<f64>,
     completion: Vec<f64>,
@@ -573,6 +805,8 @@ impl<'a> Session<'a> {
             queue: FifoQueue::default(),
             prefilling: Vec::new(),
             running: Vec::new(),
+            evicted: Vec::new(),
+            preemption: PreemptionStats::default(),
             work: None,
             first_token: Vec::new(),
             completion: Vec::new(),
@@ -707,6 +941,20 @@ impl<'a> Session<'a> {
                             // start flowing from the next decode step.
                             self.running.append(&mut self.prefilling);
                         }
+                        Work::Checkpoint => {
+                            // Victims moved to `evicted` at dispatch; the
+                            // transfer completing frees the engine, nothing
+                            // else to apply.
+                        }
+                        Work::Restore { count } => {
+                            // The oldest `count` checkpointed requests rejoin
+                            // the batch exactly where they left off (their
+                            // state is resident again; no prefill, no token
+                            // replay).
+                            for e in self.evicted.drain(..count) {
+                                self.running.push(e.slot);
+                            }
+                        }
                         Work::Step {
                             fused_tokens,
                             decoded,
@@ -738,11 +986,13 @@ impl<'a> Session<'a> {
                                 head.prefilled += fused_tokens;
                                 if head.prefilled >= head.request.prompt_len {
                                     let head = self.queue.pop_front().expect("head vanished");
-                                    self.running.push(ActiveRequest {
+                                    self.running.push(BatchSlot {
                                         id: head.id,
                                         prompt_len: head.request.prompt_len,
                                         output_len: head.request.output_len,
                                         generated: 0,
+                                        tenant: head.request.tenant,
+                                        priority: head.request.priority,
                                     });
                                 }
                             }
@@ -812,18 +1062,23 @@ impl<'a> Session<'a> {
     /// ids.
     ///
     /// # Panics
-    /// If work is still queued, running or in flight — a co-sim driver must
-    /// first drain the session with `step_until(f64::INFINITY, ..)`.
+    /// If work is still queued, running, checkpointed or in flight — a co-sim
+    /// driver must first drain the session with `step_until(f64::INFINITY,
+    /// ..)`, and a preempting policy must have restored every eviction (the
+    /// engine guarantees the opportunity: an empty batch always clamps a
+    /// `Resume` to at least one request).
     pub fn finish(self) -> SimResult {
         assert!(
             self.queue.is_empty()
                 && self.running.is_empty()
                 && self.prefilling.is_empty()
+                && self.evicted.is_empty()
                 && self.work.is_none(),
-            "scheduler stalled with work pending: {} queued, {} running, {} prefilling",
+            "scheduler stalled with work pending: {} queued, {} running, {} prefilling, {} evicted",
             self.queue.len(),
             self.running.len(),
-            self.prefilling.len()
+            self.prefilling.len(),
+            self.evicted.len()
         );
 
         let outcomes = self
@@ -838,6 +1093,8 @@ impl<'a> Session<'a> {
                 completion_ns: self.completion[local],
                 prompt_len: sr.request.prompt_len,
                 output_len: sr.request.output_len,
+                tenant: sr.request.tenant,
+                priority: sr.request.priority,
             })
             .collect();
         let (timeline, stats) = self.telemetry.finish();
@@ -846,6 +1103,7 @@ impl<'a> Session<'a> {
             timeline,
             makespan_ns: self.now_ns,
             telemetry: stats,
+            preemption: self.preemption,
         }
     }
 
@@ -1065,11 +1323,41 @@ impl<'a> Session<'a> {
             let seq = self
                 .running
                 .iter()
-                .map(ActiveRequest::seq_len)
+                .map(BatchSlot::seq_len)
                 .max()
                 .expect("running non-empty");
             step_ns = self.latencies.step_ns(batch, seq);
         }
+    }
+
+    /// Parks `picked` for a batched prefill and prices it. Requests that
+    /// arrived fully prefilled (a disaggregated handoff) cost no prefill
+    /// work; everyone else is charged the whole prompt (a partially
+    /// chunked-in request admitted wholesale by a custom policy included —
+    /// the cheaper marginal cost is only accounted through fused chunks).
+    fn start_prefill(&mut self, picked: &[WaitingRequest]) -> (f64, Work, DecodeStability) {
+        let mut max_prompt = 0;
+        let mut prefill_count = 0;
+        for w in picked {
+            if w.prefilled < w.request.prompt_len {
+                prefill_count += 1;
+                max_prompt = max_prompt.max(w.request.prompt_len);
+            }
+            self.prefilling.push(BatchSlot {
+                id: w.id,
+                prompt_len: w.request.prompt_len,
+                output_len: w.request.output_len,
+                generated: 0,
+                tenant: w.request.tenant,
+                priority: w.request.priority,
+            });
+        }
+        let latency = if prefill_count > 0 {
+            self.latencies.prefill_ns(prefill_count, max_prompt)
+        } else {
+            0.0
+        };
+        (latency, Work::Prefill, DecodeStability::PerStep)
     }
 
     /// Asks the scheduler for the next action and starts it. Returns the work
@@ -1078,29 +1366,47 @@ impl<'a> Session<'a> {
     /// stay idle until the next event.
     fn dispatch(&mut self, scheduler: &mut dyn Scheduler) -> Option<(f64, Work, DecodeStability)> {
         let engine = self.engine;
-        // The admission probe anchors footprints at the occupants' final
-        // sequence lengths — only relevant when something is waiting.
-        let occupied_max_final_seq = if self.queue.is_empty() {
-            0
-        } else {
-            self.running
+        // The admission probe's occupant anchor. Final-sequence mode keeps
+        // the historical shortcut (only relevant when something is waiting);
+        // live mode anchors at current lengths unconditionally — the
+        // occupancy view and the resume clamp read it even with an empty
+        // queue.
+        let anchor_seq = match engine.config.admission {
+            AdmissionMode::FinalSeqLen => {
+                if self.queue.is_empty() {
+                    0
+                } else {
+                    self.running
+                        .iter()
+                        .map(BatchSlot::final_seq_len)
+                        .max()
+                        .unwrap_or(0)
+                }
+            }
+            AdmissionMode::LiveOccupancy => self
+                .running
                 .iter()
-                .map(ActiveRequest::final_seq_len)
+                .map(BatchSlot::seq_len)
                 .max()
-                .unwrap_or(0)
+                .unwrap_or(0),
         };
         let probe = AdmissionProbe {
             memory: &engine.memory,
             capacity_bytes: engine.capacity_bytes,
             occupied: self.running.len(),
-            occupied_max_final_seq,
+            anchor_seq,
             max_batch: engine.config.max_batch,
+            mode: engine.config.admission,
         };
         let view = EngineView {
             now_ns: self.now_ns,
             queue: self.queue.as_slice(),
             running: self.running.len(),
             max_batch: engine.config.max_batch,
+            batch: &self.running,
+            evicted: &self.evicted,
+            capacity_bytes: engine.capacity_bytes,
+            admission_mode: engine.config.admission,
             admission: probe,
         };
         let mut action = scheduler.decide(&view);
@@ -1115,56 +1421,143 @@ impl<'a> Session<'a> {
         } else {
             DecodeStability::PerStep
         };
-        if let Action::AdmitAndPrefill { count } = action {
-            // Enforce the batch cap and memory budget regardless of what the
-            // policy asked for (custom `Scheduler` impls included). An admit
-            // that clamps to nothing degrades to a decode step (if a batch is
-            // running) or idleness, so a greedy policy cannot stall the engine.
-            let count = count
-                .min(self.queue.len())
-                .min(probe.admissible_count(self.queue.as_slice()));
-            action = if count > 0 {
-                Action::AdmitAndPrefill { count }
-            } else if self.running.is_empty() {
+        // Clamp/validate every non-decode request up front — the batch cap
+        // and memory budget hold for arbitrary `Scheduler` implementations,
+        // and a degenerate action degrades to a decode step (if a batch is
+        // running) or idleness, so no policy can stall or overcommit the
+        // engine.
+        let degrade = |running_empty: bool| {
+            if running_empty {
                 Action::Wait
             } else {
                 Action::DecodeStep {
                     fused_chunk_tokens: 0,
                 }
-            };
-        }
+            }
+        };
+        action = match action {
+            Action::AdmitAndPrefill { count } => {
+                let count = count
+                    .min(self.queue.len())
+                    .min(probe.admissible_count(self.queue.as_slice()));
+                if count > 0 {
+                    Action::AdmitAndPrefill { count }
+                } else {
+                    degrade(self.running.is_empty())
+                }
+            }
+            Action::AdmitSelected { mut picks } => {
+                let admissible = probe.admissible_prefix(self.queue.as_slice(), &picks);
+                if admissible > 0 {
+                    picks.truncate(admissible);
+                    Action::AdmitSelected { picks }
+                } else {
+                    degrade(self.running.is_empty())
+                }
+            }
+            Action::Preempt { victims } => {
+                // The dispatch arm walks the batch and ignores ids that hold
+                // no slot; validation only needs to know the set is non-empty
+                // after that filter.
+                if self.running.iter().any(|slot| victims.contains(&slot.id)) {
+                    Action::Preempt { victims }
+                } else {
+                    degrade(self.running.is_empty())
+                }
+            }
+            Action::Resume { count } => {
+                // Clamp against the batch cap and the memory budget with the
+                // occupants anchored at their mode-appropriate lengths
+                // (recomputed here: the probe's final-seq anchor is 0 when
+                // the queue is empty, which is exactly when resumes happen).
+                let final_anchor = match engine.config.admission {
+                    AdmissionMode::FinalSeqLen => self
+                        .running
+                        .iter()
+                        .map(BatchSlot::final_seq_len)
+                        .max()
+                        .unwrap_or(0),
+                    AdmissionMode::LiveOccupancy => anchor_seq,
+                };
+                let clamped = AdmissionProbe {
+                    anchor_seq: final_anchor,
+                    ..probe
+                }
+                .resumable_count(&self.evicted, count);
+                if clamped > 0 {
+                    Action::Resume { count: clamped }
+                } else {
+                    degrade(self.running.is_empty())
+                }
+            }
+            other => other,
+        };
         match action {
             Action::Wait => None,
             Action::AdmitAndPrefill { count } => {
-                // Requests that arrived fully prefilled (a disaggregated
-                // handoff) cost no prefill work; everyone else is charged the
-                // whole prompt (a partially chunked-in request admitted
-                // wholesale by a custom policy included — the cheaper marginal
-                // cost is only accounted through fused chunks).
-                let mut max_prompt = 0;
-                let mut prefill_count = 0;
-                for _ in 0..count {
-                    let w = self
-                        .queue
-                        .pop_front()
-                        .expect("count clamped to queue length");
-                    if w.prefilled < w.request.prompt_len {
-                        prefill_count += 1;
-                        max_prompt = max_prompt.max(w.request.prompt_len);
-                    }
-                    self.prefilling.push(ActiveRequest {
-                        id: w.id,
-                        prompt_len: w.request.prompt_len,
-                        output_len: w.request.output_len,
-                        generated: 0,
-                    });
+                let picked: Vec<WaitingRequest> = (0..count)
+                    .map(|_| {
+                        self.queue
+                            .pop_front()
+                            .expect("count clamped to queue length")
+                    })
+                    .collect();
+                Some(self.start_prefill(&picked))
+            }
+            Action::AdmitSelected { picks } => {
+                // Collect in pick order, then dequeue by descending index so
+                // earlier removals do not shift later picks.
+                let picked: Vec<WaitingRequest> =
+                    picks.iter().map(|&i| self.queue.as_slice()[i]).collect();
+                let mut by_index = picks;
+                by_index.sort_unstable_by(|a, b| b.cmp(a));
+                for index in by_index {
+                    self.queue.remove_at(index);
                 }
-                let latency = if prefill_count > 0 {
-                    self.latencies.prefill_ns(prefill_count, max_prompt)
-                } else {
-                    0.0
-                };
-                Some((latency, Work::Prefill, DecodeStability::PerStep))
+                Some(self.start_prefill(&picked))
+            }
+            Action::Preempt { victims } => {
+                // Move the victims out of the batch now (they stop decoding
+                // immediately) and block for the checkpoint transfer: one
+                // per-victim setup plus its state bytes over the link.
+                let link = engine.config.checkpoint_link;
+                let now_ns = self.now_ns;
+                let mut latency_ns = 0.0;
+                let running = std::mem::take(&mut self.running);
+                for slot in running {
+                    if victims.contains(&slot.id) {
+                        let bytes = engine.memory.dynamic_bytes(1, slot.seq_len());
+                        latency_ns += link.transfer_ns(bytes);
+                        self.preemption.evictions += 1;
+                        self.preemption.checkpoint_bytes += bytes;
+                        self.evicted.push(EvictedRequest {
+                            slot,
+                            state_bytes: bytes,
+                            evicted_at_ns: now_ns,
+                        });
+                    } else {
+                        self.running.push(slot);
+                    }
+                }
+                self.preemption.checkpoint_stall_ns += latency_ns;
+                Some((latency_ns, Work::Checkpoint, DecodeStability::PerStep))
+            }
+            Action::Resume { count } => {
+                let latency_ns: f64 = self.evicted[..count]
+                    .iter()
+                    .map(|e| engine.config.checkpoint_link.transfer_ns(e.state_bytes))
+                    .sum();
+                self.preemption.resumes += count as u64;
+                self.preemption.restore_bytes += self.evicted[..count]
+                    .iter()
+                    .map(|e| e.state_bytes)
+                    .sum::<f64>();
+                self.preemption.restore_stall_ns += latency_ns;
+                Some((
+                    latency_ns,
+                    Work::Restore { count },
+                    DecodeStability::PerStep,
+                ))
             }
             Action::DecodeStep { fused_chunk_tokens } => {
                 let decoded = !self.running.is_empty();
@@ -1173,7 +1566,7 @@ impl<'a> Session<'a> {
                     let seq = self
                         .running
                         .iter()
-                        .map(ActiveRequest::seq_len)
+                        .map(BatchSlot::seq_len)
                         .max()
                         .expect("running non-empty");
                     latency_ns += self.latencies.step_ns(self.running.len(), seq);
@@ -1253,6 +1646,7 @@ mod tests {
                         arrival_ns: i as f64 * 1e6,
                         prompt_len: 128 + 32 * (i % 5),
                         output_len: 8 + 4 * (i % 3),
+                        ..TraceRequest::default()
                     })
                     .collect(),
             )
@@ -1510,6 +1904,7 @@ mod tests {
             arrival_ns: 0.0,
             prompt_len: 2048,
             output_len: 4,
+            ..TraceRequest::default()
         };
         for policy in [
             &mut ContinuousBatching as &mut dyn Scheduler,
@@ -1571,6 +1966,7 @@ mod tests {
                 arrival_ns: 1e6,
                 prompt_len: 64,
                 output_len: 2,
+                ..TraceRequest::default()
             },
         );
         session.step_until(f64::INFINITY, &mut policy);
@@ -1580,6 +1976,7 @@ mod tests {
                 arrival_ns: 0.0,
                 prompt_len: 64,
                 output_len: 2,
+                ..TraceRequest::default()
             },
         );
     }

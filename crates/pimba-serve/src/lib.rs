@@ -8,17 +8,25 @@
 //! under a live arrival process?"*
 //!
 //! * [`traffic`] — seeded synthetic arrival processes (Poisson, bursty on/off),
-//!   request traces with bit-exact JSONL dump/replay, and canned scenario
-//!   presets (chat, summarization, long-context RAG, reasoning-heavy decode),
+//!   request traces with bit-exact JSONL dump/replay (optional
+//!   tenant/priority tags, backward compatible), canned scenario presets
+//!   (chat, summarization, long-context RAG, reasoning-heavy decode) and a
+//!   multi-tenant mix generator,
 //! * [`event`] — the binary-heap event queue with deterministic tie-breaking,
 //!   and the degenerate single-flight/arrival-cursor source the fast engine
 //!   uses,
-//! * [`sched`] — the admission/scheduler trait and three policies: FCFS static
+//! * [`sched`] — the admission/scheduler trait and five policies: FCFS static
 //!   batching, continuous batching, chunked-prefill continuous batching,
+//!   memory-pressure checkpoint-restore eviction, and weighted fair queueing
+//!   across tenant priority classes,
 //! * [`engine`] — the event loop driving `ServingSimulator` step latencies,
-//!   with memory-capacity admission control and macro-step fast-forwarding,
+//!   with memory-capacity admission control (final-sequence or live-occupancy
+//!   anchoring), checkpoint/restore preemption priced by a
+//!   [`StateTransferModel`](pimba_system::transfer::StateTransferModel), and
+//!   macro-step fast-forwarding,
 //! * [`metrics`] — per-request TTFT/TPOT/E2E, exact-order-statistic
-//!   percentiles, goodput, SLO attainment and (optionally decimated)
+//!   percentiles, goodput, SLO attainment (whole-run and per tenant under
+//!   per-tenant SLOs), preemption counters, and (optionally decimated)
 //!   occupancy time series with exact running aggregates,
 //! * [`runner`] — the parallel (system × scenario × rate) grid runner and
 //!   SLO-attainment curves.
@@ -102,13 +110,17 @@ pub mod runner;
 pub mod sched;
 pub mod traffic;
 
-pub use engine::{CompletedRequest, Engine, EngineConfig, EngineView, Session};
+pub use engine::{
+    AdmissionMode, BatchSlot, CompletedRequest, Engine, EngineConfig, EngineView, EvictedRequest,
+    Session,
+};
 pub use metrics::{
-    Percentiles, RequestOutcome, SimResult, SloSpec, Telemetry, TelemetryStats, TimelinePoint,
-    TrafficSummary,
+    Percentiles, PreemptionStats, RequestOutcome, SimResult, SloSpec, Telemetry, TelemetryStats,
+    TenantSlos, TenantSummary, TimelinePoint, TrafficSummary,
 };
 pub use runner::{slo_curve, TrafficGrid, TrafficRecord, TrafficRunner};
 pub use sched::{
-    Action, ChunkedPrefill, ContinuousBatching, DecodeStability, FcfsStatic, PolicyKind, Scheduler,
+    Action, ChunkedPrefill, ContinuousBatching, DecodeStability, FcfsStatic,
+    MemoryPressureEviction, PolicyKind, Scheduler, VictimOrder, WeightedFairQueueing,
 };
-pub use traffic::{ArrivalKind, Scenario, Trace, TraceRequest};
+pub use traffic::{generate_tenant_mix, ArrivalKind, Scenario, Trace, TraceRequest};

@@ -21,7 +21,7 @@ use pimba_system::stats::percentile_of_sorted;
 use serde::{Deserialize, Serialize};
 
 /// The lifecycle timestamps of one completed request.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct RequestOutcome {
     /// Index of the request in its trace.
     pub id: usize,
@@ -35,6 +35,11 @@ pub struct RequestOutcome {
     pub prompt_len: usize,
     /// Output length in tokens.
     pub output_len: usize,
+    /// Tenant tag of the request (see
+    /// [`TraceRequest::tenant`](crate::traffic::TraceRequest::tenant)).
+    pub tenant: u32,
+    /// Priority class of the request.
+    pub priority: u8,
 }
 
 impl RequestOutcome {
@@ -181,6 +186,27 @@ impl Telemetry {
     }
 }
 
+/// Whole-run counters of the checkpoint-restore preemption machinery: how
+/// many decoding requests were evicted/resumed, how many state bytes moved
+/// over the checkpoint link, and how long the engine was stalled shipping
+/// them. All zeros for preemption-free runs (every pre-preemption policy),
+/// so adding the stats changes no existing result.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PreemptionStats {
+    /// Decoding requests checkpointed out of the batch.
+    pub evictions: u64,
+    /// Checkpointed requests restored into the batch.
+    pub resumes: u64,
+    /// State bytes shipped out by checkpoints.
+    pub checkpoint_bytes: f64,
+    /// State bytes shipped back by restores.
+    pub restore_bytes: f64,
+    /// Engine time spent blocked on checkpoint transfers, in nanoseconds.
+    pub checkpoint_stall_ns: f64,
+    /// Engine time spent blocked on restore transfers, in nanoseconds.
+    pub restore_stall_ns: f64,
+}
+
 /// The raw output of one simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
@@ -194,6 +220,9 @@ pub struct SimResult {
     /// Exact whole-run telemetry aggregates (independent of the timeline
     /// sampling rate).
     pub telemetry: TelemetryStats,
+    /// Checkpoint-restore eviction counters (all zeros unless a preemptive
+    /// policy ran).
+    pub preemption: PreemptionStats,
 }
 
 /// A latency service-level objective on TTFT and TPOT.
@@ -220,6 +249,55 @@ impl Default for SloSpec {
             tpot_ms: 50.0,
         }
     }
+}
+
+/// Per-tenant SLO targets: a default objective plus per-tenant overrides —
+/// the vocabulary of multi-tenant goodput ("the interactive tenant holds a
+/// 200 ms TTFT, the batch tenant only 2 s").
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TenantSlos {
+    /// The objective of every tenant without an override.
+    pub default: SloSpec,
+    /// `(tenant, objective)` overrides; the first match wins.
+    pub overrides: Vec<(u32, SloSpec)>,
+}
+
+impl TenantSlos {
+    /// Every tenant held to the same objective.
+    pub fn uniform(slo: SloSpec) -> Self {
+        Self {
+            default: slo,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Adds (or replaces the effect of) an override for `tenant`.
+    pub fn with(mut self, tenant: u32, slo: SloSpec) -> Self {
+        self.overrides.retain(|(t, _)| *t != tenant);
+        self.overrides.push((tenant, slo));
+        self
+    }
+
+    /// The objective `tenant` is held to.
+    pub fn for_tenant(&self, tenant: u32) -> SloSpec {
+        self.overrides
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|(_, slo)| *slo)
+            .unwrap_or(self.default)
+    }
+}
+
+/// One tenant's aggregate metrics within a multi-tenant run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantSummary {
+    /// The tenant tag.
+    pub tenant: u32,
+    /// The tenant's metrics under *its own* SLO. Latency percentiles,
+    /// goodput and attainment cover only this tenant's requests;
+    /// occupancy/queue fields are engine-wide (the engine runs one shared
+    /// batch) and rates are per second of the whole run's makespan.
+    pub summary: TrafficSummary,
 }
 
 /// Exact p50/p90/p99 of one latency population (nearest-rank order statistics,
@@ -315,6 +393,39 @@ impl SimResult {
     pub fn mean_batch_occupancy(&self) -> f64 {
         self.telemetry.mean_batch_occupancy
     }
+
+    /// Per-tenant aggregates, ascending in tenant tag: each tenant's
+    /// completed requests summarized under its own objective from `slos`.
+    /// A single-tenant run returns one entry equal to
+    /// [`SimResult::summary`] under that tenant's SLO (rates and
+    /// occupancy/queue fields always reflect the whole run — see
+    /// [`TenantSummary`]).
+    pub fn per_tenant_summaries(&self, slos: &TenantSlos) -> Vec<TenantSummary> {
+        let mut tenants: Vec<u32> = self.outcomes.iter().map(|o| o.tenant).collect();
+        tenants.sort_unstable();
+        tenants.dedup();
+        tenants
+            .into_iter()
+            .map(|tenant| {
+                let filtered = SimResult {
+                    outcomes: self
+                        .outcomes
+                        .iter()
+                        .filter(|o| o.tenant == tenant)
+                        .copied()
+                        .collect(),
+                    timeline: Vec::new(),
+                    makespan_ns: self.makespan_ns,
+                    telemetry: self.telemetry,
+                    preemption: self.preemption,
+                };
+                TenantSummary {
+                    tenant,
+                    summary: filtered.summary(&slos.for_tenant(tenant)),
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -329,6 +440,7 @@ mod tests {
             completion_ns: done,
             prompt_len: 128,
             output_len: out_len,
+            ..RequestOutcome::default()
         }
     }
 
@@ -389,6 +501,7 @@ mod tests {
             telemetry: TelemetryStats::from_timeline(&timeline),
             timeline,
             makespan_ns: 20.0e6,
+            preemption: PreemptionStats::default(),
         };
         let s = result.summary(&SloSpec {
             ttft_ms: 1.0,
@@ -411,12 +524,89 @@ mod tests {
             timeline: vec![],
             makespan_ns: 0.0,
             telemetry: TelemetryStats::default(),
+            preemption: PreemptionStats::default(),
         }
         .summary(&SloSpec::default());
         assert_eq!(s.completed, 0);
         assert_eq!(s.slo_attainment, 0.0);
         assert_eq!(s.throughput_rps, 0.0);
         assert_eq!(s.mean_batch_occupancy, 0.0);
+    }
+
+    #[test]
+    fn tenant_slos_override_and_default() {
+        let slos = TenantSlos::uniform(SloSpec {
+            ttft_ms: 100.0,
+            tpot_ms: 10.0,
+        })
+        .with(
+            2,
+            SloSpec {
+                ttft_ms: 2000.0,
+                tpot_ms: 100.0,
+            },
+        );
+        assert_eq!(slos.for_tenant(0).ttft_ms, 100.0);
+        assert_eq!(slos.for_tenant(2).ttft_ms, 2000.0);
+        // Replacing an override keeps one entry.
+        let replaced = slos.with(
+            2,
+            SloSpec {
+                ttft_ms: 500.0,
+                tpot_ms: 50.0,
+            },
+        );
+        assert_eq!(replaced.overrides.len(), 1);
+        assert_eq!(replaced.for_tenant(2).ttft_ms, 500.0);
+    }
+
+    #[test]
+    fn per_tenant_summaries_split_by_tenant_under_their_own_slos() {
+        let t0 = RequestOutcome {
+            tenant: 0,
+            ..outcome(0.0, 0.5e6, 1.0e6, 2) // fast
+        };
+        let t5_fast = RequestOutcome {
+            id: 1,
+            tenant: 5,
+            ..outcome(0.0, 0.5e6, 1.0e6, 2)
+        };
+        let t5_slow = RequestOutcome {
+            id: 2,
+            tenant: 5,
+            ..outcome(0.0, 50.0e6, 90.0e6, 2) // 50 ms TTFT
+        };
+        let result = SimResult {
+            outcomes: vec![t5_slow, t0, t5_fast],
+            timeline: vec![],
+            makespan_ns: 100.0e6,
+            telemetry: TelemetryStats::default(),
+            preemption: PreemptionStats::default(),
+        };
+        // Tenant 0 held to 1 ms TTFT, tenant 5 to a lax 100 ms.
+        let slos = TenantSlos::uniform(SloSpec {
+            ttft_ms: 1.0,
+            tpot_ms: 50.0,
+        })
+        .with(
+            5,
+            SloSpec {
+                ttft_ms: 100.0,
+                tpot_ms: 50.0,
+            },
+        );
+        let per_tenant = result.per_tenant_summaries(&slos);
+        assert_eq!(per_tenant.len(), 2);
+        assert_eq!(per_tenant[0].tenant, 0);
+        assert_eq!(per_tenant[0].summary.completed, 1);
+        assert_eq!(per_tenant[0].summary.slo_attainment, 1.0);
+        assert_eq!(per_tenant[1].tenant, 5);
+        assert_eq!(per_tenant[1].summary.completed, 2);
+        // Both tenant-5 requests meet the lax objective.
+        assert_eq!(per_tenant[1].summary.slo_attainment, 1.0);
+        // Completions across tenants sum to the run total.
+        let total: usize = per_tenant.iter().map(|t| t.summary.completed).sum();
+        assert_eq!(total, result.outcomes.len());
     }
 
     #[test]

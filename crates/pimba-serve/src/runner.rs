@@ -9,8 +9,8 @@
 //! systems are compared under *identical* arrival sequences; records come back
 //! in grid order and are bit-identical for any thread count.
 
-use crate::engine::{Engine, EngineConfig};
-use crate::metrics::{SloSpec, TrafficSummary};
+use crate::engine::{AdmissionMode, Engine, EngineConfig};
+use crate::metrics::{SloSpec, TenantSlos, TenantSummary, TrafficSummary};
 use crate::sched::PolicyKind;
 use crate::traffic::{Scenario, Trace};
 use pimba_models::config::ModelConfig;
@@ -41,6 +41,15 @@ pub struct TrafficGrid {
     pub seed: u64,
     /// The SLO defining goodput and attainment.
     pub slo: SloSpec,
+    /// Per-tenant SLO overrides for the per-tenant record summaries; `None`
+    /// holds every tenant to [`TrafficGrid::slo`].
+    pub tenant_slos: Option<TenantSlos>,
+    /// Per-replica device-memory budget; `None` uses each system's aggregate
+    /// HBM capacity (see [`EngineConfig::capacity_bytes`]).
+    pub capacity_bytes: Option<f64>,
+    /// Admission-probe anchoring (see [`AdmissionMode`]; the default
+    /// final-sequence mode reproduces the historical grids bit for bit).
+    pub admission: AdmissionMode,
     /// Sequence-length bucket for step-latency lookups (see
     /// [`EngineConfig::seq_bucket`]).
     pub seq_bucket: usize,
@@ -66,6 +75,9 @@ impl TrafficGrid {
             requests_per_cell: 200,
             seed: 0xC0FFEE,
             slo: SloSpec::default(),
+            tenant_slos: None,
+            capacity_bytes: None,
+            admission: AdmissionMode::FinalSeqLen,
             seq_bucket: 1,
             fast_forward: true,
             timeline_sample_every: 1,
@@ -111,6 +123,27 @@ impl TrafficGrid {
     /// Sets the SLO.
     pub fn with_slo(mut self, slo: SloSpec) -> Self {
         self.slo = slo;
+        self
+    }
+
+    /// Sets per-tenant SLO targets for the per-tenant summaries of every
+    /// record (the grid-level [`TrafficGrid::slo`] still defines the
+    /// headline goodput/attainment).
+    pub fn with_tenant_slos(mut self, tenant_slos: TenantSlos) -> Self {
+        self.tenant_slos = Some(tenant_slos);
+        self
+    }
+
+    /// Fixes the per-replica device-memory budget (e.g. to build a
+    /// memory-pressured cell); `None` is each system's full HBM capacity.
+    pub fn with_capacity_bytes(mut self, capacity_bytes: Option<f64>) -> Self {
+        self.capacity_bytes = capacity_bytes;
+        self
+    }
+
+    /// Selects the admission-probe anchoring.
+    pub fn with_admission(mut self, admission: AdmissionMode) -> Self {
+        self.admission = admission;
         self
     }
 
@@ -167,6 +200,12 @@ pub struct TrafficRecord {
     pub max_batch: usize,
     /// Aggregate metrics under the grid's SLO.
     pub summary: TrafficSummary,
+    /// Per-tenant metrics, ascending tenant order, each under its own SLO
+    /// from [`TrafficGrid::tenant_slos`] (single-tenant cells get one entry).
+    pub per_tenant: Vec<TenantSummary>,
+    /// Checkpoint-restore counters of the cell (all zeros for preemption-free
+    /// policies).
+    pub preemption: crate::metrics::PreemptionStats,
 }
 
 /// Parallel evaluator of [`TrafficGrid`]s.
@@ -263,20 +302,28 @@ impl TrafficRunner {
                 &grid.model,
                 EngineConfig {
                     max_batch,
-                    capacity_bytes: None,
+                    capacity_bytes: grid.capacity_bytes,
                     seq_bucket: grid.seq_bucket,
                     fast_forward: grid.fast_forward,
                     timeline_sample_every: grid.timeline_sample_every,
+                    admission: grid.admission,
+                    ..EngineConfig::default()
                 },
             );
             let mut policy = grid.policy.build();
             let result = engine.run(trace, policy.as_mut());
+            let tenant_slos = grid
+                .tenant_slos
+                .clone()
+                .unwrap_or_else(|| TenantSlos::uniform(grid.slo));
             TrafficRecord {
                 system: sys,
                 scenario: scn,
                 rate_rps: grid.rates_rps[r],
                 max_batch,
                 summary: result.summary(&grid.slo),
+                per_tenant: result.per_tenant_summaries(&tenant_slos),
+                preemption: result.preemption,
             }
         });
         cells

@@ -16,7 +16,12 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// One request of a traffic trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `tenant` and `priority` default to 0 — a single-tenant trace (and its JSONL
+/// serialization) is unchanged from the pre-tenant schema; multi-tenant
+/// scenarios tag requests so schedulers (weighted fair queueing), routers and
+/// the per-tenant metrics can tell traffic classes apart.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct TraceRequest {
     /// Wall-clock arrival time in nanoseconds from the trace start.
     pub arrival_ns: f64,
@@ -24,6 +29,11 @@ pub struct TraceRequest {
     pub prompt_len: usize,
     /// Number of output tokens the request decodes (always at least 1).
     pub output_len: usize,
+    /// Tenant (traffic-class) tag; 0 is the default single-tenant class.
+    pub tenant: u32,
+    /// Scheduling priority of the tenant class (weighted-fair-queueing weight
+    /// = `max(priority, 1)`); 0 means unprioritized.
+    pub priority: u8,
 }
 
 /// A time-sorted sequence of requests driving one simulation.
@@ -50,10 +60,32 @@ impl Trace {
                     arrival_ns: 0.0,
                     prompt_len,
                     output_len: output_len.max(1),
+                    ..TraceRequest::default()
                 };
                 batch
             ],
         }
+    }
+
+    /// Merges several traces into one time-sorted trace (stable: equal-time
+    /// requests keep input-trace order, earlier traces first) — the
+    /// multi-tenant composition primitive: tag each component trace's
+    /// requests with a tenant (see [`Scenario::with_tenant`]) and merge.
+    pub fn merge(traces: &[Trace]) -> Self {
+        Self::from_requests(
+            traces
+                .iter()
+                .flat_map(|t| t.requests.iter().copied())
+                .collect(),
+        )
+    }
+
+    /// The distinct tenant tags present, ascending.
+    pub fn tenants(&self) -> Vec<u32> {
+        let mut tenants: Vec<u32> = self.requests.iter().map(|r| r.tenant).collect();
+        tenants.sort_unstable();
+        tenants.dedup();
+        tenants
     }
 
     /// Number of requests.
@@ -83,22 +115,34 @@ impl Trace {
     /// formatting, so [`Trace::from_jsonl`] reconstructs them bit for bit —
     /// the property that lets a fleet run and a single-replica run replay the
     /// *identical* trace from one file.
+    ///
+    /// `tenant`/`priority` fields are appended only when non-zero, so a
+    /// single-tenant trace serializes byte-identically to the pre-tenant
+    /// schema (and pre-tenant dumps round-trip unchanged).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(self.len() * 64);
         for r in &self.requests {
             out.push_str(&format!(
-                "{{\"arrival_ns\":{},\"prompt_len\":{},\"output_len\":{}}}\n",
+                "{{\"arrival_ns\":{},\"prompt_len\":{},\"output_len\":{}",
                 r.arrival_ns, r.prompt_len, r.output_len
             ));
+            if r.tenant != 0 {
+                out.push_str(&format!(",\"tenant\":{}", r.tenant));
+            }
+            if r.priority != 0 {
+                out.push_str(&format!(",\"priority\":{}", r.priority));
+            }
+            out.push_str("}\n");
         }
         out
     }
 
     /// Parses a JSON Lines trace produced by [`Trace::to_jsonl`] (or by any
-    /// tool emitting one flat object per line with the three fields in any
-    /// order; blank lines are skipped). Requests are re-sorted by arrival
-    /// time — a no-op for well-formed dumps — so the result is always a valid
-    /// trace.
+    /// tool emitting one flat object per line with the three required fields
+    /// in any order; blank lines are skipped). The `tenant` and `priority`
+    /// fields are optional and default to 0, so pre-tenant trace files load
+    /// unchanged. Requests are re-sorted by arrival time — a no-op for
+    /// well-formed dumps — so the result is always a valid trace.
     pub fn from_jsonl(text: &str) -> Result<Self, TraceParseError> {
         let mut requests = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
@@ -157,6 +201,8 @@ fn parse_jsonl_request(line: &str) -> Result<TraceRequest, String> {
     let mut arrival_ns: Option<f64> = None;
     let mut prompt_len: Option<usize> = None;
     let mut output_len: Option<usize> = None;
+    let mut tenant: u32 = 0;
+    let mut priority: u8 = 0;
     for field in body.split(',') {
         let field = field.trim();
         if field.is_empty() {
@@ -191,6 +237,14 @@ fn parse_jsonl_request(line: &str) -> Result<TraceRequest, String> {
                         .map_err(|_| format!("bad output_len `{value}`"))?,
                 );
             }
+            "tenant" => {
+                tenant = value.parse().map_err(|_| format!("bad tenant `{value}`"))?;
+            }
+            "priority" => {
+                priority = value
+                    .parse()
+                    .map_err(|_| format!("bad priority `{value}`"))?;
+            }
             other => return Err(format!("unknown field `{other}`")),
         }
     }
@@ -198,6 +252,8 @@ fn parse_jsonl_request(line: &str) -> Result<TraceRequest, String> {
         arrival_ns: arrival_ns.ok_or("missing arrival_ns")?,
         prompt_len: prompt_len.ok_or("missing prompt_len")?,
         output_len: output_len.ok_or("missing output_len")?,
+        tenant,
+        priority,
     })
 }
 
@@ -217,7 +273,8 @@ pub enum ArrivalKind {
     },
 }
 
-/// A canned traffic scenario: arrival shape plus request-length distributions.
+/// A canned traffic scenario: arrival shape plus request-length distributions,
+/// optionally tagged with the tenant (traffic class) it models.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Display name (used in records and bench output).
@@ -228,6 +285,13 @@ pub struct Scenario {
     pub prompt_range: (usize, usize),
     /// Uniform output-length range `[lo, hi)`, in tokens.
     pub output_range: (usize, usize),
+    /// Tenant tag stamped on every generated request (0 = the default
+    /// single-tenant class; tagging never consumes entropy, so a tagged
+    /// scenario generates the identical arrival/length sequence).
+    pub tenant: u32,
+    /// Priority stamped on every generated request (the WFQ weight is
+    /// `max(priority, 1)`).
+    pub priority: u8,
 }
 
 impl Scenario {
@@ -238,6 +302,8 @@ impl Scenario {
             arrival: ArrivalKind::Poisson,
             prompt_range: (64, 512),
             output_range: (64, 256),
+            tenant: 0,
+            priority: 0,
         }
     }
 
@@ -248,6 +314,8 @@ impl Scenario {
             arrival: ArrivalKind::Poisson,
             prompt_range: (1536, 3584),
             output_range: (64, 192),
+            tenant: 0,
+            priority: 0,
         }
     }
 
@@ -262,6 +330,8 @@ impl Scenario {
             },
             prompt_range: (2048, 6144),
             output_range: (128, 384),
+            tenant: 0,
+            priority: 0,
         }
     }
 
@@ -273,6 +343,8 @@ impl Scenario {
             arrival: ArrivalKind::Poisson,
             prompt_range: (128, 512),
             output_range: (512, 2048),
+            tenant: 0,
+            priority: 0,
         }
     }
 
@@ -283,6 +355,26 @@ impl Scenario {
             Self::summarization(),
             Self::rag_long_context(),
             Self::reasoning(),
+        ]
+    }
+
+    /// Tags the scenario with a tenant and priority class (see
+    /// [`TraceRequest::tenant`]); generation itself is unaffected.
+    pub fn with_tenant(mut self, tenant: u32, priority: u8) -> Self {
+        self.tenant = tenant;
+        self.priority = priority;
+        self
+    }
+
+    /// The canned multi-tenant mix: an interactive chat tenant (priority 4),
+    /// a summarization tenant (priority 2) and a batch reasoning tenant
+    /// (priority 1) — the priority classes the weighted-fair-queueing policy
+    /// and the per-tenant SLO metrics are exercised against.
+    pub fn tenant_mix() -> Vec<Scenario> {
+        vec![
+            Self::chat().with_tenant(0, 4),
+            Self::summarization().with_tenant(1, 2),
+            Self::reasoning().with_tenant(2, 1),
         ]
     }
 
@@ -339,10 +431,35 @@ impl Scenario {
                 arrival_ns: (active_s + wall_gap_s) * 1e9,
                 prompt_len,
                 output_len,
+                tenant: self.tenant,
+                priority: self.priority,
             });
         }
         Trace { requests }
     }
+}
+
+/// Generates one merged multi-tenant trace: every scenario of `mix`
+/// contributes an equal share of the total arrival rate and of the request
+/// count (the first scenarios absorb any remainder), drawn from its own PCG
+/// substream of `seed`, and the component traces are time-merged. Requests
+/// keep their scenario's tenant/priority tags, so the result drives the
+/// weighted-fair-queueing policy and the per-tenant metrics directly.
+/// Deterministic in `(mix, rate_rps, n_requests, seed)`.
+pub fn generate_tenant_mix(mix: &[Scenario], rate_rps: f64, n_requests: usize, seed: u64) -> Trace {
+    assert!(!mix.is_empty(), "a tenant mix needs at least one scenario");
+    let k = mix.len();
+    let per_tenant_rate = rate_rps / k as f64;
+    let traces: Vec<Trace> = mix
+        .iter()
+        .enumerate()
+        .map(|(i, scenario)| {
+            let n = n_requests / k + usize::from(i < n_requests % k);
+            let tenant_seed = Pcg32::new_stream(seed, i as u64).next_u64();
+            scenario.generate(per_tenant_rate, n, tenant_seed)
+        })
+        .collect();
+    Trace::merge(&traces)
 }
 
 /// One exponential draw with the given mean. The degenerate means of the pure
@@ -465,15 +582,70 @@ mod tests {
                 arrival_ns: 0.1 + 0.2, // 0.30000000000000004
                 prompt_len: 1,
                 output_len: 1,
+                ..TraceRequest::default()
             },
             TraceRequest {
                 arrival_ns: 1e17 + 1.0,
                 prompt_len: 9999,
                 output_len: 1,
+                ..TraceRequest::default()
             },
         ]);
         assert_eq!(Trace::from_jsonl(&trace.to_jsonl()).unwrap(), trace);
         assert_eq!(Trace::from_jsonl("").unwrap(), Trace::default());
+    }
+
+    /// Tenant/priority tags round-trip exactly, and a tenant-free trace
+    /// serializes byte-identically to the pre-tenant schema (no `tenant` or
+    /// `priority` keys appear).
+    #[test]
+    fn jsonl_tenant_fields_round_trip_and_default_away() {
+        let tagged = Scenario::chat()
+            .with_tenant(3, 7)
+            .generate(12.0, 40, 11)
+            .to_jsonl();
+        assert!(tagged.contains("\"tenant\":3"));
+        assert!(tagged.contains("\"priority\":7"));
+        let restored = Trace::from_jsonl(&tagged).unwrap();
+        assert!(restored.requests.iter().all(|r| r.tenant == 3));
+        assert!(restored.requests.iter().all(|r| r.priority == 7));
+
+        let plain = Scenario::chat().generate(12.0, 40, 11);
+        let dump = plain.to_jsonl();
+        assert!(!dump.contains("tenant") && !dump.contains("priority"));
+        assert_eq!(Trace::from_jsonl(&dump).unwrap(), plain);
+    }
+
+    #[test]
+    fn tagging_never_changes_the_generated_arrivals_or_lengths() {
+        let plain = Scenario::reasoning().generate(20.0, 100, 5);
+        let tagged = Scenario::reasoning()
+            .with_tenant(9, 2)
+            .generate(20.0, 100, 5);
+        assert_eq!(plain.len(), tagged.len());
+        for (a, b) in plain.requests.iter().zip(&tagged.requests) {
+            assert_eq!(a.arrival_ns, b.arrival_ns);
+            assert_eq!(a.prompt_len, b.prompt_len);
+            assert_eq!(a.output_len, b.output_len);
+            assert_eq!((b.tenant, b.priority), (9, 2));
+        }
+    }
+
+    #[test]
+    fn tenant_mix_merges_sorted_with_all_tenants_present() {
+        let mix = Scenario::tenant_mix();
+        let trace = generate_tenant_mix(&mix, 30.0, 91, 17);
+        assert_eq!(trace.len(), 91);
+        assert!(trace
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        assert_eq!(trace.tenants(), vec![0, 1, 2]);
+        // Equal split with the remainder on the first tenant.
+        let count = |t: u32| trace.requests.iter().filter(|r| r.tenant == t).count();
+        assert_eq!((count(0), count(1), count(2)), (31, 30, 30));
+        // Deterministic.
+        assert_eq!(generate_tenant_mix(&mix, 30.0, 91, 17), trace);
     }
 
     #[test]
@@ -514,11 +686,13 @@ mod tests {
                 arrival_ns: 5.0,
                 prompt_len: 1,
                 output_len: 1,
+                ..TraceRequest::default()
             },
             TraceRequest {
                 arrival_ns: 2.0,
                 prompt_len: 2,
                 output_len: 1,
+                ..TraceRequest::default()
             },
         ]);
         assert_eq!(t.requests[0].arrival_ns, 2.0);

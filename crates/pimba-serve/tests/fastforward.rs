@@ -176,6 +176,7 @@ fn fast_forward_corner_cases() {
         arrival_ns: 0.0,
         prompt_len: 8,
         output_len: 0,
+        ..Default::default()
     }]);
     for policy in POLICIES {
         let cfg = EngineConfig {
@@ -236,11 +237,13 @@ fn fast_forward_handles_simultaneous_arrival_and_step_end() {
             arrival_ns: 0.0,
             prompt_len: 64,
             output_len: 16,
+            ..Default::default()
         },
         pimba_serve::traffic::TraceRequest {
             arrival_ns: prefill_ns + step_ns + step_ns + step_ns,
             prompt_len: 64,
             output_len: 16,
+            ..Default::default()
         },
     ]);
     for policy in POLICIES {

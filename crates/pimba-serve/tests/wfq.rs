@@ -1,0 +1,172 @@
+//! Engine-level weighted-fair-queueing properties (the pick-order
+//! bounded-starvation property lives next to the policy in `sched.rs`):
+//!
+//! 1. **FCFS degeneration** — with a single tenant the fair order is FIFO
+//!    and WFQ is *bit-identical* to continuous batching, in both engine
+//!    modes, across systems and scenarios (the satellite's degeneration
+//!    requirement, pinned at full `SimResult` strength).
+//! 2. **Priority pays** — on a backlogged multi-tenant mix the
+//!    high-priority interactive tenant's median TTFT beats the low-priority
+//!    batch tenant's, and every request still completes (work conservation).
+
+use pimba_models::config::{ModelConfig, ModelFamily, ModelScale};
+use pimba_serve::engine::{Engine, EngineConfig};
+use pimba_serve::sched::{ContinuousBatching, Scheduler, WeightedFairQueueing};
+use pimba_serve::traffic::{generate_tenant_mix, Scenario, Trace, TraceRequest};
+use pimba_system::config::{SystemConfig, SystemKind};
+use pimba_system::serving::ServingSimulator;
+
+fn model() -> ModelConfig {
+    ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small)
+}
+
+#[test]
+fn single_tenant_wfq_is_bit_identical_to_continuous_batching() {
+    let model = model();
+    for kind in [SystemKind::Gpu, SystemKind::Pimba] {
+        let sim = ServingSimulator::new(SystemConfig::small_scale(kind));
+        for scenario in [Scenario::chat(), Scenario::reasoning()] {
+            let trace = scenario.generate(30.0, 80, 0xFA1);
+            for fast_forward in [true, false] {
+                let config = EngineConfig {
+                    max_batch: 12,
+                    seq_bucket: 32,
+                    fast_forward,
+                    ..EngineConfig::default()
+                };
+                let engine = Engine::new(&sim, &model, config);
+                let expected = engine.run(&trace, &mut ContinuousBatching);
+                let got = engine.run(&trace, &mut WeightedFairQueueing::new());
+                assert_eq!(
+                    got, expected,
+                    "{kind:?}/{}/ff={fast_forward}",
+                    scenario.name
+                );
+            }
+        }
+    }
+}
+
+/// WFQ's `UntilAdmissible` certification holds for *multi-tenant* traces
+/// too: the fast-forward engine must be bit-identical to the per-step
+/// oracle. This is the regression for a subtle stateful-policy bug — if the
+/// policy's virtual time advanced on every consult (instead of only on
+/// admissions), the consults fast-forwarding elides would change the level
+/// a newly appearing tenant joins at, reordering admissions between the two
+/// engine modes.
+#[test]
+fn multi_tenant_wfq_fast_forward_is_bit_identical_to_per_step() {
+    let model = model();
+    for kind in [SystemKind::Gpu, SystemKind::Pimba] {
+        let sim = ServingSimulator::new(SystemConfig::small_scale(kind));
+        // A generic saturating mix...
+        let mix = generate_tenant_mix(&Scenario::tenant_mix(), 50.0, 120, 31);
+        // ...plus the adversarial shape: batch cap 1, a same-tenant request
+        // arriving into the full batch *mid-macro-step* (well after the
+        // prefill), then a never-seen tenant arriving later inside the same
+        // stable decode run — the per-step oracle consults the policy
+        // between the two arrivals, fast-forwarding does not.
+        let adversarial = Trace::from_requests(vec![
+            TraceRequest {
+                arrival_ns: 0.0,
+                prompt_len: 64,
+                output_len: 400,
+                tenant: 0,
+                priority: 2,
+            },
+            TraceRequest {
+                arrival_ns: 50e6,
+                prompt_len: 64,
+                output_len: 8,
+                tenant: 0,
+                priority: 2,
+            },
+            TraceRequest {
+                arrival_ns: 100e6,
+                prompt_len: 64,
+                output_len: 8,
+                tenant: 9,
+                priority: 1,
+            },
+        ]);
+        for (trace, max_batch) in [(&mix, 6), (&adversarial, 1)] {
+            let run = |fast_forward: bool| {
+                let engine = Engine::new(
+                    &sim,
+                    &model,
+                    EngineConfig {
+                        max_batch,
+                        seq_bucket: 16,
+                        fast_forward,
+                        ..EngineConfig::default()
+                    },
+                );
+                engine.run(trace, &mut WeightedFairQueueing::new())
+            };
+            assert_eq!(run(true), run(false), "{kind:?}/cap={max_batch}");
+        }
+    }
+}
+
+#[test]
+fn wfq_prioritizes_the_interactive_tenant_under_backlog() {
+    let sim = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
+    let model = model();
+    // A saturating mix: chat (tenant 0, weight 4) vs reasoning (tenant 2,
+    // weight 1); the summarization tenant rides along. A small batch cap
+    // keeps a standing queue, which is where admission order matters.
+    let trace = generate_tenant_mix(&Scenario::tenant_mix(), 60.0, 150, 23);
+    let run = |scheduler: &mut dyn Scheduler| {
+        let engine = Engine::new(
+            &sim,
+            &model,
+            EngineConfig {
+                max_batch: 8,
+                seq_bucket: 32,
+                ..EngineConfig::default()
+            },
+        );
+        engine.run(&trace, scheduler)
+    };
+    let wfq = run(&mut WeightedFairQueueing::new());
+    assert_eq!(wfq.outcomes.len(), trace.len(), "work conservation");
+
+    let median_ttft = |tenant: u32| {
+        let mut ttfts: Vec<f64> = wfq
+            .outcomes
+            .iter()
+            .filter(|o| o.tenant == tenant)
+            .map(|o| o.ttft_ns())
+            .collect();
+        ttfts.sort_by(f64::total_cmp);
+        ttfts[ttfts.len() / 2]
+    };
+    // Weight 4 interactive traffic must see a better median TTFT than the
+    // weight-1 batch tenant on a backlogged engine.
+    assert!(
+        median_ttft(0) < median_ttft(2),
+        "interactive {} vs batch {}",
+        median_ttft(0),
+        median_ttft(2)
+    );
+
+    // And against plain FIFO continuous batching, WFQ must not degrade the
+    // interactive tenant (it can only pull its admissions earlier).
+    let fifo = run(&mut ContinuousBatching);
+    let fifo_median = {
+        let mut ttfts: Vec<f64> = fifo
+            .outcomes
+            .iter()
+            .filter(|o| o.tenant == 0)
+            .map(|o| o.ttft_ns())
+            .collect();
+        ttfts.sort_by(f64::total_cmp);
+        ttfts[ttfts.len() / 2]
+    };
+    assert!(
+        median_ttft(0) <= fifo_median * 1.001,
+        "wfq interactive median {} vs fifo {}",
+        median_ttft(0),
+        fifo_median
+    );
+}
