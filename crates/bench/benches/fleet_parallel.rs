@@ -1,0 +1,310 @@
+//! Parallel intra-fleet co-simulation and memoized what-if grids: the
+//! wall-clock study behind "million-request fleet sweeps in seconds". Writes
+//! `results/BENCH_fleet_parallel.json`.
+//!
+//! Every run opens with the **divergence gates**: the parallel drivers
+//! (decoupled free-run and windowed lockstep, colocated and disaggregated)
+//! must reproduce the sequential fleet driver bit for bit, and a warm memo
+//! re-evaluation must return records byte-identical to the cold run. Any
+//! mismatch panics (and fails CI, where this bench runs as a smoke with
+//! `FLEET_PARALLEL_REQUESTS` shrinking the workload).
+//!
+//! Headlines:
+//! * events/s of an 8-replica colocated fleet, sequential vs 2/4/8 workers.
+//!   The primary regime is a uniform batch workload under FCFS-static
+//!   scheduling (fixed prompt/output, the standard throughput-benchmark
+//!   shape): whole batches complete together, so the decoupled free-run pays
+//!   one batch replay per *batch* while the sequential driver still parks
+//!   every replica at every fleet arrival. A continuous-batching long-decode
+//!   regime is reported alongside it.
+//! * cold vs warm evaluation of a what-if grid against a shared
+//!   [`FleetMemo`] (warm cells skip simulation entirely).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pimba_fleet::cluster::{FleetConfig, FleetMode, FleetSim};
+use pimba_fleet::memo::FleetMemo;
+use pimba_fleet::router::RouterKind;
+use pimba_fleet::runner::{FleetGrid, FleetRunner};
+use pimba_models::config::{ModelConfig, ModelFamily, ModelScale};
+use pimba_serve::sched::PolicyKind;
+use pimba_serve::traffic::Scenario;
+use pimba_system::config::{SystemConfig, SystemKind};
+use pimba_system::serving::ServingSimulator;
+use pimba_system::transfer::StateTransferModel;
+use std::sync::Arc;
+
+fn requests() -> usize {
+    std::env::var("FLEET_PARALLEL_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6000)
+}
+
+fn model() -> ModelConfig {
+    ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small)
+}
+
+/// A measured regime: traffic shape + per-replica policy + offered rate.
+struct Regime {
+    key: &'static str,
+    scenario: Scenario,
+    policy: PolicyKind,
+    rate_rps: f64,
+    workers: &'static [usize],
+}
+
+/// Uniform batch workload (fixed prompt/output, the standard
+/// throughput-benchmark shape) under FCFS-static scheduling: whole batches
+/// complete together, so the free-run replays each batch once instead of
+/// once per staggered completion.
+fn uniform_batch() -> Scenario {
+    let mut scn = Scenario::chat();
+    scn.name = "uniform_batch".to_string();
+    scn.prompt_range = (256, 256);
+    scn.output_range = (512, 512);
+    scn
+}
+
+/// Long-decode traffic under continuous batching: busy batches at
+/// sub-saturation load, the regime a production fleet actually runs in.
+fn long_decode() -> Scenario {
+    let mut scn = Scenario::chat();
+    scn.name = "long_decode".to_string();
+    scn.prompt_range = (64, 512);
+    scn.output_range = (256, 1024);
+    scn
+}
+
+fn regimes() -> Vec<Regime> {
+    vec![
+        Regime {
+            key: "fcfs_uniform",
+            scenario: uniform_batch(),
+            policy: PolicyKind::FcfsStatic,
+            rate_rps: 60.0,
+            workers: &[0, 2, 4, 8],
+        },
+        Regime {
+            key: "continuous_long_decode",
+            scenario: long_decode(),
+            policy: PolicyKind::Continuous,
+            rate_rps: 42.0,
+            workers: &[0, 4],
+        },
+    ]
+}
+
+const REPLICAS: usize = 8;
+
+fn fleet_config(router: RouterKind, policy: PolicyKind, workers: usize) -> FleetConfig {
+    let mut config = FleetConfig::colocated(REPLICAS);
+    config.router = router;
+    config.policy = policy;
+    config.engine.max_batch = 16;
+    config.engine.seq_bucket = 512;
+    config.engine.timeline_sample_every = 0;
+    config.workers = workers;
+    config
+}
+
+/// The gates: every parallel execution mode must be bit-identical to the
+/// sequential driver, on this bench's own workloads and policies.
+fn assert_parallel_bit_identity(n: usize) -> Vec<(String, bool)> {
+    let model = model();
+    let sim = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
+    let fleet = FleetSim::new(&sim, &model);
+    let mut gates = Vec::new();
+    for regime in regimes() {
+        let trace = regime.scenario.generate(regime.rate_rps, n.min(400), 2026);
+        for (label, mode) in [
+            ("colocated", FleetMode::Colocated { replicas: REPLICAS }),
+            (
+                "disaggregated",
+                FleetMode::Disaggregated {
+                    prefill_replicas: 3,
+                    decode_replicas: 5,
+                    transfer: StateTransferModel::nvlink(),
+                },
+            ),
+        ] {
+            // Round-robin exercises the decoupled driver, JSQ and po2 the
+            // windowed one.
+            for router in RouterKind::ALL {
+                let mut config = fleet_config(router, regime.policy, 0);
+                config.mode = mode;
+                let sequential = fleet.run(&trace, &config);
+                for workers in [2, 4, 8] {
+                    config.workers = workers;
+                    let parallel = fleet.run(&trace, &config);
+                    assert!(
+                        parallel == sequential,
+                        "parallel fleet diverged: {}/{label}/{}/workers={workers}",
+                        regime.key,
+                        router.name()
+                    );
+                }
+                gates.push((format!("{}_{label}_{}", regime.key, router.name()), true));
+            }
+        }
+    }
+    gates
+}
+
+fn record_results(_c: &mut Criterion) {
+    if criterion::cli_filter().is_some() {
+        println!("(bench filter given — skipping fleet-parallel recording)");
+        return;
+    }
+    let n = requests();
+    let gates = assert_parallel_bit_identity(n);
+    println!(
+        "  divergence gates passed: {} parallel modes bit-identical",
+        gates.len()
+    );
+
+    let model = model();
+    let sim = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
+    let fleet = FleetSim::new(&sim, &model);
+    let reps = if n <= 1000 { 1 } else { 3 };
+
+    // ------------------------------------------------------------------
+    // 1. Intra-fleet parallelism: events/s, sequential vs workers.
+    // ------------------------------------------------------------------
+    let mut regime_json: Vec<String> = Vec::new();
+    for regime in regimes() {
+        let trace = regime.scenario.generate(regime.rate_rps, n, 2026);
+        let reference = fleet.run(
+            &trace,
+            &fleet_config(RouterKind::RoundRobin, regime.policy, 0),
+        );
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut parallel_json: Vec<String> = Vec::new();
+        let mut sequential_wall = 0.0;
+        for &workers in regime.workers {
+            let config = fleet_config(RouterKind::RoundRobin, regime.policy, workers);
+            let result = fleet.run(&trace, &config);
+            assert!(
+                result == reference,
+                "bench workload diverged at {}/workers={workers}",
+                regime.key
+            );
+            let wall = bench::median_secs(reps, || fleet.run(&trace, &config));
+            if workers == 0 {
+                sequential_wall = wall;
+            }
+            let throughput = result.throughput(wall);
+            let speedup = sequential_wall / wall;
+            rows.push(vec![
+                if workers == 0 {
+                    "seq".into()
+                } else {
+                    workers.to_string()
+                },
+                bench::fmt(wall * 1e3, 1),
+                throughput.events.to_string(),
+                bench::fmt(throughput.events_per_sec / 1e6, 3),
+                bench::fmt(speedup, 2),
+            ]);
+            parallel_json.push(format!(
+                "      {{\"workers\": {workers}, \"wall_ms\": {:.2}, \"events\": {}, \
+                 \"events_per_sec\": {:.0}, \"speedup\": {:.3}}}",
+                wall * 1e3,
+                throughput.events,
+                throughput.events_per_sec,
+                speedup,
+            ));
+        }
+        bench::print_table(
+            &format!(
+                "Intra-fleet parallel co-simulation [{}]: {REPLICAS} replicas, round-robin, \
+                 {} @ {} rps, {n} requests (bit-identical, median of {reps})",
+                regime.key, regime.scenario.name, regime.rate_rps
+            ),
+            &["workers", "wall_ms", "events", "Mevents/s", "speedup"],
+            &rows,
+        );
+        regime_json.push(format!(
+            "    {{\"regime\": \"{}\", \"scenario\": \"{}\", \"policy\": \"{}\", \
+             \"rate_rps\": {}, \"runs\": [\n{}\n    ]}}",
+            regime.key,
+            regime.scenario.name,
+            match regime.policy {
+                PolicyKind::FcfsStatic => "fcfs_static",
+                _ => "continuous",
+            },
+            regime.rate_rps,
+            parallel_json.join(",\n"),
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Memoized what-if grid: cold vs warm.
+    // ------------------------------------------------------------------
+    let grid = FleetGrid::new(model.clone())
+        .with_systems(vec![SystemConfig::small_scale(SystemKind::Pimba)])
+        .with_scenarios(vec![Scenario::chat(), long_decode()])
+        .with_rates(vec![30.0, 60.0])
+        .with_replica_counts(vec![4, 8])
+        .with_routers(vec![RouterKind::RoundRobin, RouterKind::Jsq])
+        .with_requests_per_cell((n / 8).max(100))
+        .with_seed(2026);
+    let memo = Arc::new(FleetMemo::new());
+    let runner = FleetRunner::new().with_memo(memo.clone());
+    let cold_start = std::time::Instant::now();
+    let cold = runner.run(&grid);
+    let cold_wall = cold_start.elapsed().as_secs_f64();
+    let warm_start = std::time::Instant::now();
+    let warm = runner.run(&grid);
+    let warm_wall = warm_start.elapsed().as_secs_f64();
+    assert!(warm == cold, "warm memo records diverged from cold run");
+    let (_, _, cell_stats) = memo.stats();
+    assert_eq!(
+        cell_stats.hits as usize,
+        grid.len(),
+        "warm run must answer every cell from the memo"
+    );
+    let memo_speedup = cold_wall / warm_wall;
+    bench::print_table(
+        &format!(
+            "Memoized what-if grid: {} cells, {} requests/cell (warm byte-identical)",
+            grid.len(),
+            grid.requests_per_cell
+        ),
+        &["phase", "wall_ms", "speedup"],
+        &[
+            vec!["cold".into(), bench::fmt(cold_wall * 1e3, 1), "1.00".into()],
+            vec![
+                "warm".into(),
+                bench::fmt(warm_wall * 1e3, 2),
+                bench::fmt(memo_speedup, 1),
+            ],
+        ],
+    );
+
+    let gates_json = gates
+        .iter()
+        .map(|(name, ok)| format!("\"{name}\": {ok}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_parallel\",\n  \"requests\": {n},\n  \
+         \"fleet\": {{\"replicas\": {REPLICAS}, \"router\": \"round_robin\", \
+         \"max_batch\": 16}},\n  \
+         \"divergence_gates\": {{{gates_json}, \"memo_warm_byte_identical\": true}},\n  \
+         \"parallel\": [\n{}\n  ],\n  \
+         \"memo_grid\": {{\"cells\": {}, \"requests_per_cell\": {}, \
+         \"cold_wall_ms\": {:.2}, \"warm_wall_ms\": {:.3}, \"speedup\": {:.1}}}\n}}\n",
+        regime_json.join(",\n"),
+        grid.len(),
+        grid.requests_per_cell,
+        cold_wall * 1e3,
+        warm_wall * 1e3,
+        memo_speedup,
+    );
+    let path = bench::results_dir().join("BENCH_fleet_parallel.json");
+    std::fs::write(&path, json).expect("failed to write BENCH_fleet_parallel.json");
+    println!("  -> wrote {}", path.display());
+}
+
+criterion_group!(benches, record_results);
+criterion_main!(benches);

@@ -64,6 +64,7 @@ fn assert_single_replica_bit_identity(n: usize) {
                 policy,
                 engine: engine_config,
                 seed: 1,
+                workers: 0,
             };
             let fleet = FleetSim::new(&sim, &model).run(&trace, &config);
             assert_eq!(
@@ -286,8 +287,19 @@ fn record_results(_c: &mut Criterion) {
                     ..EngineConfig::default()
                 },
                 seed: 5,
+                workers: 0,
             };
+            let run_start = std::time::Instant::now();
             let result = FleetSim::new(&sim, &model).run(&trace, &config);
+            let wall = run_start.elapsed().as_secs_f64();
+            let tput = result.throughput(wall);
+            println!(
+                "  [{} {mode_name}] wall {:.2} ms, {} events, {:.1} Mevents/s",
+                kind.name(),
+                wall * 1e3,
+                tput.events,
+                tput.events_per_sec / 1e6
+            );
             let s = result.summary(&SLO);
             disagg_rows.push(vec![
                 kind.name().to_string(),

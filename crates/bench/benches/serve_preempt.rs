@@ -180,7 +180,18 @@ fn record_results(_c: &mut Criterion) {
         let capacity = pressured_capacity(&sim, model, &scenario);
         for cell in &cells() {
             let budget = cell.pressured.then_some(capacity);
+            let run_start = std::time::Instant::now();
             let result = run_cell(&sim, model, &trace, cell, budget);
+            let wall = run_start.elapsed().as_secs_f64();
+            let tput = result.throughput(wall);
+            println!(
+                "  [{} {}] wall {:.2} ms, {} events, {:.1} Mevents/s",
+                kind.name(),
+                cell.config_name,
+                wall * 1e3,
+                tput.events,
+                tput.events_per_sec / 1e6
+            );
             assert_eq!(result.outcomes.len(), trace.len(), "work conservation");
             if cell.admission == AdmissionMode::FinalSeqLen {
                 assert_eq!(

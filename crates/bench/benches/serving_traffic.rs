@@ -79,7 +79,15 @@ fn record_results(_c: &mut Criterion) {
         return;
     }
     let g = grid();
+    let grid_start = std::time::Instant::now();
     let records = TrafficRunner::new().run(&g);
+    let grid_wall = grid_start.elapsed().as_secs_f64();
+    println!(
+        "  grid wall {:.1} ms, {} cells, {:.1} cells/s",
+        grid_wall * 1e3,
+        records.len(),
+        records.len() as f64 / grid_wall
+    );
 
     // Acceptance: bit-identical across thread counts and repeat runs.
     let deterministic = fingerprint(&records) == fingerprint(&TrafficRunner::new().run(&g))

@@ -159,6 +159,11 @@ fn record_trajectory(_c: &mut Criterion) {
     );
     println!("speedup vs naive uncached single-threaded (small grid): {speedup_small:.1}x");
     println!("speedup vs canonical uncached single-threaded (fleet grid): {speedup_fleet:.1}x");
+    println!(
+        "sweep throughput: {:.0} pts/s (small grid) | {:.0} pts/s (fleet grid)",
+        32.0 / sweep_small,
+        576.0 / sweep_fleet
+    );
 
     let json = format!(
         "{{\n  \"bench\": \"sweep_throughput\",\n  \"small_grid_points\": 32,\n  \"fleet_grid_points\": 576,\n  \"naive_per_layer_small_ms\": {:.4},\n  \"canonical_uncached_small_ms\": {:.4},\n  \"sweep_small_ms\": {:.4},\n  \"canonical_uncached_fleet_ms\": {:.4},\n  \"sweep_fleet_ms\": {:.4},\n  \"speedup_small_vs_naive\": {:.2},\n  \"speedup_fleet_vs_canonical\": {:.2}\n}}\n",

@@ -29,16 +29,47 @@
 //! arrival-time order (completion windows between trace arrivals guarantee no
 //! earlier handoff can appear later), so the co-simulation stays
 //! deterministic for any worker-thread count of the grid runner above it.
+//!
+//! # Parallel intra-fleet execution
+//!
+//! With [`FleetConfig::workers`] > 1 one fleet advances its replicas on
+//! worker threads, **bit-identically** to the sequential driver (asserted on
+//! every `fleet_parallel` bench run and by the parallel property suite). The
+//! legality rests on the *conservative-window invariant*: between two
+//! consecutive synchronization horizons — the next trace arrival for the
+//! pool being routed into, or the next handoff delivery instant for a decode
+//! pool — no information flows between replicas. A replica's evolution
+//! through the window is a pure function of its own prior state and its own
+//! injections, and the handoff instant is a conservative (early) bound: the
+//! [`StateTransferModel`] latency is the soonest a prefill completion can
+//! touch the decode pool. Router load snapshots are only ever taken at
+//! window boundaries, after every replica of the pool has reached the
+//! horizon — exactly when the sequential driver takes them. Two drivers
+//! exploit this:
+//!
+//! * **windowed** ([`run_windowed`]) — persistent per-replica workers with a
+//!   barrier per window. The per-replica `step_until` horizon sequence is
+//!   the sequential driver's, verbatim, so every bit of the result is too;
+//!   only the thread executing each window differs.
+//! * **decoupled** ([`fleet_map`]) — when the router is
+//!   [load-oblivious](RouterKind::load_oblivious), the routing sequence is
+//!   replayed up front against idle load snapshots (the policy never reads
+//!   them), the trace splits into per-replica injection plans, and every
+//!   replica free-runs to completion with no synchronization at all. Replica
+//!   state is insensitive to *foreign* horizons (stepping to an instant with
+//!   nothing to inject is a bit-level no-op), so dropping the other
+//!   replicas' arrival horizons leaves its result untouched.
 
 use crate::metrics::{FleetResult, ReplicaReport, ReplicaRole};
 use crate::router::{streams, ReplicaLoad, Router, RouterKind};
 use pimba_models::config::ModelConfig;
-use pimba_serve::engine::{Engine, EngineConfig, Session};
+use pimba_serve::engine::{CompletedRequest, Engine, EngineConfig, Session};
 use pimba_serve::metrics::{RequestOutcome, SimResult};
 use pimba_serve::sched::{PolicyKind, Scheduler};
 use pimba_serve::traffic::{Trace, TraceRequest};
 use pimba_system::memory::MemoryModel;
 use pimba_system::serving::ServingSimulator;
+use pimba_system::sweep::{fleet_map, run_windowed, FleetWindows};
 use pimba_system::transfer::StateTransferModel;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -92,6 +123,10 @@ pub struct FleetConfig {
     pub engine: EngineConfig,
     /// Seed of the router's sampling substreams.
     pub seed: u64,
+    /// Worker threads for intra-fleet parallel co-simulation; `0` or `1`
+    /// runs the sequential driver. Any value produces bit-identical results
+    /// (see the module docs) — this knob trades threads for wall-clock only.
+    pub workers: usize,
 }
 
 impl FleetConfig {
@@ -104,6 +139,7 @@ impl FleetConfig {
             policy: PolicyKind::Continuous,
             engine: EngineConfig::default(),
             seed: 0xF1EE7,
+            workers: 0,
         }
     }
 }
@@ -155,6 +191,54 @@ impl<'a> Pool<'a> {
     fn finish(mut self) -> Vec<SimResult> {
         self.step_until(f64::INFINITY);
         self.sessions.into_iter().map(Session::finish).collect()
+    }
+}
+
+/// An idle load snapshot — what a load-oblivious router is replayed against
+/// by the decoupled parallel drivers (the policy never reads it).
+const IDLE_LOAD: ReplicaLoad = ReplicaLoad {
+    outstanding: 0,
+    queue_depth: 0,
+    occupancy: 0,
+};
+
+/// One replica's movable execution state: the engine session plus its boxed
+/// scheduling policy, shipped across worker threads as a unit by the
+/// parallel fleet drivers.
+struct ReplicaRun<'a> {
+    session: Session<'a>,
+    scheduler: Box<dyn Scheduler>,
+}
+
+impl<'a> ReplicaRun<'a> {
+    fn pool(
+        engine: &'a Engine<'a>,
+        replicas: usize,
+        policy: PolicyKind,
+        max_seq_hint: usize,
+        max_prompt_hint: usize,
+    ) -> Vec<Self> {
+        assert!(replicas > 0, "a pool needs at least one replica");
+        (0..replicas)
+            .map(|_| ReplicaRun {
+                session: engine.session(max_seq_hint, max_prompt_hint),
+                scheduler: policy.build(),
+            })
+            .collect()
+    }
+
+    /// Advances the replica through its events strictly before `horizon`.
+    fn step_until(&mut self, horizon: f64) {
+        self.session.step_until(horizon, self.scheduler.as_mut());
+    }
+
+    /// The replica's load as the router sees it.
+    fn load(&self) -> ReplicaLoad {
+        ReplicaLoad {
+            outstanding: self.session.outstanding(),
+            queue_depth: self.session.queue_depth(),
+            occupancy: self.session.occupancy(),
+        }
     }
 }
 
@@ -212,8 +296,23 @@ impl<'a> FleetSim<'a> {
                 .all(|w| w[0].arrival_ns <= w[1].arrival_ns),
             "fleet traces must be time-sorted (use Trace::from_requests)"
         );
+        let parallel = config.workers > 1;
         match config.mode {
+            FleetMode::Colocated { replicas } if parallel && replicas > 1 => {
+                self.run_colocated_parallel(trace, replicas, config)
+            }
             FleetMode::Colocated { replicas } => self.run_colocated(trace, replicas, config),
+            FleetMode::Disaggregated {
+                prefill_replicas,
+                decode_replicas,
+                transfer,
+            } if parallel => self.run_disaggregated_parallel(
+                trace,
+                prefill_replicas,
+                decode_replicas,
+                transfer,
+                config,
+            ),
             FleetMode::Disaggregated {
                 prefill_replicas,
                 decode_replicas,
@@ -236,30 +335,7 @@ impl<'a> FleetSim<'a> {
             pool.sessions[choice].inject(id, *request);
             assignment.push(choice as u32);
         }
-        let results = pool.finish();
-
-        let mut outcomes: Vec<RequestOutcome> = results
-            .iter()
-            .flat_map(|r| r.outcomes.iter().copied())
-            .collect();
-        outcomes.sort_by_key(|o| o.id);
-        let makespan_ns = results.iter().map(|r| r.makespan_ns).fold(0.0, f64::max);
-        let replicas = results
-            .into_iter()
-            .enumerate()
-            .map(|(replica, result)| ReplicaReport {
-                replica,
-                role: ReplicaRole::Colocated,
-                result,
-            })
-            .collect();
-        FleetResult {
-            outcomes,
-            replicas,
-            assignment,
-            decode_assignment: Vec::new(),
-            makespan_ns,
-        }
+        colocated_result(pool.finish(), assignment)
     }
 
     fn run_disaggregated(
@@ -366,64 +442,453 @@ impl<'a> FleetSim<'a> {
         }
         let prefill_results = prefill.finish();
         let decode_results = decode.finish();
-
-        // Stitch the stages into end-to-end outcomes.
-        let mut first_token = vec![f64::NAN; trace.len()];
-        let mut completion = vec![f64::NAN; trace.len()];
-        for r in &prefill_results {
-            for o in &r.outcomes {
-                first_token[o.id] = o.first_token_ns;
-                completion[o.id] = o.completion_ns;
-            }
-        }
-        for r in &decode_results {
-            for o in &r.outcomes {
-                completion[o.id] = o.completion_ns;
-            }
-        }
-        let outcomes = trace
-            .requests
-            .iter()
-            .enumerate()
-            .filter(|(id, _)| completion[*id].is_finite())
-            .map(|(id, r)| RequestOutcome {
-                id,
-                arrival_ns: r.arrival_ns,
-                first_token_ns: first_token[id],
-                completion_ns: completion[id],
-                prompt_len: r.prompt_len,
-                output_len: r.output_len,
-                tenant: r.tenant,
-                priority: r.priority,
-            })
-            .collect();
-        let makespan_ns = prefill_results
-            .iter()
-            .chain(decode_results.iter())
-            .map(|r| r.makespan_ns)
-            .fold(0.0, f64::max);
-        let replicas = prefill_results
-            .into_iter()
-            .map(|result| (ReplicaRole::Prefill, result))
-            .chain(
-                decode_results
-                    .into_iter()
-                    .map(|result| (ReplicaRole::Decode, result)),
-            )
-            .enumerate()
-            .map(|(replica, (role, result))| ReplicaReport {
-                replica,
-                role,
-                result,
-            })
-            .collect();
-        FleetResult {
-            outcomes,
-            replicas,
+        disaggregated_result(
+            trace,
+            prefill_results,
+            decode_results,
             assignment,
             decode_assignment,
-            makespan_ns,
+        )
+    }
+
+    /// Parallel colocated execution. Load-oblivious routers take the
+    /// decoupled free-running driver; load-aware routers take the windowed
+    /// driver whose per-replica horizon sequence is [`Self::run_colocated`]'s
+    /// verbatim. Both are bit-identical to the sequential driver (module
+    /// docs).
+    fn run_colocated_parallel(
+        &self,
+        trace: &Trace,
+        replicas: usize,
+        config: &FleetConfig,
+    ) -> FleetResult {
+        let engine = Engine::new(self.sim, self.model, config.engine);
+        let (max_seq, max_prompt) = trace_bounds(trace);
+        let runs = ReplicaRun::pool(&engine, replicas, config.policy, max_seq, max_prompt);
+        let mut router = config.router.build(config.seed, streams::ROUTER_FRONT, 0);
+
+        if config.router.load_oblivious() {
+            // Decoupled: replay the routing sequence against idle loads,
+            // split the trace into per-replica injection plans, free-run.
+            let idle = vec![IDLE_LOAD; replicas];
+            let mut assignment = Vec::with_capacity(trace.len());
+            let mut plans: Vec<Vec<usize>> = vec![Vec::new(); replicas];
+            for (id, request) in trace.requests.iter().enumerate() {
+                let choice = router.route(id, request, &idle);
+                assert!(choice < replicas, "router returned replica {choice}");
+                plans[choice].push(id);
+                assignment.push(choice as u32);
+            }
+            let mut work: Vec<(ReplicaRun<'_>, Vec<usize>)> = runs.into_iter().zip(plans).collect();
+            fleet_map(&mut work, config.workers, |_, work| {
+                let (run, plan) = work;
+                // The whole plan is known upfront, and pausing at each
+                // arrival horizon before injecting is a bit-level no-op
+                // (module docs), so skip the pauses: inject everything and
+                // free-run once — the plain `Engine::run` event pattern.
+                for &id in plan.iter() {
+                    run.session.inject(id, trace.requests[id]);
+                }
+                run.step_until(f64::INFINITY);
+            });
+            let results = work
+                .into_iter()
+                .map(|(run, _)| run.session.finish())
+                .collect();
+            colocated_result(results, assignment)
+        } else {
+            // Windowed: advance every replica to each arrival horizon, then
+            // snapshot loads — the sequential driver's exact call pattern.
+            let (runs, assignment) = run_windowed(
+                runs,
+                config.workers,
+                |_, run: &mut ReplicaRun<'_>, horizon| run.step_until(horizon),
+                |windows| {
+                    let mut assignment = Vec::with_capacity(trace.len());
+                    for (id, request) in trace.requests.iter().enumerate() {
+                        windows.advance(request.arrival_ns);
+                        let loads: Vec<ReplicaLoad> = windows.map(|run| run.load());
+                        let choice = router.route(id, request, &loads);
+                        assert!(choice < replicas, "router returned replica {choice}");
+                        windows.with(choice, |run| run.session.inject(id, *request));
+                        assignment.push(choice as u32);
+                    }
+                    windows.advance(f64::INFINITY);
+                    assignment
+                },
+            );
+            let results = runs.into_iter().map(|run| run.session.finish()).collect();
+            colocated_result(results, assignment)
         }
+    }
+
+    /// Parallel disaggregated execution: decoupled two-phase reconstruction
+    /// for load-oblivious routers, otherwise one windowed executor spanning
+    /// both pools with per-pool horizon streams.
+    fn run_disaggregated_parallel(
+        &self,
+        trace: &Trace,
+        prefill_replicas: usize,
+        decode_replicas: usize,
+        transfer: StateTransferModel,
+        config: &FleetConfig,
+    ) -> FleetResult {
+        let engine = Engine::new(self.sim, self.model, config.engine);
+        let (max_seq, max_prompt) = trace_bounds(trace);
+        let prefill = ReplicaRun::pool(
+            &engine,
+            prefill_replicas,
+            config.policy,
+            max_prompt + 1,
+            max_prompt,
+        );
+        let decode = ReplicaRun::pool(&engine, decode_replicas, config.policy, max_seq + 1, 1);
+        let mut front = config.router.build(config.seed, streams::ROUTER_FRONT, 0);
+        let mut back = config.router.build(config.seed, streams::ROUTER_DECODE, 1);
+        let memory = MemoryModel::new(self.sim.config(), self.model);
+
+        if config.router.load_oblivious() {
+            // Phase 1 — replay front routing against idle loads, free-run
+            // the prefill pool over its per-replica plans.
+            let idle = vec![IDLE_LOAD; prefill_replicas];
+            let mut assignment = Vec::with_capacity(trace.len());
+            let mut plans: Vec<Vec<usize>> = vec![Vec::new(); prefill_replicas];
+            for (id, request) in trace.requests.iter().enumerate() {
+                let pre_request = TraceRequest {
+                    output_len: 1,
+                    ..*request
+                };
+                let choice = front.route(id, &pre_request, &idle);
+                assert!(
+                    choice < prefill_replicas,
+                    "router returned replica {choice}"
+                );
+                plans[choice].push(id);
+                assignment.push(choice as u32);
+            }
+            let mut prefill_work: Vec<(ReplicaRun<'_>, Vec<usize>)> =
+                prefill.into_iter().zip(plans).collect();
+            fleet_map(&mut prefill_work, config.workers, |_, work| {
+                let (run, plan) = work;
+                // As in the colocated driver: horizon pauses are no-ops, so
+                // inject the full plan and free-run once.
+                for &id in plan.iter() {
+                    let pre_request = TraceRequest {
+                        output_len: 1,
+                        ..trace.requests[id]
+                    };
+                    run.session.inject(id, pre_request);
+                }
+                run.step_until(f64::INFINITY);
+            });
+
+            // Phase 2 — reconstruct the sequential handoff stream. The
+            // windowed collector drains completions in non-overlapping time
+            // ranges and sorts each batch by (completion, id), so the
+            // concatenation of its batches is the *global* (completion, id)
+            // order; sequence numbers assigned in that order, and deliveries
+            // replayed by (time, seq), reproduce its heap pops exactly.
+            let mut done: Vec<CompletedRequest> = prefill_work
+                .iter_mut()
+                .flat_map(|(run, _)| run.session.drain_completions())
+                .collect();
+            done.sort_by(|a, b| {
+                a.completion_ns
+                    .total_cmp(&b.completion_ns)
+                    .then_with(|| a.id.cmp(&b.id))
+            });
+            let mut deliveries: Vec<Handoff> = Vec::new();
+            for d in &done {
+                let original = trace.requests[d.id];
+                if original.output_len <= 1 {
+                    continue;
+                }
+                let bytes = memory.dynamic_bytes(1, original.prompt_len + 1);
+                deliveries.push(Handoff {
+                    time_ns: d.completion_ns + transfer.transfer_ns(bytes),
+                    seq: deliveries.len() as u64,
+                    id: d.id,
+                });
+            }
+            deliveries.sort_by(|a, b| {
+                a.time_ns
+                    .total_cmp(&b.time_ns)
+                    .then_with(|| a.seq.cmp(&b.seq))
+            });
+
+            // Phase 3 — replay back routing in delivery order, free-run the
+            // decode pool over its per-replica (request, instant) plans.
+            let idle = vec![IDLE_LOAD; decode_replicas];
+            let mut decode_assignment = vec![u32::MAX; trace.len()];
+            let mut plans: Vec<Vec<(usize, f64)>> = vec![Vec::new(); decode_replicas];
+            for h in &deliveries {
+                let request = decode_request(trace, h);
+                let choice = back.route(h.id, &request, &idle);
+                assert!(choice < decode_replicas, "router returned replica {choice}");
+                plans[choice].push((h.id, h.time_ns));
+                decode_assignment[h.id] = choice as u32;
+            }
+            let mut decode_work: Vec<(ReplicaRun<'_>, Vec<(usize, f64)>)> =
+                decode.into_iter().zip(plans).collect();
+            fleet_map(&mut decode_work, config.workers, |_, work| {
+                let (run, plan) = work;
+                // Handoff instants are all known by now — inject the full
+                // plan and free-run once (horizon pauses are no-ops).
+                for &(id, time_ns) in plan.iter() {
+                    let handoff = Handoff {
+                        time_ns,
+                        seq: 0,
+                        id,
+                    };
+                    let request = decode_request(trace, &handoff);
+                    run.session.inject_prefilled(id, request);
+                }
+                run.step_until(f64::INFINITY);
+            });
+
+            let prefill_results = prefill_work
+                .into_iter()
+                .map(|(run, _)| run.session.finish())
+                .collect();
+            let decode_results = decode_work
+                .into_iter()
+                .map(|(run, _)| run.session.finish())
+                .collect();
+            disaggregated_result(
+                trace,
+                prefill_results,
+                decode_results,
+                assignment,
+                decode_assignment,
+            )
+        } else {
+            // Windowed: one executor spans both pools (prefill replicas at
+            // indices 0..P, decode at P..). Each pool advances to its own
+            // horizon stream via sub-range windows, replaying the sequential
+            // driver's per-session `step_until` sequence verbatim.
+            let mut runs = prefill;
+            runs.extend(decode);
+            let (runs, (assignment, decode_assignment)) = run_windowed(
+                runs,
+                config.workers,
+                |_, run: &mut ReplicaRun<'_>, horizon| run.step_until(horizon),
+                |windows| {
+                    let mut handoffs: BinaryHeap<Handoff> = BinaryHeap::new();
+                    let mut handoff_seq = 0u64;
+                    let mut assignment = Vec::with_capacity(trace.len());
+                    let mut decode_assignment = vec![u32::MAX; trace.len()];
+
+                    let collect = |windows: &mut FleetWindows<'_, ReplicaRun<'_>>,
+                                   handoffs: &mut BinaryHeap<Handoff>,
+                                   handoff_seq: &mut u64| {
+                        let mut fresh = Vec::new();
+                        for replica in 0..prefill_replicas {
+                            windows.with(replica, |run| {
+                                fresh.extend(run.session.drain_completions());
+                            });
+                        }
+                        fresh.sort_by(|a, b| {
+                            a.completion_ns
+                                .total_cmp(&b.completion_ns)
+                                .then_with(|| a.id.cmp(&b.id))
+                        });
+                        for done in fresh {
+                            let original = trace.requests[done.id];
+                            if original.output_len <= 1 {
+                                continue;
+                            }
+                            let bytes = memory.dynamic_bytes(1, original.prompt_len + 1);
+                            handoffs.push(Handoff {
+                                time_ns: done.completion_ns + transfer.transfer_ns(bytes),
+                                seq: *handoff_seq,
+                                id: done.id,
+                            });
+                            *handoff_seq += 1;
+                        }
+                    };
+                    let mut deliver =
+                        |windows: &mut FleetWindows<'_, ReplicaRun<'_>>,
+                         h: &Handoff,
+                         decode_assignment: &mut [u32]| {
+                            let pool = prefill_replicas..prefill_replicas + decode_replicas;
+                            windows.advance_range(pool.clone(), h.time_ns);
+                            let request = decode_request(trace, h);
+                            let loads: Vec<ReplicaLoad> =
+                                pool.map(|i| windows.with(i, |run| run.load())).collect();
+                            let choice = back.route(h.id, &request, &loads);
+                            assert!(choice < decode_replicas, "router returned replica {choice}");
+                            windows.with(prefill_replicas + choice, |run| {
+                                run.session.inject_prefilled(h.id, request);
+                            });
+                            decode_assignment[h.id] = choice as u32;
+                        };
+
+                    for (id, request) in trace.requests.iter().enumerate() {
+                        let t = request.arrival_ns;
+                        windows.advance_range(0..prefill_replicas, t);
+                        collect(windows, &mut handoffs, &mut handoff_seq);
+                        while handoffs.peek().is_some_and(|h| h.time_ns < t) {
+                            let h = handoffs.pop().expect("peeked handoff vanished");
+                            deliver(windows, &h, &mut decode_assignment);
+                        }
+                        let pre_request = TraceRequest {
+                            arrival_ns: t,
+                            output_len: 1,
+                            ..*request
+                        };
+                        let loads: Vec<ReplicaLoad> = (0..prefill_replicas)
+                            .map(|i| windows.with(i, |run| run.load()))
+                            .collect();
+                        let choice = front.route(id, &pre_request, &loads);
+                        assert!(
+                            choice < prefill_replicas,
+                            "router returned replica {choice}"
+                        );
+                        windows.with(choice, |run| run.session.inject(id, pre_request));
+                        assignment.push(choice as u32);
+                    }
+
+                    windows.advance_range(0..prefill_replicas, f64::INFINITY);
+                    collect(windows, &mut handoffs, &mut handoff_seq);
+                    while let Some(h) = handoffs.pop() {
+                        deliver(windows, &h, &mut decode_assignment);
+                    }
+                    // Mirror the sequential pool-finish horizon calls.
+                    windows.advance_range(0..prefill_replicas, f64::INFINITY);
+                    windows.advance_range(
+                        prefill_replicas..prefill_replicas + decode_replicas,
+                        f64::INFINITY,
+                    );
+                    (assignment, decode_assignment)
+                },
+            );
+            let (prefill_results, decode_results) = {
+                let mut results: Vec<SimResult> =
+                    runs.into_iter().map(|run| run.session.finish()).collect();
+                let decode_results = results.split_off(prefill_replicas);
+                (results, decode_results)
+            };
+            disaggregated_result(
+                trace,
+                prefill_results,
+                decode_results,
+                assignment,
+                decode_assignment,
+            )
+        }
+    }
+}
+
+/// Assembles a colocated fleet's per-replica results — shared by the
+/// sequential and both parallel drivers, so they cannot drift.
+fn colocated_result(results: Vec<SimResult>, assignment: Vec<u32>) -> FleetResult {
+    // Request ids are trace indices, so a linear scatter by id recovers the
+    // same ascending order a comparison sort would — without the O(n log n).
+    let total: usize = results.iter().map(|r| r.outcomes.len()).sum();
+    let mut slots: Vec<Option<RequestOutcome>> = vec![None; assignment.len()];
+    for r in &results {
+        for o in &r.outcomes {
+            slots[o.id] = Some(*o);
+        }
+    }
+    let mut outcomes = Vec::with_capacity(total);
+    outcomes.extend(slots.into_iter().flatten());
+    let makespan_ns = results.iter().map(|r| r.makespan_ns).fold(0.0, f64::max);
+    let replicas = results
+        .into_iter()
+        .enumerate()
+        .map(|(replica, result)| ReplicaReport {
+            replica,
+            role: ReplicaRole::Colocated,
+            result,
+        })
+        .collect();
+    FleetResult {
+        outcomes,
+        replicas,
+        assignment,
+        decode_assignment: Vec::new(),
+        makespan_ns,
+    }
+}
+
+/// Stitches the prefill and decode stages into end-to-end outcomes — shared
+/// by the sequential and both parallel disaggregated drivers.
+fn disaggregated_result(
+    trace: &Trace,
+    prefill_results: Vec<SimResult>,
+    decode_results: Vec<SimResult>,
+    assignment: Vec<u32>,
+    decode_assignment: Vec<u32>,
+) -> FleetResult {
+    let mut first_token = vec![f64::NAN; trace.len()];
+    let mut completion = vec![f64::NAN; trace.len()];
+    for r in &prefill_results {
+        for o in &r.outcomes {
+            first_token[o.id] = o.first_token_ns;
+            completion[o.id] = o.completion_ns;
+        }
+    }
+    for r in &decode_results {
+        for o in &r.outcomes {
+            completion[o.id] = o.completion_ns;
+        }
+    }
+    let outcomes = trace
+        .requests
+        .iter()
+        .enumerate()
+        .filter(|(id, _)| completion[*id].is_finite())
+        .map(|(id, r)| RequestOutcome {
+            id,
+            arrival_ns: r.arrival_ns,
+            first_token_ns: first_token[id],
+            completion_ns: completion[id],
+            prompt_len: r.prompt_len,
+            output_len: r.output_len,
+            tenant: r.tenant,
+            priority: r.priority,
+        })
+        .collect();
+    let makespan_ns = prefill_results
+        .iter()
+        .chain(decode_results.iter())
+        .map(|r| r.makespan_ns)
+        .fold(0.0, f64::max);
+    let replicas = prefill_results
+        .into_iter()
+        .map(|result| (ReplicaRole::Prefill, result))
+        .chain(
+            decode_results
+                .into_iter()
+                .map(|result| (ReplicaRole::Decode, result)),
+        )
+        .enumerate()
+        .map(|(replica, (role, result))| ReplicaReport {
+            replica,
+            role,
+            result,
+        })
+        .collect();
+    FleetResult {
+        outcomes,
+        replicas,
+        assignment,
+        decode_assignment,
+        makespan_ns,
+    }
+}
+
+/// The decode-side resumption request of a handoff: full context is
+/// prompt+1 (prefill plus first token), `output_len - 1` tokens remain, and
+/// it arrives at the handoff instant (tenant/priority tags ride along).
+fn decode_request(trace: &Trace, handoff: &Handoff) -> TraceRequest {
+    let original = trace.requests[handoff.id];
+    TraceRequest {
+        arrival_ns: handoff.time_ns,
+        prompt_len: original.prompt_len + 1,
+        output_len: original.output_len - 1,
+        ..original
     }
 }
 
@@ -437,16 +902,7 @@ fn deliver(
     decode_assignment: &mut [u32],
 ) {
     decode.step_until(handoff.time_ns);
-    let original = trace.requests[handoff.id];
-    // The decode-side request resumes after prefill + first token: full
-    // context is prompt+1, and output_len-1 tokens remain (tenant/priority
-    // tags ride along through the handoff).
-    let request = TraceRequest {
-        arrival_ns: handoff.time_ns,
-        prompt_len: original.prompt_len + 1,
-        output_len: original.output_len - 1,
-        ..original
-    };
+    let request = decode_request(trace, handoff);
     let choice = back.route(handoff.id, &request, decode.loads());
     decode.sessions[choice].inject_prefilled(handoff.id, request);
     decode_assignment[handoff.id] = choice as u32;

@@ -21,7 +21,10 @@
 //!   aggregates,
 //! * [`runner`] — the parallel (system × scenario × rate × replica-count ×
 //!   router) grid runner and the [`replicas_to_hold`]
-//!   SLO-scaling search.
+//!   SLO-scaling search,
+//! * [`memo`] — the content-addressed [`memo::FleetMemo`] making
+//!   repeated what-if grids incremental: warm cells skip simulation and
+//!   return byte-identical records.
 //!
 //! Replicas are [`Session`](pimba_serve::Session)s of the single-replica
 //! engine, so everything the engine guarantees carries over: a colocated
@@ -55,11 +58,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cluster;
+pub mod memo;
 pub mod metrics;
 pub mod router;
 pub mod runner;
 
 pub use cluster::{FleetConfig, FleetMode, FleetSim};
+pub use memo::FleetMemo;
 pub use metrics::{FleetResult, ReplicaReport, ReplicaRole};
 pub use router::{
     JoinShortestQueue, PowerOfTwoChoices, ReplicaLoad, RoundRobin, Router, RouterKind,

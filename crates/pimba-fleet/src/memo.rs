@@ -1,0 +1,63 @@
+//! Content-addressed memoization of fleet what-if grids.
+//!
+//! A what-if study re-runs a grid with one knob changed — a router swapped,
+//! one more rate point, a different replica count — and today re-simulates
+//! every cell from scratch even though most cells' inputs are untouched.
+//! [`FleetMemo`] makes such grids incremental: every artifact the runner
+//! produces is keyed by a [`Fingerprint`](pimba_system::memo::Fingerprint) of its *complete* input identity
+//! (see [`pimba_system::memo`] for the purity contract) and stored in a
+//! concurrent [`MemoStore`], so a re-evaluation only pays for the cells whose
+//! inputs actually changed. Three stores cover the runner's three costs:
+//!
+//! * **traces** — per-(scenario, rate) arrival traces, the shared-prefix fast
+//!   path across systems/replica-counts/routers *and* across grids,
+//! * **max_batches** — the per-(system, scenario) SLO capacity searches
+//!   (`max_batch_within_slo` binary searches, each tens of simulator steps),
+//! * **cells** — full [`FleetRecord`]s: a warm hit skips the fleet
+//!   co-simulation entirely and returns bytes identical to a cold run (the
+//!   simulation is deterministic bit-for-bit in its fingerprinted inputs).
+//!
+//! Execution knobs that cannot change results — runner thread counts and the
+//! intra-fleet [`workers`](crate::cluster::FleetConfig::workers) count — are
+//! deliberately *excluded* from every fingerprint, so a grid evaluated
+//! sequentially warms the memo for a parallel re-evaluation and vice versa.
+
+use crate::runner::FleetRecord;
+use pimba_serve::traffic::Trace;
+use pimba_system::memo::{MemoStats, MemoStore};
+
+pub use pimba_serve::runner::{fold_trace, trace_fingerprint};
+
+/// The memo of fleet grid evaluations — share one (behind an
+/// [`Arc`](std::sync::Arc)) across every [`FleetRunner`](crate::runner::FleetRunner)
+/// run that should reuse results.
+#[derive(Debug, Default)]
+pub struct FleetMemo {
+    /// Per-(scenario, rate, request-count, seed) arrival traces.
+    pub(crate) traces: MemoStore<Trace>,
+    /// Per-(system, scenario) SLO batch-capacity searches.
+    pub(crate) max_batches: MemoStore<usize>,
+    /// Fully evaluated grid cells.
+    pub(crate) cells: MemoStore<FleetRecord>,
+}
+
+impl FleetMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(traces, max_batches, cells)` hit/miss counters.
+    pub fn stats(&self) -> (MemoStats, MemoStats, MemoStats) {
+        (
+            self.traces.stats(),
+            self.max_batches.stats(),
+            self.cells.stats(),
+        )
+    }
+
+    /// Number of memoized grid cells.
+    pub fn cells_stored(&self) -> usize {
+        self.cells.len()
+    }
+}

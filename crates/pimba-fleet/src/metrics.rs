@@ -3,7 +3,7 @@
 
 use pimba_serve::metrics::{
     PreemptionStats, RequestOutcome, SimResult, SloSpec, TelemetryStats, TenantSlos, TenantSummary,
-    TrafficSummary,
+    Throughput, TrafficSummary,
 };
 use serde::{Deserialize, Serialize};
 
@@ -94,6 +94,22 @@ impl FleetResult {
             out.mean_batch_occupancy += t.mean_batch_occupancy;
         }
         out
+    }
+
+    /// Total engine step-events executed across all replicas — the
+    /// simulation-work denominator of the fleet benches. Counters live
+    /// *outside* the result (like [`SimResult::events`]) so results stay
+    /// comparable bit-for-bit across execution modes.
+    pub fn events(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|r| r.result.telemetry.events)
+            .sum()
+    }
+
+    /// This run's event throughput over a measured wall-clock duration.
+    pub fn throughput(&self, wall_secs: f64) -> Throughput {
+        Throughput::new(self.events(), wall_secs)
     }
 
     /// Fleet-level checkpoint-restore counters: per-replica

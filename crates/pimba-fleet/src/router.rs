@@ -213,6 +213,18 @@ impl RouterKind {
         }
     }
 
+    /// `true` when the policy's choices never read the [`ReplicaLoad`]
+    /// snapshot — its full decision sequence is a function of the arrival
+    /// order alone. This licenses the *decoupled* parallel fleet driver:
+    /// routing can be replayed up front against zeroed loads and every
+    /// replica free-runs its injection plan with no synchronization windows.
+    /// Only [`RouterKind::RoundRobin`] qualifies; every load-aware policy
+    /// must take its snapshots at the same co-sim instants as the sequential
+    /// driver (the windowed executor's job).
+    pub fn load_oblivious(&self) -> bool {
+        matches!(self, RouterKind::RoundRobin)
+    }
+
     /// The policy's display name.
     pub fn name(&self) -> &'static str {
         match self {

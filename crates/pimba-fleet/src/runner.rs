@@ -10,6 +10,7 @@
 //! worker-thread count (each cell is a pure function of the grid).
 
 use crate::cluster::{FleetConfig, FleetMode, FleetSim};
+use crate::memo::{fold_trace, FleetMemo};
 use crate::metrics::FleetResult;
 use crate::router::RouterKind;
 use pimba_models::config::ModelConfig;
@@ -19,6 +20,7 @@ use pimba_serve::sched::PolicyKind;
 use pimba_serve::traffic::{Scenario, Trace};
 use pimba_system::cache::LatencyCache;
 use pimba_system::config::SystemConfig;
+use pimba_system::memo::{Fingerprint, FingerprintBuilder};
 use pimba_system::serving::ServingSimulator;
 use pimba_system::sweep::{max_batch_within_slo, parallel_map};
 use pimba_system::transfer::StateTransferModel;
@@ -287,6 +289,8 @@ pub struct FleetRecord {
 #[derive(Debug, Clone, Default)]
 pub struct FleetRunner {
     threads: usize,
+    fleet_workers: usize,
+    memo: Option<Arc<FleetMemo>>,
 }
 
 impl FleetRunner {
@@ -298,6 +302,24 @@ impl FleetRunner {
     /// Overrides the worker-thread count (0 = all cores; clamped to ≥ 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets [`FleetConfig::workers`] for every cell: intra-fleet parallel
+    /// co-simulation (0 or 1 = sequential). Bit-identical either way — an
+    /// execution knob, not a result knob, so it is excluded from memo keys.
+    pub fn with_fleet_workers(mut self, workers: usize) -> Self {
+        self.fleet_workers = workers;
+        self
+    }
+
+    /// Attaches a [`FleetMemo`]: traces, capacity searches and whole cells
+    /// are looked up before simulating and stored after. Re-running a grid
+    /// against a warm memo returns records byte-identical to a cold run
+    /// without stepping a single engine (asserted by the memo tests and the
+    /// `fleet_parallel` bench gate).
+    pub fn with_memo(mut self, memo: Arc<FleetMemo>) -> Self {
+        self.memo = Some(memo);
         self
     }
 
@@ -330,7 +352,9 @@ impl FleetRunner {
             })
             .collect();
 
-        // One trace per (scenario, rate), shared by every other axis.
+        let memo = self.memo.as_deref();
+        // One trace per (scenario, rate), shared by every other axis (and,
+        // through the memo, by every other grid run with the same inputs).
         let traces: Vec<Arc<Trace>> = grid
             .scenarios
             .iter()
@@ -342,7 +366,20 @@ impl FleetRunner {
                     .map(move |(r_idx, &rate)| {
                         let stream = (scn_idx * grid.rates_rps.len() + r_idx) as u64;
                         let trace_seed = Pcg32::new_stream(grid.seed, stream).next_u64();
-                        Arc::new(scenario.generate(rate, grid.requests_per_cell, trace_seed))
+                        let generate =
+                            || scenario.generate(rate, grid.requests_per_cell, trace_seed);
+                        match memo {
+                            Some(memo) => {
+                                let key = FingerprintBuilder::new()
+                                    .debug(scenario)
+                                    .f64(rate)
+                                    .usize(grid.requests_per_cell)
+                                    .u64(trace_seed)
+                                    .finish();
+                                memo.traces.get_or_insert_with(key, generate)
+                            }
+                            None => Arc::new(generate()),
+                        }
                     })
             })
             .collect();
@@ -357,8 +394,23 @@ impl FleetRunner {
                 }
                 let (sys, scn) = (i / grid.scenarios.len(), i % grid.scenarios.len());
                 let anchor_seq = (grid.scenarios[scn].mean_total_tokens() as usize).max(1);
-                max_batch_within_slo(&sims[sys], &grid.model, anchor_seq, grid.slo.tpot_ms, 512)
-                    .unwrap_or(1)
+                let search = || {
+                    max_batch_within_slo(&sims[sys], &grid.model, anchor_seq, grid.slo.tpot_ms, 512)
+                        .unwrap_or(1)
+                };
+                match memo {
+                    Some(memo) => {
+                        let key = FingerprintBuilder::new()
+                            .debug(&grid.systems[sys])
+                            .debug(&grid.model)
+                            .usize(anchor_seq)
+                            .f64(grid.slo.tpot_ms)
+                            .usize(512)
+                            .finish();
+                        *memo.max_batches.get_or_insert_with(key, search)
+                    }
+                    None => search(),
+                }
             },
         );
 
@@ -379,12 +431,51 @@ impl FleetRunner {
                 },
                 // Every cell gets its own deterministic router stream.
                 seed: Pcg32::new_stream(grid.seed, 0x7007 + i as u64).next_u64(),
+                workers: self.fleet_workers,
             };
             let trace = &traces[scn * grid.rates_rps.len() + rate];
-            let result = FleetSim::new(&sims[sys], &grid.model).run(trace, &config);
-            record_of(grid, &result, sys, scn, grid.rates_rps[rate], &config)
+            let eval = || {
+                let result = FleetSim::new(&sims[sys], &grid.model).run(trace, &config);
+                record_of(grid, &result, sys, scn, grid.rates_rps[rate], &config)
+            };
+            match memo {
+                Some(memo) => {
+                    let key = cell_key(grid, &config, trace, sys, scn, grid.rates_rps[rate]);
+                    (*memo.cells.get_or_insert_with(key, eval)).clone()
+                }
+                None => eval(),
+            }
         })
     }
+}
+
+/// The content address of one grid cell's [`FleetRecord`]: everything the
+/// record is a function of — system, model, SLOs, cell config and the raw
+/// trace bits — and nothing that cannot change it (thread counts and
+/// [`FleetConfig::workers`] are execution knobs, deliberately excluded, so
+/// sequential and parallel runs share entries).
+fn cell_key(
+    grid: &FleetGrid,
+    config: &FleetConfig,
+    trace: &Trace,
+    sys: usize,
+    scn: usize,
+    rate_rps: f64,
+) -> Fingerprint {
+    let builder = FingerprintBuilder::new()
+        .usize(sys)
+        .usize(scn)
+        .f64(rate_rps)
+        .debug(&grid.systems[sys])
+        .debug(&grid.model)
+        .debug(&grid.slo)
+        .debug(&grid.tenant_slos)
+        .debug(&config.mode)
+        .debug(&config.router)
+        .debug(&config.policy)
+        .debug(&config.engine)
+        .u64(config.seed);
+    fold_trace(builder, trace).finish()
 }
 
 fn record_of(

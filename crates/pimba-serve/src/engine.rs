@@ -93,6 +93,7 @@ use pimba_models::config::ModelConfig;
 use pimba_system::memory::MemoryModel;
 use pimba_system::serving::ServingSimulator;
 use pimba_system::table::{PrefillLatencyTable, StepLatencyTable};
+
 use pimba_system::transfer::StateTransferModel;
 
 /// How the admission probe anchors request footprints against the memory
@@ -1204,6 +1205,37 @@ impl<'a> Session<'a> {
             let mut t_first = self.now_ns;
             let mut interrupted = false;
             'steps: loop {
+                // Fast region: while the next pending event and the co-sim
+                // horizon are both beyond the step being executed and the
+                // step is not the sub-segment's last, nothing can change the
+                // batch or the queue — the per-step work collapses to the
+                // `now + step` time chain, committed to telemetry in one
+                // bit-identical fold. The slow path below then handles the
+                // next boundary step (park, absorb or completion) and control
+                // returns here.
+                if horizon - executed > 1 && self.telemetry.foldable() {
+                    let pending = self.events.peek_time_ns().unwrap_or(f64::INFINITY);
+                    let bound = if horizon_ns < pending {
+                        horizon_ns
+                    } else {
+                        pending
+                    };
+                    let (folded, now) = self.telemetry.record_chain_until(
+                        self.now_ns,
+                        step_ns,
+                        horizon - executed - 1,
+                        bound,
+                        self.queue.len(),
+                        occupancy,
+                    );
+                    if folded > 0 {
+                        if executed == 0 {
+                            t_first = self.now_ns + step_ns;
+                        }
+                        self.now_ns = now;
+                        executed += folded;
+                    }
+                }
                 let t_next = self.now_ns + step_ns;
                 // The co-sim window ends before this step completes: an
                 // arrival may still be injected at any time >= horizon_ns,
@@ -1629,6 +1661,16 @@ mod tests {
             ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba)),
             ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small),
         )
+    }
+
+    /// `Session` (with its boxed scheduler) must stay shippable across the
+    /// fleet executor's worker threads — compile-time assertion so a future
+    /// non-`Send` field is caught here, not in the fleet crate.
+    #[test]
+    fn sessions_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Session<'_>>();
+        assert_send::<Box<dyn Scheduler>>();
     }
 
     fn trace() -> Trace {

@@ -118,7 +118,7 @@ pub use metrics::{
     Percentiles, PreemptionStats, RequestOutcome, SimResult, SloSpec, Telemetry, TelemetryStats,
     TenantSlos, TenantSummary, TimelinePoint, TrafficSummary,
 };
-pub use runner::{slo_curve, TrafficGrid, TrafficRecord, TrafficRunner};
+pub use runner::{slo_curve, TrafficGrid, TrafficMemo, TrafficRecord, TrafficRunner};
 pub use sched::{
     Action, ChunkedPrefill, ContinuousBatching, DecodeStability, FcfsStatic,
     MemoryPressureEviction, PolicyKind, Scheduler, VictimOrder, WeightedFairQueueing,

@@ -167,6 +167,64 @@ impl Telemetry {
         self.events += 1;
     }
 
+    /// True when a run of same-state samples can be folded through
+    /// [`record_chain`](Self::record_chain): no timeline points are stored
+    /// and the first event (which pins `first_ns`) has already been seen.
+    pub(crate) fn foldable(&self) -> bool {
+        self.sample_every == 0 && self.events > 0
+    }
+
+    /// Advances the chained timestamp `start_ns + step_ns`, `(start_ns +
+    /// step_ns) + step_ns`, … while it stays strictly below `bound_ns` (at
+    /// most `max_steps` times), recording every visited timestamp as one
+    /// sample at the given queue depth and occupancy. The accumulation
+    /// performs exactly the floating-point operations the same number of
+    /// [`record`](Self::record) calls would, so aggregates stay bit-identical
+    /// to per-step recording; the caller must have checked
+    /// [`foldable`](Self::foldable). Returns how many steps were taken and
+    /// the final timestamp. The hot decode loop of the serving engine uses
+    /// this to collapse event-free step stretches into one latency-bound
+    /// float chain.
+    pub(crate) fn record_chain_until(
+        &mut self,
+        start_ns: f64,
+        step_ns: f64,
+        max_steps: usize,
+        bound_ns: f64,
+        queue_depth: usize,
+        batch_occupancy: usize,
+    ) -> (usize, f64) {
+        debug_assert!(self.foldable());
+        let occupancy = batch_occupancy as f64;
+        // Local accumulation replays `record`'s op sequence: each step adds
+        // `last_occupancy * (t - last_ns)` onto the running sum in order.
+        let mut last_occupancy = self.last_occupancy as f64;
+        let mut weighted = self.weighted_occupancy_ns;
+        let mut last_ns = self.last_ns;
+        let mut time_ns = start_ns;
+        let mut count = 0usize;
+        while count < max_steps {
+            let t_next = time_ns + step_ns;
+            if t_next >= bound_ns {
+                break;
+            }
+            time_ns = t_next;
+            weighted += last_occupancy * (t_next - last_ns);
+            last_ns = t_next;
+            last_occupancy = occupancy;
+            count += 1;
+        }
+        if count > 0 {
+            self.weighted_occupancy_ns = weighted;
+            self.last_ns = last_ns;
+            self.last_occupancy = batch_occupancy;
+            self.peak_queue_depth = self.peak_queue_depth.max(queue_depth);
+            self.peak_batch_occupancy = self.peak_batch_occupancy.max(batch_occupancy);
+            self.events += count as u64;
+        }
+        (count, time_ns)
+    }
+
     /// Consumes the collector into the stored points and the exact aggregates.
     pub fn finish(self) -> (Vec<TimelinePoint>, TelemetryStats) {
         let mean_batch_occupancy = if self.events > 1 && self.last_ns > self.first_ns {
@@ -223,6 +281,46 @@ pub struct SimResult {
     /// Checkpoint-restore eviction counters (all zeros unless a preemptive
     /// policy ran).
     pub preemption: PreemptionStats,
+}
+
+/// Wall-clock throughput of one run: simulated events retired per wall-clock
+/// second. Kept *outside* [`SimResult`] (derived through
+/// [`SimResult::throughput`]) so results stay comparable bit-for-bit across
+/// execution modes — wall time varies run to run, the simulation must not.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Wall-clock duration of the run, in seconds.
+    pub wall_secs: f64,
+    /// Simulated event timestamps retired ([`TelemetryStats::events`] —
+    /// identical for a given workload regardless of execution mode, so
+    /// events/s comparisons across modes are apples to apples).
+    pub events: u64,
+    /// `events / wall_secs`.
+    pub events_per_sec: f64,
+}
+
+impl Throughput {
+    /// Rates `events` over `wall_secs` of wall-clock time.
+    pub fn new(events: u64, wall_secs: f64) -> Self {
+        Self {
+            wall_secs,
+            events,
+            events_per_sec: events as f64 / wall_secs,
+        }
+    }
+}
+
+impl SimResult {
+    /// Simulated event timestamps this run retired — the deterministic,
+    /// mode-invariant work counter behind events/s reporting.
+    pub fn events(&self) -> u64 {
+        self.telemetry.events
+    }
+
+    /// This run's event throughput over a measured wall-clock duration.
+    pub fn throughput(&self, wall_secs: f64) -> Throughput {
+        Throughput::new(self.events(), wall_secs)
+    }
 }
 
 /// A latency service-level objective on TTFT and TPOT.

@@ -16,11 +16,72 @@ use crate::traffic::{Scenario, Trace};
 use pimba_models::config::ModelConfig;
 use pimba_system::cache::LatencyCache;
 use pimba_system::config::SystemConfig;
+use pimba_system::memo::{Fingerprint, FingerprintBuilder, MemoStats, MemoStore};
 use pimba_system::serving::ServingSimulator;
 use pimba_system::sweep::{max_batch_within_slo, parallel_map, SweepRunner};
 use rand::rngs::Pcg32;
 use rand::Rng;
 use std::sync::Arc;
+
+/// Folds a trace's raw request bits into `builder` — the content identity of
+/// the arrival stream, independent of how it was generated. The trace half of
+/// every memoized grid-cell key (the other half fingerprints the cell's
+/// config).
+pub fn fold_trace(mut builder: FingerprintBuilder, trace: &Trace) -> FingerprintBuilder {
+    builder = builder.usize(trace.requests.len());
+    for r in &trace.requests {
+        builder = builder
+            .f64(r.arrival_ns)
+            .usize(r.prompt_len)
+            .usize(r.output_len)
+            .u64(u64::from(r.tenant))
+            .u64(u64::from(r.priority));
+    }
+    builder
+}
+
+/// The content address of a trace on its own.
+pub fn trace_fingerprint(trace: &Trace) -> Fingerprint {
+    fold_trace(FingerprintBuilder::new(), trace).finish()
+}
+
+/// The memo of traffic-grid evaluations — share one (behind an [`Arc`])
+/// across every [`TrafficRunner`] run that should reuse results. Keys cover
+/// each artifact's complete input identity (see [`pimba_system::memo`] for
+/// the purity contract); execution knobs that cannot change bits — thread
+/// counts, latency caching — are deliberately excluded, so any run warms the
+/// memo for any other.
+#[derive(Debug, Default)]
+pub struct TrafficMemo {
+    /// Per-(scenario, rate, request-count, seed) arrival traces.
+    pub(crate) traces: MemoStore<Trace>,
+    /// Per-(system, scenario) SLO batch-capacity searches.
+    pub(crate) max_batches: MemoStore<usize>,
+    /// Fully evaluated grid cells: a warm hit skips the whole simulation and
+    /// returns bytes identical to a cold run.
+    pub(crate) cells: MemoStore<TrafficRecord>,
+}
+
+impl TrafficMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(traces, max_batches, cells)` hit/miss counters.
+    pub fn stats(&self) -> (MemoStats, MemoStats, MemoStats) {
+        (
+            self.traces.stats(),
+            self.max_batches.stats(),
+            self.cells.stats(),
+        )
+    }
+
+    /// Number of memoized grid cells.
+    pub fn cells_stored(&self) -> usize {
+        self.cells.len()
+    }
+}
 
 /// The cartesian (system × scenario × arrival-rate) grid of one traffic study.
 #[derive(Debug, Clone)]
@@ -216,6 +277,7 @@ pub struct TrafficRecord {
 #[derive(Debug, Clone, Default)]
 pub struct TrafficRunner {
     runner: SweepRunner,
+    memo: Option<Arc<TrafficMemo>>,
 }
 
 impl TrafficRunner {
@@ -233,6 +295,15 @@ impl TrafficRunner {
     /// Enables or disables the per-system shared latency caches.
     pub fn with_caching(mut self, cached: bool) -> Self {
         self.runner = self.runner.with_caching(cached);
+        self
+    }
+
+    /// Attaches a [`TrafficMemo`]: traces, capacity searches and whole cells
+    /// are looked up before simulating and stored after. Re-running a grid
+    /// against a warm memo returns records byte-identical to a cold run
+    /// without stepping a single engine.
+    pub fn with_memo(mut self, memo: Arc<TrafficMemo>) -> Self {
+        self.memo = Some(memo);
         self
     }
 
@@ -258,6 +329,7 @@ impl TrafficRunner {
             })
             .collect();
 
+        let memo = self.memo.as_deref();
         // One trace per (scenario, rate), shared by every system so the
         // comparison sees identical arrivals. Each trace draws from its own
         // stream of the grid seed.
@@ -272,7 +344,20 @@ impl TrafficRunner {
                     .map(move |(r_idx, &rate)| {
                         let stream = (scn_idx * grid.rates_rps.len() + r_idx) as u64;
                         let trace_seed = Pcg32::new_stream(grid.seed, stream).next_u64();
-                        Arc::new(scenario.generate(rate, grid.requests_per_cell, trace_seed))
+                        let generate =
+                            || scenario.generate(rate, grid.requests_per_cell, trace_seed);
+                        match memo {
+                            Some(memo) => {
+                                let key = FingerprintBuilder::new()
+                                    .debug(scenario)
+                                    .f64(rate)
+                                    .usize(grid.requests_per_cell)
+                                    .u64(trace_seed)
+                                    .finish();
+                                memo.traces.get_or_insert_with(key, generate)
+                            }
+                            None => Arc::new(generate()),
+                        }
                     })
             })
             .collect();
@@ -286,8 +371,23 @@ impl TrafficRunner {
             |i| {
                 let (sys, scn) = (i / grid.scenarios.len(), i % grid.scenarios.len());
                 let anchor_seq = (grid.scenarios[scn].mean_total_tokens() as usize).max(1);
-                max_batch_within_slo(&sims[sys], &grid.model, anchor_seq, grid.slo.tpot_ms, 512)
-                    .unwrap_or(1)
+                let search = || {
+                    max_batch_within_slo(&sims[sys], &grid.model, anchor_seq, grid.slo.tpot_ms, 512)
+                        .unwrap_or(1)
+                };
+                match memo {
+                    Some(memo) => {
+                        let key = FingerprintBuilder::new()
+                            .debug(&grid.systems[sys])
+                            .debug(&grid.model)
+                            .usize(anchor_seq)
+                            .f64(grid.slo.tpot_ms)
+                            .usize(512)
+                            .finish();
+                        *memo.max_batches.get_or_insert_with(key, search)
+                    }
+                    None => search(),
+                }
             },
         );
 
@@ -296,34 +396,51 @@ impl TrafficRunner {
             let sim = &sims[sys];
             let trace = &traces[scn * grid.rates_rps.len() + r];
             let max_batch = max_batches[sys * grid.scenarios.len() + scn];
-
-            let engine = Engine::new(
-                sim,
-                &grid.model,
-                EngineConfig {
-                    max_batch,
-                    capacity_bytes: grid.capacity_bytes,
-                    seq_bucket: grid.seq_bucket,
-                    fast_forward: grid.fast_forward,
-                    timeline_sample_every: grid.timeline_sample_every,
-                    admission: grid.admission,
-                    ..EngineConfig::default()
-                },
-            );
-            let mut policy = grid.policy.build();
-            let result = engine.run(trace, policy.as_mut());
-            let tenant_slos = grid
-                .tenant_slos
-                .clone()
-                .unwrap_or_else(|| TenantSlos::uniform(grid.slo));
-            TrafficRecord {
-                system: sys,
-                scenario: scn,
-                rate_rps: grid.rates_rps[r],
+            let engine_config = EngineConfig {
                 max_batch,
-                summary: result.summary(&grid.slo),
-                per_tenant: result.per_tenant_summaries(&tenant_slos),
-                preemption: result.preemption,
+                capacity_bytes: grid.capacity_bytes,
+                seq_bucket: grid.seq_bucket,
+                fast_forward: grid.fast_forward,
+                timeline_sample_every: grid.timeline_sample_every,
+                admission: grid.admission,
+                ..EngineConfig::default()
+            };
+            let eval = || {
+                let engine = Engine::new(sim, &grid.model, engine_config);
+                let mut policy = grid.policy.build();
+                let result = engine.run(trace, policy.as_mut());
+                let tenant_slos = grid
+                    .tenant_slos
+                    .clone()
+                    .unwrap_or_else(|| TenantSlos::uniform(grid.slo));
+                TrafficRecord {
+                    system: sys,
+                    scenario: scn,
+                    rate_rps: grid.rates_rps[r],
+                    max_batch,
+                    summary: result.summary(&grid.slo),
+                    per_tenant: result.per_tenant_summaries(&tenant_slos),
+                    preemption: result.preemption,
+                }
+            };
+            match memo {
+                Some(memo) => {
+                    // Everything the record is a function of; thread count
+                    // and latency caching are execution knobs and excluded.
+                    let builder = FingerprintBuilder::new()
+                        .usize(sys)
+                        .usize(scn)
+                        .f64(grid.rates_rps[r])
+                        .debug(&grid.systems[sys])
+                        .debug(&grid.model)
+                        .debug(&grid.slo)
+                        .debug(&grid.tenant_slos)
+                        .debug(&grid.policy)
+                        .debug(&engine_config);
+                    let key = fold_trace(builder, trace).finish();
+                    (*memo.cells.get_or_insert_with(key, eval)).clone()
+                }
+                None => eval(),
             }
         });
         cells
@@ -362,6 +479,26 @@ mod tests {
             .with_rates(vec![4.0, 40.0])
             .with_requests_per_cell(40)
             .with_seq_bucket(32)
+    }
+
+    #[test]
+    fn warm_memo_rerun_is_byte_identical_with_zero_simulations() {
+        let grid = small_grid();
+        let memo = Arc::new(TrafficMemo::new());
+        let cold = TrafficRunner::new().with_memo(memo.clone()).run(&grid);
+        let (_, batches, cells) = memo.stats();
+        assert_eq!(cells.misses as usize, grid.len());
+        let cold_batch_misses = batches.misses;
+
+        let warm = TrafficRunner::new().with_memo(memo.clone()).run(&grid);
+        assert_eq!(warm, cold, "warm records must be byte-identical");
+        let (_, batches, cells) = memo.stats();
+        assert_eq!(cells.hits as usize, grid.len(), "every cell from the store");
+        assert_eq!(cells.misses as usize, grid.len(), "no warm recomputation");
+        assert_eq!(batches.misses, cold_batch_misses, "no warm capacity search");
+
+        // The memo is invisible in the results.
+        assert_eq!(TrafficRunner::new().run(&grid), cold);
     }
 
     #[test]

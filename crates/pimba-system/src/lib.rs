@@ -14,6 +14,8 @@
 //! * [`serving`] — per-token-step latency breakdowns, throughput, request latency and
 //!   energy accounting,
 //! * [`memory`] — device memory footprints (parameters, state, KV cache),
+//! * [`memo`] — content-addressed result memoization (fingerprints + a
+//!   concurrent store): the incremental-grid layer of the fleet runners,
 //! * [`cache`] — the sharded shape-keyed latency cache that makes repeated
 //!   evaluations of identical operator shapes free (and bit-identical to the
 //!   uncached path),
@@ -47,6 +49,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod memo;
 pub mod memory;
 pub mod pipeline;
 pub mod serving;
@@ -57,10 +60,14 @@ pub mod transfer;
 
 pub use cache::{CacheStats, LatencyCache};
 pub use config::{SystemConfig, SystemKind};
+pub use memo::{Fingerprint, FingerprintBuilder, MemoStats, MemoStore};
 pub use memory::MemoryModel;
 pub use pipeline::PipelineDeployment;
 pub use serving::{EnergyBreakdown, ServingSimulator, StepBreakdown, StepFunction};
 pub use stats::{exact_percentile, median, percentile_of_sorted};
-pub use sweep::{max_batch_within_slo, parallel_map, SweepGrid, SweepRecord, SweepRunner};
+pub use sweep::{
+    fleet_map, max_batch_within_slo, parallel_map, run_windowed, FleetWindows, SweepGrid,
+    SweepRecord, SweepRunner,
+};
 pub use table::{PrefillLatencyTable, StepLatencyTable};
 pub use transfer::{handoff_bytes, StateTransferModel};

@@ -1,0 +1,238 @@
+//! Content-addressed result memoization for what-if grids.
+//!
+//! A sweep grid re-evaluated with one knob changed re-simulates every cell
+//! from scratch today, even though most cells' inputs — trace, system, model,
+//! policy, engine knobs — are unchanged. This module provides the two halves
+//! of making such grids incremental, in the style of compile-time memoization
+//! frameworks (typst's `comemo`): a [`Fingerprint`] builder that folds a
+//! cell's *complete* input identity into a 128-bit content address, and a
+//! concurrent [`MemoStore`] mapping fingerprints to shared results.
+//!
+//! Correctness rests on the callers' discipline, stated here once: a stored
+//! value must be a **pure function of its fingerprinted inputs**, and the
+//! fingerprint must cover *every* input that can change the value (the grid
+//! runners fold in the full `Debug` rendering of their configs plus the raw
+//! bits of every trace request). Simulation outputs are deterministic
+//! bit-for-bit, so a hit returns exactly the bytes a fresh simulation would
+//! produce — asserted by the warm-grid tests and the `fleet_parallel` bench
+//! gate on every run.
+
+use crate::cache::FxHasher;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A 128-bit content address built by folding inputs into two independent
+/// [`FxHasher`] streams (one seeded, one not): wide enough that grid-scale
+/// collisions are out of reach for the multiply-rotate mixer, cheap enough to
+/// hash a million-request trace in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint(u64, u64);
+
+/// Incremental builder of a [`Fingerprint`].
+#[derive(Debug, Default)]
+pub struct FingerprintBuilder {
+    a: FxHasher,
+    b: FxHasher,
+}
+
+impl FingerprintBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        let mut b = FxHasher::default();
+        // Decorrelate the second stream with a fixed salt so the two words
+        // are independent functions of the input.
+        b.write_u64(0x9E37_79B9_7F4A_7C15);
+        Self {
+            a: FxHasher::default(),
+            b,
+        }
+    }
+
+    /// Folds raw bytes (also the funnel for `&str`).
+    pub fn bytes(mut self, bytes: &[u8]) -> Self {
+        self.a.write(bytes);
+        self.b.write(bytes);
+        self
+    }
+
+    /// Folds one `u64`.
+    pub fn u64(mut self, value: u64) -> Self {
+        self.a.write_u64(value);
+        self.b.write_u64(value);
+        self
+    }
+
+    /// Folds one `usize`.
+    pub fn usize(self, value: usize) -> Self {
+        self.u64(value as u64)
+    }
+
+    /// Folds one `f64` by exact bit pattern (distinguishes `-0.0` from
+    /// `0.0` — fingerprints address *bits*, not values).
+    pub fn f64(self, value: f64) -> Self {
+        self.u64(value.to_bits())
+    }
+
+    /// Folds a value's `Debug` rendering — the catch-all for config structs,
+    /// which render every field and are tiny compared to traces.
+    pub fn debug(self, value: &impl std::fmt::Debug) -> Self {
+        self.bytes(format!("{value:?}").as_bytes())
+    }
+
+    /// The accumulated fingerprint.
+    pub fn finish(self) -> Fingerprint {
+        Fingerprint(self.a.finish(), self.b.finish())
+    }
+}
+
+/// Hit/miss counters of one [`MemoStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that had to compute (and then stored the result).
+    pub misses: u64,
+}
+
+/// A concurrent content-addressed store: [`Fingerprint`] → `Arc<V>`.
+///
+/// Reads take a shared lock; a miss computes *outside* any lock (concurrent
+/// misses of the same key may compute twice — both produce identical bytes
+/// by the purity contract, and the first insert wins) and publishes under the
+/// write lock. Values return as [`Arc`] clones, so warm hits are
+/// allocation-free.
+#[derive(Debug)]
+pub struct MemoStore<V> {
+    map: RwLock<HashMap<Fingerprint, Arc<V>, BuildHasherDefault<FxHasher>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+// Manual impl: the derive would demand `V: Default`, which an empty store
+// never needs.
+impl<V> Default for MemoStore<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> MemoStore<V> {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self {
+            map: RwLock::new(HashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The stored value for `key`, if present.
+    pub fn get(&self, key: Fingerprint) -> Option<Arc<V>> {
+        let found = self
+            .map
+            .read()
+            .expect("memo store poisoned")
+            .get(&key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// The value for `key`, computing and publishing it on a miss.
+    pub fn get_or_insert_with(&self, key: Fingerprint, compute: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(value) = self.get(key) {
+            return value;
+        }
+        let value = Arc::new(compute());
+        let mut map = self.map.write().expect("memo store poisoned");
+        map.entry(key).or_insert(value).clone()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("memo store poisoned").len()
+    }
+
+    /// `true` when nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(parts: &[u64]) -> Fingerprint {
+        parts
+            .iter()
+            .fold(FingerprintBuilder::new(), |b, &p| b.u64(p))
+            .finish()
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic_and_input_sensitive() {
+        assert_eq!(fp(&[1, 2, 3]), fp(&[1, 2, 3]));
+        assert_ne!(fp(&[1, 2, 3]), fp(&[1, 2, 4]));
+        assert_ne!(fp(&[1, 2]), fp(&[2, 1]), "order matters");
+        let a = FingerprintBuilder::new().f64(0.0).finish();
+        let b = FingerprintBuilder::new().f64(-0.0).finish();
+        assert_ne!(a, b, "bit-level addressing distinguishes signed zero");
+        assert_ne!(
+            FingerprintBuilder::new().debug(&(1, 2)).finish(),
+            FingerprintBuilder::new().debug(&(2, 1)).finish()
+        );
+    }
+
+    #[test]
+    fn store_hits_after_first_compute() {
+        let store: MemoStore<Vec<u32>> = MemoStore::new();
+        let key = fp(&[42]);
+        let mut computes = 0;
+        for _ in 0..3 {
+            let v = store.get_or_insert_with(key, || {
+                computes += 1;
+                vec![1, 2, 3]
+            });
+            assert_eq!(*v, vec![1, 2, 3]);
+        }
+        assert_eq!(computes, 1);
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert!(store.get(fp(&[43])).is_none());
+        assert_eq!(store.stats().misses, 2);
+    }
+
+    #[test]
+    fn concurrent_mixed_keys_converge() {
+        let store: std::sync::Arc<MemoStore<u64>> = Default::default();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..64u64 {
+                        let key = fp(&[i % 8]);
+                        let v = store.get_or_insert_with(key, || (i % 8) * 10);
+                        assert_eq!(*v, (i % 8) * 10, "thread {t}");
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 8);
+    }
+}
