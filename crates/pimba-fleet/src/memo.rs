@@ -22,11 +22,74 @@
 //! deliberately *excluded* from every fingerprint, so a grid evaluated
 //! sequentially warms the memo for a parallel re-evaluation and vice versa.
 
+use crate::router::RouterKind;
 use crate::runner::FleetRecord;
+use pimba_serve::codec::{
+    decode_summary, decode_tenant_summaries, encode_summary, encode_tenant_summaries,
+};
 use pimba_serve::traffic::Trace;
 use pimba_system::memo::{MemoStats, MemoStore};
+use pimba_system::persist::{ByteReader, ByteWriter, LoadReport, MemoValue};
+use std::path::Path;
 
 pub use pimba_serve::runner::{fold_trace, trace_fingerprint};
+
+/// Schema tag of the [`FleetRecord`] codec (see [`pimba_serve::codec`] for
+/// the tagging convention).
+const FLEET_RECORD_SCHEMA: u8 = 1;
+
+fn router_tag(router: RouterKind) -> u8 {
+    match router {
+        RouterKind::RoundRobin => 0,
+        RouterKind::Jsq => 1,
+        RouterKind::PowerOfTwo => 2,
+        RouterKind::TenantAffinity => 3,
+    }
+}
+
+fn router_from_tag(tag: u8) -> Option<RouterKind> {
+    Some(match tag {
+        0 => RouterKind::RoundRobin,
+        1 => RouterKind::Jsq,
+        2 => RouterKind::PowerOfTwo,
+        3 => RouterKind::TenantAffinity,
+        _ => return None,
+    })
+}
+
+impl MemoValue for FleetRecord {
+    fn encode(&self, out: &mut ByteWriter) {
+        out.u8(FLEET_RECORD_SCHEMA);
+        out.usize(self.system);
+        out.usize(self.scenario);
+        out.f64(self.rate_rps);
+        out.usize(self.replicas);
+        out.u8(router_tag(self.router));
+        out.usize(self.max_batch);
+        encode_summary(out, &self.summary);
+        out.f64(self.goodput_per_replica);
+        pimba_system::persist::encode_vec(out, &self.per_replica_completed, |out, &n| out.usize(n));
+        encode_tenant_summaries(out, &self.per_tenant);
+    }
+
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
+        if reader.u8()? != FLEET_RECORD_SCHEMA {
+            return None;
+        }
+        Some(FleetRecord {
+            system: reader.usize()?,
+            scenario: reader.usize()?,
+            rate_rps: reader.f64()?,
+            replicas: reader.usize()?,
+            router: router_from_tag(reader.u8()?)?,
+            max_batch: reader.usize()?,
+            summary: decode_summary(reader)?,
+            goodput_per_replica: reader.f64()?,
+            per_replica_completed: reader.vec(|r| r.usize())?,
+            per_tenant: decode_tenant_summaries(reader)?,
+        })
+    }
+}
 
 /// The memo of fleet grid evaluations — share one (behind an
 /// [`Arc`](std::sync::Arc)) across every [`FleetRunner`](crate::runner::FleetRunner)
@@ -47,6 +110,41 @@ impl FleetMemo {
         Self::default()
     }
 
+    /// A disk-backed memo rooted at `dir` (created if absent): each store
+    /// appends to its own crash-safe segment file
+    /// (`fleet_{traces,capacity,cells}.seg` — see [`pimba_system::persist`]),
+    /// and entries persisted by earlier processes are loaded up front, so
+    /// repeated what-ifs across restarts are warm hits returning
+    /// bit-identical records. A fleet store can share `dir` with a
+    /// [`TrafficMemo`](pimba_serve::runner::TrafficMemo) store — the file
+    /// names are disjoint.
+    pub fn persistent(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Self {
+            traces: MemoStore::persistent(&dir.join("fleet_traces.seg"))?,
+            max_batches: MemoStore::persistent(&dir.join("fleet_capacity.seg"))?,
+            cells: MemoStore::persistent(&dir.join("fleet_cells.seg"))?,
+        })
+    }
+
+    /// Forces persisted entries to stable storage (no-op for in-memory
+    /// memos).
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.traces.sync()?;
+        self.max_batches.sync()?;
+        self.cells.sync()
+    }
+
+    /// `(traces, max_batches, cells)` disk-load reports (`None` entries for
+    /// in-memory stores).
+    pub fn load_reports(&self) -> (Option<LoadReport>, Option<LoadReport>, Option<LoadReport>) {
+        (
+            self.traces.load_report(),
+            self.max_batches.load_report(),
+            self.cells.load_report(),
+        )
+    }
+
     /// `(traces, max_batches, cells)` hit/miss counters.
     pub fn stats(&self) -> (MemoStats, MemoStats, MemoStats) {
         (
@@ -59,5 +157,71 @@ impl FleetMemo {
     /// Number of memoized grid cells.
     pub fn cells_stored(&self) -> usize {
         self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{FleetGrid, FleetRunner};
+    use pimba_models::{ModelConfig, ModelFamily, ModelScale};
+    use pimba_serve::traffic::Scenario;
+    use pimba_system::config::{SystemConfig, SystemKind};
+    use std::sync::Arc;
+
+    fn small_grid() -> FleetGrid {
+        FleetGrid::new(ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small))
+            .with_systems(vec![SystemConfig::small_scale(SystemKind::Pimba)])
+            .with_scenarios(vec![Scenario::chat()])
+            .with_rates(vec![16.0])
+            .with_replica_counts(vec![2])
+            .with_routers(vec![RouterKind::RoundRobin, RouterKind::Jsq])
+            .with_requests_per_cell(12)
+            .with_seq_bucket(32)
+    }
+
+    #[test]
+    fn fleet_record_codec_roundtrips_bit_exactly() {
+        let grid = small_grid();
+        let records = FleetRunner::new().with_threads(1).run(&grid);
+        for record in &records {
+            let mut w = ByteWriter::new();
+            record.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            let decoded = FleetRecord::decode(&mut r).expect("decode");
+            assert!(r.is_exhausted(), "codec must consume exactly its bytes");
+            assert_eq!(&decoded, record);
+            assert_eq!(
+                decoded.summary.e2e_ms.p50.to_bits(),
+                record.summary.e2e_ms.p50.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn persistent_fleet_memo_is_warm_and_bit_identical_after_restart() {
+        let dir = std::env::temp_dir().join(format!("pimba_fleet_memo_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = small_grid();
+
+        let cold_memo = Arc::new(FleetMemo::persistent(&dir).expect("open store"));
+        let cold = FleetRunner::new()
+            .with_memo(Arc::clone(&cold_memo))
+            .run(&grid);
+        cold_memo.sync().expect("sync");
+        drop(cold_memo);
+
+        // "Restart": a fresh process image would reload the same segments.
+        let warm_memo = Arc::new(FleetMemo::persistent(&dir).expect("reopen store"));
+        let warm = FleetRunner::new()
+            .with_memo(Arc::clone(&warm_memo))
+            .run(&grid);
+        let (_, _, cells) = warm_memo.stats();
+        assert_eq!(cells.misses, 0, "every cell must be a warm disk hit");
+        assert_eq!(cells.hits as usize, grid.len());
+        assert_eq!(warm, cold, "reloaded records are bit-identical");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -22,10 +22,11 @@ use pimba_system::cache::LatencyCache;
 use pimba_system::config::SystemConfig;
 use pimba_system::memo::{Fingerprint, FingerprintBuilder};
 use pimba_system::serving::ServingSimulator;
-use pimba_system::sweep::{max_batch_within_slo, parallel_map};
+use pimba_system::sweep::{max_batch_within_slo, parallel_map, RunAborted, RunControl};
 use pimba_system::transfer::StateTransferModel;
 use rand::rngs::Pcg32;
 use rand::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Replica-topology axis of a fleet grid: all cells colocated, or all cells
@@ -337,9 +338,26 @@ impl FleetRunner {
     /// for any thread count: every cell derives its traces and router streams
     /// from the grid seed alone.
     pub fn run(&self, grid: &FleetGrid) -> Vec<FleetRecord> {
+        self.run_controlled(grid, &RunControl::new())
+            .expect("uncontrolled run cannot be cancelled")
+    }
+
+    /// [`FleetRunner::run`] under a [`RunControl`]: per-cell progress
+    /// callbacks and cooperative cell-granular cancellation (the serving
+    /// daemon's entry point). A cancelled run returns [`RunAborted`] and
+    /// publishes nothing for the cells it skipped; cells that finished before
+    /// the flag went up remain in the memo (they are complete and correct).
+    pub fn run_controlled(
+        &self,
+        grid: &FleetGrid,
+        control: &RunControl,
+    ) -> Result<Vec<FleetRecord>, RunAborted> {
         let total = grid.len();
         if total == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
+        }
+        if control.cancelled() {
+            return Err(RunAborted);
         }
         // One simulator per system with a shared shape-keyed cache: every
         // cell of that system — across replica counts, routers and worker
@@ -414,7 +432,11 @@ impl FleetRunner {
             },
         );
 
-        parallel_map(total, self.thread_count(), |i| {
+        let completed = AtomicUsize::new(0);
+        let cells: Vec<Option<FleetRecord>> = parallel_map(total, self.thread_count(), |i| {
+            if control.cancelled() {
+                return None;
+            }
             let (sys, scn, rate, reps, router) = grid.indices(i);
             let replicas = grid.replica_counts[reps];
             let config = FleetConfig {
@@ -438,14 +460,20 @@ impl FleetRunner {
                 let result = FleetSim::new(&sims[sys], &grid.model).run(trace, &config);
                 record_of(grid, &result, sys, scn, grid.rates_rps[rate], &config)
             };
-            match memo {
+            let record = match memo {
                 Some(memo) => {
                     let key = cell_key(grid, &config, trace, sys, scn, grid.rates_rps[rate]);
                     (*memo.cells.get_or_insert_with(key, eval)).clone()
                 }
                 None => eval(),
-            }
-        })
+            };
+            control.report(completed.fetch_add(1, Ordering::Relaxed) + 1, total);
+            Some(record)
+        });
+        cells
+            .into_iter()
+            .collect::<Option<Vec<_>>>()
+            .ok_or(RunAborted)
     }
 }
 

@@ -103,6 +103,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod codec;
 pub mod engine;
 pub mod event;
 pub mod metrics;

@@ -17,10 +17,15 @@ use pimba_models::config::ModelConfig;
 use pimba_system::cache::LatencyCache;
 use pimba_system::config::SystemConfig;
 use pimba_system::memo::{Fingerprint, FingerprintBuilder, MemoStats, MemoStore};
+use pimba_system::persist::LoadReport;
 use pimba_system::serving::ServingSimulator;
-use pimba_system::sweep::{max_batch_within_slo, parallel_map, SweepRunner};
+use pimba_system::sweep::{
+    max_batch_within_slo, parallel_map, RunAborted, RunControl, SweepRunner,
+};
 use rand::rngs::Pcg32;
 use rand::Rng;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Folds a trace's raw request bits into `builder` — the content identity of
@@ -66,6 +71,39 @@ impl TrafficMemo {
     /// An empty memo.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A disk-backed memo rooted at `dir` (created if absent): each store
+    /// appends to its own crash-safe segment file
+    /// (`traffic_{traces,capacity,cells}.seg` — see
+    /// [`pimba_system::persist`]), and entries persisted by earlier processes
+    /// are loaded up front, so repeated what-ifs across restarts are warm
+    /// hits returning bit-identical records.
+    pub fn persistent(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Self {
+            traces: MemoStore::persistent(&dir.join("traffic_traces.seg"))?,
+            max_batches: MemoStore::persistent(&dir.join("traffic_capacity.seg"))?,
+            cells: MemoStore::persistent(&dir.join("traffic_cells.seg"))?,
+        })
+    }
+
+    /// Forces persisted entries to stable storage (no-op for in-memory
+    /// memos).
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.traces.sync()?;
+        self.max_batches.sync()?;
+        self.cells.sync()
+    }
+
+    /// `(traces, max_batches, cells)` disk-load reports (`None` entries for
+    /// in-memory stores).
+    pub fn load_reports(&self) -> (Option<LoadReport>, Option<LoadReport>, Option<LoadReport>) {
+        (
+            self.traces.load_report(),
+            self.max_batches.load_report(),
+            self.cells.load_report(),
+        )
     }
 
     /// `(traces, max_batches, cells)` hit/miss counters.
@@ -310,9 +348,26 @@ impl TrafficRunner {
     /// Evaluates every cell and returns records in grid order (rate fastest,
     /// then scenario, then system). Deterministic for any thread count.
     pub fn run(&self, grid: &TrafficGrid) -> Vec<TrafficRecord> {
+        self.run_controlled(grid, &RunControl::new())
+            .expect("uncontrolled run cannot be cancelled")
+    }
+
+    /// [`TrafficRunner::run`] under a [`RunControl`]: per-cell progress
+    /// callbacks and cooperative cell-granular cancellation (the serving
+    /// daemon's entry point). A cancelled run returns [`RunAborted`] and
+    /// publishes nothing for the cells it skipped; cells that finished before
+    /// the flag went up remain in the memo (they are complete and correct).
+    pub fn run_controlled(
+        &self,
+        grid: &TrafficGrid,
+        control: &RunControl,
+    ) -> Result<Vec<TrafficRecord>, RunAborted> {
         let total = grid.len();
         if total == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
+        }
+        if control.cancelled() {
+            return Err(RunAborted);
         }
 
         // One simulator per system, sharing a shape-keyed cache across all of
@@ -391,7 +446,11 @@ impl TrafficRunner {
             },
         );
 
-        let cells = parallel_map(total, self.runner.threads(), |i| {
+        let completed = AtomicUsize::new(0);
+        let cells: Vec<Option<TrafficRecord>> = parallel_map(total, self.runner.threads(), |i| {
+            if control.cancelled() {
+                return None;
+            }
             let (sys, scn, r) = grid.indices(i);
             let sim = &sims[sys];
             let trace = &traces[scn * grid.rates_rps.len() + r];
@@ -423,7 +482,7 @@ impl TrafficRunner {
                     preemption: result.preemption,
                 }
             };
-            match memo {
+            let record = match memo {
                 Some(memo) => {
                     // Everything the record is a function of; thread count
                     // and latency caching are execution knobs and excluded.
@@ -441,9 +500,14 @@ impl TrafficRunner {
                     (*memo.cells.get_or_insert_with(key, eval)).clone()
                 }
                 None => eval(),
-            }
+            };
+            control.report(completed.fetch_add(1, Ordering::Relaxed) + 1, total);
+            Some(record)
         });
         cells
+            .into_iter()
+            .collect::<Option<Vec<_>>>()
+            .ok_or(RunAborted)
     }
 }
 

@@ -1,0 +1,187 @@
+//! A thin typed client over the daemon's line protocol, used by the example,
+//! the end-to-end tests and the CI smoke gate.
+
+use crate::queue::JobId;
+use netline::{Json, LineConn};
+use std::io;
+use std::net::ToSocketAddrs;
+
+/// A connected protocol client. One in-flight submission per client — open a
+/// second client to cancel or poll concurrently.
+#[derive(Debug)]
+pub struct Client {
+    conn: LineConn,
+}
+
+/// The collected outcome of a submission that ran to its terminal event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The job id the daemon assigned.
+    pub job: JobId,
+    /// Canonical record lines, in grid order (empty unless `state == "done"`).
+    pub records: Vec<String>,
+    /// Number of progress events observed while streaming.
+    pub progress_events: usize,
+    /// Terminal state name: `done`, `cancelled`, `timed_out` or `failed`.
+    pub state: String,
+}
+
+/// A request the daemon refused, with the structured error it sent back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Refusal {
+    /// The offending field.
+    pub field: String,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Refusal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for Refusal {}
+
+fn proto_err(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Ok(Self {
+            conn: LineConn::connect(addr)?,
+        })
+    }
+
+    fn request(&mut self, line: &str) -> io::Result<Json> {
+        self.conn.write_line(line)?;
+        self.next_event()
+    }
+
+    /// Reads and parses the next event line.
+    pub fn next_event(&mut self) -> io::Result<Json> {
+        let line = self
+            .conn
+            .read_line()?
+            .ok_or_else(|| proto_err("daemon closed the connection"))?;
+        Json::parse(&line).map_err(|e| proto_err(format!("bad event line: {e}: {line}")))
+    }
+
+    /// Submits a spec; on acceptance returns the job id (events follow on
+    /// this connection), on refusal the daemon's structured error.
+    pub fn submit(
+        &mut self,
+        spec: &Json,
+        priority: i64,
+        timeout_ms: Option<u64>,
+    ) -> io::Result<Result<JobId, Refusal>> {
+        let mut pairs = vec![
+            ("cmd", Json::str("submit")),
+            ("priority", Json::Int(priority)),
+        ];
+        if let Some(t) = timeout_ms {
+            pairs.push(("timeout_ms", Json::Int(t as i64)));
+        }
+        pairs.push(("spec", spec.clone()));
+        let reply = self.request(&Json::obj(pairs).render())?;
+        match reply.get("event").and_then(Json::as_str) {
+            Some("accepted") => {
+                let job = reply
+                    .get("job")
+                    .and_then(Json::as_i64)
+                    .ok_or_else(|| proto_err("accepted event without a job id"))?;
+                Ok(Ok(job as JobId))
+            }
+            Some("error") => Ok(Err(Refusal {
+                field: reply
+                    .get("field")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                message: reply
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            })),
+            other => Err(proto_err(format!("unexpected submit reply: {other:?}"))),
+        }
+    }
+
+    /// Streams a previously accepted submission to its terminal event,
+    /// collecting the canonical record lines.
+    pub fn collect(&mut self, job: JobId) -> io::Result<JobOutcome> {
+        let mut outcome = JobOutcome {
+            job,
+            records: Vec::new(),
+            progress_events: 0,
+            state: String::new(),
+        };
+        loop {
+            let event = self.next_event()?;
+            match event.get("event").and_then(Json::as_str) {
+                Some("progress") => outcome.progress_events += 1,
+                Some("record") => {
+                    let data = event
+                        .get("data")
+                        .ok_or_else(|| proto_err("record event without data"))?;
+                    // The daemon embeds canonical bytes and rendering is
+                    // parse-stable, so this recovers them exactly.
+                    outcome.records.push(data.render());
+                }
+                Some(terminal @ ("done" | "cancelled" | "timed_out" | "failed")) => {
+                    outcome.state = terminal.to_string();
+                    return Ok(outcome);
+                }
+                other => return Err(proto_err(format!("unexpected event: {other:?}"))),
+            }
+        }
+    }
+
+    /// [`Client::submit`] + [`Client::collect`] in one call.
+    pub fn run(
+        &mut self,
+        spec: &Json,
+        priority: i64,
+        timeout_ms: Option<u64>,
+    ) -> io::Result<Result<JobOutcome, Refusal>> {
+        match self.submit(spec, priority, timeout_ms)? {
+            Ok(job) => Ok(Ok(self.collect(job)?)),
+            Err(refusal) => Ok(Err(refusal)),
+        }
+    }
+
+    /// Requests cancellation of a job (from a second connection).
+    pub fn cancel(&mut self, job: JobId) -> io::Result<Json> {
+        self.request(
+            &Json::obj(vec![
+                ("cmd", Json::str("cancel")),
+                ("job", Json::Int(job as i64)),
+            ])
+            .render(),
+        )
+    }
+
+    /// Polls a job's state.
+    pub fn status(&mut self, job: JobId) -> io::Result<Json> {
+        self.request(
+            &Json::obj(vec![
+                ("cmd", Json::str("status")),
+                ("job", Json::Int(job as i64)),
+            ])
+            .render(),
+        )
+    }
+
+    /// Fetches daemon statistics (store + job counts).
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.request(&Json::obj(vec![("cmd", Json::str("stats"))]).render())
+    }
+
+    /// Asks the daemon to shut down gracefully.
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        self.request(&Json::obj(vec![("cmd", Json::str("shutdown"))]).render())
+    }
+}

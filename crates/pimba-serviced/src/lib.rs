@@ -1,0 +1,68 @@
+//! # pimba-serviced
+//!
+//! A long-running **what-if serving daemon** over the repository's grid
+//! runners: submit experiment specs (serving-traffic grids, fleet grids, SLO
+//! capacity searches, single what-if cells) as config files or over a minimal
+//! TCP line protocol, and get results streamed back as JSONL — job accepted,
+//! per-cell progress, then the final records.
+//!
+//! * [`spec`] — the JSON spec surface, strict validation with
+//!   field-naming [`SpecError`]s, and the canonical record
+//!   rendering shared by the daemon and direct runs,
+//! * [`store`] — the shared [`ResultStore`]: the traffic
+//!   and fleet memos, optionally disk-backed
+//!   ([`pimba_system::persist`]'s crash-safe segment files),
+//! * [`queue`] — the priority job queue and bounded worker pool, with
+//!   cooperative cell-granular cancellation and per-job timeouts,
+//! * [`server`] — the [`Daemon`] and the line protocol,
+//! * [`client`] — a thin typed client for tests, examples and CI.
+//!
+//! # The byte-identity guarantee
+//!
+//! A served record is **byte-identical** to what a direct
+//! [`TrafficRunner`](pimba_serve::runner::TrafficRunner) /
+//! [`FleetRunner`](pimba_fleet::runner::FleetRunner) run renders through the
+//! same [`spec::render_traffic_record`] / [`spec::render_fleet_record`]
+//! functions — whether computed cold, answered warm from the in-memory memo,
+//! or reloaded from the on-disk store after a daemon restart. The chain is:
+//! simulations are deterministic bit-for-bit, the memo returns the records a
+//! cold run would produce, the persistent backend encodes floats by bit
+//! pattern, and both paths render through one function. The end-to-end tests
+//! and the CI `serviced_smoke` job gate on exactly this equality.
+//!
+//! # Example
+//!
+//! ```rust
+//! use netline::Json;
+//! use pimba_serviced::client::Client;
+//! use pimba_serviced::server::{Daemon, DaemonConfig};
+//! use pimba_serviced::store::ResultStore;
+//!
+//! let daemon = Daemon::start(DaemonConfig::default(), ResultStore::in_memory()).unwrap();
+//! let spec = Json::parse(
+//!     r#"{"kind":"what_if","model":{"family":"mamba2","scale":"small"},
+//!         "systems":["pimba"],"scenarios":["chat"],"rates_rps":[8.0],
+//!         "requests_per_cell":5}"#,
+//! )
+//! .unwrap();
+//! let mut client = Client::connect(daemon.addr()).unwrap();
+//! let outcome = client.run(&spec, 0, None).unwrap().unwrap();
+//! assert_eq!(outcome.state, "done");
+//! assert_eq!(outcome.records.len(), 1);
+//! daemon.stop();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod queue;
+pub mod server;
+pub mod spec;
+pub mod store;
+
+pub use client::{Client, JobOutcome};
+pub use queue::{JobEvent, JobId, JobQueue, JobState};
+pub use server::{Daemon, DaemonConfig};
+pub use spec::{Experiment, SpecError};
+pub use store::ResultStore;

@@ -1,0 +1,253 @@
+//! The `pimba-serviced` binary.
+//!
+//! Two modes:
+//!
+//! * **one-shot** — `pimba-serviced --spec FILE [--spec FILE …]`: run each
+//!   spec file through the queue, print the event stream (accepted /
+//!   progress / record / done) as JSONL on stdout, exit non-zero on any
+//!   invalid spec or failed job;
+//! * **daemon** — `pimba-serviced --listen ADDR`: serve the line protocol
+//!   until SIGTERM / ctrl-c / a `shutdown` command, then drain gracefully.
+//!
+//! Common flags: `--store DIR` (disk-backed result store; omit for
+//! in-memory), `--workers N`, `--timeout-ms N` (default per-job timeout).
+
+use netline::Json;
+use pimba_serviced::queue::{JobEvent, JobQueue};
+use pimba_serviced::server::{Daemon, DaemonConfig};
+use pimba_serviced::spec::Experiment;
+use pimba_serviced::store::ResultStore;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set from the signal handler; polled by both modes.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    // std links libc, so the C `signal` symbol is available without a crate.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+struct Args {
+    listen: String,
+    store_dir: Option<PathBuf>,
+    workers: usize,
+    timeout: Option<Duration>,
+    specs: Vec<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pimba-serviced [--listen ADDR] [--store DIR] [--workers N] \
+         [--timeout-ms N] [--spec FILE]..."
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: "127.0.0.1:7979".to_string(),
+        store_dir: None,
+        workers: 2,
+        timeout: None,
+        specs: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| usage_missing(flag));
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen"),
+            "--store" => args.store_dir = Some(PathBuf::from(value("--store"))),
+            "--workers" => {
+                args.workers = value("--workers").parse().unwrap_or_else(|_| usage());
+            }
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms").parse().unwrap_or_else(|_| usage());
+                args.timeout = Some(Duration::from_millis(ms));
+            }
+            "--spec" => args.specs.push(PathBuf::from(value("--spec"))),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn usage_missing(flag: &str) -> String {
+    eprintln!("missing value for {flag}");
+    usage()
+}
+
+fn open_store(dir: &Option<PathBuf>) -> Result<ResultStore, String> {
+    match dir {
+        Some(dir) => ResultStore::persistent(dir)
+            .map_err(|e| format!("cannot open store at {}: {e}", dir.display())),
+        None => Ok(ResultStore::in_memory()),
+    }
+}
+
+fn main() -> ExitCode {
+    install_signal_handlers();
+    let args = parse_args();
+    let store = match open_store(&args.store_dir) {
+        Ok(store) => store,
+        Err(message) => {
+            eprintln!("pimba-serviced: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    if store.dir().is_some() {
+        eprintln!(
+            "pimba-serviced: store loaded {} persisted entries",
+            store.loaded_entries()
+        );
+    }
+
+    if !args.specs.is_empty() {
+        return run_one_shot(&args, store);
+    }
+
+    let daemon = match Daemon::start(
+        DaemonConfig {
+            addr: args.listen.clone(),
+            workers: args.workers,
+            default_timeout: args.timeout,
+        },
+        store,
+    ) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("pimba-serviced: cannot listen on {}: {e}", args.listen);
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "{}",
+        Json::obj(vec![
+            ("event", Json::str("listening")),
+            ("addr", Json::str(&daemon.addr().to_string())),
+        ])
+        .render()
+    );
+    let stopper = daemon.stopper();
+    while !STOP.load(Ordering::SeqCst) && !stopper.is_stopped() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("pimba-serviced: draining");
+    daemon.stop();
+    ExitCode::SUCCESS
+}
+
+/// Runs spec files through the queue sequentially, printing the event stream.
+fn run_one_shot(args: &Args, store: ResultStore) -> ExitCode {
+    let queue = JobQueue::start(store, args.workers, args.timeout);
+    let mut failed = false;
+    for path in &args.specs {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("pimba-serviced: cannot read {}: {e}", path.display());
+                failed = true;
+                continue;
+            }
+        };
+        let spec = match Json::parse(&text) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("pimba-serviced: {}: invalid JSON: {e}", path.display());
+                failed = true;
+                continue;
+            }
+        };
+        let experiment = match Experiment::from_json(&spec) {
+            Ok(experiment) => experiment,
+            Err(e) => {
+                eprintln!("pimba-serviced: {}: {e}", path.display());
+                failed = true;
+                continue;
+            }
+        };
+        let (id, events) = match queue.submit(experiment, 0, None) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("pimba-serviced: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        println!(
+            "{}",
+            Json::obj(vec![
+                ("event", Json::str("accepted")),
+                ("job", Json::Int(id as i64)),
+            ])
+            .render()
+        );
+        for event in events {
+            match event {
+                JobEvent::Progress { done, total } => println!(
+                    "{}",
+                    Json::obj(vec![
+                        ("event", Json::str("progress")),
+                        ("job", Json::Int(id as i64)),
+                        ("done", Json::Int(done as i64)),
+                        ("total", Json::Int(total as i64)),
+                    ])
+                    .render()
+                ),
+                JobEvent::Record(data) => {
+                    println!("{{\"event\":\"record\",\"job\":{id},\"data\":{data}}}");
+                }
+                JobEvent::Done { records } => {
+                    println!(
+                        "{}",
+                        Json::obj(vec![
+                            ("event", Json::str("done")),
+                            ("job", Json::Int(id as i64)),
+                            ("records", Json::Int(records as i64)),
+                        ])
+                        .render()
+                    );
+                    break;
+                }
+                JobEvent::Failed(message) => {
+                    eprintln!("pimba-serviced: job {id} failed: {message}");
+                    failed = true;
+                    break;
+                }
+                JobEvent::Cancelled | JobEvent::TimedOut => {
+                    eprintln!("pimba-serviced: job {id} did not complete");
+                    failed = true;
+                    break;
+                }
+            }
+            if STOP.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        if STOP.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    queue.shutdown();
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

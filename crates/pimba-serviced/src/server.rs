@@ -1,0 +1,374 @@
+//! The daemon: a [`LineServer`] speaking the JSONL line protocol, dispatching
+//! into the [`JobQueue`].
+//!
+//! # Protocol
+//!
+//! One JSON object per line, both directions. Requests carry a `cmd`:
+//!
+//! | request | response lines |
+//! |---|---|
+//! | `{"cmd":"submit","spec":{…},"priority":1,"timeout_ms":60000}` | `{"event":"accepted","job":N}` then streamed `progress`/`record` lines, ending in one terminal `done`/`cancelled`/`timed_out`/`failed` line |
+//! | `{"cmd":"cancel","job":N}` | `{"event":"cancelling","job":N}` (or `error`) |
+//! | `{"cmd":"status","job":N}` | `{"event":"status","job":N,"state":…,"done":…,"total":…}` |
+//! | `{"cmd":"stats"}` | `{"event":"stats","store":{…},"jobs":{…}}` |
+//! | `{"cmd":"shutdown"}` | `{"event":"stopping"}`, then the daemon drains |
+//!
+//! Malformed lines and invalid specs get structured
+//! `{"event":"error","field":…,"message":…}` lines — never a dropped
+//! connection, never a panic. While a submission is streaming, its connection
+//! is dedicated to that stream; use a second connection to cancel or poll
+//! (`examples/serviced_client.rs` does exactly that).
+//!
+//! `record` events embed the canonical record rendering verbatim:
+//! the `data` value's bytes are exactly what [`crate::spec`]'s `render_*`
+//! functions produce, which is the byte-identity surface the tests and the
+//! CI smoke job gate on.
+//!
+//! # Shutdown
+//!
+//! [`Daemon::stop`] (or the `shutdown` command, or a signal in the binary)
+//! trips the [`Stopper`]: the accept loop closes, connection threads finish
+//! their in-flight streams (running jobs drain), queued-but-unstarted jobs
+//! are cancelled, new submissions are rejected with a structured error, and
+//! the store is flushed before [`Daemon::stop`] returns.
+
+use crate::queue::{JobEvent, JobQueue, SubmitError};
+use crate::spec::Experiment;
+use crate::store::ResultStore;
+use netline::{Json, LineConn, LineServer, Stopper};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon construction parameters.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Worker-pool size (clamped to ≥ 1).
+    pub workers: usize,
+    /// Default per-job timeout; `None` = unbounded.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            default_timeout: None,
+        }
+    }
+}
+
+/// A running daemon: the accept loop on its own thread, the queue's worker
+/// pool behind it.
+#[derive(Debug)]
+pub struct Daemon {
+    addr: SocketAddr,
+    stopper: Stopper,
+    queue: Arc<JobQueue>,
+    server_thread: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds and starts serving `store` per `config`.
+    pub fn start(config: DaemonConfig, store: ResultStore) -> io::Result<Daemon> {
+        let queue = Arc::new(JobQueue::start(
+            store,
+            config.workers,
+            config.default_timeout,
+        ));
+        let server = LineServer::bind(config.addr.as_str())?;
+        let addr = server.local_addr()?;
+        let stopper = server.stopper();
+        let queue_for_server = Arc::clone(&queue);
+        let conn_stopper = stopper.clone();
+        let server_thread = std::thread::spawn(move || {
+            server.run(move |conn| {
+                handle_connection(conn, &queue_for_server, &conn_stopper);
+            });
+        });
+        Ok(Daemon {
+            addr,
+            stopper,
+            queue,
+            server_thread: Some(server_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that triggers graceful shutdown (safe to call from signal
+    /// polling loops and tests).
+    pub fn stopper(&self) -> Stopper {
+        self.stopper.clone()
+    }
+
+    /// The job queue (for in-process embedding, e.g. tests).
+    pub fn queue(&self) -> &Arc<JobQueue> {
+        &self.queue
+    }
+
+    /// Requests shutdown and waits for the drain: accept loop and connection
+    /// threads first, then the queue's workers, then the store flush.
+    pub fn stop(mut self) {
+        self.stopper.stop();
+        if let Some(handle) = self.server_thread.take() {
+            let _ = handle.join();
+        }
+        self.queue.shutdown();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.stopper.stop();
+        if let Some(handle) = self.server_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn error_line(field: &str, message: &str) -> String {
+    Json::obj(vec![
+        ("event", Json::str("error")),
+        ("field", Json::str(field)),
+        ("message", Json::str(message)),
+    ])
+    .render()
+}
+
+fn handle_connection(mut conn: LineConn, queue: &Arc<JobQueue>, stopper: &Stopper) {
+    // Poll reads so the thread notices shutdown even on an idle connection.
+    if conn
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        let line = match conn.read_line() {
+            Ok(Some(line)) => line,
+            Ok(None) => return, // client closed
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stopper.is_stopped() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Json::parse(&line) {
+            Ok(value) => value,
+            Err(e) => {
+                let _ = conn.write_line(&error_line(
+                    "request",
+                    &format!("invalid JSON: {} at byte {}", e.message, e.pos),
+                ));
+                continue;
+            }
+        };
+        let Some(cmd) = request.get("cmd").and_then(Json::as_str) else {
+            let _ = conn.write_line(&error_line("cmd", "missing or non-string 'cmd'"));
+            continue;
+        };
+        match cmd {
+            "submit" => handle_submit(&mut conn, queue, stopper, &request),
+            "cancel" => {
+                let Some(id) = request.get("job").and_then(Json::as_i64).filter(|n| *n > 0) else {
+                    let _ = conn.write_line(&error_line("job", "missing or invalid job id"));
+                    continue;
+                };
+                let line = if queue.cancel(id as u64) {
+                    Json::obj(vec![
+                        ("event", Json::str("cancelling")),
+                        ("job", Json::Int(id)),
+                    ])
+                    .render()
+                } else {
+                    error_line("job", "unknown or already finished job")
+                };
+                let _ = conn.write_line(&line);
+            }
+            "status" => {
+                let Some(id) = request.get("job").and_then(Json::as_i64).filter(|n| *n > 0) else {
+                    let _ = conn.write_line(&error_line("job", "missing or invalid job id"));
+                    continue;
+                };
+                let line = match queue.status(id as u64) {
+                    Some((state, done, total)) => Json::obj(vec![
+                        ("event", Json::str("status")),
+                        ("job", Json::Int(id)),
+                        ("state", Json::str(state.name())),
+                        ("done", Json::Int(done as i64)),
+                        ("total", Json::Int(total as i64)),
+                    ])
+                    .render(),
+                    None => error_line("job", "unknown job"),
+                };
+                let _ = conn.write_line(&line);
+            }
+            "stats" => {
+                let jobs = Json::Obj(
+                    queue
+                        .state_counts()
+                        .into_iter()
+                        .map(|(state, n)| (state.name().to_string(), Json::Int(n as i64)))
+                        .collect(),
+                );
+                let line = Json::obj(vec![
+                    ("event", Json::str("stats")),
+                    ("store", queue.store().stats_json()),
+                    ("jobs", jobs),
+                ])
+                .render();
+                let _ = conn.write_line(&line);
+            }
+            "shutdown" => {
+                let _ =
+                    conn.write_line(&Json::obj(vec![("event", Json::str("stopping"))]).render());
+                stopper.stop();
+                return;
+            }
+            other => {
+                let _ = conn.write_line(&error_line("cmd", &format!("unknown command '{other}'")));
+            }
+        }
+    }
+}
+
+fn handle_submit(conn: &mut LineConn, queue: &Arc<JobQueue>, stopper: &Stopper, request: &Json) {
+    let priority = request.get("priority").and_then(Json::as_i64).unwrap_or(0);
+    let timeout = request
+        .get("timeout_ms")
+        .and_then(Json::as_i64)
+        .filter(|n| *n > 0)
+        .map(|n| Duration::from_millis(n as u64));
+    let Some(spec) = request.get("spec") else {
+        let _ = conn.write_line(&error_line("spec", "missing required field"));
+        return;
+    };
+    let experiment = match Experiment::from_json(spec) {
+        Ok(experiment) => experiment,
+        Err(e) => {
+            let _ = conn.write_line(&error_line(&format!("spec.{}", e.field), &e.message));
+            return;
+        }
+    };
+    let (id, events) = match queue.submit(experiment, priority, timeout) {
+        Ok(pair) => pair,
+        Err(SubmitError::Draining) => {
+            let _ = conn.write_line(&error_line("cmd", "daemon is shutting down"));
+            return;
+        }
+    };
+    if conn
+        .write_line(
+            &Json::obj(vec![
+                ("event", Json::str("accepted")),
+                ("job", Json::Int(id as i64)),
+            ])
+            .render(),
+        )
+        .is_err()
+    {
+        // Submitter vanished before the ack: nobody is listening, spare the
+        // workers.
+        queue.cancel(id);
+        return;
+    }
+    stream_events(conn, queue, id, &events);
+    let _ = stopper; // shutdown during a stream ends via the terminal event
+}
+
+/// Streams a submission's events until the terminal one. The writer failing
+/// (client gone) cancels the job.
+fn stream_events(conn: &mut LineConn, queue: &Arc<JobQueue>, id: u64, events: &Receiver<JobEvent>) {
+    let job = Json::Int(id as i64);
+    loop {
+        let event = match events.recv_timeout(Duration::from_millis(500)) {
+            Ok(event) => event,
+            Err(RecvTimeoutError::Timeout) => continue,
+            // All senders dropped without a terminal event cannot happen
+            // (publish clears subscribers only on terminal states), but be
+            // safe rather than spin.
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let (line, terminal) = match &event {
+            JobEvent::Progress { done, total } => (
+                Json::obj(vec![
+                    ("event", Json::str("progress")),
+                    ("job", job.clone()),
+                    ("done", Json::Int(*done as i64)),
+                    ("total", Json::Int(*total as i64)),
+                ])
+                .render(),
+                false,
+            ),
+            JobEvent::Record(data) => (
+                // Embed the canonical bytes verbatim: the envelope is built
+                // by concatenation, not re-rendering, so the `data` value is
+                // exactly the canonical record line.
+                format!("{{\"event\":\"record\",\"job\":{id},\"data\":{data}}}"),
+                false,
+            ),
+            JobEvent::Done { records } => (
+                Json::obj(vec![
+                    ("event", Json::str("done")),
+                    ("job", job.clone()),
+                    ("records", Json::Int(*records as i64)),
+                ])
+                .render(),
+                true,
+            ),
+            JobEvent::Failed(message) => (
+                Json::obj(vec![
+                    ("event", Json::str("failed")),
+                    ("job", job.clone()),
+                    ("message", Json::str(message)),
+                ])
+                .render(),
+                true,
+            ),
+            JobEvent::Cancelled => (
+                Json::obj(vec![
+                    ("event", Json::str("cancelled")),
+                    ("job", job.clone()),
+                ])
+                .render(),
+                true,
+            ),
+            JobEvent::TimedOut => (
+                Json::obj(vec![
+                    ("event", Json::str("timed_out")),
+                    ("job", job.clone()),
+                ])
+                .render(),
+                true,
+            ),
+        };
+        if conn.write_line(&line).is_err() {
+            // Client gone mid-stream: stop wasting cycles on its job.
+            queue.cancel(id);
+            return;
+        }
+        if terminal {
+            return;
+        }
+    }
+}

@@ -1,0 +1,674 @@
+//! Experiment specs: the JSON surface of the daemon, its validation, and the
+//! canonical record rendering both the daemon and direct runs share.
+//!
+//! A spec names one experiment over the existing grid runners:
+//!
+//! * `"traffic_grid"` — a [`TrafficGrid`] (system × scenario × rate) run,
+//! * `"fleet_grid"` — a [`FleetGrid`] (× replicas × router) run,
+//! * `"slo_capacity"` — the per-(system, scenario) SLO batch-capacity
+//!   searches alone ([`max_batch_within_slo`]),
+//! * `"what_if"` — a single traffic cell (every axis exactly one value).
+//!
+//! Parsing is strict and structured: every rejection is a [`SpecError`]
+//! naming the offending field, never a panic. Results are rendered to
+//! *canonical JSONL* by [`render_traffic_record`]/[`render_fleet_record`] —
+//! one compact JSON object per record, fields in a fixed order, floats in
+//! Rust's shortest round-trip form. The daemon streams exactly these strings,
+//! so "served bytes == direct-run bytes" reduces to both paths calling the
+//! same function on bit-identical records (which the memo guarantees).
+
+use netline::Json;
+use pimba_fleet::router::RouterKind;
+use pimba_fleet::runner::{FleetGrid, FleetRecord, FleetRunner};
+use pimba_models::{ModelConfig, ModelFamily, ModelScale};
+use pimba_serve::metrics::{Percentiles, SloSpec, TenantSummary, TrafficSummary};
+use pimba_serve::runner::{TrafficGrid, TrafficRecord, TrafficRunner};
+use pimba_serve::sched::PolicyKind;
+use pimba_serve::traffic::Scenario;
+use pimba_system::cache::LatencyCache;
+use pimba_system::config::{SystemConfig, SystemKind};
+use pimba_system::serving::ServingSimulator;
+use pimba_system::sweep::{max_batch_within_slo, RunAborted, RunControl};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::store::ResultStore;
+
+/// A structured spec rejection: which field, and what is wrong with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Dotted path of the offending field (e.g. `"spec.model.family"`).
+    pub field: String,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl SpecError {
+    fn new(field: &str, message: impl Into<String>) -> Self {
+        Self {
+            field: field.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A validated experiment, ready to run. Built from JSON by
+/// [`Experiment::from_json`]; the field surface is documented there.
+#[derive(Debug, Clone)]
+pub enum Experiment {
+    /// A serving-traffic grid (`"traffic_grid"` or single-cell `"what_if"`).
+    Traffic(TrafficGrid),
+    /// A fleet grid (`"fleet_grid"`).
+    Fleet(FleetGrid),
+    /// The SLO capacity searches alone (`"slo_capacity"`).
+    Capacity(CapacitySpec),
+}
+
+/// The `"slo_capacity"` experiment: per-(system, scenario) searches for the
+/// largest batch meeting the per-step SLO at the scenario's typical length.
+#[derive(Debug, Clone)]
+pub struct CapacitySpec {
+    /// System axis.
+    pub systems: Vec<SystemConfig>,
+    /// Scenario axis (supplies the anchor sequence length).
+    pub scenarios: Vec<Scenario>,
+    /// Model preset.
+    pub model: ModelConfig,
+    /// The TPOT bound being searched against.
+    pub slo: SloSpec,
+}
+
+fn parse_family(name: &str) -> Option<ModelFamily> {
+    Some(match name {
+        "retnet" => ModelFamily::RetNet,
+        "gla" => ModelFamily::Gla,
+        "hgrn2" => ModelFamily::Hgrn2,
+        "mamba2" => ModelFamily::Mamba2,
+        "zamba2" => ModelFamily::Zamba2,
+        "opt" => ModelFamily::Opt,
+        "llama" => ModelFamily::Llama,
+        _ => return None,
+    })
+}
+
+fn parse_scale(name: &str) -> Option<ModelScale> {
+    Some(match name {
+        "small" => ModelScale::Small,
+        "large" => ModelScale::Large,
+        _ => return None,
+    })
+}
+
+fn parse_system(name: &str, scale: ModelScale) -> Option<SystemConfig> {
+    let kind = match name {
+        "gpu" => SystemKind::Gpu,
+        "gpu_quant" => SystemKind::GpuQuant,
+        "gpu_pim" => SystemKind::GpuPim,
+        "pimba" => SystemKind::Pimba,
+        "neupims" => SystemKind::NeuPims,
+        _ => return None,
+    };
+    Some(match scale {
+        ModelScale::Small => SystemConfig::small_scale(kind),
+        ModelScale::Large => SystemConfig::large_scale(kind),
+    })
+}
+
+fn parse_scenario(name: &str) -> Option<Scenario> {
+    Some(match name {
+        "chat" => Scenario::chat(),
+        "summarization" => Scenario::summarization(),
+        "rag_long_context" => Scenario::rag_long_context(),
+        "reasoning" => Scenario::reasoning(),
+        _ => return None,
+    })
+}
+
+fn parse_router(name: &str) -> Option<RouterKind> {
+    Some(match name {
+        "round_robin" => RouterKind::RoundRobin,
+        "jsq" => RouterKind::Jsq,
+        "po2" => RouterKind::PowerOfTwo,
+        "tenant_affinity" => RouterKind::TenantAffinity,
+        _ => return None,
+    })
+}
+
+fn str_field<'a>(spec: &'a Json, field: &str) -> Result<&'a str, SpecError> {
+    spec.get(field)
+        .ok_or_else(|| SpecError::new(field, "missing required field"))?
+        .as_str()
+        .ok_or_else(|| SpecError::new(field, "must be a string"))
+}
+
+fn str_list(spec: &Json, field: &str) -> Result<Vec<String>, SpecError> {
+    let arr = spec
+        .get(field)
+        .ok_or_else(|| SpecError::new(field, "missing required field"))?
+        .as_arr()
+        .ok_or_else(|| SpecError::new(field, "must be an array of strings"))?;
+    if arr.is_empty() {
+        return Err(SpecError::new(field, "must not be empty"));
+    }
+    arr.iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| SpecError::new(field, "must be an array of strings"))
+        })
+        .collect()
+}
+
+fn num_list(spec: &Json, field: &str) -> Result<Vec<f64>, SpecError> {
+    let arr = spec
+        .get(field)
+        .ok_or_else(|| SpecError::new(field, "missing required field"))?
+        .as_arr()
+        .ok_or_else(|| SpecError::new(field, "must be an array of numbers"))?;
+    if arr.is_empty() {
+        return Err(SpecError::new(field, "must not be empty"));
+    }
+    arr.iter()
+        .map(|v| {
+            v.as_f64()
+                .filter(|x| x.is_finite() && *x > 0.0)
+                .ok_or_else(|| SpecError::new(field, "must be an array of positive numbers"))
+        })
+        .collect()
+}
+
+fn usize_list(spec: &Json, field: &str) -> Result<Vec<usize>, SpecError> {
+    let arr = spec
+        .get(field)
+        .ok_or_else(|| SpecError::new(field, "missing required field"))?
+        .as_arr()
+        .ok_or_else(|| SpecError::new(field, "must be an array of positive integers"))?;
+    if arr.is_empty() {
+        return Err(SpecError::new(field, "must not be empty"));
+    }
+    arr.iter()
+        .map(|v| {
+            v.as_i64()
+                .filter(|n| *n > 0)
+                .map(|n| n as usize)
+                .ok_or_else(|| SpecError::new(field, "must be an array of positive integers"))
+        })
+        .collect()
+}
+
+fn opt_usize(spec: &Json, field: &str, default: usize) -> Result<usize, SpecError> {
+    match spec.get(field) {
+        None => Ok(default),
+        Some(v) => v
+            .as_i64()
+            .filter(|n| *n > 0)
+            .map(|n| n as usize)
+            .ok_or_else(|| SpecError::new(field, "must be a positive integer")),
+    }
+}
+
+fn opt_slo(spec: &Json) -> Result<Option<SloSpec>, SpecError> {
+    let Some(slo) = spec.get("slo") else {
+        return Ok(None);
+    };
+    let bound = |field: &str| -> Result<f64, SpecError> {
+        slo.get(field)
+            .ok_or_else(|| SpecError::new(&format!("slo.{field}"), "missing required field"))?
+            .as_f64()
+            .filter(|x| x.is_finite() && *x > 0.0)
+            .ok_or_else(|| SpecError::new(&format!("slo.{field}"), "must be a positive number"))
+    };
+    Ok(Some(SloSpec {
+        ttft_ms: bound("ttft_ms")?,
+        tpot_ms: bound("tpot_ms")?,
+    }))
+}
+
+impl Experiment {
+    /// Validates a JSON spec into a runnable experiment.
+    ///
+    /// Required fields: `kind` (one of `traffic_grid`, `fleet_grid`,
+    /// `slo_capacity`, `what_if`), `model` (`{"family", "scale"}`),
+    /// `systems`, `scenarios`, and (except for `slo_capacity`) `rates_rps`.
+    /// Fleet grids additionally require `replicas` and `routers`. Optional:
+    /// `requests_per_cell` (default 20), `seq_bucket` (default 32), `seed`,
+    /// `policy` (a [`PolicyKind`] name), `slo`
+    /// (`{"ttft_ms", "tpot_ms"}`). `what_if` demands exactly one entry per
+    /// axis. Every violation comes back as a [`SpecError`] naming the field.
+    pub fn from_json(spec: &Json) -> Result<Experiment, SpecError> {
+        if !matches!(spec, Json::Obj(_)) {
+            return Err(SpecError::new("spec", "must be a JSON object"));
+        }
+        let kind = str_field(spec, "kind")?;
+
+        let model_obj = spec
+            .get("model")
+            .ok_or_else(|| SpecError::new("model", "missing required field"))?;
+        let family_name = str_field(model_obj, "family")
+            .map_err(|e| SpecError::new(&format!("model.{}", e.field), e.message))?;
+        let family = parse_family(family_name).ok_or_else(|| {
+            SpecError::new(
+                "model.family",
+                format!(
+                    "unknown family '{family_name}' (expected one of \
+                     retnet, gla, hgrn2, mamba2, zamba2, opt, llama)"
+                ),
+            )
+        })?;
+        let scale_name = str_field(model_obj, "scale")
+            .map_err(|e| SpecError::new(&format!("model.{}", e.field), e.message))?;
+        let scale = parse_scale(scale_name).ok_or_else(|| {
+            SpecError::new(
+                "model.scale",
+                format!("unknown scale '{scale_name}' (expected small or large)"),
+            )
+        })?;
+        let model = ModelConfig::preset(family, scale);
+
+        let systems: Vec<SystemConfig> = str_list(spec, "systems")?
+            .iter()
+            .map(|name| {
+                parse_system(name, scale).ok_or_else(|| {
+                    SpecError::new(
+                        "systems",
+                        format!(
+                            "unknown system '{name}' (expected one of \
+                             gpu, gpu_quant, gpu_pim, pimba, neupims)"
+                        ),
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        let scenarios: Vec<Scenario> = str_list(spec, "scenarios")?
+            .iter()
+            .map(|name| {
+                parse_scenario(name).ok_or_else(|| {
+                    SpecError::new(
+                        "scenarios",
+                        format!(
+                            "unknown scenario '{name}' (expected one of \
+                             chat, summarization, rag_long_context, reasoning)"
+                        ),
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        let slo = opt_slo(spec)?;
+
+        if kind == "slo_capacity" {
+            return Ok(Experiment::Capacity(CapacitySpec {
+                systems,
+                scenarios,
+                model,
+                slo: slo.unwrap_or_default(),
+            }));
+        }
+
+        let rates = num_list(spec, "rates_rps")?;
+        let requests = opt_usize(spec, "requests_per_cell", 20)?;
+        let seq_bucket = opt_usize(spec, "seq_bucket", 32)?;
+        let seed = match spec.get("seed") {
+            None => None,
+            Some(v) => Some(
+                v.as_i64()
+                    .filter(|n| *n >= 0)
+                    .map(|n| n as u64)
+                    .ok_or_else(|| SpecError::new("seed", "must be a non-negative integer"))?,
+            ),
+        };
+        let policy =
+            match spec.get("policy") {
+                None => None,
+                Some(v) => {
+                    let name = v
+                        .as_str()
+                        .ok_or_else(|| SpecError::new("policy", "must be a string"))?;
+                    Some(PolicyKind::from_name(name).ok_or_else(|| {
+                        SpecError::new("policy", format!("unknown policy '{name}'"))
+                    })?)
+                }
+            };
+
+        match kind {
+            "traffic_grid" | "what_if" => {
+                if kind == "what_if"
+                    && (systems.len() != 1 || scenarios.len() != 1 || rates.len() != 1)
+                {
+                    return Err(SpecError::new(
+                        "kind",
+                        "what_if requires exactly one system, scenario and rate",
+                    ));
+                }
+                let mut grid = TrafficGrid::new(model)
+                    .with_systems(systems)
+                    .with_scenarios(scenarios)
+                    .with_rates(rates)
+                    .with_requests_per_cell(requests)
+                    .with_seq_bucket(seq_bucket);
+                if let Some(seed) = seed {
+                    grid = grid.with_seed(seed);
+                }
+                if let Some(policy) = policy {
+                    grid = grid.with_policy(policy);
+                }
+                if let Some(slo) = slo {
+                    grid = grid.with_slo(slo);
+                }
+                Ok(Experiment::Traffic(grid))
+            }
+            "fleet_grid" => {
+                let replicas = usize_list(spec, "replicas")?;
+                let routers: Vec<RouterKind> = str_list(spec, "routers")?
+                    .iter()
+                    .map(|name| {
+                        parse_router(name).ok_or_else(|| {
+                            SpecError::new(
+                                "routers",
+                                format!(
+                                    "unknown router '{name}' (expected one of \
+                                     round_robin, jsq, po2, tenant_affinity)"
+                                ),
+                            )
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let mut grid = FleetGrid::new(model)
+                    .with_systems(systems)
+                    .with_scenarios(scenarios)
+                    .with_rates(rates)
+                    .with_replica_counts(replicas)
+                    .with_routers(routers)
+                    .with_requests_per_cell(requests)
+                    .with_seq_bucket(seq_bucket);
+                if let Some(seed) = seed {
+                    grid = grid.with_seed(seed);
+                }
+                if let Some(policy) = policy {
+                    grid = grid.with_policy(policy);
+                }
+                if let Some(slo) = slo {
+                    grid = grid.with_slo(slo);
+                }
+                Ok(Experiment::Fleet(grid))
+            }
+            other => Err(SpecError::new(
+                "kind",
+                format!(
+                    "unknown kind '{other}' (expected one of \
+                     traffic_grid, fleet_grid, slo_capacity, what_if)"
+                ),
+            )),
+        }
+    }
+
+    /// Number of result records the experiment will produce (the progress
+    /// denominator).
+    pub fn total_cells(&self) -> usize {
+        match self {
+            Experiment::Traffic(grid) => grid.len(),
+            Experiment::Fleet(grid) => grid.len(),
+            Experiment::Capacity(cap) => cap.systems.len() * cap.scenarios.len(),
+        }
+    }
+
+    /// Runs the experiment against `store`'s memos under `control`, returning
+    /// the canonical JSONL record lines in grid order. Byte-identical to a
+    /// direct runner call rendered through the same `render_*` functions —
+    /// cold or warm.
+    pub fn run(
+        &self,
+        store: &ResultStore,
+        control: &RunControl,
+    ) -> Result<Vec<String>, RunAborted> {
+        match self {
+            Experiment::Traffic(grid) => {
+                let records = TrafficRunner::new()
+                    .with_memo(Arc::clone(&store.traffic))
+                    .run_controlled(grid, control)?;
+                Ok(records.iter().map(render_traffic_record).collect())
+            }
+            Experiment::Fleet(grid) => {
+                let records = FleetRunner::new()
+                    .with_memo(Arc::clone(&store.fleet))
+                    .run_controlled(grid, control)?;
+                Ok(records.iter().map(render_fleet_record).collect())
+            }
+            Experiment::Capacity(cap) => {
+                let total = cap.systems.len() * cap.scenarios.len();
+                let mut lines = Vec::with_capacity(total);
+                for (sys, system) in cap.systems.iter().enumerate() {
+                    let sim =
+                        ServingSimulator::with_cache(system.clone(), Arc::new(LatencyCache::new()));
+                    for (scn, scenario) in cap.scenarios.iter().enumerate() {
+                        if control.cancelled() {
+                            return Err(RunAborted);
+                        }
+                        let anchor_seq = (scenario.mean_total_tokens() as usize).max(1);
+                        let max_batch = max_batch_within_slo(
+                            &sim,
+                            &cap.model,
+                            anchor_seq,
+                            cap.slo.tpot_ms,
+                            512,
+                        )
+                        .unwrap_or(1);
+                        lines.push(
+                            Json::obj(vec![
+                                ("system", Json::Int(sys as i64)),
+                                ("scenario", Json::Int(scn as i64)),
+                                ("anchor_seq", Json::Int(anchor_seq as i64)),
+                                ("max_batch", Json::Int(max_batch as i64)),
+                            ])
+                            .render(),
+                        );
+                        control.report(lines.len(), total);
+                    }
+                }
+                Ok(lines)
+            }
+        }
+    }
+}
+
+fn percentiles_json(p: &Percentiles) -> Json {
+    Json::obj(vec![
+        ("p50", Json::Num(p.p50)),
+        ("p90", Json::Num(p.p90)),
+        ("p99", Json::Num(p.p99)),
+    ])
+}
+
+fn summary_json(s: &TrafficSummary) -> Json {
+    Json::obj(vec![
+        ("completed", Json::Int(s.completed as i64)),
+        ("ttft_ms", percentiles_json(&s.ttft_ms)),
+        ("tpot_ms", percentiles_json(&s.tpot_ms)),
+        ("e2e_ms", percentiles_json(&s.e2e_ms)),
+        ("throughput_rps", Json::Num(s.throughput_rps)),
+        ("goodput_rps", Json::Num(s.goodput_rps)),
+        ("slo_attainment", Json::Num(s.slo_attainment)),
+        ("mean_batch_occupancy", Json::Num(s.mean_batch_occupancy)),
+        ("peak_queue_depth", Json::Int(s.peak_queue_depth as i64)),
+        ("makespan_s", Json::Num(s.makespan_s)),
+    ])
+}
+
+fn tenants_json(tenants: &[TenantSummary]) -> Json {
+    Json::Arr(
+        tenants
+            .iter()
+            .map(|t| {
+                Json::obj(vec![
+                    ("tenant", Json::Int(t.tenant as i64)),
+                    ("summary", summary_json(&t.summary)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Renders one traffic record to its canonical JSONL form — the byte-identity
+/// surface shared by the daemon stream and direct runs.
+pub fn render_traffic_record(r: &TrafficRecord) -> String {
+    Json::obj(vec![
+        ("system", Json::Int(r.system as i64)),
+        ("scenario", Json::Int(r.scenario as i64)),
+        ("rate_rps", Json::Num(r.rate_rps)),
+        ("max_batch", Json::Int(r.max_batch as i64)),
+        ("summary", summary_json(&r.summary)),
+        ("per_tenant", tenants_json(&r.per_tenant)),
+        (
+            "preemption",
+            Json::obj(vec![
+                ("evictions", Json::Int(r.preemption.evictions as i64)),
+                ("resumes", Json::Int(r.preemption.resumes as i64)),
+                ("checkpoint_bytes", Json::Num(r.preemption.checkpoint_bytes)),
+                ("restore_bytes", Json::Num(r.preemption.restore_bytes)),
+                (
+                    "checkpoint_stall_ns",
+                    Json::Num(r.preemption.checkpoint_stall_ns),
+                ),
+                ("restore_stall_ns", Json::Num(r.preemption.restore_stall_ns)),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+/// Renders one fleet record to its canonical JSONL form (see
+/// [`render_traffic_record`]).
+pub fn render_fleet_record(r: &FleetRecord) -> String {
+    Json::obj(vec![
+        ("system", Json::Int(r.system as i64)),
+        ("scenario", Json::Int(r.scenario as i64)),
+        ("rate_rps", Json::Num(r.rate_rps)),
+        ("replicas", Json::Int(r.replicas as i64)),
+        ("router", Json::str(r.router.name())),
+        ("max_batch", Json::Int(r.max_batch as i64)),
+        ("summary", summary_json(&r.summary)),
+        ("goodput_per_replica", Json::Num(r.goodput_per_replica)),
+        (
+            "per_replica_completed",
+            Json::Arr(
+                r.per_replica_completed
+                    .iter()
+                    .map(|&n| Json::Int(n as i64))
+                    .collect(),
+            ),
+        ),
+        ("per_tenant", tenants_json(&r.per_tenant)),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traffic_spec() -> Json {
+        Json::parse(
+            r#"{"kind":"traffic_grid","model":{"family":"mamba2","scale":"small"},
+                "systems":["gpu","pimba"],"scenarios":["chat"],"rates_rps":[8.0],
+                "requests_per_cell":10,"seed":7}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_specs_parse() {
+        let exp = Experiment::from_json(&traffic_spec()).unwrap();
+        assert!(matches!(exp, Experiment::Traffic(_)));
+        assert_eq!(exp.total_cells(), 2);
+
+        let fleet = Json::parse(
+            r#"{"kind":"fleet_grid","model":{"family":"gla","scale":"small"},
+                "systems":["pimba"],"scenarios":["chat"],"rates_rps":[16.0],
+                "replicas":[2],"routers":["round_robin","jsq"]}"#,
+        )
+        .unwrap();
+        let exp = Experiment::from_json(&fleet).unwrap();
+        assert!(matches!(exp, Experiment::Fleet(_)));
+        assert_eq!(exp.total_cells(), 2);
+
+        let cap = Json::parse(
+            r#"{"kind":"slo_capacity","model":{"family":"retnet","scale":"small"},
+                "systems":["gpu","pimba"],"scenarios":["chat","reasoning"]}"#,
+        )
+        .unwrap();
+        assert_eq!(Experiment::from_json(&cap).unwrap().total_cells(), 4);
+    }
+
+    #[test]
+    fn errors_name_the_field() {
+        let missing = Json::parse(r#"{"kind":"traffic_grid"}"#).unwrap();
+        let err = Experiment::from_json(&missing).unwrap_err();
+        assert_eq!(err.field, "model");
+
+        let bad_family = Json::parse(
+            r#"{"kind":"traffic_grid","model":{"family":"gpt5","scale":"small"},
+                "systems":["gpu"],"scenarios":["chat"],"rates_rps":[1.0]}"#,
+        )
+        .unwrap();
+        let err = Experiment::from_json(&bad_family).unwrap_err();
+        assert_eq!(err.field, "model.family");
+        assert!(err.message.contains("gpt5"));
+
+        let bad_rate = Json::parse(
+            r#"{"kind":"traffic_grid","model":{"family":"mamba2","scale":"small"},
+                "systems":["gpu"],"scenarios":["chat"],"rates_rps":[-3.0]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            Experiment::from_json(&bad_rate).unwrap_err().field,
+            "rates_rps"
+        );
+
+        let bad_kind = Json::parse(
+            r#"{"kind":"mystery","model":{"family":"mamba2","scale":"small"},
+                "systems":["gpu"],"scenarios":["chat"],"rates_rps":[1.0]}"#,
+        )
+        .unwrap();
+        assert_eq!(Experiment::from_json(&bad_kind).unwrap_err().field, "kind");
+
+        let fat_what_if = Json::parse(
+            r#"{"kind":"what_if","model":{"family":"mamba2","scale":"small"},
+                "systems":["gpu","pimba"],"scenarios":["chat"],"rates_rps":[1.0]}"#,
+        )
+        .unwrap();
+        let err = Experiment::from_json(&fat_what_if).unwrap_err();
+        assert!(err.message.contains("exactly one"));
+    }
+
+    #[test]
+    fn canonical_rendering_is_parse_stable() {
+        let exp = Experiment::from_json(&traffic_spec()).unwrap();
+        let store = ResultStore::in_memory();
+        let lines = exp.run(&store, &RunControl::new()).unwrap();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            // The daemon embeds these strings inside event objects; clients
+            // recover them by parse→render, which must be the identity.
+            let reparsed = Json::parse(line).unwrap();
+            assert_eq!(reparsed.render(), *line);
+        }
+    }
+
+    #[test]
+    fn direct_rerun_is_byte_identical_through_the_memo() {
+        let exp = Experiment::from_json(&traffic_spec()).unwrap();
+        let store = ResultStore::in_memory();
+        let cold = exp.run(&store, &RunControl::new()).unwrap();
+        let warm = exp.run(&store, &RunControl::new()).unwrap();
+        assert_eq!(cold, warm);
+    }
+}

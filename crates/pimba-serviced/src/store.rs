@@ -1,0 +1,106 @@
+//! The daemon's result store: the traffic and fleet memos behind every job.
+//!
+//! One [`ResultStore`] is shared by all workers for the life of the daemon.
+//! In-memory mode answers repeated queries within one process; persistent
+//! mode ([`ResultStore::persistent`]) roots both memos' crash-safe segment
+//! files in one directory (disjoint file names — see
+//! [`TrafficMemo::persistent`] and [`FleetMemo::persistent`]), so identical
+//! specs are warm, byte-identical hits across daemon restarts.
+
+use netline::Json;
+use pimba_fleet::memo::FleetMemo;
+use pimba_serve::runner::TrafficMemo;
+use pimba_system::memo::MemoStats;
+use pimba_system::persist::LoadReport;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The shared traffic + fleet memo pair, optionally disk-backed.
+#[derive(Debug)]
+pub struct ResultStore {
+    /// Traffic-grid memo (traces, capacity searches, cells).
+    pub traffic: Arc<TrafficMemo>,
+    /// Fleet-grid memo (traces, capacity searches, cells).
+    pub fleet: Arc<FleetMemo>,
+    dir: Option<PathBuf>,
+}
+
+impl ResultStore {
+    /// A volatile store: warm within the process, empty after restart.
+    pub fn in_memory() -> Self {
+        Self {
+            traffic: Arc::new(TrafficMemo::new()),
+            fleet: Arc::new(FleetMemo::new()),
+            dir: None,
+        }
+    }
+
+    /// A disk-backed store rooted at `dir` (created if absent). Entries
+    /// persisted by earlier processes are loaded up front; corrupt tails are
+    /// truncated, not fatal.
+    pub fn persistent(dir: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            traffic: Arc::new(TrafficMemo::persistent(dir)?),
+            fleet: Arc::new(FleetMemo::persistent(dir)?),
+            dir: Some(dir.to_path_buf()),
+        })
+    }
+
+    /// The backing directory, if persistent.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Flushes both memos' segment files to stable storage (no-op for
+    /// in-memory stores).
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.traffic.sync()?;
+        self.fleet.sync()
+    }
+
+    /// Total entries loaded from disk at open (0 for in-memory stores).
+    pub fn loaded_entries(&self) -> usize {
+        let count = |r: &(Option<LoadReport>, Option<LoadReport>, Option<LoadReport>)| {
+            [&r.0, &r.1, &r.2]
+                .into_iter()
+                .flatten()
+                .map(|report| report.records - report.undecodable)
+                .sum::<usize>()
+        };
+        count(&self.traffic.load_reports()) + count(&self.fleet.load_reports())
+    }
+
+    /// The store's state as a JSON object for the daemon's `stats` command.
+    pub fn stats_json(&self) -> Json {
+        fn stats(label: &str, s: (MemoStats, MemoStats, MemoStats)) -> (String, Json) {
+            let one = |m: MemoStats| {
+                Json::obj(vec![
+                    ("hits", Json::Int(m.hits as i64)),
+                    ("misses", Json::Int(m.misses as i64)),
+                ])
+            };
+            (
+                label.to_string(),
+                Json::obj(vec![
+                    ("traces", one(s.0)),
+                    ("capacity", one(s.1)),
+                    ("cells", one(s.2)),
+                ]),
+            )
+        }
+        let mut pairs = vec![
+            ("persistent".to_string(), Json::Bool(self.dir.is_some())),
+            (
+                "loaded_entries".to_string(),
+                Json::Int(self.loaded_entries() as i64),
+            ),
+            (
+                "cells_stored".to_string(),
+                Json::Int((self.traffic.cells_stored() + self.fleet.cells_stored()) as i64),
+            ),
+        ];
+        pairs.push(stats("traffic", self.traffic.stats()));
+        pairs.push(stats("fleet", self.fleet.stats()));
+        Json::Obj(pairs)
+    }
+}

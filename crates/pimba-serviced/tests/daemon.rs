@@ -1,0 +1,383 @@
+//! End-to-end daemon tests: byte-identity of served records against direct
+//! runner calls, queue priority and cancellation semantics, structured error
+//! handling, graceful shutdown, and crash-safety of the on-disk store
+//! (including a real kill-9 of the binary mid-job).
+
+use netline::Json;
+use pimba_fleet::runner::FleetRunner;
+use pimba_serve::runner::TrafficRunner;
+use pimba_serviced::client::Client;
+use pimba_serviced::queue::{JobEvent, JobQueue, JobState};
+use pimba_serviced::server::{Daemon, DaemonConfig};
+use pimba_serviced::spec::{render_fleet_record, render_traffic_record, Experiment};
+use pimba_serviced::store::ResultStore;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pimba_serviced_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn traffic_spec() -> Json {
+    Json::parse(
+        r#"{"kind":"traffic_grid","model":{"family":"mamba2","scale":"small"},
+            "systems":["gpu","pimba"],"scenarios":["chat"],"rates_rps":[8.0,16.0],
+            "requests_per_cell":12,"seed":11}"#,
+    )
+    .unwrap()
+}
+
+fn fleet_spec() -> Json {
+    Json::parse(
+        r#"{"kind":"fleet_grid","model":{"family":"gla","scale":"small"},
+            "systems":["pimba"],"scenarios":["chat"],"rates_rps":[16.0],
+            "replicas":[2],"routers":["round_robin","jsq"],
+            "requests_per_cell":12,"seed":11}"#,
+    )
+    .unwrap()
+}
+
+/// A 48-cell grid: long enough that cancellation/timeout (which act at cell
+/// granularity) land while cells still remain, on any realistic core count.
+fn big_spec() -> Json {
+    Json::parse(
+        r#"{"kind":"traffic_grid","model":{"family":"mamba2","scale":"small"},
+            "systems":["gpu","pimba"],"scenarios":["chat","reasoning"],
+            "rates_rps":[1.0,2.0,3.0,4.0,5.0,6.0,7.0,8.0,9.0,10.0,11.0,12.0],
+            "requests_per_cell":12,"seed":5}"#,
+    )
+    .unwrap()
+}
+
+/// Drains a submission's event stream to its terminal event.
+fn drain(events: &Receiver<JobEvent>) -> (Vec<String>, &'static str) {
+    let mut records = Vec::new();
+    loop {
+        match events
+            .recv_timeout(Duration::from_secs(120))
+            .expect("event")
+        {
+            JobEvent::Progress { .. } => {}
+            JobEvent::Record(line) => records.push(line),
+            JobEvent::Done { .. } => return (records, "done"),
+            JobEvent::Failed(_) => return (records, "failed"),
+            JobEvent::Cancelled => return (records, "cancelled"),
+            JobEvent::TimedOut => return (records, "timed_out"),
+        }
+    }
+}
+
+#[test]
+fn served_records_are_byte_identical_to_direct_runs() {
+    let daemon = Daemon::start(DaemonConfig::default(), ResultStore::in_memory()).unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+
+    // Traffic grid: direct run through the same canonical renderer.
+    let outcome = client.run(&traffic_spec(), 0, None).unwrap().unwrap();
+    assert_eq!(outcome.state, "done");
+    let Experiment::Traffic(grid) = Experiment::from_json(&traffic_spec()).unwrap() else {
+        panic!("traffic spec must parse as a traffic grid");
+    };
+    let direct: Vec<String> = TrafficRunner::new()
+        .run(&grid)
+        .iter()
+        .map(render_traffic_record)
+        .collect();
+    assert_eq!(outcome.records, direct);
+    assert!(outcome.progress_events > 0, "progress must stream");
+
+    // Fleet grid, same gate.
+    let outcome = client.run(&fleet_spec(), 0, None).unwrap().unwrap();
+    assert_eq!(outcome.state, "done");
+    let Experiment::Fleet(grid) = Experiment::from_json(&fleet_spec()).unwrap() else {
+        panic!("fleet spec must parse as a fleet grid");
+    };
+    let direct: Vec<String> = FleetRunner::new()
+        .run(&grid)
+        .iter()
+        .map(render_fleet_record)
+        .collect();
+    assert_eq!(outcome.records, direct);
+
+    // Identical resubmission: warm memo, still byte-identical.
+    let warm = client.run(&fleet_spec(), 0, None).unwrap().unwrap();
+    assert_eq!(warm.records, direct);
+
+    daemon.stop();
+}
+
+#[test]
+fn higher_priority_jobs_run_first() {
+    let queue = JobQueue::start(ResultStore::in_memory(), 1, None);
+    // Occupy the single worker (48 cells — far longer than the two submit
+    // calls below) so both later submissions stay queued together; the heap
+    // then decides their order.
+    let blocker = Experiment::from_json(&big_spec()).unwrap();
+    let (_, blocker_events) = queue.submit(blocker, 100, None).unwrap();
+
+    let low = Experiment::from_json(&traffic_spec()).unwrap();
+    let high = Experiment::from_json(&fleet_spec()).unwrap();
+    let (low_id, low_events) = queue.submit(low, 0, None).unwrap();
+    let (high_id, high_events) = queue.submit(high, 5, None).unwrap();
+
+    drain(&blocker_events);
+    let (_, low_state) = drain(&low_events);
+    let (_, high_state) = drain(&high_events);
+    assert_eq!((low_state, high_state), ("done", "done"));
+    // finish_seq is stamped under the jobs lock at each terminal transition,
+    // so comparing it is race-free (unlike wall-clock stamps taken in
+    // separately scheduled drain threads).
+    assert!(
+        queue.finish_seq(high_id).unwrap() < queue.finish_seq(low_id).unwrap(),
+        "priority 5 must complete before priority 0 on a single worker"
+    );
+    queue.shutdown();
+}
+
+#[test]
+fn cancellation_stops_running_and_queued_jobs() {
+    let queue = JobQueue::start(ResultStore::in_memory(), 1, None);
+
+    // Running job: cancel at the first cell boundary.
+    let (running_id, running_events) = queue
+        .submit(Experiment::from_json(&big_spec()).unwrap(), 0, None)
+        .unwrap();
+    let cancelled = match running_events
+        .recv_timeout(Duration::from_secs(120))
+        .expect("event")
+    {
+        JobEvent::Progress { .. } => queue.cancel(running_id),
+        // Whole job finished before the first progress event was drained
+        // (cancel has nothing left to stop) — the queued-job half below
+        // still exercises the path deterministically.
+        JobEvent::Done { .. } => false,
+        other => panic!("unexpected event {other:?}"),
+    };
+    if cancelled {
+        let (records, state) = drain(&running_events);
+        assert_eq!(state, "cancelled");
+        assert!(records.is_empty(), "a cancelled run streams no records");
+        assert_eq!(queue.status(running_id).unwrap().0, JobState::Cancelled);
+    }
+
+    // Queued job behind a blocker: cancelling must terminate it immediately,
+    // before any worker touches it.
+    let (_, blocker_events) = queue
+        .submit(Experiment::from_json(&traffic_spec()).unwrap(), 10, None)
+        .unwrap();
+    let (queued_id, queued_events) = queue
+        .submit(Experiment::from_json(&fleet_spec()).unwrap(), 0, None)
+        .unwrap();
+    assert!(queue.cancel(queued_id));
+    let (records, state) = drain(&queued_events);
+    assert_eq!(state, "cancelled");
+    assert!(records.is_empty());
+    assert_eq!(queue.status(queued_id).unwrap().0, JobState::Cancelled);
+    assert!(
+        !queue.cancel(queued_id),
+        "terminal jobs cannot be cancelled"
+    );
+
+    drain(&blocker_events);
+    queue.shutdown();
+}
+
+#[test]
+fn a_one_millisecond_timeout_times_out() {
+    let queue = JobQueue::start(ResultStore::in_memory(), 1, None);
+    let (id, events) = queue
+        .submit(
+            Experiment::from_json(&big_spec()).unwrap(),
+            0,
+            Some(Duration::from_nanos(1)),
+        )
+        .unwrap();
+    let (_, state) = drain(&events);
+    assert_eq!(state, "timed_out");
+    assert_eq!(queue.status(id).unwrap().0, JobState::TimedOut);
+    queue.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_structured_errors_not_disconnects() {
+    let daemon = Daemon::start(DaemonConfig::default(), ResultStore::in_memory()).unwrap();
+    let mut conn = netline::LineConn::connect(daemon.addr()).unwrap();
+
+    conn.write_line("this is not json").unwrap();
+    let reply = Json::parse(&conn.read_line().unwrap().unwrap()).unwrap();
+    assert_eq!(reply.get("event").unwrap().as_str(), Some("error"));
+    assert!(reply
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("invalid JSON"));
+
+    conn.write_line(r#"{"cmd":"frobnicate"}"#).unwrap();
+    let reply = Json::parse(&conn.read_line().unwrap().unwrap()).unwrap();
+    assert_eq!(reply.get("field").unwrap().as_str(), Some("cmd"));
+
+    // Invalid spec: the error names the offending field, and the connection
+    // survives to serve the next (valid) request.
+    let bad = r#"{"cmd":"submit","spec":{"kind":"traffic_grid",
+        "model":{"family":"gpt5","scale":"small"},
+        "systems":["gpu"],"scenarios":["chat"],"rates_rps":[1.0]}}"#
+        .replace('\n', " ");
+    conn.write_line(&bad).unwrap();
+    let reply = Json::parse(&conn.read_line().unwrap().unwrap()).unwrap();
+    assert_eq!(reply.get("event").unwrap().as_str(), Some("error"));
+    assert_eq!(
+        reply.get("field").unwrap().as_str(),
+        Some("spec.model.family")
+    );
+
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    let outcome = client.run(&traffic_spec(), 0, None).unwrap().unwrap();
+    assert_eq!(outcome.state, "done");
+    daemon.stop();
+}
+
+#[test]
+fn shutdown_drains_inflight_jobs_and_rejects_new_connections() {
+    let daemon = Daemon::start(DaemonConfig::default(), ResultStore::in_memory()).unwrap();
+    let addr = daemon.addr();
+    let client_thread = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.run(&traffic_spec(), 0, None).unwrap().unwrap()
+    });
+    // Let the submission land, then stop: the in-flight job must still
+    // complete and stream all its records.
+    std::thread::sleep(Duration::from_millis(50));
+    daemon.stop();
+    let outcome = client_thread.join().unwrap();
+    assert_eq!(outcome.state, "done");
+    assert!(!outcome.records.is_empty());
+    assert!(
+        Client::connect(addr).is_err(),
+        "the listener must be closed after stop"
+    );
+}
+
+#[test]
+fn daemon_restart_serves_warm_byte_identical_records_from_disk() {
+    let dir = temp_dir("restart");
+
+    let first = Daemon::start(
+        DaemonConfig::default(),
+        ResultStore::persistent(&dir).unwrap(),
+    )
+    .unwrap();
+    let mut client = Client::connect(first.addr()).unwrap();
+    let cold = client.run(&traffic_spec(), 0, None).unwrap().unwrap();
+    assert_eq!(cold.state, "done");
+    first.stop();
+
+    // Crash-tolerance: a torn trailing record (half-written at power loss)
+    // must not poison the reload.
+    use std::io::Write;
+    let seg = dir.join("traffic_cells.seg");
+    let mut file = std::fs::OpenOptions::new().append(true).open(&seg).unwrap();
+    file.write_all(&[0xde, 0xad, 0xbe]).unwrap();
+    drop(file);
+
+    let second = Daemon::start(
+        DaemonConfig::default(),
+        ResultStore::persistent(&dir).unwrap(),
+    )
+    .unwrap();
+    let mut client = Client::connect(second.addr()).unwrap();
+    let warm = client.run(&traffic_spec(), 0, None).unwrap().unwrap();
+    assert_eq!(warm.records, cold.records, "restart must not change a byte");
+
+    // Every cell must have been answered from the store, not re-simulated.
+    let stats = client.stats().unwrap();
+    let cells = stats
+        .get("store")
+        .and_then(|s| s.get("traffic"))
+        .and_then(|t| t.get("cells"))
+        .expect("stats.store.traffic.cells");
+    assert_eq!(cells.get("misses").unwrap().as_i64(), Some(0));
+    assert_eq!(cells.get("hits").unwrap().as_i64(), Some(4));
+
+    second.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_nine_mid_job_leaves_a_loadable_warm_store() {
+    let dir = temp_dir("kill");
+    // A grid big enough that SIGKILL lands mid-run: 12 cells, sizeable
+    // traces.
+    let spec = Json::parse(
+        r#"{"kind":"traffic_grid","model":{"family":"mamba2","scale":"small"},
+            "systems":["gpu","pimba"],"scenarios":["chat","reasoning"],
+            "rates_rps":[4.0,8.0,16.0],"requests_per_cell":60,"seed":3}"#,
+    )
+    .unwrap();
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_pimba-serviced"))
+        .args(["--listen", "127.0.0.1:0", "--store"])
+        .arg(&dir)
+        .args(["--workers", "1"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn daemon binary");
+    let stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut lines = stdout.lines();
+    let listening = lines.next().unwrap().unwrap();
+    let event = Json::parse(&listening).unwrap();
+    assert_eq!(event.get("event").unwrap().as_str(), Some("listening"));
+    let addr = event.get("addr").unwrap().as_str().unwrap().to_string();
+
+    let mut client = Client::connect(addr.as_str()).unwrap();
+    let job = client.submit(&spec, 0, None).unwrap().unwrap();
+    assert!(job > 0);
+    // Wait for the first finished cells to hit the store, then kill -9.
+    loop {
+        let event = client.next_event().unwrap();
+        match event.get("event").and_then(Json::as_str) {
+            Some("progress") => {
+                let done = event.get("done").unwrap().as_i64().unwrap();
+                if done >= 2 {
+                    break;
+                }
+            }
+            Some("record") => {}
+            Some("done") => break, // machine fast enough to finish; still fine
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    child.kill().expect("kill -9");
+    let _ = child.wait();
+
+    // The store must load despite the unsynced, possibly torn tail, with the
+    // finished cells warm.
+    let store = ResultStore::persistent(&dir).expect("reload after crash");
+    assert!(
+        store.loaded_entries() > 0,
+        "cells finished before the kill must have been persisted"
+    );
+
+    // And a re-run over the reloaded store is byte-identical to a pristine
+    // cold run.
+    let experiment = Experiment::from_json(&spec).unwrap();
+    let resumed = experiment
+        .run(&store, &pimba_system::sweep::RunControl::new())
+        .unwrap();
+    let pristine = experiment
+        .run(
+            &ResultStore::in_memory(),
+            &pimba_system::sweep::RunControl::new(),
+        )
+        .unwrap();
+    assert_eq!(resumed, pristine);
+    let (_, _, cells) = store.traffic.stats();
+    assert!(cells.hits > 0, "the resumed run must reuse persisted cells");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

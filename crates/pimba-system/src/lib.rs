@@ -51,6 +51,7 @@ pub mod cache;
 pub mod config;
 pub mod memo;
 pub mod memory;
+pub mod persist;
 pub mod pipeline;
 pub mod serving;
 pub mod stats;

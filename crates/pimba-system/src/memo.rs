@@ -18,10 +18,12 @@
 //! gate on every run.
 
 use crate::cache::FxHasher;
+use crate::persist::{ByteReader, ByteWriter, LoadReport, MemoValue, SegmentFile};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// A 128-bit content address built by folding inputs into two independent
 /// [`FxHasher`] streams (one seeded, one not): wide enough that grid-scale
@@ -29,6 +31,19 @@ use std::sync::{Arc, RwLock};
 /// hash a million-request trace in milliseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fingerprint(u64, u64);
+
+impl Fingerprint {
+    /// The two raw 64-bit words — the on-disk identity of a persisted entry.
+    pub fn words(self) -> (u64, u64) {
+        (self.0, self.1)
+    }
+
+    /// Rebuilds a fingerprint from its raw words (the inverse of
+    /// [`Fingerprint::words`]; used by the segment-file loader).
+    pub fn from_words(hi: u64, lo: u64) -> Self {
+        Self(hi, lo)
+    }
+}
 
 /// Incremental builder of a [`Fingerprint`].
 #[derive(Debug, Default)]
@@ -103,11 +118,36 @@ pub struct MemoStats {
 /// by the purity contract, and the first insert wins) and publishes under the
 /// write lock. Values return as [`Arc`] clones, so warm hits are
 /// allocation-free.
+///
+/// A store built with [`MemoStore::persistent`] additionally mirrors every
+/// published entry into an append-only [`SegmentFile`], and starts pre-warmed
+/// with whatever an earlier process persisted — the cross-restart half of the
+/// byte-identity guarantee (values round-trip through the exact
+/// [`MemoValue`] codec, so a disk hit returns the same bits a fresh
+/// simulation would).
 #[derive(Debug)]
 pub struct MemoStore<V> {
     map: RwLock<HashMap<Fingerprint, Arc<V>, BuildHasherDefault<FxHasher>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    disk: Option<DiskBacking<V>>,
+}
+
+/// The disk half of a persistent store: the open segment plus the monomorphic
+/// encode hook captured at construction (keeps `MemoStore<V>`'s other methods
+/// free of `V: MemoValue` bounds).
+struct DiskBacking<V> {
+    segment: Mutex<SegmentFile>,
+    encode: fn(&V, &mut ByteWriter),
+    load: LoadReport,
+}
+
+impl<V> std::fmt::Debug for DiskBacking<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskBacking")
+            .field("load", &self.load)
+            .finish()
+    }
 }
 
 // Manual impl: the derive would demand `V: Default`, which an empty store
@@ -125,7 +165,57 @@ impl<V> MemoStore<V> {
             map: RwLock::new(HashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            disk: None,
         }
+    }
+
+    /// Opens a store backed by the append-only segment at `path`: entries an
+    /// earlier process persisted are loaded up front (corrupt or partial
+    /// tails are truncated away — see [`SegmentFile::open`]), and every entry
+    /// published from now on is appended. Records whose payload no longer
+    /// decodes as `V` are skipped, not fatal.
+    pub fn persistent(path: &Path) -> std::io::Result<Self>
+    where
+        V: MemoValue,
+    {
+        let mut map: HashMap<Fingerprint, Arc<V>, BuildHasherDefault<FxHasher>> =
+            HashMap::default();
+        let (segment, load) = SegmentFile::open(path, |fp, payload| {
+            let mut reader = ByteReader::new(payload);
+            match V::decode(&mut reader) {
+                // Exact consumption: trailing junk means a schema mismatch.
+                Some(value) if reader.is_exhausted() => {
+                    map.insert(fp, Arc::new(value));
+                    true
+                }
+                _ => false,
+            }
+        })?;
+        Ok(Self {
+            map: RwLock::new(map),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            disk: Some(DiskBacking {
+                segment: Mutex::new(segment),
+                encode: V::encode,
+                load,
+            }),
+        })
+    }
+
+    /// What the persistent backend recovered at open (`None` for in-memory
+    /// stores).
+    pub fn load_report(&self) -> Option<LoadReport> {
+        self.disk.as_ref().map(|d| d.load)
+    }
+
+    /// Forces persisted entries to stable storage (no-op for in-memory
+    /// stores).
+    pub fn sync(&self) -> std::io::Result<()> {
+        if let Some(disk) = &self.disk {
+            disk.segment.lock().expect("memo segment poisoned").sync()?;
+        }
+        Ok(())
     }
 
     /// The stored value for `key`, if present.
@@ -143,14 +233,34 @@ impl<V> MemoStore<V> {
         found
     }
 
-    /// The value for `key`, computing and publishing it on a miss.
+    /// The value for `key`, computing and publishing it on a miss. A
+    /// persistent store appends the entry to its segment the moment it wins
+    /// publication (the losing side of a concurrent duplicate compute writes
+    /// nothing).
     pub fn get_or_insert_with(&self, key: Fingerprint, compute: impl FnOnce() -> V) -> Arc<V> {
         if let Some(value) = self.get(key) {
             return value;
         }
         let value = Arc::new(compute());
         let mut map = self.map.write().expect("memo store poisoned");
-        map.entry(key).or_insert(value).clone()
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.get().clone(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                if let Some(disk) = &self.disk {
+                    let mut writer = ByteWriter::new();
+                    (disk.encode)(&value, &mut writer);
+                    // Best-effort persistence: a full disk degrades the store
+                    // to in-memory for this entry rather than failing the
+                    // computation that just succeeded.
+                    let _ = disk
+                        .segment
+                        .lock()
+                        .expect("memo segment poisoned")
+                        .append(key, &writer.into_bytes());
+                }
+                e.insert(value).clone()
+            }
+        }
     }
 
     /// Number of stored entries.
@@ -216,6 +326,63 @@ mod tests {
         assert_eq!((stats.hits, stats.misses), (2, 1));
         assert!(store.get(fp(&[43])).is_none());
         assert_eq!(store.stats().misses, 2);
+    }
+
+    #[test]
+    fn persistent_store_survives_restart_with_identical_bits() {
+        let dir = std::env::temp_dir().join(format!("pimba_memo_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("persist_roundtrip.seg");
+        std::fs::remove_file(&path).ok();
+
+        let awkward = 0.1 + 0.2;
+        {
+            let store: MemoStore<f64> = MemoStore::persistent(&path).unwrap();
+            assert_eq!(store.load_report().unwrap().records, 0);
+            store.get_or_insert_with(fp(&[1]), || awkward);
+            store.get_or_insert_with(fp(&[2]), || -0.0);
+            store.sync().unwrap();
+        }
+        // "Restart": a fresh process image opens the same segment.
+        let store: MemoStore<f64> = MemoStore::persistent(&path).unwrap();
+        let report = store.load_report().unwrap();
+        assert_eq!((report.records, report.dropped_bytes), (2, 0));
+        assert_eq!(store.len(), 2);
+        let mut computes = 0;
+        let v = store.get_or_insert_with(fp(&[1]), || {
+            computes += 1;
+            awkward
+        });
+        assert_eq!(computes, 0, "warm disk hit must not recompute");
+        assert_eq!(v.to_bits(), awkward.to_bits());
+        assert_eq!(store.get(fp(&[2])).unwrap().to_bits(), (-0.0f64).to_bits());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persistent_store_tolerates_a_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("pimba_memo_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("persist_torn.seg");
+        std::fs::remove_file(&path).ok();
+        {
+            let store: MemoStore<u64> = MemoStore::persistent(&path).unwrap();
+            store.get_or_insert_with(fp(&[7]), || 77);
+        }
+        // A crash mid-append leaves a partial record.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(&[0x5A; 9]).unwrap();
+        }
+        let store: MemoStore<u64> = MemoStore::persistent(&path).unwrap();
+        let report = store.load_report().unwrap();
+        assert_eq!((report.records, report.dropped_bytes), (1, 9));
+        assert_eq!(*store.get(fp(&[7])).unwrap(), 77);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -24,7 +24,84 @@ use crate::config::SystemConfig;
 use crate::serving::{ServingSimulator, StepBreakdown};
 use pimba_models::config::ModelConfig;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Cooperative execution control for a long grid run: an optional per-cell
+/// progress callback and an optional cancellation flag, polled between cells.
+/// The vocabulary a serving daemon needs to stream progress and honor
+/// cancellations/timeouts without threading callbacks through every runner
+/// signature — both grid runners accept one in their `run_controlled` entry
+/// points.
+///
+/// Cancellation is *cell-granular*: a cell already simulating runs to
+/// completion (its result may still be published to a memo — it is correct),
+/// but no new cell starts once the flag is up.
+#[derive(Clone, Default)]
+pub struct RunControl {
+    progress: Option<Arc<dyn Fn(usize, usize) + Send + Sync>>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl std::fmt::Debug for RunControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunControl")
+            .field("progress", &self.progress.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .finish()
+    }
+}
+
+impl RunControl {
+    /// No progress reporting, no cancellation — the behavior of the plain
+    /// `run` entry points.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a `(cells_done, cells_total)` callback, invoked after every
+    /// completed cell (from worker threads, possibly concurrently — the
+    /// callback must be cheap and thread-safe).
+    pub fn with_progress(mut self, progress: Arc<dyn Fn(usize, usize) + Send + Sync>) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Installs a cancellation flag: once `true`, no further cell starts and
+    /// the run returns aborted.
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// `true` once the cancellation flag (if any) is up.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Reports one completed cell.
+    pub fn report(&self, done: usize, total: usize) {
+        if let Some(progress) = &self.progress {
+            progress(done, total);
+        }
+    }
+}
+
+/// A controlled run stopped early because its [`RunControl`] cancel flag went
+/// up; no partial records are returned (and none of the skipped cells were
+/// published to any memo).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunAborted;
+
+impl std::fmt::Display for RunAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "grid run cancelled")
+    }
+}
+
+impl std::error::Error for RunAborted {}
 
 /// Evaluates `total` items with up to `threads` scoped worker threads, returning
 /// `eval(0..total)` in index order regardless of the thread count.

@@ -22,7 +22,12 @@
 //!   tail percentiles, goodput and SLO-attainment sweeps,
 //! * [`fleet`] — the cluster layer above it: multi-replica fleets under
 //!   pluggable routing (round-robin / JSQ / power-of-two-choices) and
-//!   disaggregated prefill/decode pools with a state-transfer cost model.
+//!   disaggregated prefill/decode pools with a state-transfer cost model,
+//! * [`serviced`] — the long-running what-if daemon: experiment specs over a
+//!   JSONL line protocol, a prioritized job queue with cancellation and
+//!   timeouts, and a crash-safe disk-backed result store,
+//! * [`netline`] — the hermetic std-only JSON + line-protocol support crate
+//!   the daemon and its client are built on.
 //!
 //! # Quickstart
 //!
@@ -43,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use netline;
 pub use pimba_dram as dram;
 pub use pimba_fleet as fleet;
 pub use pimba_gpu as gpu;
@@ -50,4 +56,5 @@ pub use pimba_models as models;
 pub use pimba_num as num;
 pub use pimba_pim as pim;
 pub use pimba_serve as serve;
+pub use pimba_serviced as serviced;
 pub use pimba_system as system;
