@@ -59,12 +59,60 @@
 //!   state is insensitive to *foreign* horizons (stepping to an instant with
 //!   nothing to inject is a bit-level no-op), so dropping the other
 //!   replicas' arrival horizons leaves its result untouched.
+//!
+//! # Fault tolerance & live migration
+//!
+//! [`FleetSim::run_faulted`] folds a deterministic
+//! [`FaultPlan`] into the co-simulation: replica
+//! crashes and restarts, transient slowdowns (per-replica compute-latency
+//! multipliers) and handoff-link partitions, plus the recovery stack —
+//! failure detection after a configurable lag, live migration of in-flight
+//! requests, and bounded retry with exponential backoff. The migration path
+//! maintains these invariants:
+//!
+//! * **Empty plans are byte-identical, not merely equivalent.** A plan with
+//!   no events and no timeout delegates to the untouched [`FleetSim::run`],
+//!   so the fault machinery cannot perturb the fault-free fleet at any
+//!   worker count (gated in `tests/parallel_equivalence.rs` and on every
+//!   `fleet_fault` bench run).
+//! * **Faulted runs are sequential and bit-reproducible.** Migration moves
+//!   state *between* replicas mid-window, which breaks the
+//!   conservative-window invariant the parallel drivers rest on — so a
+//!   non-empty plan always runs the dedicated sequential event-driven
+//!   driver, whatever `config.workers` says. A given
+//!   `(system, model, trace, config, plan)` is therefore trivially
+//!   bit-identical across worker counts, threads and repeats.
+//! * **Causal global-time order.** Driver events (arrivals, faults,
+//!   detections, migration deliveries, retries, timeouts) execute in
+//!   `(time, creation-seq)` order off one event heap; every live replica is
+//!   stepped to an event's instant before the event acts, so a migrated
+//!   request can never resume earlier than the crash that evicted it.
+//! * **Migration prices the state, and only the state.** A victim with `g`
+//!   decoded tokens re-enters a survivor via `inject_prefilled` at context
+//!   `prompt + g` after `transfer_ns(dynamic_bytes(1, prompt + g))` on the
+//!   plan's migration link — the same `MemoryModel` bytes the disaggregated
+//!   handoff ships, which is exactly where Pimba's constant-size state pays
+//!   off against a GPU KV cache.
+//! * **Zombie windows black-hole.** Between a crash and its detection the
+//!   router still sees the victim's frozen load snapshot; requests routed
+//!   there are lost-in-flight and re-enter recovery (as retries — the
+//!   shipped state died with the zombie) when the detector fires. Dead
+//!   replicas are excluded from routing after detection: load-aware policies
+//!   simply never see them, and round-robin stays load-oblivious but skips
+//!   them (it rotates over the live slice).
+//! * **Recovered outcomes are trace-native.** After assembly, a migrated or
+//!   retried request's outcome is patched back to its original arrival,
+//!   prompt and output lengths — TTFT keeps the instant the *first* token
+//!   was actually produced (pre-crash for migrations) — with
+//!   `retries`/`migrations` counters recording the journey, so SLO math
+//!   charges recovery delay honestly.
 
+use crate::fault::{FaultError, FaultKind, FaultPlan, FaultStats, RecoveryPolicy};
 use crate::metrics::{FleetResult, ReplicaReport, ReplicaRole};
 use crate::router::{streams, ReplicaLoad, Router, RouterKind};
 use pimba_models::config::ModelConfig;
-use pimba_serve::engine::{CompletedRequest, Engine, EngineConfig, Session};
-use pimba_serve::metrics::{RequestOutcome, SimResult};
+use pimba_serve::engine::{CompletedRequest, DroppedRequest, Engine, EngineConfig, Session};
+use pimba_serve::metrics::{PreemptionStats, RequestOutcome, SimResult, TelemetryStats};
 use pimba_serve::sched::{PolicyKind, Scheduler};
 use pimba_serve::traffic::{Trace, TraceRequest};
 use pimba_system::memory::MemoryModel;
@@ -272,6 +320,512 @@ impl PartialOrd for Handoff {
     }
 }
 
+/// One event of the faulted colocated driver.
+enum FaultedEv {
+    /// Trace request `id` arrives at the front door.
+    Arrival(usize),
+    /// `plan.events[index]` fires.
+    Fault(usize),
+    /// The failure detector notices `replica`'s crash — stale if the replica
+    /// restarted (new incarnation) or was already handled.
+    Detect { replica: usize, incarnation: u32 },
+    /// A slowdown window on `replica` ends — stale unless `token` still names
+    /// the latest scale change.
+    SlowEnd { replica: usize, token: u64 },
+    /// Request `id` re-enters the fleet (migration delivery or retry) —
+    /// stale if a newer attempt superseded it.
+    Resume {
+        id: usize,
+        attempt: u32,
+        generated: usize,
+    },
+    /// Request `id`'s queue-wait deadline expires — acts only if the request
+    /// is still queued (unadmitted) on a live replica.
+    TimeoutCheck { id: usize, attempt: u32 },
+}
+
+/// A faulted-driver event, ordered earliest-first with a creation sequence
+/// number breaking timestamp ties (creation order is deterministic).
+struct FaultedEvent {
+    time_ns: f64,
+    seq: u64,
+    ev: FaultedEv,
+}
+
+impl PartialEq for FaultedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_ns == other.time_ns && self.seq == other.seq
+    }
+}
+impl Eq for FaultedEvent {}
+impl Ord for FaultedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want earliest-first.
+        other
+            .time_ns
+            .total_cmp(&self.time_ns)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for FaultedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One replica's state under the faulted colocated driver.
+struct FaultedReplica<'a> {
+    /// `None` only transiently inside a crash handler.
+    session: Option<Session<'a>>,
+    scheduler: Box<dyn Scheduler>,
+    alive: bool,
+    /// A dead replica stays *visible* to the router until detected.
+    detected: bool,
+    /// Bumped on every restart; stamps detection events so a detector racing
+    /// a restart can't re-recover the new incarnation.
+    incarnation: u32,
+    /// Latest compute-scale change; stale `SlowEnd` events don't reset.
+    slow_token: u64,
+    /// Load snapshot frozen at crash time — what the router sees while the
+    /// replica is an undetected zombie.
+    frozen: ReplicaLoad,
+    /// In-flight requests dropped by the crash, awaiting detection.
+    dropped: Vec<DroppedRequest>,
+    /// Requests routed into the zombie window, awaiting detection.
+    black_holed: Vec<usize>,
+    /// Finished results of previous incarnations.
+    retired: Vec<SimResult>,
+}
+
+/// Recovery bookkeeping for one trace request.
+struct Track {
+    /// Current attempt; 0 until the first retry. Resume/timeout events
+    /// carrying an older attempt are stale.
+    attempt: u32,
+    retries: u32,
+    migrations: u32,
+    /// Tokens already generated before the current placement (migrated-in
+    /// context beyond the prompt).
+    resumed_generated: usize,
+    /// Replica currently holding the request, if any.
+    location: Option<usize>,
+    /// Earliest observed first-token instant across incarnations (NaN until
+    /// one is seen); migrated requests keep their pre-crash TTFT.
+    first_token_ns: f64,
+    lost: bool,
+    /// Whether the outcome needs trace-native patching at assembly.
+    touched: bool,
+}
+
+impl Track {
+    fn new() -> Self {
+        Track {
+            attempt: 0,
+            retries: 0,
+            migrations: 0,
+            resumed_generated: 0,
+            location: None,
+            first_token_ns: f64::NAN,
+            lost: false,
+            touched: false,
+        }
+    }
+}
+
+/// The faulted colocated driver's mutable world: replicas, request tracks,
+/// the event heap, and the recovery counters.
+struct FaultedFleet<'a, 'p> {
+    engine: &'a Engine<'a>,
+    replicas: Vec<FaultedReplica<'a>>,
+    router: Box<dyn Router>,
+    tracks: Vec<Track>,
+    stats: FaultStats,
+    /// Requests with no visible replica to route to, flushed at the next
+    /// restart: `(id, attempt, generated)`.
+    hold: Vec<(usize, u32, usize)>,
+    assignment: Vec<u32>,
+    heap: BinaryHeap<FaultedEvent>,
+    seq: u64,
+    plan: &'p FaultPlan,
+    trace: &'p Trace,
+    memory: MemoryModel<'a>,
+    policy: PolicyKind,
+    max_seq_hint: usize,
+    max_prompt_hint: usize,
+}
+
+impl<'a, 'p> FaultedFleet<'a, 'p> {
+    fn push(&mut self, time_ns: f64, ev: FaultedEv) {
+        self.heap.push(FaultedEvent {
+            time_ns,
+            seq: self.seq,
+            ev,
+        });
+        self.seq += 1;
+    }
+
+    /// Replicas the router can see: live ones plus undetected zombies.
+    fn visible(&self) -> Vec<usize> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.alive || !r.detected)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn load_of(&self, index: usize) -> ReplicaLoad {
+        let r = &self.replicas[index];
+        match r.session.as_ref() {
+            Some(s) if r.alive => ReplicaLoad {
+                outstanding: s.outstanding(),
+                queue_depth: s.queue_depth(),
+                occupancy: s.occupancy(),
+            },
+            _ => r.frozen,
+        }
+    }
+
+    /// Advances every live replica through its events strictly before `t`.
+    fn step_live(&mut self, t: f64) {
+        for r in self.replicas.iter_mut() {
+            if r.alive {
+                if let Some(session) = r.session.as_mut() {
+                    session.step_until(t, r.scheduler.as_mut());
+                }
+            }
+        }
+    }
+
+    /// Routes request `id` (resuming with `generated` tokens of context) at
+    /// time `t`. Requests routed into an undetected zombie black-hole until
+    /// the detector fires; with every replica dead *and* detected, the
+    /// request holds at the front door until a restart.
+    fn place(&mut self, id: usize, generated: usize, t: f64) {
+        let visible = self.visible();
+        if visible.is_empty() {
+            let attempt = self.tracks[id].attempt;
+            self.hold.push((id, attempt, generated));
+            return;
+        }
+        let original = self.trace.requests[id];
+        let request = if generated > 0 {
+            TraceRequest {
+                arrival_ns: t,
+                prompt_len: original.prompt_len + generated,
+                output_len: original.output_len - generated,
+                ..original
+            }
+        } else {
+            TraceRequest {
+                arrival_ns: t,
+                ..original
+            }
+        };
+        let loads: Vec<ReplicaLoad> = visible.iter().map(|&i| self.load_of(i)).collect();
+        let choice = self.router.route(id, &request, &loads);
+        assert!(choice < visible.len(), "router returned replica {choice}");
+        let target = visible[choice];
+        if self.assignment[id] == u32::MAX {
+            self.assignment[id] = target as u32;
+        }
+        if !self.replicas[target].alive {
+            // Zombie window: the request (and any shipped state) vanishes
+            // until the failure detector fires; its frozen load grows so
+            // load-aware routers steer away from the pile-up.
+            self.replicas[target].black_holed.push(id);
+            self.replicas[target].frozen.outstanding += 1;
+            self.replicas[target].frozen.queue_depth += 1;
+            self.stats.black_holed += 1;
+            self.tracks[id].location = Some(target);
+            return;
+        }
+        let session = self.replicas[target]
+            .session
+            .as_mut()
+            .expect("live replica has a session");
+        if generated > 0 {
+            session.inject_prefilled(id, request);
+        } else {
+            session.inject(id, request);
+        }
+        self.tracks[id].location = Some(target);
+        self.tracks[id].resumed_generated = generated;
+        if self.plan.retry.timeout_ns > 0.0 {
+            let attempt = self.tracks[id].attempt;
+            self.push(
+                t + self.plan.retry.timeout_ns,
+                FaultedEv::TimeoutCheck { id, attempt },
+            );
+        }
+    }
+
+    /// Consumes one retry attempt for `id` (or marks it lost), scheduling the
+    /// re-entry after backoff + deterministic jitter.
+    fn retry_or_lose(&mut self, id: usize, t: f64) {
+        let next = self.tracks[id].attempt + 1;
+        if self.plan.recovery == RecoveryPolicy::None || next > self.plan.retry.max_attempts {
+            self.tracks[id].lost = true;
+            self.tracks[id].touched = true;
+            self.stats.lost += 1;
+            return;
+        }
+        let track = &mut self.tracks[id];
+        track.attempt = next;
+        track.retries += 1;
+        track.touched = true;
+        track.resumed_generated = 0;
+        track.first_token_ns = f64::NAN;
+        self.stats.retries += 1;
+        let at = t + self.plan.retry.backoff_ns(self.plan.seed, id, next);
+        self.push(
+            at,
+            FaultedEv::Resume {
+                id,
+                attempt: next,
+                generated: 0,
+            },
+        );
+    }
+
+    /// Handles a request lost from a replica (crash-drop or black-hole):
+    /// live-migrate its generated state to a survivor if the policy allows
+    /// and progress exists, otherwise retry from scratch.
+    fn handle_loss(&mut self, id: usize, generated_here: usize, first_token_ns: f64, t: f64) {
+        self.tracks[id].location = None;
+        if self.tracks[id].lost {
+            return;
+        }
+        let cumulative = self.tracks[id].resumed_generated + generated_here;
+        let original = self.trace.requests[id];
+        if self.plan.recovery == RecoveryPolicy::Migrate
+            && cumulative >= 1
+            && cumulative < original.output_len
+        {
+            let track = &mut self.tracks[id];
+            track.migrations += 1;
+            track.touched = true;
+            if !track.first_token_ns.is_finite() && first_token_ns.is_finite() {
+                track.first_token_ns = first_token_ns;
+            }
+            let attempt = track.attempt;
+            self.stats.migrations += 1;
+            let bytes = self
+                .memory
+                .dynamic_bytes(1, original.prompt_len + cumulative);
+            self.stats.migrated_bytes += bytes;
+            let at = t + self.plan.migration_link.transfer_ns(bytes);
+            self.push(
+                at,
+                FaultedEv::Resume {
+                    id,
+                    attempt,
+                    generated: cumulative,
+                },
+            );
+        } else {
+            self.retry_or_lose(id, t);
+        }
+    }
+
+    fn crash(&mut self, victim: usize, t: f64) {
+        if !self.replicas[victim].alive {
+            return;
+        }
+        self.stats.crashes += 1;
+        let dropped_ids: Vec<usize>;
+        let incarnation;
+        {
+            let r = &mut self.replicas[victim];
+            r.alive = false;
+            r.detected = false;
+            r.slow_token += 1;
+            let mut session = r.session.take().expect("live replica has a session");
+            r.frozen = ReplicaLoad {
+                outstanding: session.outstanding(),
+                queue_depth: session.queue_depth(),
+                occupancy: session.occupancy(),
+            };
+            let dropped = session.crash_drop();
+            r.retired.push(session.finish());
+            dropped_ids = dropped.iter().map(|d| d.id).collect();
+            r.dropped = dropped;
+            incarnation = r.incarnation;
+        }
+        for id in dropped_ids {
+            self.tracks[id].location = None;
+        }
+        self.push(
+            t + self.plan.detection_latency_ns,
+            FaultedEv::Detect {
+                replica: victim,
+                incarnation,
+            },
+        );
+    }
+
+    /// Runs recovery for a detected crash: every request the replica held
+    /// (dropped in-flight, or black-holed during the zombie window) re-enters
+    /// through migration or retry.
+    fn recover(&mut self, replica: usize, t: f64) {
+        let dropped = std::mem::take(&mut self.replicas[replica].dropped);
+        let black = std::mem::take(&mut self.replicas[replica].black_holed);
+        for d in dropped {
+            self.handle_loss(d.id, d.generated, d.first_token_ns, t);
+        }
+        for id in black {
+            // State shipped into the zombie died with it: restart from
+            // scratch, whatever progress the pre-crash incarnations made.
+            self.tracks[id].resumed_generated = 0;
+            self.handle_loss(id, 0, f64::NAN, t);
+        }
+    }
+
+    fn restart(&mut self, replica: usize, t: f64) {
+        if self.replicas[replica].alive {
+            return;
+        }
+        if !self.replicas[replica].detected {
+            // The replacement raced the detector: the fleet learns of the
+            // loss now, so recovery triggers here.
+            self.replicas[replica].detected = true;
+            self.recover(replica, t);
+        }
+        self.stats.restarts += 1;
+        let session = self.engine.session(self.max_seq_hint, self.max_prompt_hint);
+        let r = &mut self.replicas[replica];
+        r.alive = true;
+        r.detected = false;
+        r.incarnation += 1;
+        r.slow_token += 1;
+        r.session = Some(session);
+        r.scheduler = self.policy.build();
+        r.frozen = IDLE_LOAD;
+        let held = std::mem::take(&mut self.hold);
+        for (id, attempt, generated) in held {
+            self.push(
+                t,
+                FaultedEv::Resume {
+                    id,
+                    attempt,
+                    generated,
+                },
+            );
+        }
+    }
+
+    fn apply_fault(&mut self, index: usize, t: f64) {
+        match self.plan.events[index].kind {
+            FaultKind::Crash { replica } => self.crash(replica, t),
+            FaultKind::Restart { replica } => self.restart(replica, t),
+            FaultKind::Slowdown {
+                replica,
+                factor,
+                duration_ns,
+            } => {
+                if !self.replicas[replica].alive {
+                    return;
+                }
+                self.stats.slowdowns += 1;
+                let r = &mut self.replicas[replica];
+                r.session
+                    .as_mut()
+                    .expect("live replica has a session")
+                    .set_compute_scale(factor);
+                r.slow_token += 1;
+                let token = r.slow_token;
+                self.push(t + duration_ns, FaultedEv::SlowEnd { replica, token });
+            }
+            FaultKind::LinkDown { .. } => {
+                unreachable!("validated: colocated plans carry no link faults")
+            }
+        }
+    }
+
+    fn resume(&mut self, id: usize, attempt: u32, generated: usize, t: f64) {
+        let track = &self.tracks[id];
+        if track.lost || track.attempt != attempt {
+            return;
+        }
+        self.place(id, generated, t);
+    }
+
+    fn timeout_check(&mut self, id: usize, attempt: u32, t: f64) {
+        let track = &self.tracks[id];
+        if track.lost || track.attempt != attempt {
+            return;
+        }
+        let Some(location) = track.location else {
+            return;
+        };
+        if !self.replicas[location].alive {
+            return; // the crash path owns recovery of this request
+        }
+        let cancelled = self.replicas[location]
+            .session
+            .as_mut()
+            .expect("live replica has a session")
+            .cancel_queued(id);
+        if !cancelled {
+            return; // admitted (or finished) before the deadline
+        }
+        self.stats.timeouts += 1;
+        self.tracks[id].location = None;
+        // Timed-out requests always take the retry path: they made no
+        // progress while queued, and bounding attempts keeps the driver
+        // finite even under Migrate.
+        self.retry_or_lose(id, t);
+    }
+}
+
+/// Merges one replica's per-incarnation results (one per crash/restart cycle
+/// plus the final drain) into a single [`SimResult`]: outcomes concatenate
+/// (sorted by id — at most one completion per request exists fleet-wide),
+/// timelines concatenate in time order, peaks max, counters sum, and the mean
+/// occupancy is the event-weighted mean of the parts.
+fn merge_sim_results(mut parts: Vec<SimResult>) -> SimResult {
+    assert!(!parts.is_empty(), "a replica always retires one result");
+    if parts.len() == 1 {
+        return parts.pop().expect("length checked");
+    }
+    let mut outcomes = Vec::new();
+    let mut timeline = Vec::new();
+    let mut makespan_ns = 0.0f64;
+    let mut telemetry = TelemetryStats::default();
+    let mut preemption = PreemptionStats::default();
+    let mut weighted_occupancy = 0.0;
+    for part in parts {
+        outcomes.extend(part.outcomes);
+        timeline.extend(part.timeline);
+        makespan_ns = makespan_ns.max(part.makespan_ns);
+        let t = part.telemetry;
+        telemetry.events += t.events;
+        telemetry.peak_queue_depth = telemetry.peak_queue_depth.max(t.peak_queue_depth);
+        telemetry.peak_batch_occupancy = telemetry.peak_batch_occupancy.max(t.peak_batch_occupancy);
+        weighted_occupancy += t.mean_batch_occupancy * t.events as f64;
+        let p = part.preemption;
+        preemption.evictions += p.evictions;
+        preemption.resumes += p.resumes;
+        preemption.checkpoint_bytes += p.checkpoint_bytes;
+        preemption.restore_bytes += p.restore_bytes;
+        preemption.checkpoint_stall_ns += p.checkpoint_stall_ns;
+        preemption.restore_stall_ns += p.restore_stall_ns;
+    }
+    telemetry.mean_batch_occupancy = if telemetry.events > 0 {
+        weighted_occupancy / telemetry.events as f64
+    } else {
+        0.0
+    };
+    outcomes.sort_by_key(|o| o.id);
+    SimResult {
+        outcomes,
+        timeline,
+        makespan_ns,
+        telemetry,
+        preemption,
+    }
+}
+
 /// The cluster-level simulator for one (system, model) pair.
 pub struct FleetSim<'a> {
     sim: &'a ServingSimulator,
@@ -319,6 +873,436 @@ impl<'a> FleetSim<'a> {
                 transfer,
             } => self.run_disaggregated(trace, prefill_replicas, decode_replicas, transfer, config),
         }
+    }
+
+    /// Runs `trace` through the fleet under a [`FaultPlan`]: scheduled
+    /// crashes/restarts/slowdowns (colocated) or slowdowns/link partitions
+    /// (disaggregated), with the recovery stack — detection lag, live
+    /// migration, bounded retry — layered on top. See the module docs for
+    /// the migration-path invariants.
+    ///
+    /// An [empty](FaultPlan::is_empty) plan delegates to [`FleetSim::run`]
+    /// (byte-identical output at any worker count); a non-empty plan runs
+    /// the dedicated sequential driver regardless of `config.workers`.
+    /// Structurally impossible plans return a [`FaultError`] naming the
+    /// offending field.
+    pub fn run_faulted(
+        &self,
+        trace: &Trace,
+        config: &FleetConfig,
+        plan: &FaultPlan,
+    ) -> Result<FleetResult, FaultError> {
+        let (total_replicas, disaggregated) = match config.mode {
+            FleetMode::Colocated { replicas } => (replicas, false),
+            FleetMode::Disaggregated {
+                prefill_replicas,
+                decode_replicas,
+                ..
+            } => (prefill_replicas + decode_replicas, true),
+        };
+        plan.validate(total_replicas, disaggregated)?;
+        if plan.is_empty() {
+            return Ok(self.run(trace, config));
+        }
+        assert!(
+            trace
+                .requests
+                .windows(2)
+                .all(|w| w[0].arrival_ns <= w[1].arrival_ns),
+            "fleet traces must be time-sorted (use Trace::from_requests)"
+        );
+        Ok(match config.mode {
+            FleetMode::Colocated { replicas } => {
+                self.run_colocated_faulted(trace, replicas, config, plan)
+            }
+            FleetMode::Disaggregated {
+                prefill_replicas,
+                decode_replicas,
+                transfer,
+            } => self.run_disaggregated_faulted(
+                trace,
+                prefill_replicas,
+                decode_replicas,
+                transfer,
+                config,
+                plan,
+            ),
+        })
+    }
+
+    /// The sequential event-driven faulted colocated driver: one heap of
+    /// (arrival, fault, detection, migration-delivery, retry, timeout)
+    /// events in `(time, creation-seq)` order, every live replica stepped to
+    /// each event's instant before it acts.
+    fn run_colocated_faulted(
+        &self,
+        trace: &Trace,
+        replicas: usize,
+        config: &FleetConfig,
+        plan: &FaultPlan,
+    ) -> FleetResult {
+        assert!(replicas > 0, "a pool needs at least one replica");
+        let engine = Engine::new(self.sim, self.model, config.engine);
+        let (max_seq, max_prompt) = trace_bounds(trace);
+        // Migrated requests resume at context `prompt + generated`, which can
+        // reach one short of the full sequence — size the hint accordingly.
+        let (max_seq_hint, max_prompt_hint) = (max_seq + 1, max_prompt);
+        let mut fleet = FaultedFleet {
+            engine: &engine,
+            replicas: (0..replicas)
+                .map(|_| FaultedReplica {
+                    session: Some(engine.session(max_seq_hint, max_prompt_hint)),
+                    scheduler: config.policy.build(),
+                    alive: true,
+                    detected: false,
+                    incarnation: 0,
+                    slow_token: 0,
+                    frozen: IDLE_LOAD,
+                    dropped: Vec::new(),
+                    black_holed: Vec::new(),
+                    retired: Vec::new(),
+                })
+                .collect(),
+            router: config.router.build(config.seed, streams::ROUTER_FRONT, 0),
+            tracks: trace.requests.iter().map(|_| Track::new()).collect(),
+            stats: FaultStats::default(),
+            hold: Vec::new(),
+            assignment: vec![u32::MAX; trace.len()],
+            heap: BinaryHeap::new(),
+            seq: 0,
+            plan,
+            trace,
+            memory: MemoryModel::new(self.sim.config(), self.model),
+            policy: config.policy,
+            max_seq_hint,
+            max_prompt_hint,
+        };
+        // Arrivals enqueue before faults, so a request arriving at the
+        // instant of a crash is routed (and dropped) rather than skipped —
+        // matching the step-then-inject order of the fault-free driver.
+        for (id, request) in trace.requests.iter().enumerate() {
+            fleet.push(request.arrival_ns, FaultedEv::Arrival(id));
+        }
+        let mut order: Vec<usize> = (0..plan.events.len()).collect();
+        order.sort_by(|&a, &b| {
+            plan.events[a]
+                .time_ns
+                .total_cmp(&plan.events[b].time_ns)
+                .then(a.cmp(&b))
+        });
+        for index in order {
+            fleet.push(plan.events[index].time_ns, FaultedEv::Fault(index));
+        }
+
+        while let Some(event) = fleet.heap.pop() {
+            let t = event.time_ns;
+            fleet.step_live(t);
+            match event.ev {
+                FaultedEv::Arrival(id) => fleet.place(id, 0, t),
+                FaultedEv::Fault(index) => fleet.apply_fault(index, t),
+                FaultedEv::Detect {
+                    replica,
+                    incarnation,
+                } => {
+                    let fresh = {
+                        let r = &fleet.replicas[replica];
+                        !r.alive && !r.detected && r.incarnation == incarnation
+                    };
+                    if fresh {
+                        fleet.replicas[replica].detected = true;
+                        fleet.recover(replica, t);
+                    }
+                }
+                FaultedEv::SlowEnd { replica, token } => {
+                    let r = &mut fleet.replicas[replica];
+                    if r.alive && r.slow_token == token {
+                        r.session
+                            .as_mut()
+                            .expect("live replica has a session")
+                            .set_compute_scale(1.0);
+                    }
+                }
+                FaultedEv::Resume {
+                    id,
+                    attempt,
+                    generated,
+                } => fleet.resume(id, attempt, generated, t),
+                FaultedEv::TimeoutCheck { id, attempt } => fleet.timeout_check(id, attempt, t),
+            }
+        }
+        // Requests still held never saw a live replica again: lost.
+        for (id, _, _) in std::mem::take(&mut fleet.hold) {
+            if !fleet.tracks[id].lost {
+                fleet.tracks[id].lost = true;
+                fleet.stats.lost += 1;
+            }
+        }
+        let FaultedFleet {
+            replicas: fleet_replicas,
+            tracks,
+            stats,
+            assignment,
+            ..
+        } = fleet;
+        let results: Vec<SimResult> = fleet_replicas
+            .into_iter()
+            .map(|mut r| {
+                if let Some(mut session) = r.session.take() {
+                    session.step_until(f64::INFINITY, r.scheduler.as_mut());
+                    r.retired.push(session.finish());
+                }
+                merge_sim_results(r.retired)
+            })
+            .collect();
+        let mut out = colocated_result(results, assignment);
+        // Patch recovered outcomes back to trace-native shape: original
+        // arrival and lengths, the true first-token instant for migrations,
+        // and the recovery counters.
+        for o in out.outcomes.iter_mut() {
+            let track = &tracks[o.id];
+            if track.touched {
+                let original = trace.requests[o.id];
+                o.arrival_ns = original.arrival_ns;
+                o.prompt_len = original.prompt_len;
+                o.output_len = original.output_len;
+                if track.first_token_ns.is_finite() {
+                    o.first_token_ns = track.first_token_ns;
+                }
+                o.retries = track.retries;
+                o.migrations = track.migrations;
+            }
+        }
+        out.fault = stats;
+        out
+    }
+
+    /// The faulted disaggregated driver: the sequential fault-free walk with
+    /// slowdown windows applied at their instants and handoff departures
+    /// queued behind link partitions. Crash faults are colocated-only (the
+    /// validator rejects them here).
+    fn run_disaggregated_faulted(
+        &self,
+        trace: &Trace,
+        prefill_replicas: usize,
+        decode_replicas: usize,
+        transfer: StateTransferModel,
+        config: &FleetConfig,
+        plan: &FaultPlan,
+    ) -> FleetResult {
+        let engine = Engine::new(self.sim, self.model, config.engine);
+        let (max_seq, max_prompt) = trace_bounds(trace);
+        let mut prefill = Pool::new(
+            &engine,
+            prefill_replicas,
+            config.policy,
+            max_prompt + 1,
+            max_prompt,
+        );
+        let mut decode = Pool::new(&engine, decode_replicas, config.policy, max_seq + 1, 1);
+        let mut front = config.router.build(config.seed, streams::ROUTER_FRONT, 0);
+        let mut back = config.router.build(config.seed, streams::ROUTER_DECODE, 1);
+        let memory = MemoryModel::new(self.sim.config(), self.model);
+        let mut stats = FaultStats::default();
+
+        // Merge link partitions into disjoint [start, heal) windows; a
+        // handoff whose state departs inside a window queues at the link and
+        // ships when it heals.
+        let mut raw_windows: Vec<(f64, f64)> = plan
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::LinkDown { duration_ns } => Some((e.time_ns, e.time_ns + duration_ns)),
+                _ => None,
+            })
+            .collect();
+        stats.link_downs = raw_windows.len() as u32;
+        raw_windows.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut link_windows: Vec<(f64, f64)> = Vec::new();
+        for (start, heal) in raw_windows {
+            match link_windows.last_mut() {
+                Some(last) if start <= last.1 => last.1 = last.1.max(heal),
+                _ => link_windows.push((start, heal)),
+            }
+        }
+        let departs_at = |completion_ns: f64| {
+            for &(start, heal) in &link_windows {
+                if completion_ns < start {
+                    break;
+                }
+                if completion_ns < heal {
+                    return heal;
+                }
+            }
+            completion_ns
+        };
+
+        // The driver timeline: trace arrivals merged with the (statically
+        // known) slowdown starts/ends, in (time, creation-seq) order —
+        // arrivals first at equal instants, later slowdowns superseding
+        // earlier ones per replica via tokens.
+        enum DisEv {
+            Arrival(usize),
+            Slow {
+                replica: usize,
+                factor: f64,
+                token: u64,
+            },
+            SlowEnd {
+                replica: usize,
+                token: u64,
+            },
+        }
+        let mut timeline: Vec<(f64, u64, DisEv)> = Vec::new();
+        let mut seq = 0u64;
+        for (id, request) in trace.requests.iter().enumerate() {
+            timeline.push((request.arrival_ns, seq, DisEv::Arrival(id)));
+            seq += 1;
+        }
+        let mut slow: Vec<(f64, usize, f64, f64)> = plan
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Slowdown {
+                    replica,
+                    factor,
+                    duration_ns,
+                } => Some((e.time_ns, replica, factor, duration_ns)),
+                _ => None,
+            })
+            .collect();
+        slow.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (token, &(t, replica, factor, duration_ns)) in slow.iter().enumerate() {
+            let token = token as u64;
+            timeline.push((
+                t,
+                seq,
+                DisEv::Slow {
+                    replica,
+                    factor,
+                    token,
+                },
+            ));
+            seq += 1;
+            timeline.push((t + duration_ns, seq, DisEv::SlowEnd { replica, token }));
+            seq += 1;
+        }
+        timeline.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut active: Vec<Option<u64>> = vec![None; prefill_replicas + decode_replicas];
+
+        let mut handoffs: BinaryHeap<Handoff> = BinaryHeap::new();
+        let mut handoff_seq = 0u64;
+        let mut assignment = Vec::with_capacity(trace.len());
+        let mut decode_assignment = vec![u32::MAX; trace.len()];
+
+        let collect =
+            |prefill: &mut Pool<'_>, handoffs: &mut BinaryHeap<Handoff>, handoff_seq: &mut u64| {
+                let mut fresh = Vec::new();
+                for session in prefill.sessions.iter_mut() {
+                    fresh.extend(session.drain_completions());
+                }
+                fresh.sort_by(|a, b| {
+                    a.completion_ns
+                        .total_cmp(&b.completion_ns)
+                        .then_with(|| a.id.cmp(&b.id))
+                });
+                for done in fresh {
+                    let original = trace.requests[done.id];
+                    if original.output_len <= 1 {
+                        continue;
+                    }
+                    let bytes = memory.dynamic_bytes(1, original.prompt_len + 1);
+                    handoffs.push(Handoff {
+                        time_ns: departs_at(done.completion_ns) + transfer.transfer_ns(bytes),
+                        seq: *handoff_seq,
+                        id: done.id,
+                    });
+                    *handoff_seq += 1;
+                }
+            };
+
+        for &(t, _, ref ev) in &timeline {
+            prefill.step_until(t);
+            collect(&mut prefill, &mut handoffs, &mut handoff_seq);
+            while handoffs.peek().is_some_and(|h| h.time_ns < t) {
+                let h = handoffs.pop().expect("peeked handoff vanished");
+                deliver(
+                    &mut decode,
+                    back.as_mut(),
+                    trace,
+                    &h,
+                    &mut decode_assignment,
+                );
+            }
+            // Touching a pool's compute scale requires stepping it to `t`
+            // first, so events before the change keep the old latency (the
+            // decode pool otherwise only advances at handoff deliveries;
+            // stepping it here injects nothing, a bit-level no-op).
+            match *ev {
+                DisEv::Arrival(id) => {
+                    let request = trace.requests[id];
+                    let pre_request = TraceRequest {
+                        arrival_ns: t,
+                        output_len: 1,
+                        ..request
+                    };
+                    let choice = front.route(id, &pre_request, prefill.loads());
+                    assert!(
+                        choice < prefill_replicas,
+                        "router returned replica {choice}"
+                    );
+                    prefill.sessions[choice].inject(id, pre_request);
+                    assignment.push(choice as u32);
+                }
+                DisEv::Slow {
+                    replica,
+                    factor,
+                    token,
+                } => {
+                    stats.slowdowns += 1;
+                    active[replica] = Some(token);
+                    if replica < prefill_replicas {
+                        prefill.sessions[replica].set_compute_scale(factor);
+                    } else {
+                        decode.step_until(t);
+                        decode.sessions[replica - prefill_replicas].set_compute_scale(factor);
+                    }
+                }
+                DisEv::SlowEnd { replica, token } => {
+                    if active[replica] == Some(token) {
+                        active[replica] = None;
+                        if replica < prefill_replicas {
+                            prefill.sessions[replica].set_compute_scale(1.0);
+                        } else {
+                            decode.step_until(t);
+                            decode.sessions[replica - prefill_replicas].set_compute_scale(1.0);
+                        }
+                    }
+                }
+            }
+        }
+
+        prefill.step_until(f64::INFINITY);
+        collect(&mut prefill, &mut handoffs, &mut handoff_seq);
+        while let Some(h) = handoffs.pop() {
+            deliver(
+                &mut decode,
+                back.as_mut(),
+                trace,
+                &h,
+                &mut decode_assignment,
+            );
+        }
+        let prefill_results = prefill.finish();
+        let decode_results = decode.finish();
+        let mut out = disaggregated_result(
+            trace,
+            prefill_results,
+            decode_results,
+            assignment,
+            decode_assignment,
+        );
+        out.fault = stats;
+        out
     }
 
     fn run_colocated(&self, trace: &Trace, replicas: usize, config: &FleetConfig) -> FleetResult {
@@ -809,6 +1793,7 @@ fn colocated_result(results: Vec<SimResult>, assignment: Vec<u32>) -> FleetResul
         assignment,
         decode_assignment: Vec::new(),
         makespan_ns,
+        fault: FaultStats::default(),
     }
 }
 
@@ -848,6 +1833,8 @@ fn disaggregated_result(
             output_len: r.output_len,
             tenant: r.tenant,
             priority: r.priority,
+            retries: 0,
+            migrations: 0,
         })
         .collect();
     let makespan_ns = prefill_results
@@ -876,6 +1863,7 @@ fn disaggregated_result(
         assignment,
         decode_assignment,
         makespan_ns,
+        fault: FaultStats::default(),
     }
 }
 
@@ -929,6 +1917,7 @@ fn trace_bounds(trace: &Trace) -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::RetryPolicy;
     use pimba_models::config::{ModelFamily, ModelScale};
     use pimba_serve::traffic::Scenario;
     use pimba_system::config::{SystemConfig, SystemKind};
@@ -1031,5 +2020,280 @@ mod tests {
             p99_ttft(RouterKind::PowerOfTwo) < rr,
             "po2 p99 TTFT must beat round-robin's {rr}"
         );
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_run() {
+        let (sim, model) = setup();
+        let trace = small_trace(60);
+        let plan = FaultPlan::default();
+        for router in RouterKind::ALL {
+            for workers in [1, 4] {
+                let config = FleetConfig {
+                    router,
+                    workers,
+                    ..FleetConfig::colocated(4)
+                };
+                let fleet = FleetSim::new(&sim, &model);
+                let baseline = fleet.run(&trace, &config);
+                let faulted = fleet
+                    .run_faulted(&trace, &config, &plan)
+                    .expect("empty plan validates");
+                assert_eq!(baseline, faulted, "{} workers={workers}", router.name());
+            }
+        }
+    }
+
+    #[test]
+    fn run_faulted_rejects_invalid_plans_with_field_names() {
+        let (sim, model) = setup();
+        let trace = small_trace(10);
+        let fleet = FleetSim::new(&sim, &model);
+        let plan = FaultPlan::default().crash(0.0, 9);
+        let err = fleet
+            .run_faulted(&trace, &FleetConfig::colocated(4), &plan)
+            .expect_err("out-of-range replica must be rejected");
+        assert_eq!(err.field, "events[0].replica");
+        let plan = FaultPlan::default().crash(0.0, 0);
+        let dis = FleetConfig {
+            mode: FleetMode::Disaggregated {
+                prefill_replicas: 2,
+                decode_replicas: 2,
+                transfer: StateTransferModel::nvlink(),
+            },
+            ..FleetConfig::colocated(4)
+        };
+        let err = fleet
+            .run_faulted(&trace, &dis, &plan)
+            .expect_err("crashes are colocated-only");
+        assert_eq!(err.field, "events[0].kind");
+    }
+
+    #[test]
+    fn faulted_runs_are_bit_identical_across_worker_counts_and_repeats() {
+        let (sim, model) = setup();
+        let trace = small_trace(60);
+        let plan = FaultPlan::default()
+            .crash(0.25e9, 1)
+            .restart(0.45e9, 1)
+            .slowdown(0.1e9, 2, 3.0, 0.2e9);
+        let fleet = FleetSim::new(&sim, &model);
+        let mut results = Vec::new();
+        for workers in [1, 2, 8] {
+            for _ in 0..2 {
+                let config = FleetConfig {
+                    router: RouterKind::PowerOfTwo,
+                    workers,
+                    ..FleetConfig::colocated(4)
+                };
+                results.push(fleet.run_faulted(&trace, &config, &plan).expect("valid"));
+            }
+        }
+        for r in &results[1..] {
+            assert_eq!(results[0], *r);
+        }
+    }
+
+    #[test]
+    fn kill_and_migrate_conserves_requests_and_counts_recoveries() {
+        let (sim, model) = setup();
+        let trace = small_trace(80);
+        let plan = FaultPlan::kill_storm(4, 2, 0.2e9, 0.4e9, 0.15e9);
+        let config = FleetConfig {
+            router: RouterKind::Jsq,
+            ..FleetConfig::colocated(4)
+        };
+        let result = FleetSim::new(&sim, &model)
+            .run_faulted(&trace, &config, &plan)
+            .expect("valid plan");
+        assert_eq!(result.fault.crashes, 2);
+        assert_eq!(result.fault.restarts, 2);
+        assert!(
+            result.fault.migrations + result.fault.retries > 0,
+            "a kill storm mid-trace must disturb at least one request"
+        );
+        assert_eq!(
+            result.outcomes.len() + result.fault.lost as usize,
+            trace.len(),
+            "every request either completes or is counted lost"
+        );
+        for o in &result.outcomes {
+            let original = trace.requests[o.id];
+            assert_eq!(o.prompt_len, original.prompt_len);
+            assert_eq!(o.output_len, original.output_len);
+            assert_eq!(o.arrival_ns, original.arrival_ns);
+            assert!(o.first_token_ns > o.arrival_ns);
+            assert!(o.completion_ns >= o.first_token_ns);
+            if o.migrations > 0 {
+                assert!(result.fault.migrated_bytes > 0.0);
+            }
+        }
+        let recovered: u32 = result.outcomes.iter().map(|o| o.migrations).sum();
+        assert_eq!(recovered, result.fault.migrations);
+    }
+
+    #[test]
+    fn migration_preserves_progress_that_retry_only_redoes() {
+        let (sim, model) = setup();
+        let trace = small_trace(80);
+        let plan = FaultPlan::kill_storm(4, 2, 0.2e9, 0.4e9, 0.15e9);
+        let config = FleetConfig {
+            router: RouterKind::Jsq,
+            ..FleetConfig::colocated(4)
+        };
+        let fleet = FleetSim::new(&sim, &model);
+        let run = |recovery: RecoveryPolicy| {
+            let plan = FaultPlan {
+                recovery,
+                ..plan.clone()
+            };
+            fleet.run_faulted(&trace, &config, &plan).expect("valid")
+        };
+        let migrate = run(RecoveryPolicy::Migrate);
+        let retry = run(RecoveryPolicy::RetryOnly);
+        let none = run(RecoveryPolicy::None);
+        assert_eq!(retry.fault.migrations, 0);
+        assert_eq!(none.fault.migrations + none.fault.retries, 0);
+        assert!(
+            none.fault.lost > 0,
+            "no-recovery must lose the dropped requests"
+        );
+        assert_eq!(none.outcomes.len() + none.fault.lost as usize, trace.len());
+        // Migration resumes mid-stream: every migrated request restarts
+        // decode from its checkpoint, so its completion can only be earlier
+        // than the from-scratch retry of the same request.
+        if migrate.fault.migrations > 0 && retry.fault.retries > 0 {
+            let mean = |r: &FleetResult| {
+                r.outcomes
+                    .iter()
+                    .map(|o| o.completion_ns - o.arrival_ns)
+                    .sum::<f64>()
+                    / r.outcomes.len() as f64
+            };
+            assert!(
+                mean(&migrate) <= mean(&retry),
+                "migration must not be slower end-to-end than redoing work"
+            );
+        }
+    }
+
+    #[test]
+    fn slowdown_stretches_the_colocated_makespan() {
+        let (sim, model) = setup();
+        let trace = small_trace(40);
+        let config = FleetConfig::colocated(2);
+        let fleet = FleetSim::new(&sim, &model);
+        let baseline = fleet.run(&trace, &config);
+        let plan = FaultPlan::default()
+            .slowdown(0.0, 0, 8.0, 5.0e9)
+            .slowdown(0.0, 1, 8.0, 5.0e9);
+        let slowed = fleet.run_faulted(&trace, &config, &plan).expect("valid");
+        assert_eq!(slowed.fault.slowdowns, 2);
+        assert_eq!(slowed.outcomes.len(), trace.len());
+        assert!(
+            slowed.makespan_ns > baseline.makespan_ns,
+            "an 8x slowdown across the fleet must stretch the makespan"
+        );
+    }
+
+    #[test]
+    fn queue_timeouts_retry_and_bound_attempts() {
+        let (sim, model) = setup();
+        // One slow replica, a burst of arrivals, and a timeout shorter than
+        // the queue wait: late requests must churn through retries.
+        let trace = Scenario::chat().generate(400.0, 60, 99);
+        let config = FleetConfig {
+            router: RouterKind::RoundRobin,
+            ..FleetConfig::colocated(2)
+        };
+        let plan = FaultPlan {
+            retry: RetryPolicy {
+                timeout_ns: 2.0e6,
+                max_attempts: 2,
+                base_backoff_ns: 1.0e6,
+                max_backoff_ns: 8.0e6,
+                jitter_ns: 0.5e6,
+            },
+            recovery: RecoveryPolicy::RetryOnly,
+            ..FaultPlan::default()
+        }
+        .slowdown(0.0, 0, 50.0, 10.0e9)
+        .slowdown(0.0, 1, 50.0, 10.0e9);
+        let result = FleetSim::new(&sim, &model)
+            .run_faulted(&trace, &config, &plan)
+            .expect("valid");
+        assert!(result.fault.timeouts > 0, "timeouts must fire");
+        assert_eq!(
+            result.fault.timeouts,
+            result.fault.retries + result.fault.lost
+        );
+        assert_eq!(
+            result.outcomes.len() + result.fault.lost as usize,
+            trace.len()
+        );
+        for o in &result.outcomes {
+            assert!(o.retries <= plan.retry.max_attempts);
+        }
+    }
+
+    #[test]
+    fn disaggregated_link_partition_delays_handoffs() {
+        let (sim, model) = setup();
+        let trace = small_trace(40);
+        let config = FleetConfig {
+            mode: FleetMode::Disaggregated {
+                prefill_replicas: 2,
+                decode_replicas: 2,
+                transfer: StateTransferModel::nvlink(),
+            },
+            ..FleetConfig::colocated(4)
+        };
+        let fleet = FleetSim::new(&sim, &model);
+        let baseline = fleet.run(&trace, &config);
+        let plan = FaultPlan::default().link_down(0.0, 2.0e9);
+        let result = fleet.run_faulted(&trace, &config, &plan).expect("valid");
+        assert_eq!(result.fault.link_downs, 1);
+        assert_eq!(result.outcomes.len(), trace.len());
+        // Every handoff departing during the partition queues until it
+        // heals: no decode can finish meaningfully before the window ends.
+        assert!(
+            result.makespan_ns > baseline.makespan_ns,
+            "a 2s partition must delay the fleet"
+        );
+        let min_completion = result
+            .outcomes
+            .iter()
+            .filter(|o| o.output_len > 1)
+            .map(|o| o.completion_ns)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min_completion > 2.0e9,
+            "multi-token completions ride the healed link (got {min_completion})"
+        );
+    }
+
+    #[test]
+    fn disaggregated_slowdowns_are_deterministic_and_stretch_decode() {
+        let (sim, model) = setup();
+        let trace = small_trace(40);
+        let config = FleetConfig {
+            mode: FleetMode::Disaggregated {
+                prefill_replicas: 2,
+                decode_replicas: 2,
+                transfer: StateTransferModel::nvlink(),
+            },
+            ..FleetConfig::colocated(4)
+        };
+        let fleet = FleetSim::new(&sim, &model);
+        let baseline = fleet.run(&trace, &config);
+        // Slow both decode replicas (indices 2 and 3 in fleet order).
+        let plan = FaultPlan::default()
+            .slowdown(0.0, 2, 10.0, 10.0e9)
+            .slowdown(0.0, 3, 10.0, 10.0e9);
+        let a = fleet.run_faulted(&trace, &config, &plan).expect("valid");
+        let b = fleet.run_faulted(&trace, &config, &plan).expect("valid");
+        assert_eq!(a, b, "faulted disaggregated runs are bit-reproducible");
+        assert_eq!(a.fault.slowdowns, 2);
+        assert!(a.makespan_ns > baseline.makespan_ns);
     }
 }

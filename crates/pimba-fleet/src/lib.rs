@@ -16,6 +16,11 @@
 //!   [`StateTransferModel`](pimba_system::transfer::StateTransferModel)-priced
 //!   state handoff (where Pimba's small quantized SU-LLM state shines versus
 //!   a GPU KV cache),
+//! * [`fault`] — deterministic failure injection: seedable
+//!   [`FaultPlan`]s (crashes, restarts, slowdowns, link
+//!   partitions) and the recovery stack — failure detection, live migration
+//!   of in-flight requests, bounded retry with backoff — driven by
+//!   [`FleetSim::run_faulted`](cluster::FleetSim::run_faulted),
 //! * [`metrics`] — fleet-level outcomes, per-replica reports and
 //!   [`TrafficSummary`](pimba_serve::metrics::TrafficSummary)-shaped
 //!   aggregates,
@@ -58,12 +63,17 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cluster;
+pub mod fault;
 pub mod memo;
 pub mod metrics;
 pub mod router;
 pub mod runner;
 
 pub use cluster::{FleetConfig, FleetMode, FleetSim};
+pub use fault::{
+    FaultError, FaultEvent, FaultKind, FaultParseError, FaultPlan, FaultStats, RecoveryPolicy,
+    RetryPolicy,
+};
 pub use memo::FleetMemo;
 pub use metrics::{FleetResult, ReplicaReport, ReplicaRole};
 pub use router::{

@@ -4,7 +4,7 @@
 //! one more rate point, a different replica count — and today re-simulates
 //! every cell from scratch even though most cells' inputs are untouched.
 //! [`FleetMemo`] makes such grids incremental: every artifact the runner
-//! produces is keyed by a [`Fingerprint`](pimba_system::memo::Fingerprint) of its *complete* input identity
+//! produces is keyed by a [`Fingerprint`] of its *complete* input identity
 //! (see [`pimba_system::memo`] for the purity contract) and stored in a
 //! concurrent [`MemoStore`], so a re-evaluation only pays for the cells whose
 //! inputs actually changed. Three stores cover the runner's three costs:
@@ -22,13 +22,14 @@
 //! deliberately *excluded* from every fingerprint, so a grid evaluated
 //! sequentially warms the memo for a parallel re-evaluation and vice versa.
 
+use crate::fault::FaultStats;
 use crate::router::RouterKind;
 use crate::runner::FleetRecord;
 use pimba_serve::codec::{
     decode_summary, decode_tenant_summaries, encode_summary, encode_tenant_summaries,
 };
 use pimba_serve::traffic::Trace;
-use pimba_system::memo::{MemoStats, MemoStore};
+use pimba_system::memo::{Fingerprint, MemoStats, MemoStore};
 use pimba_system::persist::{ByteReader, ByteWriter, LoadReport, MemoValue};
 use std::path::Path;
 
@@ -36,7 +37,7 @@ pub use pimba_serve::runner::{fold_trace, trace_fingerprint};
 
 /// Schema tag of the [`FleetRecord`] codec (see [`pimba_serve::codec`] for
 /// the tagging convention).
-const FLEET_RECORD_SCHEMA: u8 = 1;
+const FLEET_RECORD_SCHEMA: u8 = 2;
 
 fn router_tag(router: RouterKind) -> u8 {
     match router {
@@ -70,6 +71,21 @@ impl MemoValue for FleetRecord {
         out.f64(self.goodput_per_replica);
         pimba_system::persist::encode_vec(out, &self.per_replica_completed, |out, &n| out.usize(n));
         encode_tenant_summaries(out, &self.per_tenant);
+        let f = &self.fault;
+        for n in [
+            f.crashes,
+            f.restarts,
+            f.slowdowns,
+            f.link_downs,
+            f.migrations,
+            f.retries,
+            f.timeouts,
+            f.black_holed,
+            f.lost,
+        ] {
+            out.u32(n);
+        }
+        out.f64(f.migrated_bytes);
     }
 
     fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
@@ -87,6 +103,18 @@ impl MemoValue for FleetRecord {
             goodput_per_replica: reader.f64()?,
             per_replica_completed: reader.vec(|r| r.usize())?,
             per_tenant: decode_tenant_summaries(reader)?,
+            fault: FaultStats {
+                crashes: reader.u32()?,
+                restarts: reader.u32()?,
+                slowdowns: reader.u32()?,
+                link_downs: reader.u32()?,
+                migrations: reader.u32()?,
+                retries: reader.u32()?,
+                timeouts: reader.u32()?,
+                black_holed: reader.u32()?,
+                lost: reader.u32()?,
+                migrated_bytes: reader.f64()?,
+            },
         })
     }
 }
@@ -157,6 +185,21 @@ impl FleetMemo {
     /// Number of memoized grid cells.
     pub fn cells_stored(&self) -> usize {
         self.cells.len()
+    }
+
+    /// Every memoized cell fingerprint, sorted by `(hi, lo)` words (a
+    /// deterministic enumeration order).
+    pub fn cell_keys(&self) -> Vec<Fingerprint> {
+        self.cells.keys()
+    }
+
+    /// Compacts every disk-backed store whose dead-byte ratio is at least
+    /// `threshold` (see [`MemoStore::compact`]); returns the total bytes
+    /// reclaimed. A no-op (`Ok(0)`) for in-memory memos.
+    pub fn compact(&self, threshold: f64) -> std::io::Result<u64> {
+        Ok(self.traces.compact(threshold)?
+            + self.max_batches.compact(threshold)?
+            + self.cells.compact(threshold)?)
     }
 }
 

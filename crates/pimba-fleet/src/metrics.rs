@@ -1,6 +1,7 @@
 //! Fleet-level results: merged per-request outcomes, per-replica reports and
 //! aggregate SLO metrics.
 
+use crate::fault::FaultStats;
 use pimba_serve::metrics::{
     PreemptionStats, RequestOutcome, SimResult, SloSpec, TelemetryStats, TenantSlos, TenantSummary,
     Throughput, TrafficSummary,
@@ -76,6 +77,9 @@ pub struct FleetResult {
     /// Fleet makespan: the latest event time across all replicas, in
     /// nanoseconds.
     pub makespan_ns: f64,
+    /// Fault-and-recovery counters (all zeros unless the fleet ran under a
+    /// non-empty [`FaultPlan`](crate::fault::FaultPlan)).
+    pub fault: FaultStats,
 }
 
 impl FleetResult {
@@ -238,6 +242,7 @@ mod tests {
             assignment: vec![0, 0],
             decode_assignment: Vec::new(),
             makespan_ns: 1.0e9,
+            fault: FaultStats::default(),
         };
         // Tenant 1 interactive (100 ms TTFT), tenant 2 lax (2 s TTFT).
         let slos = TenantSlos::uniform(SloSpec {
@@ -292,6 +297,7 @@ mod tests {
             assignment: vec![0, 1, 1],
             decode_assignment: Vec::new(),
             makespan_ns: 10.0e9,
+            fault: FaultStats::default(),
         };
         let slo = SloSpec {
             ttft_ms: 100.0,
@@ -325,6 +331,7 @@ mod tests {
             assignment: vec![0],
             decode_assignment: Vec::new(),
             makespan_ns: 2.0e6,
+            fault: FaultStats::default(),
         };
         let s = result.summary(&SloSpec::default());
         assert_eq!(s.completed, 1);
@@ -340,6 +347,7 @@ mod tests {
             assignment: Vec::new(),
             decode_assignment: Vec::new(),
             makespan_ns: 0.0,
+            fault: FaultStats::default(),
         };
         assert_eq!(empty.goodput_per_replica(&SloSpec::default()), 0.0);
         assert_eq!(empty.summary(&SloSpec::default()).completed, 0);

@@ -29,6 +29,9 @@ pub mod streams {
     pub const ROUTER_FRONT: u64 = 0x0F2C_0001;
     /// Power-of-two-choices sampling of the disaggregated decode-pool router.
     pub const ROUTER_DECODE: u64 = 0x0F2C_0002;
+    /// Backoff jitter of the fault-recovery retry path (one substream per
+    /// `(request id, attempt)` pair, so retries never perturb router draws).
+    pub const RETRY_JITTER: u64 = 0x0F2C_0003;
 }
 
 /// One replica's load as the router sees it at an arrival instant.

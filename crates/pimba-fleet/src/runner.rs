@@ -10,6 +10,7 @@
 //! worker-thread count (each cell is a pure function of the grid).
 
 use crate::cluster::{FleetConfig, FleetMode, FleetSim};
+use crate::fault::{FaultPlan, FaultStats};
 use crate::memo::{fold_trace, FleetMemo};
 use crate::metrics::FleetResult;
 use crate::router::RouterKind;
@@ -108,6 +109,10 @@ pub struct FleetGrid {
     /// Timeline decimation for the per-replica telemetry (0 stores no points;
     /// fleet grids default to 0 — aggregates stay exact).
     pub timeline_sample_every: usize,
+    /// Fault schedule applied to every cell; `None` (the default) runs the
+    /// fault-free drivers. Folded into memo cell keys only when present, so
+    /// fault-free grids keep their existing memo entries byte-for-byte.
+    pub fault: Option<FaultPlan>,
 }
 
 impl FleetGrid {
@@ -132,6 +137,7 @@ impl FleetGrid {
             seq_bucket: 32,
             fast_forward: true,
             timeline_sample_every: 0,
+            fault: None,
         }
     }
 
@@ -227,6 +233,13 @@ impl FleetGrid {
         self
     }
 
+    /// Applies a fault schedule to every cell. The plan must validate against
+    /// every cell's topology (checked when the grid runs).
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     /// Number of grid cells.
     pub fn len(&self) -> usize {
         self.systems.len()
@@ -284,6 +297,9 @@ pub struct FleetRecord {
     /// Per-tenant fleet metrics, ascending tenant order, each under its own
     /// SLO from [`FleetGrid::tenant_slos`].
     pub per_tenant: Vec<TenantSummary>,
+    /// Fault-injection and recovery counters — all zeros unless the grid
+    /// carried a [`FleetGrid::fault`] plan.
+    pub fault: FaultStats,
 }
 
 /// Parallel evaluator of [`FleetGrid`]s.
@@ -457,7 +473,13 @@ impl FleetRunner {
             };
             let trace = &traces[scn * grid.rates_rps.len() + rate];
             let eval = || {
-                let result = FleetSim::new(&sims[sys], &grid.model).run(trace, &config);
+                let fleet = FleetSim::new(&sims[sys], &grid.model);
+                let result = match &grid.fault {
+                    Some(plan) => fleet
+                        .run_faulted(trace, &config, plan)
+                        .unwrap_or_else(|e| panic!("grid fault plan rejected: {e}")),
+                    None => fleet.run(trace, &config),
+                };
                 record_of(grid, &result, sys, scn, grid.rates_rps[rate], &config)
             };
             let record = match memo {
@@ -503,6 +525,12 @@ fn cell_key(
         .debug(&config.policy)
         .debug(&config.engine)
         .u64(config.seed);
+    // Folded only when present: fault-free grids keep the exact keys (and
+    // memo entries) they had before fault injection existed.
+    let builder = match &grid.fault {
+        Some(plan) => builder.debug(plan),
+        None => builder,
+    };
     fold_trace(builder, trace).finish()
 }
 
@@ -529,6 +557,7 @@ fn record_of(
         goodput_per_replica: result.goodput_per_replica(&grid.slo),
         per_replica_completed: result.per_replica_completed(),
         per_tenant: result.per_tenant_summary(&tenant_slos),
+        fault: result.fault,
     }
 }
 
@@ -626,6 +655,27 @@ mod tests {
         let grid = small_grid().with_replica_counts(Vec::new());
         assert!(grid.is_empty());
         assert!(FleetRunner::new().run(&grid).is_empty());
+    }
+
+    #[test]
+    fn faulted_grids_memoize_separately_from_fault_free() {
+        let grid = small_grid();
+        let memo = Arc::new(FleetMemo::new());
+        let runner = FleetRunner::new().with_memo(memo);
+        let base = runner.run(&grid);
+        let faulted_grid = grid
+            .clone()
+            .with_fault(FaultPlan::default().slowdown(0.0, 0, 4.0, 1.0e9));
+        let faulted = runner.run(&faulted_grid);
+        assert_ne!(base, faulted, "a replica slowdown must move the metrics");
+        for r in &faulted {
+            assert_eq!(r.fault.slowdowns, 1);
+            assert_eq!(r.summary.completed, grid.requests_per_cell);
+        }
+        // Warm re-runs of both flavors stay byte-identical: the fault plan is
+        // part of the cell key, so the two grids never collide in the memo.
+        assert_eq!(runner.run(&grid), base);
+        assert_eq!(runner.run(&faulted_grid), faulted);
     }
 
     #[test]

@@ -225,3 +225,36 @@ fn warm_grid_reevaluation_is_byte_identical_with_zero_simulations() {
         "only the new system's cells simulate"
     );
 }
+
+/// The fault-injection identity gate: an **empty** `FaultPlan` routed through
+/// `run_faulted` is byte-identical to `run` for every topology, router and
+/// worker count this suite covers. (Non-empty plans are covered by
+/// `tests/fault_determinism.rs`.)
+#[test]
+fn empty_fault_plan_rides_the_parallel_equivalence_matrix() {
+    let (sim, model) = setup();
+    let fleet = FleetSim::new(&sim, &model);
+    let trace = Scenario::chat().generate(45.0, 90, 0xFA17);
+    let plan = pimba_fleet::fault::FaultPlan::default();
+    for mode in modes() {
+        for router in RouterKind::ALL {
+            for workers in [0, 2, 8] {
+                let mut config = FleetConfig::colocated(1);
+                config.mode = mode;
+                config.router = router;
+                config.workers = workers;
+                config.engine.max_batch = 16;
+                config.engine.seq_bucket = 32;
+                let baseline = fleet.run(&trace, &config);
+                let faulted = fleet
+                    .run_faulted(&trace, &config, &plan)
+                    .expect("empty plan validates");
+                assert!(
+                    baseline == faulted,
+                    "empty plan diverged: {mode:?}/{}/workers={workers}",
+                    router.name()
+                );
+            }
+        }
+    }
+}

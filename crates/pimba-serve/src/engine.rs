@@ -527,6 +527,24 @@ impl Events {
             Self::Single(single) => single.push_work(time_ns),
         }
     }
+
+    /// Discards the pending work completion (the in-flight item dies with a
+    /// crashing replica). Incremental sessions only.
+    fn cancel_work(&mut self) -> bool {
+        match self {
+            Self::Heap(_) => unreachable!("crash hooks are for incremental sessions"),
+            Self::Single(single) => single.cancel_work(),
+        }
+    }
+
+    /// Drains every not-yet-processed arrival's local id, in pop order.
+    /// Incremental sessions only.
+    fn drain_pending_arrivals(&mut self) -> Vec<usize> {
+        match self {
+            Self::Heap(_) => unreachable!("crash hooks are for incremental sessions"),
+            Self::Single(single) => single.drain_pending_arrivals(),
+        }
+    }
 }
 
 /// Where the engine reads step/prefill latencies from — dense per-run tables
@@ -649,6 +667,25 @@ pub struct CompletedRequest {
     pub first_token_ns: f64,
     /// Completion time of the last token.
     pub completion_ns: f64,
+}
+
+/// An incomplete request a crashing replica lost, as drained by
+/// [`Session::crash_drop`] — everything a fault-tolerant driver needs to
+/// recover it: re-submit it elsewhere (retry), or live-migrate its decoding
+/// state to a survivor and resume at `generated` tokens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DroppedRequest {
+    /// The id the request was injected under.
+    pub id: usize,
+    /// The request as injected.
+    pub request: TraceRequest,
+    /// Prompt tokens that arrived pre-prefilled at injection.
+    pub prefilled: usize,
+    /// Tokens generated before the crash (0 for requests that never reached
+    /// the batch).
+    pub generated: usize,
+    /// When the first token was produced (`NaN` if none was).
+    pub first_token_ns: f64,
 }
 
 /// The discrete-event serving engine. Build one per (system, model, policy)
@@ -794,6 +831,12 @@ pub struct Session<'a> {
     drained: usize,
     telemetry: Telemetry,
     now_ns: f64,
+    /// Multiplier on compute latencies (decode steps and prefills) — a
+    /// transient-slowdown knob for fault injection. Exactly 1.0 leaves every
+    /// latency read untouched (bit-identical to a scale-free session); state
+    /// transfers over the checkpoint link are never scaled (the link is not
+    /// the compute fabric).
+    compute_scale: f64,
 }
 
 impl<'a> Session<'a> {
@@ -815,6 +858,31 @@ impl<'a> Session<'a> {
             drained: 0,
             telemetry: Telemetry::new(engine.config.timeline_sample_every),
             now_ns: 0.0,
+            compute_scale: 1.0,
+        }
+    }
+
+    /// Sets the compute-latency multiplier for work dispatched from now on
+    /// (in-flight work keeps its scheduled completion). 1.0 restores normal
+    /// speed and is bit-identical to a session that never saw a scale.
+    ///
+    /// # Panics
+    /// If `scale` is not finite and positive.
+    pub fn set_compute_scale(&mut self, scale: f64) {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "compute scale must be finite and positive, got {scale}"
+        );
+        self.compute_scale = scale;
+    }
+
+    /// Applies the compute-latency multiplier. The `== 1.0` guard keeps the
+    /// default path byte-for-byte free of the multiplication.
+    fn scaled(&self, latency_ns: f64) -> f64 {
+        if self.compute_scale == 1.0 {
+            latency_ns
+        } else {
+            latency_ns * self.compute_scale
         }
     }
 
@@ -913,6 +981,88 @@ impl<'a> Session<'a> {
             .collect();
         self.drained = self.completed_log.len();
         drained
+    }
+
+    /// Simulates the replica crashing *now*: every incomplete request — the
+    /// in-flight work item, the wait queue, the prefilling and decoding
+    /// batches, the checkpointed pool, and arrivals injected but not yet
+    /// processed — is dropped and returned, in deterministic order (queue
+    /// FIFO, then prefilling, then running, then evicted, then pending
+    /// arrivals in pop order). Already-completed requests are untouched; the
+    /// session afterwards satisfies [`Session::finish`]'s drained-state
+    /// assertions, so the crashed incarnation's retired [`SimResult`] keeps
+    /// its pre-crash outcomes. Per-id caller ids are reported, ready for a
+    /// fault driver to retry or migrate.
+    pub fn crash_drop(&mut self) -> Vec<DroppedRequest> {
+        self.work = None;
+        self.events.cancel_work();
+        let mut dropped = Vec::new();
+        while let Some(w) = self.queue.pop_front() {
+            let sr = self.requests[w.id];
+            dropped.push(DroppedRequest {
+                id: sr.id,
+                request: sr.request,
+                prefilled: w.prefilled,
+                generated: 0,
+                first_token_ns: f64::NAN,
+            });
+        }
+        let batched = std::mem::take(&mut self.prefilling)
+            .into_iter()
+            .chain(std::mem::take(&mut self.running))
+            .chain(
+                std::mem::take(&mut self.evicted)
+                    .into_iter()
+                    .map(|e| e.slot),
+            );
+        for slot in batched {
+            let sr = self.requests[slot.id];
+            dropped.push(DroppedRequest {
+                id: sr.id,
+                request: sr.request,
+                prefilled: sr.prefilled,
+                generated: slot.generated,
+                first_token_ns: self.first_token[slot.id],
+            });
+        }
+        for local in self.events.drain_pending_arrivals() {
+            let sr = self.requests[local];
+            dropped.push(DroppedRequest {
+                id: sr.id,
+                request: sr.request,
+                prefilled: sr.prefilled,
+                generated: 0,
+                first_token_ns: f64::NAN,
+            });
+        }
+        dropped
+    }
+
+    /// Removes the still-waiting request injected under caller id `id` from
+    /// the admission queue — the per-request timeout hook of a fault driver.
+    /// Returns `false` (and removes nothing) when the request is not waiting
+    /// (unknown, admitted, or already completed), or when it is the queue
+    /// head targeted by an in-flight fused prefill chunk — the chunk's
+    /// completion will mutate the head, so the cancel loses the race and the
+    /// request proceeds as admitted.
+    pub fn cancel_queued(&mut self, id: usize) -> bool {
+        let Some(index) = self
+            .queue
+            .as_slice()
+            .iter()
+            .position(|w| self.requests[w.id].id == id)
+        else {
+            return false;
+        };
+        if index == 0 {
+            if let Some(Work::Step { fused_tokens, .. }) = &self.work {
+                if *fused_tokens > 0 {
+                    return false;
+                }
+            }
+        }
+        self.queue.remove_at(index);
+        true
     }
 
     /// Processes every pending event strictly before `horizon_ns` (pass
@@ -1096,6 +1246,8 @@ impl<'a> Session<'a> {
                 output_len: sr.request.output_len,
                 tenant: sr.request.tenant,
                 priority: sr.request.priority,
+                retries: 0,
+                migrations: 0,
             })
             .collect();
         let (timeline, stats) = self.telemetry.finish();
@@ -1116,14 +1268,15 @@ impl<'a> Session<'a> {
     /// of every chunk being miscosted as a fresh short prompt.
     fn chunk_prefill_ns(&mut self, already: usize, tokens: usize) -> f64 {
         let up_to = self.latencies.prefill_ns(1, already + tokens);
-        if already == 0 {
+        let raw = if already == 0 {
             up_to
         } else {
             // Bucketing can land both boundaries in the same bucket; the
             // marginal cost is then 0, which averages out across the chunks of
             // one prompt (the cumulative cost is paid at bucket crossings).
             (up_to - self.latencies.prefill_ns(1, already)).max(0.0)
-        }
+        };
+        self.scaled(raw)
     }
 
     /// Advances a run of stable pure-decode steps without handing each one to
@@ -1358,7 +1511,8 @@ impl<'a> Session<'a> {
                 .map(BatchSlot::seq_len)
                 .max()
                 .expect("running non-empty");
-            step_ns = self.latencies.step_ns(batch, seq);
+            let raw = self.latencies.step_ns(batch, seq);
+            step_ns = self.scaled(raw);
         }
     }
 
@@ -1385,7 +1539,8 @@ impl<'a> Session<'a> {
             });
         }
         let latency = if prefill_count > 0 {
-            self.latencies.prefill_ns(prefill_count, max_prompt)
+            let raw = self.latencies.prefill_ns(prefill_count, max_prompt);
+            self.scaled(raw)
         } else {
             0.0
         };
@@ -1601,7 +1756,8 @@ impl<'a> Session<'a> {
                         .map(BatchSlot::seq_len)
                         .max()
                         .expect("running non-empty");
-                    latency_ns += self.latencies.step_ns(self.running.len(), seq);
+                    let raw = self.latencies.step_ns(self.running.len(), seq);
+                    latency_ns += self.scaled(raw);
                 }
                 // Chunking the head is an admission: enforce the batch cap and
                 // memory budget here too, so a policy that skips the
@@ -1993,6 +2149,124 @@ mod tests {
         for pair in first.windows(2) {
             assert!(pair[0].completion_ns <= pair[1].completion_ns);
         }
+    }
+
+    /// A crash mid-run drops every incomplete request (queued, batched and
+    /// not-yet-processed arrivals) exactly once, keeps pre-crash completions,
+    /// and leaves the session in a finishable state.
+    #[test]
+    fn crash_drop_returns_every_incomplete_request_once() {
+        let (sim, model) = setup();
+        let t = Scenarios::burst(8);
+        let engine = Engine::new(
+            &sim,
+            &model,
+            EngineConfig {
+                max_batch: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let mut session = engine.session(4096, 4096);
+        let mut policy = ContinuousBatching;
+        for (id, r) in t.requests.iter().enumerate() {
+            session.inject(id, *r);
+        }
+        // Step partway: some completed, some running, some queued/pending.
+        let mut crash_ns = 0.0;
+        loop {
+            crash_ns += 5.0e6;
+            session.step_until(crash_ns, &mut policy);
+            if session.completed() >= 2 {
+                break;
+            }
+        }
+        let completed_before = session.completed();
+        assert!(completed_before < t.len(), "crash before the run drains");
+        let dropped = session.crash_drop();
+        assert_eq!(dropped.len(), t.len() - completed_before);
+        let mut ids: Vec<usize> = dropped.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), dropped.len(), "each request dropped once");
+        // Requests that produced a token carry their progress for migration.
+        for d in &dropped {
+            assert!(d.generated <= d.request.output_len);
+            assert_eq!(d.generated >= 1, d.first_token_ns.is_finite());
+        }
+        let result = session.finish();
+        assert_eq!(result.outcomes.len(), completed_before);
+    }
+
+    /// The timeout hook removes a waiting request; admitted or unknown ids
+    /// are refused.
+    #[test]
+    fn cancel_queued_removes_waiting_requests_only() {
+        let (sim, model) = setup();
+        let engine = Engine::new(
+            &sim,
+            &model,
+            EngineConfig {
+                max_batch: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let mut session = engine.session(4096, 4096);
+        let mut policy = ContinuousBatching;
+        let request = |arrival_ns: f64| TraceRequest {
+            arrival_ns,
+            prompt_len: 256,
+            output_len: 16,
+            ..TraceRequest::default()
+        };
+        session.inject(10, request(0.0));
+        session.inject(11, request(0.0));
+        session.step_until(1.0, &mut policy);
+        // Batch cap 1: id 10 is admitted, id 11 waits.
+        assert_eq!(session.queue_depth(), 1);
+        assert!(!session.cancel_queued(10), "admitted request is refused");
+        assert!(!session.cancel_queued(99), "unknown id is refused");
+        assert!(session.cancel_queued(11), "waiting request is removed");
+        assert_eq!(session.queue_depth(), 0);
+        session.step_until(f64::INFINITY, &mut policy);
+        let result = session.finish();
+        assert_eq!(result.outcomes.len(), 1);
+        assert_eq!(result.outcomes[0].id, 10);
+    }
+
+    /// A compute-scale of exactly 1.0 is bit-identical to never touching the
+    /// knob; a slowdown stretches the makespan and a restored 1.0 returns to
+    /// normal per-step latencies.
+    #[test]
+    fn compute_scale_identity_and_slowdown() {
+        let (sim, model) = setup();
+        let t = Scenarios::burst(8);
+        let engine = Engine::new(&sim, &model, EngineConfig::default());
+        let run_scaled = |scale: Option<f64>| {
+            let mut session = engine.session(4096, 4096);
+            let mut policy = ContinuousBatching;
+            if let Some(s) = scale {
+                session.set_compute_scale(s);
+            }
+            for (id, r) in t.requests.iter().enumerate() {
+                session.step_until(r.arrival_ns, &mut policy);
+                session.inject(id, *r);
+            }
+            session.step_until(f64::INFINITY, &mut policy);
+            session.finish()
+        };
+        let baseline = run_scaled(None);
+        assert_eq!(run_scaled(Some(1.0)), baseline, "scale 1.0 is identity");
+        let slowed = run_scaled(Some(3.0));
+        assert!(slowed.makespan_ns > baseline.makespan_ns);
+        assert_eq!(slowed.outcomes.len(), baseline.outcomes.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn compute_scale_rejects_nonpositive() {
+        let (sim, model) = setup();
+        let engine = Engine::new(&sim, &model, EngineConfig::default());
+        engine.session(64, 64).set_compute_scale(0.0);
     }
 
     #[test]

@@ -216,6 +216,24 @@ impl SingleFlightEvents {
             (None, w) => w,
         }
     }
+
+    /// Discards the pending work completion, if any — the in-flight work item
+    /// dies with a crashing replica. Returns whether a completion was pending.
+    pub fn cancel_work(&mut self) -> bool {
+        self.pending_work_ns.take().is_some()
+    }
+
+    /// Drains every not-yet-popped arrival and returns their trace ids in pop
+    /// order. A crashing replica loses the arrivals it had been handed but had
+    /// not yet admitted into its event flow; the fault driver re-routes them.
+    pub fn drain_pending_arrivals(&mut self) -> Vec<usize> {
+        let pending = self.ids[self.cursor..]
+            .iter()
+            .map(|&i| i as usize)
+            .collect();
+        self.cursor = self.times.len();
+        pending
+    }
 }
 
 #[cfg(test)]
@@ -340,5 +358,23 @@ mod tests {
         let mut s = SingleFlightEvents::empty();
         s.push_arrival(2.0, 0);
         s.push_arrival(1.0, 1);
+    }
+
+    /// Crash hooks: cancelling work frees the single-flight slot, and
+    /// draining pending arrivals returns exactly the not-yet-popped ids in
+    /// pop order, leaving the source empty.
+    #[test]
+    fn crash_hooks_cancel_work_and_drain_arrivals() {
+        let mut s = SingleFlightEvents::new(&[1.0, 2.0, 4.0]);
+        assert!(!s.cancel_work(), "nothing pending yet");
+        s.push_work(3.0);
+        assert_eq!(s.pop().unwrap().kind, EventKind::Arrival(0));
+        assert!(s.cancel_work());
+        assert_eq!(s.drain_pending_arrivals(), vec![1, 2]);
+        assert_eq!(s.pop(), None);
+        assert_eq!(s.peek_time_ns(), None);
+        // The slot is free again after a cancel.
+        s.push_work(5.0);
+        assert_eq!(s.pop().unwrap().kind, EventKind::WorkDone);
     }
 }

@@ -40,6 +40,12 @@ pub struct RequestOutcome {
     pub tenant: u32,
     /// Priority class of the request.
     pub priority: u8,
+    /// Times the request was re-submitted after being lost to a replica
+    /// crash (0 on the fault-free path; set by the fleet fault driver).
+    pub retries: u32,
+    /// Times the request's in-flight state was live-migrated to another
+    /// replica (0 on the fault-free path; set by the fleet fault driver).
+    pub migrations: u32,
 }
 
 impl RequestOutcome {

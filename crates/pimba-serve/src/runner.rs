@@ -119,6 +119,21 @@ impl TrafficMemo {
     pub fn cells_stored(&self) -> usize {
         self.cells.len()
     }
+
+    /// Every memoized cell fingerprint, sorted by `(hi, lo)` words (a
+    /// deterministic enumeration order).
+    pub fn cell_keys(&self) -> Vec<Fingerprint> {
+        self.cells.keys()
+    }
+
+    /// Compacts every disk-backed store whose dead-byte ratio is at least
+    /// `threshold` (see [`pimba_system::memo::MemoStore::compact`]); returns
+    /// the total bytes reclaimed. A no-op (`Ok(0)`) for in-memory memos.
+    pub fn compact(&self, threshold: f64) -> std::io::Result<u64> {
+        Ok(self.traces.compact(threshold)?
+            + self.max_batches.compact(threshold)?
+            + self.cells.compact(threshold)?)
+    }
 }
 
 /// The cartesian (system × scenario × arrival-rate) grid of one traffic study.

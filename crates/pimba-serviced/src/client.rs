@@ -1,10 +1,68 @@
 //! A thin typed client over the daemon's line protocol, used by the example,
 //! the end-to-end tests and the CI smoke gate.
+//!
+//! Transient failures — the daemon not yet listening, a connection dropped
+//! mid-stream — are retried under [`ClientRetry`]: bounded attempts, capped
+//! exponential backoff, and *deterministic* jitter (a pure function of
+//! `(seed, attempt)`, so two clients with different seeds desynchronize
+//! without any wall-clock randomness). Structured refusals are never
+//! retried: a spec the daemon rejected once is rejected forever.
 
 use crate::queue::JobId;
 use netline::{Json, LineConn};
+use rand::rngs::Pcg32;
+use rand::Rng;
 use std::io;
 use std::net::ToSocketAddrs;
+use std::time::Duration;
+
+/// The jitter substream domain (disjoint from the fleet's
+/// `streams::RETRY_JITTER` so daemon- and client-side jitter never share a
+/// sequence).
+const CLIENT_RETRY_STREAM: u64 = 0x0F2C_0004;
+
+/// Bounded retry with capped exponential backoff and deterministic jitter,
+/// for [`Client::connect_with_retry`] and [`Client::run_with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientRetry {
+    /// Total attempts (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Cap on the exponential backoff (jitter is added on top).
+    pub max_backoff: Duration,
+    /// Upper bound of the uniform jitter added to each backoff.
+    pub jitter: Duration,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for ClientRetry {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            jitter: Duration::from_millis(25),
+            seed: 0xC11E,
+        }
+    }
+}
+
+impl ClientRetry {
+    /// The pause before retry number `attempt` (1-based):
+    /// `min(base · 2^(attempt-1), max) + U(0, jitter)`, with the uniform draw
+    /// a pure function of `(seed, attempt)`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(26);
+        let base = self
+            .base_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff);
+        let mut rng = Pcg32::keyed_stream(self.seed, CLIENT_RETRY_STREAM, attempt as u64);
+        base + self.jitter.mul_f64(rng.gen_range(0.0f64..1.0))
+    }
+}
 
 /// A connected protocol client. One in-flight submission per client — open a
 /// second client to cancel or poll concurrently.
@@ -53,6 +111,28 @@ impl Client {
         Ok(Self {
             conn: LineConn::connect(addr)?,
         })
+    }
+
+    /// Connects, retrying transient failures under `retry` (the daemon may
+    /// still be binding, or a restart may be in flight). Returns the last
+    /// error once attempts are exhausted.
+    pub fn connect_with_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        retry: &ClientRetry,
+    ) -> io::Result<Self> {
+        let mut attempt = 0u32;
+        loop {
+            match Self::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= retry.max_attempts.max(1) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(retry.backoff(attempt));
+                }
+            }
+        }
     }
 
     fn request(&mut self, line: &str) -> io::Result<Json> {
@@ -151,6 +231,42 @@ impl Client {
             Ok(job) => Ok(Ok(self.collect(job)?)),
             Err(refusal) => Ok(Err(refusal)),
         }
+    }
+
+    /// [`Client::run`] on a fresh connection per attempt, retrying transient
+    /// I/O failures (refused connections, streams dropped mid-job) under
+    /// `retry`. A memoized daemon makes the re-submit cheap: cells the broken
+    /// attempt already computed answer from the store, byte-identically.
+    /// Structured [`Refusal`]s return immediately — an invalid spec never
+    /// retries.
+    pub fn run_with_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        spec: &Json,
+        priority: i64,
+        timeout_ms: Option<u64>,
+        retry: &ClientRetry,
+    ) -> io::Result<Result<JobOutcome, Refusal>> {
+        let mut attempt = 0u32;
+        loop {
+            match Self::connect(addr.clone())
+                .and_then(|mut client| client.run(spec, priority, timeout_ms))
+            {
+                Ok(outcome) => return Ok(outcome),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= retry.max_attempts.max(1) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(retry.backoff(attempt));
+                }
+            }
+        }
+    }
+
+    /// Enumerates the daemon's stored result fingerprints with per-memo cell
+    /// counts.
+    pub fn list(&mut self) -> io::Result<Json> {
+        self.request(&Json::obj(vec![("cmd", Json::str("list"))]).render())
     }
 
     /// Requests cancellation of a job (from a second connection).

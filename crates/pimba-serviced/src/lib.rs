@@ -61,7 +61,7 @@ pub mod server;
 pub mod spec;
 pub mod store;
 
-pub use client::{Client, JobOutcome};
+pub use client::{Client, ClientRetry, JobOutcome};
 pub use queue::{JobEvent, JobId, JobQueue, JobState};
 pub use server::{Daemon, DaemonConfig};
 pub use spec::{Experiment, SpecError};

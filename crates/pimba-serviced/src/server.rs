@@ -11,6 +11,7 @@
 //! | `{"cmd":"cancel","job":N}` | `{"event":"cancelling","job":N}` (or `error`) |
 //! | `{"cmd":"status","job":N}` | `{"event":"status","job":N,"state":…,"done":…,"total":…}` |
 //! | `{"cmd":"stats"}` | `{"event":"stats","store":{…},"jobs":{…}}` |
+//! | `{"cmd":"list"}` | `{"event":"list","traffic_cells":N,"fleet_cells":M,"cells":[{"memo":…,"fingerprint":…},…]}` |
 //! | `{"cmd":"shutdown"}` | `{"event":"stopping"}`, then the daemon drains |
 //!
 //! Malformed lines and invalid specs get structured
@@ -238,6 +239,14 @@ fn handle_connection(mut conn: LineConn, queue: &Arc<JobQueue>, stopper: &Stoppe
                 ])
                 .render();
                 let _ = conn.write_line(&line);
+            }
+            "list" => {
+                let mut pairs = vec![("event".to_string(), Json::str("list"))];
+                match queue.store().list_json() {
+                    Json::Obj(rest) => pairs.extend(rest),
+                    other => pairs.push(("store".to_string(), other)),
+                }
+                let _ = conn.write_line(&Json::Obj(pairs).render());
             }
             "shutdown" => {
                 let _ =

@@ -10,7 +10,7 @@
 use netline::Json;
 use pimba_fleet::memo::FleetMemo;
 use pimba_serve::runner::TrafficMemo;
-use pimba_system::memo::MemoStats;
+use pimba_system::memo::{Fingerprint, MemoStats};
 use pimba_system::persist::LoadReport;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -23,6 +23,7 @@ pub struct ResultStore {
     /// Fleet-grid memo (traces, capacity searches, cells).
     pub fleet: Arc<FleetMemo>,
     dir: Option<PathBuf>,
+    drain_compact: Option<f64>,
 }
 
 impl ResultStore {
@@ -32,6 +33,7 @@ impl ResultStore {
             traffic: Arc::new(TrafficMemo::new()),
             fleet: Arc::new(FleetMemo::new()),
             dir: None,
+            drain_compact: None,
         }
     }
 
@@ -43,7 +45,20 @@ impl ResultStore {
             traffic: Arc::new(TrafficMemo::persistent(dir)?),
             fleet: Arc::new(FleetMemo::persistent(dir)?),
             dir: Some(dir.to_path_buf()),
+            drain_compact: None,
         })
+    }
+
+    /// Opt in to compaction on [`ResultStore::drain`]: segments whose
+    /// dead-byte ratio is at least `threshold` (in `[0, 1]`) are rewritten to
+    /// live records only when the daemon drains.
+    pub fn with_drain_compact(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && (0.0..=1.0).contains(&threshold),
+            "drain-compact threshold must be in [0, 1]"
+        );
+        self.drain_compact = Some(threshold);
+        self
     }
 
     /// The backing directory, if persistent.
@@ -56,6 +71,59 @@ impl ResultStore {
     pub fn sync(&self) -> std::io::Result<()> {
         self.traffic.sync()?;
         self.fleet.sync()
+    }
+
+    /// Compacts every disk-backed segment whose dead-byte ratio is at least
+    /// `threshold`; returns the total bytes reclaimed (0 for in-memory
+    /// stores).
+    pub fn compact(&self, threshold: f64) -> std::io::Result<u64> {
+        Ok(self.traffic.compact(threshold)? + self.fleet.compact(threshold)?)
+    }
+
+    /// The daemon's shutdown hook: compacts if
+    /// [`ResultStore::with_drain_compact`] opted in, then flushes to stable
+    /// storage.
+    pub fn drain(&self) -> std::io::Result<()> {
+        if let Some(threshold) = self.drain_compact {
+            self.compact(threshold)?;
+        }
+        self.sync()
+    }
+
+    /// Every stored cell fingerprint as `(memo, fingerprint)` pairs — traffic
+    /// cells first, each list sorted — for the protocol's `list` command.
+    pub fn cell_keys(&self) -> Vec<(&'static str, Fingerprint)> {
+        let tag = |memo: &'static str| move |fp| (memo, fp);
+        self.traffic
+            .cell_keys()
+            .into_iter()
+            .map(tag("traffic"))
+            .chain(self.fleet.cell_keys().into_iter().map(tag("fleet")))
+            .collect()
+    }
+
+    /// The store's contents as a JSON object for the daemon's `list`
+    /// command: per-memo cell counts plus every cell fingerprint rendered as
+    /// 32 hex digits, in [`ResultStore::cell_keys`] order.
+    pub fn list_json(&self) -> Json {
+        let render = |(memo, fp): (&'static str, Fingerprint)| {
+            let (hi, lo) = fp.words();
+            Json::obj(vec![
+                ("memo", Json::str(memo)),
+                ("fingerprint", Json::Str(format!("{hi:016x}{lo:016x}"))),
+            ])
+        };
+        Json::obj(vec![
+            (
+                "traffic_cells",
+                Json::Int(self.traffic.cells_stored() as i64),
+            ),
+            ("fleet_cells", Json::Int(self.fleet.cells_stored() as i64)),
+            (
+                "cells",
+                Json::Arr(self.cell_keys().into_iter().map(render).collect()),
+            ),
+        ])
     }
 
     /// Total entries loaded from disk at open (0 for in-memory stores).

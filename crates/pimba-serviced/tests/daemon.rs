@@ -381,3 +381,188 @@ fn kill_nine_mid_job_leaves_a_loadable_warm_store() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn list_enumerates_stored_fingerprints_with_cell_counts() {
+    let daemon = Daemon::start(DaemonConfig::default(), ResultStore::in_memory()).unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+
+    // Empty store: zero counts, empty enumeration.
+    let empty = client.list().unwrap();
+    assert_eq!(empty.get("event").and_then(Json::as_str), Some("list"));
+    assert_eq!(empty.get("traffic_cells").and_then(Json::as_i64), Some(0));
+    assert_eq!(empty.get("fleet_cells").and_then(Json::as_i64), Some(0));
+
+    let traffic = client.run(&traffic_spec(), 0, None).unwrap().unwrap();
+    let fleet = client.run(&fleet_spec(), 0, None).unwrap().unwrap();
+    assert_eq!(
+        (traffic.state.as_str(), fleet.state.as_str()),
+        ("done", "done")
+    );
+
+    let listing = client.list().unwrap();
+    assert_eq!(
+        listing.get("traffic_cells").and_then(Json::as_i64),
+        Some(traffic.records.len() as i64)
+    );
+    assert_eq!(
+        listing.get("fleet_cells").and_then(Json::as_i64),
+        Some(fleet.records.len() as i64)
+    );
+    let Some(Json::Arr(cells)) = listing.get("cells") else {
+        panic!("list must carry a 'cells' array: {}", listing.render());
+    };
+    assert_eq!(cells.len(), traffic.records.len() + fleet.records.len());
+    let mut fingerprints = Vec::new();
+    for cell in cells {
+        let memo = cell.get("memo").and_then(Json::as_str).expect("memo tag");
+        assert!(
+            matches!(memo, "traffic" | "fleet"),
+            "unexpected memo {memo}"
+        );
+        let fp = cell
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .expect("fingerprint");
+        assert_eq!(fp.len(), 32, "fingerprints render as 32 hex digits: {fp}");
+        assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+        fingerprints.push((memo.to_string(), fp.to_string()));
+    }
+    // Deterministic enumeration: traffic first, each memo's keys sorted.
+    let traffic_fps: Vec<_> = fingerprints
+        .iter()
+        .filter(|(m, _)| m == "traffic")
+        .collect();
+    assert!(fingerprints[..traffic_fps.len()]
+        .iter()
+        .all(|(m, _)| m == "traffic"));
+    assert!(traffic_fps.windows(2).all(|w| w[0].1 <= w[1].1));
+
+    // A second client sees the identical listing.
+    let mut other = Client::connect(daemon.addr()).unwrap();
+    assert_eq!(other.list().unwrap().render(), listing.render());
+    daemon.stop();
+}
+
+#[test]
+fn client_retry_reconnects_and_resubmits_after_transient_failures() {
+    use pimba_serviced::client::ClientRetry;
+    let retry = ClientRetry {
+        max_attempts: 3,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        jitter: Duration::from_millis(1),
+        seed: 9,
+    };
+    // Backoff is deterministic, exponential and capped: same (seed, attempt)
+    // always pauses the same time, within [base·2^(n-1), max + jitter].
+    for attempt in 1..=6u32 {
+        let pause = retry.backoff(attempt);
+        assert_eq!(
+            pause,
+            retry.backoff(attempt),
+            "jitter must be a pure function"
+        );
+        assert!(pause <= retry.max_backoff + retry.jitter);
+    }
+    assert!(retry.backoff(2) >= Duration::from_millis(2));
+
+    // Connecting to a dead port exhausts the attempts, then reports the error.
+    let dead = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    assert!(Client::connect_with_retry(dead, &retry).is_err());
+
+    // Against a live daemon, both retrying entry points succeed and the
+    // resubmitted records are byte-identical to a plain run.
+    let daemon = Daemon::start(DaemonConfig::default(), ResultStore::in_memory()).unwrap();
+    let mut client = Client::connect_with_retry(daemon.addr(), &retry).unwrap();
+    let direct = client.run(&traffic_spec(), 0, None).unwrap().unwrap();
+    let retried = Client::run_with_retry(daemon.addr(), &traffic_spec(), 0, None, &retry)
+        .unwrap()
+        .unwrap();
+    assert_eq!(retried.records, direct.records);
+
+    // Structured refusals are not retried: an invalid spec fails fast with
+    // the daemon's error, not an exhausted-attempts timeout.
+    let bad = Json::parse(r#"{"kind":"warp_grid"}"#).unwrap();
+    let refusal = Client::run_with_retry(daemon.addr(), &bad, 0, None, &retry)
+        .unwrap()
+        .expect_err("invalid spec must be refused");
+    assert!(
+        refusal.field.starts_with("spec."),
+        "refusal names the offending spec field: {refusal}"
+    );
+    daemon.stop();
+}
+
+#[test]
+fn drain_compacts_the_store_when_opted_in() {
+    use pimba_system::memo::Fingerprint;
+    use pimba_system::persist::SegmentFile;
+    let dir = temp_dir("drain_compact");
+
+    // Cold run to create the segment files.
+    let cold = {
+        let daemon = Daemon::start(
+            DaemonConfig::default(),
+            ResultStore::persistent(&dir).unwrap(),
+        )
+        .unwrap();
+        let mut client = Client::connect(daemon.addr()).unwrap();
+        let cold = client.run(&traffic_spec(), 0, None).unwrap().unwrap();
+        assert_eq!(cold.state, "done");
+        daemon.stop();
+        cold
+    };
+
+    // Bloat the cell segment with a checksum-valid but undecodable record —
+    // the shape compaction exists to reclaim.
+    let seg_path = dir.join("traffic_cells.seg");
+    {
+        let (mut seg, _) = SegmentFile::open(&seg_path, |_, _| true).unwrap();
+        seg.append(Fingerprint::from_words(0xDEAD, 0xBEEF), b"junk")
+            .unwrap();
+        seg.sync().unwrap();
+    }
+    let bloated = std::fs::metadata(&seg_path).unwrap().len();
+
+    // A daemon opted into drain-compaction rewrites the segment on stop.
+    let daemon = Daemon::start(
+        DaemonConfig::default(),
+        ResultStore::persistent(&dir)
+            .unwrap()
+            .with_drain_compact(0.001),
+    )
+    .unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    let warm = client.run(&traffic_spec(), 0, None).unwrap().unwrap();
+    assert_eq!(warm.records, cold.records);
+    daemon.stop();
+    assert!(
+        std::fs::metadata(&seg_path).unwrap().len() < bloated,
+        "drain must compact the junk away"
+    );
+
+    // The compacted store still answers every cell, byte-identically.
+    let store = ResultStore::persistent(&dir).unwrap();
+    let daemon = Daemon::start(DaemonConfig::default(), store).unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    let reread = client.run(&traffic_spec(), 0, None).unwrap().unwrap();
+    assert_eq!(reread.records, cold.records);
+    let stats = client.stats().unwrap();
+    let misses = stats
+        .get("store")
+        .and_then(|s| s.get("traffic"))
+        .and_then(|t| t.get("cells"))
+        .and_then(|c| c.get("misses"))
+        .and_then(Json::as_i64);
+    assert_eq!(
+        misses,
+        Some(0),
+        "every cell must load from the compacted log"
+    );
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -16,7 +16,7 @@
 
 use pimba::netline::Json;
 use pimba::serviced::spec::Experiment;
-use pimba::serviced::{Client, Daemon, DaemonConfig, ResultStore};
+use pimba::serviced::{Client, ClientRetry, Daemon, DaemonConfig, ResultStore};
 use pimba::system::sweep::RunControl;
 use std::time::Instant;
 
@@ -82,7 +82,10 @@ fn main() {
     println!("daemon listening on {}", daemon.addr());
 
     // Submission 1: stream progress and canonical records as they arrive.
-    let mut client = Client::connect(daemon.addr()).expect("connect");
+    // Connect under the bounded-retry policy (capped exponential backoff,
+    // deterministic jitter) so a daemon still binding is not a hard failure.
+    let retry = ClientRetry::default();
+    let mut client = Client::connect_with_retry(daemon.addr(), &retry).expect("connect");
     let job = client
         .submit(&spec, 0, None)
         .expect("submit")
@@ -114,10 +117,12 @@ fn main() {
     );
     println!("byte-identical to a direct runner call: true");
 
-    // Submission 2: same spec, same daemon — every cell answers from the memo.
+    // Submission 2: same spec, same daemon — every cell answers from the
+    // memo. Submitted through the retrying path (fresh connection per
+    // attempt): a stream dropped mid-job would re-submit, and the memo would
+    // answer the already-computed cells byte-identically.
     let warm_start = Instant::now();
-    let second = client
-        .run(&spec, 0, None)
+    let second = Client::run_with_retry(daemon.addr(), &spec, 0, None, &retry)
         .expect("resubmit")
         .expect("spec accepted");
     let warm_wall = warm_start.elapsed().as_secs_f64();
@@ -128,6 +133,20 @@ fn main() {
         warm_wall * 1e3,
         cold_wall * 1e3
     );
+
+    // Enumerate what the store now holds: per-memo cell counts plus every
+    // stored result fingerprint.
+    let listing = client.list().expect("list");
+    let traffic_cells = listing
+        .get("traffic_cells")
+        .and_then(Json::as_i64)
+        .expect("list.traffic_cells");
+    assert_eq!(
+        traffic_cells as usize,
+        first.records.len(),
+        "the store must hold exactly the cells this grid computed"
+    );
+    println!("list: {}", listing.render());
 
     let stats = client.stats().expect("stats");
     let cell_misses = stats
