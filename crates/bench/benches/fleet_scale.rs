@@ -97,6 +97,12 @@ fn record_results(_c: &mut Criterion) {
         return;
     }
     let n = requests_per_cell();
+    // Opt-in self-profiling: per-phase (routing / stepping / handoff
+    // delivery / window barriers) wall-time report on stderr. Wall clocks
+    // only — simulated results and the JSON artifact are unchanged.
+    if bench::profile_enabled() {
+        pimba_system::obs::enable_profiling();
+    }
     assert_single_replica_bit_identity(n);
     let model = model();
 
@@ -118,6 +124,50 @@ fn record_results(_c: &mut Criterion) {
         .with_slo(SLO)
         .with_seed(2026);
     let records = FleetRunner::new().run(&grid);
+
+    // Observability gate (opt-in): with PIMBA_TRACE set, (a) re-run the
+    // scaling grid with tracing + metrics attached — byte-identical records
+    // mean the artifact below regenerates bit for bit — and (b) check that a
+    // traced empty-FaultPlan fleet still equals the fault-free run.
+    if bench::trace_enabled() {
+        use pimba_fleet::fault::FaultPlan;
+        use pimba_system::obs::{MetricsHub, TraceRecorder};
+        use pimba_system::sweep::RunControl;
+        use std::sync::Arc;
+        let hub = MetricsHub::new();
+        let recorder = Arc::new(TraceRecorder::new());
+        let instrumented = FleetRunner::new()
+            .with_trace(Arc::clone(&recorder))
+            .run_controlled(&grid, &RunControl::new().with_metrics(hub.clone()))
+            .expect("uncancelled run");
+        assert!(
+            instrumented == records,
+            "tracing + metrics changed the fleet records"
+        );
+
+        let sim = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
+        let trace = Scenario::chat().generate(60.0, n.min(200), 2026);
+        let config = FleetConfig {
+            router: RouterKind::Jsq,
+            ..FleetConfig::colocated(4)
+        };
+        let plain = FleetSim::new(&sim, &model).run(&trace, &config);
+        let empty_plan = FleetSim::new(&sim, &model)
+            .with_trace(Arc::clone(&recorder))
+            .with_trace_prefix("empty-plan / ")
+            .run_faulted(&trace, &config, &FaultPlan::default())
+            .expect("empty plan validates");
+        assert!(
+            empty_plan == plain,
+            "a traced empty-FaultPlan fleet must equal the fault-free run"
+        );
+        println!(
+            "  PIMBA_TRACE: instrumented rerun byte-identical, empty fault plan \
+             inert ({} trace events, {} metric series)",
+            recorder.event_count(),
+            hub.snapshot().len()
+        );
+    }
 
     let mut scaling_rows: Vec<Vec<String>> = Vec::new();
     let mut scaling_json: Vec<String> = Vec::new();
@@ -382,6 +432,10 @@ fn record_results(_c: &mut Criterion) {
     let path = bench::results_dir().join("BENCH_fleet_scale.json");
     std::fs::write(&path, json).expect("failed to write BENCH_fleet_scale.json");
     println!("  -> wrote {}", path.display());
+
+    if bench::profile_enabled() {
+        eprintln!("{}", pimba_system::obs::profile_report_text());
+    }
 }
 
 criterion_group!(benches, bench_cells, record_results);

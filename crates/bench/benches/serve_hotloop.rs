@@ -96,6 +96,15 @@ fn record_results(_c: &mut Criterion) {
     let sim = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
     let n = requests_per_cell();
 
+    // Opt-in self-profiling: with PIMBA_PROFILE set, the process-wide phase
+    // profiler times the hot loop's internal phases (routing, stepping,
+    // memo lookups, …) and the per-phase report goes to stderr after
+    // recording. The profiler only reads wall clocks — simulated results
+    // (and the JSON artifact) are unchanged.
+    if bench::profile_enabled() {
+        pimba_system::obs::enable_profiling();
+    }
+
     let mut cells: Vec<Cell> = Vec::new();
     for scenario in scenarios() {
         // A saturating arrival rate: deep queues and full batches are the
@@ -190,6 +199,10 @@ fn record_results(_c: &mut Criterion) {
     let path = bench::results_dir().join("BENCH_serve_hotloop.json");
     std::fs::write(&path, json).expect("failed to write BENCH_serve_hotloop.json");
     println!("  -> wrote {}", path.display());
+
+    if bench::profile_enabled() {
+        eprintln!("{}", pimba_system::obs::profile_report_text());
+    }
 }
 
 criterion_group!(benches, bench_cells, record_results);

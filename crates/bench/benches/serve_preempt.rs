@@ -144,7 +144,22 @@ fn run_cell(
         },
     );
     let mut policy = cell.policy.build();
-    engine.run(trace, policy.as_mut())
+    let result = engine.run(trace, policy.as_mut());
+    // Observability gate (opt-in): with PIMBA_TRACE set, re-run the cell with
+    // an event recorder attached — the traced result must be byte-identical,
+    // so the artifact regenerates bit for bit under tracing.
+    if bench::trace_enabled() {
+        let recorder = pimba_system::obs::TraceRecorder::new();
+        let mut policy = cell.policy.build();
+        let traced = engine.run_traced(trace, policy.as_mut(), recorder.track(cell.config_name));
+        assert_eq!(
+            traced, result,
+            "tracing changed the {} preemption cell",
+            cell.config_name
+        );
+        assert!(recorder.event_count() > 0, "the engine must emit events");
+    }
+    result
 }
 
 fn bench_cells(c: &mut Criterion) {

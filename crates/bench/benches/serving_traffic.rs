@@ -95,6 +95,31 @@ fn record_results(_c: &mut Criterion) {
     println!("\ndeterministic across threads/repeats: {deterministic}");
     assert!(deterministic, "traffic results must be reproducible");
 
+    // Observability gate (opt-in): with PIMBA_TRACE set, re-run the grid with
+    // a trace recorder and a metrics hub attached — the instrumented records
+    // must be byte-identical, so the artifact below regenerates bit for bit.
+    if bench::trace_enabled() {
+        use pimba_system::obs::{MetricsHub, TraceRecorder};
+        use pimba_system::sweep::RunControl;
+        use std::sync::Arc;
+        let hub = MetricsHub::new();
+        let recorder = Arc::new(TraceRecorder::new());
+        let instrumented = TrafficRunner::new()
+            .with_trace(Arc::clone(&recorder))
+            .run_controlled(&g, &RunControl::new().with_metrics(hub.clone()))
+            .expect("uncancelled run");
+        assert!(
+            instrumented == records,
+            "tracing + metrics changed the traffic records"
+        );
+        println!(
+            "  PIMBA_TRACE: instrumented rerun byte-identical \
+             ({} trace events, {} metric series)",
+            recorder.event_count(),
+            hub.snapshot().len()
+        );
+    }
+
     let header = [
         "system",
         "scenario",

@@ -26,6 +26,29 @@ pub fn median_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     pimba_system::stats::median(&times).expect("at least one rep")
 }
 
+/// `true` when `PIMBA_TRACE` is set (non-empty and not `0`). The recording
+/// benches then re-run their grids with tracing + metrics attached and assert
+/// the instrumented results byte-identical to the plain run before writing
+/// artifacts — so a `PIMBA_TRACE=1` bench invocation regenerates every
+/// committed `BENCH_*.json` bit for bit (the observability no-perturbation
+/// gate, see `pimba_system::obs`).
+pub fn trace_enabled() -> bool {
+    env_flag("PIMBA_TRACE")
+}
+
+/// `true` when `PIMBA_PROFILE` is set (non-empty and not `0`): the hot-loop
+/// bench enables the self-profiler and prints the per-phase wall-time report
+/// to stderr after recording.
+pub fn profile_enabled() -> bool {
+    env_flag("PIMBA_PROFILE")
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name)
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
 /// Batch sizes swept in the throughput and latency-breakdown figures.
 pub const BATCH_SIZES: [usize; 3] = [32, 64, 128];
 

@@ -106,6 +106,19 @@
 //!   was actually produced (pre-crash for migrations) — with
 //!   `retries`/`migrations` counters recording the journey, so SLO math
 //!   charges recovery delay honestly.
+//!
+//! # Observability without perturbation
+//!
+//! [`FleetSim::with_trace`] attaches a
+//! [`TraceRecorder`]: the drivers then emit route
+//! decisions, handoff deliveries, window advances and the full fault
+//! vocabulary (crash/detect/migrate/retry/restart/slowdown/timeout/
+//! blackhole/lost) onto a `fleet` track, and every replica session records
+//! its engine events onto a per-replica track. Sinks are **write-only**:
+//! no driver or replica ever reads a recorded event back, so an attached
+//! recorder cannot change a single bit of the simulation output — the same
+//! no-perturbation invariant `pimba_system::obs` documents, gated here by
+//! `tests/obs_identity.rs` alongside the bit-identity invariants above.
 
 use crate::fault::{FaultError, FaultKind, FaultPlan, FaultStats, RecoveryPolicy};
 use crate::metrics::{FleetResult, ReplicaReport, ReplicaRole};
@@ -116,11 +129,13 @@ use pimba_serve::metrics::{PreemptionStats, RequestOutcome, SimResult, Telemetry
 use pimba_serve::sched::{PolicyKind, Scheduler};
 use pimba_serve::traffic::{Trace, TraceRequest};
 use pimba_system::memory::MemoryModel;
+use pimba_system::obs::{profile_phase, TraceEvent, TraceRecorder, TraceSink};
 use pimba_system::serving::ServingSimulator;
 use pimba_system::sweep::{fleet_map, run_windowed, FleetWindows};
 use pimba_system::transfer::StateTransferModel;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// How the fleet's replicas divide the request lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -217,8 +232,17 @@ impl<'a> Pool<'a> {
         }
     }
 
+    /// Attaches one trace sink per replica session (write-only — see the
+    /// module docs' no-perturbation invariant).
+    fn attach_traces(&mut self, sinks: Vec<TraceSink>) {
+        for (session, sink) in self.sessions.iter_mut().zip(sinks) {
+            session.set_trace(sink);
+        }
+    }
+
     /// Advances every replica through its events strictly before `t`.
     fn step_until(&mut self, t: f64) {
+        let _stepping = profile_phase("stepping");
         for (session, scheduler) in self.sessions.iter_mut().zip(self.schedulers.iter_mut()) {
             session.step_until(t, scheduler.as_mut());
         }
@@ -452,6 +476,10 @@ struct FaultedFleet<'a, 'p> {
     policy: PolicyKind,
     max_seq_hint: usize,
     max_prompt_hint: usize,
+    /// The fleet-level trace track (route/fault/recovery events).
+    sink: TraceSink,
+    /// Per-replica tracks, reattached to the fresh session on restart.
+    replica_sinks: Vec<TraceSink>,
 }
 
 impl<'a, 'p> FaultedFleet<'a, 'p> {
@@ -488,6 +516,7 @@ impl<'a, 'p> FaultedFleet<'a, 'p> {
 
     /// Advances every live replica through its events strictly before `t`.
     fn step_live(&mut self, t: f64) {
+        let _stepping = profile_phase("stepping");
         for r in self.replicas.iter_mut() {
             if r.alive {
                 if let Some(session) = r.session.as_mut() {
@@ -523,9 +552,17 @@ impl<'a, 'p> FaultedFleet<'a, 'p> {
             }
         };
         let loads: Vec<ReplicaLoad> = visible.iter().map(|&i| self.load_of(i)).collect();
-        let choice = self.router.route(id, &request, &loads);
+        let choice = {
+            let _routing = profile_phase("routing");
+            self.router.route(id, &request, &loads)
+        };
         assert!(choice < visible.len(), "router returned replica {choice}");
         let target = visible[choice];
+        self.sink.emit(|| {
+            TraceEvent::instant("route", t, id as u64)
+                .arg("replica", target as f64)
+                .arg("attempt", self.tracks[id].attempt as f64)
+        });
         if self.assignment[id] == u32::MAX {
             self.assignment[id] = target as u32;
         }
@@ -537,6 +574,9 @@ impl<'a, 'p> FaultedFleet<'a, 'p> {
             self.replicas[target].frozen.outstanding += 1;
             self.replicas[target].frozen.queue_depth += 1;
             self.stats.black_holed += 1;
+            self.sink.emit(|| {
+                TraceEvent::instant("blackhole", t, id as u64).arg("replica", target as f64)
+            });
             self.tracks[id].location = Some(target);
             return;
         }
@@ -568,6 +608,7 @@ impl<'a, 'p> FaultedFleet<'a, 'p> {
             self.tracks[id].lost = true;
             self.tracks[id].touched = true;
             self.stats.lost += 1;
+            self.sink.emit(|| TraceEvent::instant("lost", t, id as u64));
             return;
         }
         let track = &mut self.tracks[id];
@@ -578,6 +619,8 @@ impl<'a, 'p> FaultedFleet<'a, 'p> {
         track.first_token_ns = f64::NAN;
         self.stats.retries += 1;
         let at = t + self.plan.retry.backoff_ns(self.plan.seed, id, next);
+        self.sink
+            .emit(|| TraceEvent::span("retry", t, at - t, id as u64).arg("attempt", next as f64));
         self.push(
             at,
             FaultedEv::Resume {
@@ -615,6 +658,11 @@ impl<'a, 'p> FaultedFleet<'a, 'p> {
                 .dynamic_bytes(1, original.prompt_len + cumulative);
             self.stats.migrated_bytes += bytes;
             let at = t + self.plan.migration_link.transfer_ns(bytes);
+            self.sink.emit(|| {
+                TraceEvent::span("migrate", t, at - t, id as u64)
+                    .arg("bytes", bytes)
+                    .arg("generated", cumulative as f64)
+            });
             self.push(
                 at,
                 FaultedEv::Resume {
@@ -655,6 +703,11 @@ impl<'a, 'p> FaultedFleet<'a, 'p> {
         for id in dropped_ids {
             self.tracks[id].location = None;
         }
+        self.sink.emit(|| {
+            TraceEvent::instant("crash", t, victim as u64)
+                .arg("replica", victim as f64)
+                .arg("dropped", self.replicas[victim].dropped.len() as f64)
+        });
         self.push(
             t + self.plan.detection_latency_ns,
             FaultedEv::Detect {
@@ -670,6 +723,12 @@ impl<'a, 'p> FaultedFleet<'a, 'p> {
     fn recover(&mut self, replica: usize, t: f64) {
         let dropped = std::mem::take(&mut self.replicas[replica].dropped);
         let black = std::mem::take(&mut self.replicas[replica].black_holed);
+        self.sink.emit(|| {
+            TraceEvent::instant("detect", t, replica as u64)
+                .arg("replica", replica as f64)
+                .arg("dropped", dropped.len() as f64)
+                .arg("black_holed", black.len() as f64)
+        });
         for d in dropped {
             self.handle_loss(d.id, d.generated, d.first_token_ns, t);
         }
@@ -692,7 +751,11 @@ impl<'a, 'p> FaultedFleet<'a, 'p> {
             self.recover(replica, t);
         }
         self.stats.restarts += 1;
-        let session = self.engine.session(self.max_seq_hint, self.max_prompt_hint);
+        self.sink.emit(|| {
+            TraceEvent::instant("restart", t, replica as u64).arg("replica", replica as f64)
+        });
+        let mut session = self.engine.session(self.max_seq_hint, self.max_prompt_hint);
+        session.set_trace(self.replica_sinks[replica].clone());
         let r = &mut self.replicas[replica];
         r.alive = true;
         r.detected = false;
@@ -727,6 +790,11 @@ impl<'a, 'p> FaultedFleet<'a, 'p> {
                     return;
                 }
                 self.stats.slowdowns += 1;
+                self.sink.emit(|| {
+                    TraceEvent::span("slowdown", t, duration_ns, replica as u64)
+                        .arg("replica", replica as f64)
+                        .arg("factor", factor)
+                });
                 let r = &mut self.replicas[replica];
                 r.session
                     .as_mut()
@@ -770,6 +838,8 @@ impl<'a, 'p> FaultedFleet<'a, 'p> {
             return; // admitted (or finished) before the deadline
         }
         self.stats.timeouts += 1;
+        self.sink
+            .emit(|| TraceEvent::instant("timeout", t, id as u64).arg("replica", location as f64));
         self.tracks[id].location = None;
         // Timed-out requests always take the retry path: they made no
         // progress while queued, and bounding attempts keeps the driver
@@ -830,13 +900,56 @@ fn merge_sim_results(mut parts: Vec<SimResult>) -> SimResult {
 pub struct FleetSim<'a> {
     sim: &'a ServingSimulator,
     model: &'a ModelConfig,
+    recorder: Option<Arc<TraceRecorder>>,
+    trace_prefix: String,
 }
 
 impl<'a> FleetSim<'a> {
     /// A fleet of replicas of `sim` serving `model`. All replicas share the
     /// simulator (and therefore its shape-keyed latency cache).
     pub fn new(sim: &'a ServingSimulator, model: &'a ModelConfig) -> Self {
-        Self { sim, model }
+        Self {
+            sim,
+            model,
+            recorder: None,
+            trace_prefix: String::new(),
+        }
+    }
+
+    /// Records every run onto `recorder`: driver events (routes, handoffs,
+    /// windows, faults, recovery) on a `fleet` track plus one engine-event
+    /// track per replica. Write-only — an attached recorder never changes
+    /// the simulation output (module docs).
+    pub fn with_trace(mut self, recorder: Arc<TraceRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Prepends `prefix` to every track name this fleet registers — how a
+    /// grid runner sharing one recorder across cells keeps track names
+    /// unique (duplicate names would fold together on a JSONL re-parse).
+    pub fn with_trace_prefix(mut self, prefix: &str) -> Self {
+        self.trace_prefix = prefix.to_string();
+        self
+    }
+
+    /// The driver-level trace sink (disabled when no recorder is attached).
+    fn fleet_sink(&self) -> TraceSink {
+        match &self.recorder {
+            Some(recorder) => recorder.track(&format!("{}fleet", self.trace_prefix)),
+            None => TraceSink::disabled(),
+        }
+    }
+
+    /// One sink per replica, named `{prefix} {index}` — all disabled when no
+    /// recorder is attached.
+    fn replica_sinks(&self, prefix: &str, count: usize) -> Vec<TraceSink> {
+        match &self.recorder {
+            Some(recorder) => (0..count)
+                .map(|i| recorder.track(&format!("{}{prefix} {i}", self.trace_prefix)))
+                .collect(),
+            None => vec![TraceSink::disabled(); count],
+        }
     }
 
     /// Runs `trace` through the fleet. Deterministic in
@@ -976,7 +1089,15 @@ impl<'a> FleetSim<'a> {
             policy: config.policy,
             max_seq_hint,
             max_prompt_hint,
+            sink: self.fleet_sink(),
+            replica_sinks: self.replica_sinks("replica", replicas),
         };
+        for (r, sink) in fleet.replicas.iter_mut().zip(fleet.replica_sinks.iter()) {
+            r.session
+                .as_mut()
+                .expect("fresh replicas have sessions")
+                .set_trace(sink.clone());
+        }
         // Arrivals enqueue before faults, so a request arriving at the
         // instant of a crash is routed (and dropped) rather than skipped —
         // matching the step-then-inject order of the fault-free driver.
@@ -1099,6 +1220,9 @@ impl<'a> FleetSim<'a> {
             max_prompt,
         );
         let mut decode = Pool::new(&engine, decode_replicas, config.policy, max_seq + 1, 1);
+        let sink = self.fleet_sink();
+        prefill.attach_traces(self.replica_sinks("prefill", prefill_replicas));
+        decode.attach_traces(self.replica_sinks("decode", decode_replicas));
         let mut front = config.router.build(config.seed, streams::ROUTER_FRONT, 0);
         let mut back = config.router.build(config.seed, streams::ROUTER_DECODE, 1);
         let memory = MemoryModel::new(self.sim.config(), self.model);
@@ -1123,6 +1247,9 @@ impl<'a> FleetSim<'a> {
                 Some(last) if start <= last.1 => last.1 = last.1.max(heal),
                 _ => link_windows.push((start, heal)),
             }
+        }
+        for &(start, heal) in &link_windows {
+            sink.emit(|| TraceEvent::span("linkdown", start, heal - start, 0));
         }
         let departs_at = |completion_ns: f64| {
             for &(start, heal) in &link_windows {
@@ -1231,6 +1358,7 @@ impl<'a> FleetSim<'a> {
                     trace,
                     &h,
                     &mut decode_assignment,
+                    &sink,
                 );
             }
             // Touching a pool's compute scale requires stepping it to `t`
@@ -1245,11 +1373,17 @@ impl<'a> FleetSim<'a> {
                         output_len: 1,
                         ..request
                     };
-                    let choice = front.route(id, &pre_request, prefill.loads());
+                    let choice = {
+                        let _routing = profile_phase("routing");
+                        front.route(id, &pre_request, prefill.loads())
+                    };
                     assert!(
                         choice < prefill_replicas,
                         "router returned replica {choice}"
                     );
+                    sink.emit(|| {
+                        TraceEvent::instant("route", t, id as u64).arg("replica", choice as f64)
+                    });
                     prefill.sessions[choice].inject(id, pre_request);
                     assignment.push(choice as u32);
                 }
@@ -1259,6 +1393,11 @@ impl<'a> FleetSim<'a> {
                     token,
                 } => {
                     stats.slowdowns += 1;
+                    sink.emit(|| {
+                        TraceEvent::instant("slowdown", t, replica as u64)
+                            .arg("replica", replica as f64)
+                            .arg("factor", factor)
+                    });
                     active[replica] = Some(token);
                     if replica < prefill_replicas {
                         prefill.sessions[replica].set_compute_scale(factor);
@@ -1290,6 +1429,7 @@ impl<'a> FleetSim<'a> {
                 trace,
                 &h,
                 &mut decode_assignment,
+                &sink,
             );
         }
         let prefill_results = prefill.finish();
@@ -1309,13 +1449,22 @@ impl<'a> FleetSim<'a> {
         let engine = Engine::new(self.sim, self.model, config.engine);
         let (max_seq, max_prompt) = trace_bounds(trace);
         let mut pool = Pool::new(&engine, replicas, config.policy, max_seq, max_prompt);
+        let sink = self.fleet_sink();
+        pool.attach_traces(self.replica_sinks("replica", replicas));
         let mut router = config.router.build(config.seed, streams::ROUTER_FRONT, 0);
         let mut assignment = Vec::with_capacity(trace.len());
 
         for (id, request) in trace.requests.iter().enumerate() {
             pool.step_until(request.arrival_ns);
-            let choice = router.route(id, request, pool.loads());
+            let choice = {
+                let _routing = profile_phase("routing");
+                router.route(id, request, pool.loads())
+            };
             assert!(choice < replicas, "router returned replica {choice}");
+            sink.emit(|| {
+                TraceEvent::instant("route", request.arrival_ns, id as u64)
+                    .arg("replica", choice as f64)
+            });
             pool.sessions[choice].inject(id, *request);
             assignment.push(choice as u32);
         }
@@ -1342,6 +1491,9 @@ impl<'a> FleetSim<'a> {
             max_prompt,
         );
         let mut decode = Pool::new(&engine, decode_replicas, config.policy, max_seq + 1, 1);
+        let sink = self.fleet_sink();
+        prefill.attach_traces(self.replica_sinks("prefill", prefill_replicas));
+        decode.attach_traces(self.replica_sinks("decode", decode_replicas));
         let mut front = config.router.build(config.seed, streams::ROUTER_FRONT, 0);
         let mut back = config.router.build(config.seed, streams::ROUTER_DECODE, 1);
         let memory = MemoryModel::new(self.sim.config(), self.model);
@@ -1395,6 +1547,7 @@ impl<'a> FleetSim<'a> {
                     trace,
                     &h,
                     &mut decode_assignment,
+                    &sink,
                 );
             }
             let pre_request = TraceRequest {
@@ -1402,11 +1555,15 @@ impl<'a> FleetSim<'a> {
                 output_len: 1,
                 ..*request
             };
-            let choice = front.route(id, &pre_request, prefill.loads());
+            let choice = {
+                let _routing = profile_phase("routing");
+                front.route(id, &pre_request, prefill.loads())
+            };
             assert!(
                 choice < prefill_replicas,
                 "router returned replica {choice}"
             );
+            sink.emit(|| TraceEvent::instant("route", t, id as u64).arg("replica", choice as f64));
             prefill.sessions[choice].inject(id, pre_request);
             assignment.push(choice as u32);
         }
@@ -1422,6 +1579,7 @@ impl<'a> FleetSim<'a> {
                 trace,
                 &h,
                 &mut decode_assignment,
+                &sink,
             );
         }
         let prefill_results = prefill.finish();
@@ -1448,7 +1606,11 @@ impl<'a> FleetSim<'a> {
     ) -> FleetResult {
         let engine = Engine::new(self.sim, self.model, config.engine);
         let (max_seq, max_prompt) = trace_bounds(trace);
-        let runs = ReplicaRun::pool(&engine, replicas, config.policy, max_seq, max_prompt);
+        let mut runs = ReplicaRun::pool(&engine, replicas, config.policy, max_seq, max_prompt);
+        let sink = self.fleet_sink();
+        for (run, replica_sink) in runs.iter_mut().zip(self.replica_sinks("replica", replicas)) {
+            run.session.set_trace(replica_sink);
+        }
         let mut router = config.router.build(config.seed, streams::ROUTER_FRONT, 0);
 
         if config.router.load_oblivious() {
@@ -1458,8 +1620,15 @@ impl<'a> FleetSim<'a> {
             let mut assignment = Vec::with_capacity(trace.len());
             let mut plans: Vec<Vec<usize>> = vec![Vec::new(); replicas];
             for (id, request) in trace.requests.iter().enumerate() {
-                let choice = router.route(id, request, &idle);
+                let choice = {
+                    let _routing = profile_phase("routing");
+                    router.route(id, request, &idle)
+                };
                 assert!(choice < replicas, "router returned replica {choice}");
+                sink.emit(|| {
+                    TraceEvent::instant("route", request.arrival_ns, id as u64)
+                        .arg("replica", choice as f64)
+                });
                 plans[choice].push(id);
                 assignment.push(choice as u32);
             }
@@ -1491,9 +1660,17 @@ impl<'a> FleetSim<'a> {
                     let mut assignment = Vec::with_capacity(trace.len());
                     for (id, request) in trace.requests.iter().enumerate() {
                         windows.advance(request.arrival_ns);
+                        sink.emit(|| TraceEvent::instant("window", request.arrival_ns, id as u64));
                         let loads: Vec<ReplicaLoad> = windows.map(|run| run.load());
-                        let choice = router.route(id, request, &loads);
+                        let choice = {
+                            let _routing = profile_phase("routing");
+                            router.route(id, request, &loads)
+                        };
                         assert!(choice < replicas, "router returned replica {choice}");
+                        sink.emit(|| {
+                            TraceEvent::instant("route", request.arrival_ns, id as u64)
+                                .arg("replica", choice as f64)
+                        });
                         windows.with(choice, |run| run.session.inject(id, *request));
                         assignment.push(choice as u32);
                     }
@@ -1519,14 +1696,27 @@ impl<'a> FleetSim<'a> {
     ) -> FleetResult {
         let engine = Engine::new(self.sim, self.model, config.engine);
         let (max_seq, max_prompt) = trace_bounds(trace);
-        let prefill = ReplicaRun::pool(
+        let mut prefill = ReplicaRun::pool(
             &engine,
             prefill_replicas,
             config.policy,
             max_prompt + 1,
             max_prompt,
         );
-        let decode = ReplicaRun::pool(&engine, decode_replicas, config.policy, max_seq + 1, 1);
+        let mut decode = ReplicaRun::pool(&engine, decode_replicas, config.policy, max_seq + 1, 1);
+        let sink = self.fleet_sink();
+        for (run, replica_sink) in prefill
+            .iter_mut()
+            .zip(self.replica_sinks("prefill", prefill_replicas))
+        {
+            run.session.set_trace(replica_sink);
+        }
+        for (run, replica_sink) in decode
+            .iter_mut()
+            .zip(self.replica_sinks("decode", decode_replicas))
+        {
+            run.session.set_trace(replica_sink);
+        }
         let mut front = config.router.build(config.seed, streams::ROUTER_FRONT, 0);
         let mut back = config.router.build(config.seed, streams::ROUTER_DECODE, 1);
         let memory = MemoryModel::new(self.sim.config(), self.model);
@@ -1542,11 +1732,18 @@ impl<'a> FleetSim<'a> {
                     output_len: 1,
                     ..*request
                 };
-                let choice = front.route(id, &pre_request, &idle);
+                let choice = {
+                    let _routing = profile_phase("routing");
+                    front.route(id, &pre_request, &idle)
+                };
                 assert!(
                     choice < prefill_replicas,
                     "router returned replica {choice}"
                 );
+                sink.emit(|| {
+                    TraceEvent::instant("route", request.arrival_ns, id as u64)
+                        .arg("replica", choice as f64)
+                });
                 plans[choice].push(id);
                 assignment.push(choice as u32);
             }
@@ -1607,8 +1804,15 @@ impl<'a> FleetSim<'a> {
             let mut plans: Vec<Vec<(usize, f64)>> = vec![Vec::new(); decode_replicas];
             for h in &deliveries {
                 let request = decode_request(trace, h);
-                let choice = back.route(h.id, &request, &idle);
+                let choice = {
+                    let _routing = profile_phase("routing");
+                    back.route(h.id, &request, &idle)
+                };
                 assert!(choice < decode_replicas, "router returned replica {choice}");
+                sink.emit(|| {
+                    TraceEvent::instant("handoff", h.time_ns, h.id as u64)
+                        .arg("replica", choice as f64)
+                });
                 plans[choice].push((h.id, h.time_ns));
                 decode_assignment[h.id] = choice as u32;
             }
@@ -1690,10 +1894,12 @@ impl<'a> FleetSim<'a> {
                             *handoff_seq += 1;
                         }
                     };
+                    let sink = &sink;
                     let mut deliver =
                         |windows: &mut FleetWindows<'_, ReplicaRun<'_>>,
                          h: &Handoff,
                          decode_assignment: &mut [u32]| {
+                            let _delivery = profile_phase("handoff_delivery");
                             let pool = prefill_replicas..prefill_replicas + decode_replicas;
                             windows.advance_range(pool.clone(), h.time_ns);
                             let request = decode_request(trace, h);
@@ -1701,6 +1907,10 @@ impl<'a> FleetSim<'a> {
                                 pool.map(|i| windows.with(i, |run| run.load())).collect();
                             let choice = back.route(h.id, &request, &loads);
                             assert!(choice < decode_replicas, "router returned replica {choice}");
+                            sink.emit(|| {
+                                TraceEvent::instant("handoff", h.time_ns, h.id as u64)
+                                    .arg("replica", choice as f64)
+                            });
                             windows.with(prefill_replicas + choice, |run| {
                                 run.session.inject_prefilled(h.id, request);
                             });
@@ -1710,6 +1920,7 @@ impl<'a> FleetSim<'a> {
                     for (id, request) in trace.requests.iter().enumerate() {
                         let t = request.arrival_ns;
                         windows.advance_range(0..prefill_replicas, t);
+                        sink.emit(|| TraceEvent::instant("window", t, id as u64));
                         collect(windows, &mut handoffs, &mut handoff_seq);
                         while handoffs.peek().is_some_and(|h| h.time_ns < t) {
                             let h = handoffs.pop().expect("peeked handoff vanished");
@@ -1723,11 +1934,17 @@ impl<'a> FleetSim<'a> {
                         let loads: Vec<ReplicaLoad> = (0..prefill_replicas)
                             .map(|i| windows.with(i, |run| run.load()))
                             .collect();
-                        let choice = front.route(id, &pre_request, &loads);
+                        let choice = {
+                            let _routing = profile_phase("routing");
+                            front.route(id, &pre_request, &loads)
+                        };
                         assert!(
                             choice < prefill_replicas,
                             "router returned replica {choice}"
                         );
+                        sink.emit(|| {
+                            TraceEvent::instant("route", t, id as u64).arg("replica", choice as f64)
+                        });
                         windows.with(choice, |run| run.session.inject(id, pre_request));
                         assignment.push(choice as u32);
                     }
@@ -1888,10 +2105,16 @@ fn deliver(
     trace: &Trace,
     handoff: &Handoff,
     decode_assignment: &mut [u32],
+    sink: &TraceSink,
 ) {
+    let _delivery = profile_phase("handoff_delivery");
     decode.step_until(handoff.time_ns);
     let request = decode_request(trace, handoff);
     let choice = back.route(handoff.id, &request, decode.loads());
+    sink.emit(|| {
+        TraceEvent::instant("handoff", handoff.time_ns, handoff.id as u64)
+            .arg("replica", choice as f64)
+    });
     decode.sessions[choice].inject_prefilled(handoff.id, request);
     decode_assignment[handoff.id] = choice as u32;
 }

@@ -193,6 +193,35 @@ impl FleetMemo {
         self.cells.keys()
     }
 
+    /// Looks up one memoized cell record by fingerprint (the serving
+    /// daemon's `query` verb). Counts as a hit/miss in [`FleetMemo::stats`].
+    pub fn cell(&self, key: Fingerprint) -> Option<std::sync::Arc<FleetRecord>> {
+        self.cells.get(key)
+    }
+
+    /// Per-store `(name, len_bytes, dead_bytes)` of the backing segment
+    /// files — all zeros for in-memory memos. Feeds the serving daemon's
+    /// `stats` response.
+    pub fn segment_stats(&self) -> Vec<(&'static str, u64, u64)> {
+        vec![
+            (
+                "fleet_traces",
+                self.traces.len_bytes(),
+                self.traces.dead_bytes(),
+            ),
+            (
+                "fleet_capacity",
+                self.max_batches.len_bytes(),
+                self.max_batches.dead_bytes(),
+            ),
+            (
+                "fleet_cells",
+                self.cells.len_bytes(),
+                self.cells.dead_bytes(),
+            ),
+        ]
+    }
+
     /// Compacts every disk-backed store whose dead-byte ratio is at least
     /// `threshold` (see [`MemoStore::compact`]); returns the total bytes
     /// reclaimed. A no-op (`Ok(0)`) for in-memory memos.

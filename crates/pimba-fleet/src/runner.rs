@@ -22,6 +22,7 @@ use pimba_serve::traffic::{Scenario, Trace};
 use pimba_system::cache::LatencyCache;
 use pimba_system::config::SystemConfig;
 use pimba_system::memo::{Fingerprint, FingerprintBuilder};
+use pimba_system::obs::TraceRecorder;
 use pimba_system::serving::ServingSimulator;
 use pimba_system::sweep::{max_batch_within_slo, parallel_map, RunAborted, RunControl};
 use pimba_system::transfer::StateTransferModel;
@@ -308,6 +309,7 @@ pub struct FleetRunner {
     threads: usize,
     fleet_workers: usize,
     memo: Option<Arc<FleetMemo>>,
+    trace: Option<Arc<TraceRecorder>>,
 }
 
 impl FleetRunner {
@@ -337,6 +339,16 @@ impl FleetRunner {
     /// `fleet_parallel` bench gate).
     pub fn with_memo(mut self, memo: Arc<FleetMemo>) -> Self {
         self.memo = Some(memo);
+        self
+    }
+
+    /// Records every simulated cell onto `recorder`, tracks namespaced
+    /// `cell {i} / …` in grid order. Memo-warm cells skip the engines
+    /// entirely and record nothing. Write-only — tracing never changes the
+    /// records (the `pimba_system::obs` no-perturbation invariant, gated by
+    /// `tests/obs_identity.rs`).
+    pub fn with_trace(mut self, recorder: Arc<TraceRecorder>) -> Self {
+        self.trace = Some(recorder);
         self
     }
 
@@ -473,13 +485,20 @@ impl FleetRunner {
             };
             let trace = &traces[scn * grid.rates_rps.len() + rate];
             let eval = || {
-                let fleet = FleetSim::new(&sims[sys], &grid.model);
+                let mut fleet = FleetSim::new(&sims[sys], &grid.model);
+                if let Some(recorder) = &self.trace {
+                    fleet = fleet
+                        .with_trace(Arc::clone(recorder))
+                        .with_trace_prefix(&format!("cell {i} / "));
+                }
                 let result = match &grid.fault {
                     Some(plan) => fleet
                         .run_faulted(trace, &config, plan)
                         .unwrap_or_else(|e| panic!("grid fault plan rejected: {e}")),
                     None => fleet.run(trace, &config),
                 };
+                let cell = i.to_string();
+                result.export_metrics(control.metrics(), &[("cell", &cell)]);
                 record_of(grid, &result, sys, scn, grid.rates_rps[rate], &config)
             };
             let record = match memo {

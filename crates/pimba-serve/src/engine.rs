@@ -91,6 +91,7 @@ use crate::sched::{Action, DecodeStability, Scheduler};
 use crate::traffic::{Trace, TraceRequest};
 use pimba_models::config::ModelConfig;
 use pimba_system::memory::MemoryModel;
+use pimba_system::obs::{TraceEvent, TraceSink};
 use pimba_system::serving::ServingSimulator;
 use pimba_system::table::{PrefillLatencyTable, StepLatencyTable};
 
@@ -746,9 +747,35 @@ impl<'a> Engine<'a> {
         Session::build(self, Events::Single(SingleFlightEvents::empty()), latencies)
     }
 
+    /// [`Engine::run`] with a trace sink attached: scheduler decisions
+    /// (admit/preempt/resume, checkpoint/restore spans, macro-step
+    /// fast-forward boundaries) are recorded into `sink` stamped in simulated
+    /// nanoseconds. The returned result is byte-identical to [`Engine::run`]
+    /// — the sink is written, never read (see [`pimba_system::obs`]).
+    pub fn run_traced(
+        &self,
+        trace: &Trace,
+        scheduler: &mut dyn Scheduler,
+        sink: TraceSink,
+    ) -> SimResult {
+        self.run_inner(trace, scheduler, sink)
+    }
+
     /// Simulates `trace` under `scheduler`, returning per-request outcomes and
     /// the queue/occupancy timeline.
     pub fn run(&self, trace: &Trace, scheduler: &mut dyn Scheduler) -> SimResult {
+        self.run_inner(trace, scheduler, TraceSink::disabled())
+    }
+
+    fn run_inner(
+        &self,
+        trace: &Trace,
+        scheduler: &mut dyn Scheduler,
+        sink: TraceSink,
+    ) -> SimResult {
+        // One run-level guard, not one per step: the self-profiler must cost
+        // nothing measurable in the hot loop (see `pimba_system::obs`).
+        let _stepping = pimba_system::obs::profile_phase("stepping");
         let events = if self.config.fast_forward {
             let arrivals: Vec<f64> = trace.requests.iter().map(|r| r.arrival_ns).collect();
             Events::Single(SingleFlightEvents::new(&arrivals))
@@ -785,6 +812,7 @@ impl<'a> Engine<'a> {
         };
 
         let mut session = Session::build(self, events, latencies);
+        session.set_trace(sink);
         session.requests = trace
             .requests
             .iter()
@@ -837,6 +865,10 @@ pub struct Session<'a> {
     /// transfers over the checkpoint link are never scaled (the link is not
     /// the compute fabric).
     compute_scale: f64,
+    /// Write-only observability channel (disabled by default — one branch per
+    /// decision site, see [`pimba_system::obs::TraceSink`]). Never read back,
+    /// so an enabled sink cannot perturb the run.
+    trace: TraceSink,
 }
 
 impl<'a> Session<'a> {
@@ -859,7 +891,15 @@ impl<'a> Session<'a> {
             telemetry: Telemetry::new(engine.config.timeline_sample_every),
             now_ns: 0.0,
             compute_scale: 1.0,
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Attaches a trace sink recording this session's scheduler decisions
+    /// (typically one [`TraceRecorder`](pimba_system::obs::TraceRecorder)
+    /// track per replica). Observability only: results stay byte-identical.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// Sets the compute-latency multiplier for work dispatched from now on
@@ -1324,6 +1364,7 @@ impl<'a> Session<'a> {
         let bucket = self.engine.config.seq_bucket;
         let max_batch = self.engine.config.max_batch;
         let mut step_ns = first_step_ns;
+        let t_enter = self.now_ns;
         loop {
             debug_assert!(!self.running.is_empty(), "pure decode with empty batch");
             // One pass over the batch: steps until the earliest completion
@@ -1480,6 +1521,7 @@ impl<'a> Session<'a> {
                 });
             }
             if interrupted {
+                self.trace_fast_forward(t_enter, 0.0);
                 return false;
             }
             let completed = executed == to_completion;
@@ -1496,6 +1538,7 @@ impl<'a> Session<'a> {
             if wake_the_policy {
                 // The dispatcher must see this boundary; it records the
                 // boundary step's telemetry sample after deciding.
+                self.trace_fast_forward(t_enter, 1.0);
                 return true;
             }
             // Absorb the boundary inline: record its sample (post-completion
@@ -1516,6 +1559,19 @@ impl<'a> Session<'a> {
         }
     }
 
+    /// Records one macro-step fast-forward segment as a `"fastforward"` span
+    /// (`boundary` distinguishes a clean macro-step boundary from an
+    /// interrupt/park exit). Zero-duration segments — entered and immediately
+    /// interrupted — are skipped.
+    fn trace_fast_forward(&self, t_enter: f64, boundary: f64) {
+        if self.now_ns > t_enter {
+            self.trace.emit(|| {
+                TraceEvent::span("fastforward", t_enter, self.now_ns - t_enter, 0)
+                    .arg("boundary", boundary)
+            });
+        }
+    }
+
     /// Parks `picked` for a batched prefill and prices it. Requests that
     /// arrived fully prefilled (a disaggregated handoff) cost no prefill
     /// work; everyone else is charged the whole prompt (a partially
@@ -1525,6 +1581,11 @@ impl<'a> Session<'a> {
         let mut max_prompt = 0;
         let mut prefill_count = 0;
         for w in picked {
+            self.trace.emit(|| {
+                TraceEvent::instant("admit", self.now_ns, self.requests[w.id].id as u64)
+                    .arg("prompt_len", w.request.prompt_len as f64)
+                    .arg("tenant", w.request.tenant as f64)
+            });
             if w.prefilled < w.request.prompt_len {
                 prefill_count += 1;
                 max_prompt = max_prompt.max(w.request.prompt_len);
@@ -1717,6 +1778,10 @@ impl<'a> Session<'a> {
                         latency_ns += link.transfer_ns(bytes);
                         self.preemption.evictions += 1;
                         self.preemption.checkpoint_bytes += bytes;
+                        self.trace.emit(|| {
+                            TraceEvent::instant("preempt", now_ns, self.requests[slot.id].id as u64)
+                                .arg("state_bytes", bytes)
+                        });
                         self.evicted.push(EvictedRequest {
                             slot,
                             state_bytes: bytes,
@@ -1727,6 +1792,10 @@ impl<'a> Session<'a> {
                     }
                 }
                 self.preemption.checkpoint_stall_ns += latency_ns;
+                self.trace.emit(|| {
+                    TraceEvent::span("checkpoint", now_ns, latency_ns, 0)
+                        .arg("victims", victims.len() as f64)
+                });
                 Some((latency_ns, Work::Checkpoint, DecodeStability::PerStep))
             }
             Action::Resume { count } => {
@@ -1740,6 +1809,20 @@ impl<'a> Session<'a> {
                     .map(|e| e.state_bytes)
                     .sum::<f64>();
                 self.preemption.restore_stall_ns += latency_ns;
+                for e in &self.evicted[..count] {
+                    self.trace.emit(|| {
+                        TraceEvent::instant(
+                            "resume",
+                            self.now_ns,
+                            self.requests[e.slot.id].id as u64,
+                        )
+                        .arg("state_bytes", e.state_bytes)
+                    });
+                }
+                self.trace.emit(|| {
+                    TraceEvent::span("restore", self.now_ns, latency_ns, 0)
+                        .arg("count", count as f64)
+                });
                 Some((
                     latency_ns,
                     Work::Restore { count },

@@ -327,6 +327,63 @@ impl SimResult {
     pub fn throughput(&self, wall_secs: f64) -> Throughput {
         Throughput::new(self.events(), wall_secs)
     }
+
+    /// Exports this run into a [`MetricsHub`](pimba_system::obs::MetricsHub)
+    /// as named series under `labels` (typically a `replica` label from the
+    /// fleet layer): completion/retry/migration/preemption counters,
+    /// telemetry gauges, and per-tenant TTFT/TPOT/E2E latency histograms in
+    /// milliseconds. This is the registry view of the ad-hoc
+    /// [`TelemetryStats`]/[`PreemptionStats`] structs; exporting reads the
+    /// finished result and cannot perturb it.
+    pub fn export_metrics(&self, hub: &pimba_system::obs::MetricsHub, labels: &[(&str, &str)]) {
+        if !hub.enabled() {
+            return;
+        }
+        hub.counter("serve_events", labels, self.telemetry.events);
+        hub.gauge(
+            "serve_peak_queue_depth",
+            labels,
+            self.telemetry.peak_queue_depth as f64,
+        );
+        hub.gauge(
+            "serve_peak_batch_occupancy",
+            labels,
+            self.telemetry.peak_batch_occupancy as f64,
+        );
+        hub.gauge(
+            "serve_mean_batch_occupancy",
+            labels,
+            self.telemetry.mean_batch_occupancy,
+        );
+        hub.gauge("serve_makespan_ms", labels, self.makespan_ns / 1e6);
+        hub.counter("serve_evictions", labels, self.preemption.evictions);
+        hub.counter("serve_resumes", labels, self.preemption.resumes);
+        hub.gauge(
+            "serve_checkpoint_stall_ms",
+            labels,
+            self.preemption.checkpoint_stall_ns / 1e6,
+        );
+        hub.gauge(
+            "serve_restore_stall_ms",
+            labels,
+            self.preemption.restore_stall_ns / 1e6,
+        );
+        for o in &self.outcomes {
+            let tenant = o.tenant.to_string();
+            let mut with_tenant: Vec<(&str, &str)> = labels.to_vec();
+            with_tenant.push(("tenant", &tenant));
+            hub.counter("serve_requests_completed", &with_tenant, 1);
+            hub.counter("serve_request_retries", &with_tenant, o.retries as u64);
+            hub.counter(
+                "serve_request_migrations",
+                &with_tenant,
+                o.migrations as u64,
+            );
+            hub.observe("serve_ttft_ms", &with_tenant, o.ttft_ns() / 1e6);
+            hub.observe("serve_tpot_ms", &with_tenant, o.tpot_ns() / 1e6);
+            hub.observe("serve_e2e_ms", &with_tenant, o.e2e_ns() / 1e6);
+        }
+    }
 }
 
 /// A latency service-level objective on TTFT and TPOT.

@@ -17,6 +17,7 @@ use pimba_models::config::ModelConfig;
 use pimba_system::cache::LatencyCache;
 use pimba_system::config::SystemConfig;
 use pimba_system::memo::{Fingerprint, FingerprintBuilder, MemoStats, MemoStore};
+use pimba_system::obs::{TraceRecorder, TraceSink};
 use pimba_system::persist::LoadReport;
 use pimba_system::serving::ServingSimulator;
 use pimba_system::sweep::{
@@ -124,6 +125,36 @@ impl TrafficMemo {
     /// deterministic enumeration order).
     pub fn cell_keys(&self) -> Vec<Fingerprint> {
         self.cells.keys()
+    }
+
+    /// The memoized record under exactly `key`, if any — the lookup behind
+    /// the serving daemon's `query` verb. Counts as a hit/miss in
+    /// [`TrafficMemo::stats`] like any other cell lookup.
+    pub fn cell(&self, key: Fingerprint) -> Option<Arc<TrafficRecord>> {
+        self.cells.get(key)
+    }
+
+    /// Per-store `(name, total_bytes, dead_bytes)` of the backing segment
+    /// files (all zeros for in-memory stores) — the compaction-observability
+    /// numbers the daemon's `stats` verb reports.
+    pub fn segment_stats(&self) -> Vec<(&'static str, u64, u64)> {
+        vec![
+            (
+                "traffic_traces",
+                self.traces.len_bytes(),
+                self.traces.dead_bytes(),
+            ),
+            (
+                "traffic_capacity",
+                self.max_batches.len_bytes(),
+                self.max_batches.dead_bytes(),
+            ),
+            (
+                "traffic_cells",
+                self.cells.len_bytes(),
+                self.cells.dead_bytes(),
+            ),
+        ]
     }
 
     /// Compacts every disk-backed store whose dead-byte ratio is at least
@@ -331,6 +362,7 @@ pub struct TrafficRecord {
 pub struct TrafficRunner {
     runner: SweepRunner,
     memo: Option<Arc<TrafficMemo>>,
+    trace: Option<Arc<TraceRecorder>>,
 }
 
 impl TrafficRunner {
@@ -357,6 +389,16 @@ impl TrafficRunner {
     /// without stepping a single engine.
     pub fn with_memo(mut self, memo: Arc<TrafficMemo>) -> Self {
         self.memo = Some(memo);
+        self
+    }
+
+    /// Attaches a [`TraceRecorder`]: every *simulated* cell records its
+    /// engine decisions into a track named `cell <index>` (see
+    /// [`pimba_system::obs`]). Memo-warm cells skip the engine entirely and
+    /// therefore record nothing. Records stay byte-identical with a recorder
+    /// attached — tracing is write-only.
+    pub fn with_trace(mut self, trace: Arc<TraceRecorder>) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -482,7 +524,13 @@ impl TrafficRunner {
             let eval = || {
                 let engine = Engine::new(sim, &grid.model, engine_config);
                 let mut policy = grid.policy.build();
-                let result = engine.run(trace, policy.as_mut());
+                let sink = match &self.trace {
+                    Some(recorder) => recorder.track(&format!("cell {i}")),
+                    None => TraceSink::disabled(),
+                };
+                let result = engine.run_traced(trace, policy.as_mut(), sink);
+                let cell = i.to_string();
+                result.export_metrics(control.metrics(), &[("cell", &cell)]);
                 let tenant_slos = grid
                     .tenant_slos
                     .clone()

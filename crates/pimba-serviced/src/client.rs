@@ -78,6 +78,9 @@ pub struct JobOutcome {
     pub job: JobId,
     /// Canonical record lines, in grid order (empty unless `state == "done"`).
     pub records: Vec<String>,
+    /// The run's canonical JSONL event trace, when the spec opted in with
+    /// `"trace": true` and the job ran to `done`.
+    pub trace: Option<String>,
     /// Number of progress events observed while streaming.
     pub progress_events: usize,
     /// Terminal state name: `done`, `cancelled`, `timed_out` or `failed`.
@@ -196,6 +199,7 @@ impl Client {
         let mut outcome = JobOutcome {
             job,
             records: Vec::new(),
+            trace: None,
             progress_events: 0,
             state: String::new(),
         };
@@ -210,6 +214,11 @@ impl Client {
                     // The daemon embeds canonical bytes and rendering is
                     // parse-stable, so this recovers them exactly.
                     outcome.records.push(data.render());
+                }
+                Some("trace") => {
+                    // The daemon ships the multi-line trace as one escaped
+                    // string; parsing recovered the exact original bytes.
+                    outcome.trace = event.get("data").and_then(Json::as_str).map(str::to_string);
                 }
                 Some(terminal @ ("done" | "cancelled" | "timed_out" | "failed")) => {
                     outcome.state = terminal.to_string();
@@ -291,9 +300,27 @@ impl Client {
         )
     }
 
-    /// Fetches daemon statistics (store + job counts).
+    /// Fetches daemon statistics (store + job counts, including per-segment
+    /// sizes and dead-byte ratios).
     pub fn stats(&mut self) -> io::Result<Json> {
         self.request(&Json::obj(vec![("cmd", Json::str("stats"))]).render())
+    }
+
+    /// Fetches the queue-wide metrics registry snapshot.
+    pub fn metrics(&mut self) -> io::Result<Json> {
+        self.request(&Json::obj(vec![("cmd", Json::str("metrics"))]).render())
+    }
+
+    /// Fetches one stored cell record by its 32-hex-digit fingerprint (as
+    /// enumerated by [`Client::list`]).
+    pub fn query(&mut self, fingerprint: &str) -> io::Result<Json> {
+        self.request(
+            &Json::obj(vec![
+                ("cmd", Json::str("query")),
+                ("fingerprint", Json::str(fingerprint)),
+            ])
+            .render(),
+        )
     }
 
     /// Asks the daemon to shut down gracefully.

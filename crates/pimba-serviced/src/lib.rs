@@ -4,7 +4,11 @@
 //! runners: submit experiment specs (serving-traffic grids, fleet grids, SLO
 //! capacity searches, single what-if cells) as config files or over a minimal
 //! TCP line protocol, and get results streamed back as JSONL — job accepted,
-//! per-cell progress, then the final records.
+//! per-cell progress, then the final records (plus, for specs with
+//! `"trace": true`, the run's deterministic event trace). Stored cells can
+//! be fetched back by fingerprint (`query`), and the daemon reports its
+//! metrics registry (`metrics`) and per-segment store health (`stats`) over
+//! the same protocol.
 //!
 //! * [`spec`] — the JSON spec surface, strict validation with
 //!   field-naming [`SpecError`]s, and the canonical record

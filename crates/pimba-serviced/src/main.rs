@@ -15,7 +15,7 @@
 use netline::Json;
 use pimba_serviced::queue::{JobEvent, JobQueue};
 use pimba_serviced::server::{Daemon, DaemonConfig};
-use pimba_serviced::spec::Experiment;
+use pimba_serviced::spec::{trace_requested, Experiment};
 use pimba_serviced::store::ResultStore;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -182,7 +182,15 @@ fn run_one_shot(args: &Args, store: ResultStore) -> ExitCode {
                 continue;
             }
         };
-        let (id, events) = match queue.submit(experiment, 0, None) {
+        let trace = match trace_requested(&spec) {
+            Ok(trace) => trace,
+            Err(e) => {
+                eprintln!("pimba-serviced: {}: {e}", path.display());
+                failed = true;
+                continue;
+            }
+        };
+        let (id, events) = match queue.submit_traced(experiment, 0, None, trace) {
             Ok(pair) => pair,
             Err(e) => {
                 eprintln!("pimba-serviced: {e}");
@@ -213,6 +221,15 @@ fn run_one_shot(args: &Args, store: ResultStore) -> ExitCode {
                 JobEvent::Record(data) => {
                     println!("{{\"event\":\"record\",\"job\":{id},\"data\":{data}}}");
                 }
+                JobEvent::Trace(data) => println!(
+                    "{}",
+                    Json::obj(vec![
+                        ("event", Json::str("trace")),
+                        ("job", Json::Int(id as i64)),
+                        ("data", Json::Str(data)),
+                    ])
+                    .render()
+                ),
                 JobEvent::Done { records } => {
                     println!(
                         "{}",

@@ -12,6 +12,7 @@
 
 use crate::spec::Experiment;
 use crate::store::ResultStore;
+use pimba_system::obs::MetricsHub;
 use pimba_system::sweep::RunControl;
 use std::collections::{BinaryHeap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -72,6 +73,10 @@ pub enum JobEvent {
     },
     /// One canonical JSONL record line (see [`crate::spec`]).
     Record(String),
+    /// The run's canonical JSONL event trace — emitted once, after the last
+    /// record and before [`JobEvent::Done`], and only when the job was
+    /// submitted with trace capture (the spec's `"trace": true`).
+    Trace(String),
     /// Terminal: all records streamed.
     Done {
         /// Number of records produced.
@@ -126,6 +131,7 @@ impl PartialOrd for HeapEntry {
 
 struct JobEntry {
     experiment: Experiment,
+    trace: bool,
     state: JobState,
     cancel: Arc<AtomicBool>,
     timed_out: Arc<AtomicBool>,
@@ -150,6 +156,7 @@ struct QueueInner {
     next_id: AtomicU64,
     finish_counter: AtomicU64,
     store: ResultStore,
+    metrics: MetricsHub,
     default_timeout: Option<Duration>,
 }
 
@@ -171,7 +178,7 @@ impl QueueInner {
             JobEvent::Failed(_) => job.state = JobState::Failed,
             JobEvent::Cancelled => job.state = JobState::Cancelled,
             JobEvent::TimedOut => job.state = JobState::TimedOut,
-            JobEvent::Record(_) => {}
+            JobEvent::Record(_) | JobEvent::Trace(_) => {}
         }
         job.subscribers
             .retain(|sub| sub.send(event.clone()).is_ok());
@@ -211,6 +218,7 @@ impl JobQueue {
             next_id: AtomicU64::new(1),
             finish_counter: AtomicU64::new(0),
             store,
+            metrics: MetricsHub::new(),
             default_timeout,
         });
         let handles = (0..workers.max(1))
@@ -230,6 +238,14 @@ impl JobQueue {
         &self.inner.store
     }
 
+    /// The queue-wide metrics registry: every job's run publishes its series
+    /// here (labelled per cell), for the protocol's `metrics` command. Being
+    /// write-only from the runners, the registry never feeds back into
+    /// results (see [`pimba_system::obs`]).
+    pub fn metrics(&self) -> &MetricsHub {
+        &self.inner.metrics
+    }
+
     /// Enqueues an experiment. Returns the job id and the event stream (the
     /// submitter's subscription). Higher `priority` runs earlier.
     pub fn submit(
@@ -237,6 +253,19 @@ impl JobQueue {
         experiment: Experiment,
         priority: i64,
         timeout: Option<Duration>,
+    ) -> Result<(JobId, Receiver<JobEvent>), SubmitError> {
+        self.submit_traced(experiment, priority, timeout, false)
+    }
+
+    /// [`JobQueue::submit`] with opt-in trace capture: a `trace` job streams
+    /// one [`JobEvent::Trace`] (the run's canonical JSONL event trace) after
+    /// its records and before [`JobEvent::Done`].
+    pub fn submit_traced(
+        &self,
+        experiment: Experiment,
+        priority: i64,
+        timeout: Option<Duration>,
+        trace: bool,
     ) -> Result<(JobId, Receiver<JobEvent>), SubmitError> {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
@@ -251,6 +280,7 @@ impl JobQueue {
                 id,
                 JobEntry {
                     experiment,
+                    trace,
                     state: JobState::Queued,
                     cancel: Arc::new(AtomicBool::new(false)),
                     timed_out: Arc::new(AtomicBool::new(false)),
@@ -373,7 +403,7 @@ fn worker_loop(inner: Arc<QueueInner>) {
 fn run_job(inner: &Arc<QueueInner>, id: JobId) {
     // Claim: snapshot what the run needs and flip Queued → Running. A job
     // cancelled while queued is already terminal — skip it.
-    let (experiment, cancel, timed_out, timeout) = {
+    let (experiment, trace, cancel, timed_out, timeout) = {
         let mut jobs = inner.jobs.lock().unwrap();
         let Some(job) = jobs.get_mut(&id) else { return };
         if job.state.is_terminal() {
@@ -382,6 +412,7 @@ fn run_job(inner: &Arc<QueueInner>, id: JobId) {
         job.state = JobState::Running;
         (
             job.experiment.clone(),
+            job.trace,
             Arc::clone(&job.cancel),
             Arc::clone(&job.timed_out),
             job.timeout,
@@ -394,6 +425,7 @@ fn run_job(inner: &Arc<QueueInner>, id: JobId) {
     let progress_timed_out = Arc::clone(&timed_out);
     let control = RunControl::new()
         .with_cancel(Arc::clone(&cancel))
+        .with_metrics(inner.metrics.clone())
         .with_progress(Arc::new(move |done, total| {
             if let Some(deadline) = deadline {
                 if Instant::now() >= deadline {
@@ -406,13 +438,18 @@ fn run_job(inner: &Arc<QueueInner>, id: JobId) {
 
     // A panicking cell must not take the worker (and the daemon) down with
     // it; the runners' own threads propagate panics to this join point.
-    let outcome = catch_unwind(AssertUnwindSafe(|| experiment.run(&inner.store, &control)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        experiment.run_traced(&inner.store, &control, trace)
+    }));
 
     match outcome {
-        Ok(Ok(lines)) => {
+        Ok(Ok((lines, trace_jsonl))) => {
             let records = lines.len();
             for line in lines {
                 inner.publish(id, JobEvent::Record(line));
+            }
+            if let Some(trace) = trace_jsonl {
+                inner.publish(id, JobEvent::Trace(trace));
             }
             inner.publish(id, JobEvent::Done { records });
             // Results are on the heap already; make them durable eagerly so a

@@ -7,10 +7,12 @@
 //!
 //! | request | response lines |
 //! |---|---|
-//! | `{"cmd":"submit","spec":{…},"priority":1,"timeout_ms":60000}` | `{"event":"accepted","job":N}` then streamed `progress`/`record` lines, ending in one terminal `done`/`cancelled`/`timed_out`/`failed` line |
+//! | `{"cmd":"submit","spec":{…},"priority":1,"timeout_ms":60000}` | `{"event":"accepted","job":N}` then streamed `progress`/`record` lines, ending in one terminal `done`/`cancelled`/`timed_out`/`failed` line. A spec with `"trace":true` additionally streams one `{"event":"trace","job":N,"data":"…"}` line (the run's canonical JSONL event trace, JSON-escaped) before `done`. |
 //! | `{"cmd":"cancel","job":N}` | `{"event":"cancelling","job":N}` (or `error`) |
 //! | `{"cmd":"status","job":N}` | `{"event":"status","job":N,"state":…,"done":…,"total":…}` |
-//! | `{"cmd":"stats"}` | `{"event":"stats","store":{…},"jobs":{…}}` |
+//! | `{"cmd":"stats"}` | `{"event":"stats","store":{…},"jobs":{…}}` — `store` includes per-segment sizes and dead-byte ratios |
+//! | `{"cmd":"metrics"}` | `{"event":"metrics","data":{"metrics":[…]}}` — the queue-wide metrics registry snapshot |
+//! | `{"cmd":"query","fingerprint":"…32 hex…"}` | `{"event":"result","memo":…,"fingerprint":…,"data":{…}}` (or `error`) — one stored cell record by fingerprint, as enumerated by `list` |
 //! | `{"cmd":"list"}` | `{"event":"list","traffic_cells":N,"fleet_cells":M,"cells":[{"memo":…,"fingerprint":…},…]}` |
 //! | `{"cmd":"shutdown"}` | `{"event":"stopping"}`, then the daemon drains |
 //!
@@ -34,9 +36,10 @@
 //! the store is flushed before [`Daemon::stop`] returns.
 
 use crate::queue::{JobEvent, JobQueue, SubmitError};
-use crate::spec::Experiment;
+use crate::spec::{render_fleet_record, render_traffic_record, trace_requested, Experiment};
 use crate::store::ResultStore;
 use netline::{Json, LineConn, LineServer, Stopper};
+use pimba_system::memo::Fingerprint;
 use std::io;
 use std::net::SocketAddr;
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
@@ -135,6 +138,17 @@ impl Drop for Daemon {
             let _ = handle.join();
         }
     }
+}
+
+/// Parses a 32-hex-digit cell fingerprint (exactly as rendered by the `list`
+/// command) back into its two words.
+fn parse_fingerprint(hex: &str) -> Option<Fingerprint> {
+    if hex.len() != 32 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    let hi = u64::from_str_radix(&hex[..16], 16).ok()?;
+    let lo = u64::from_str_radix(&hex[16..], 16).ok()?;
+    Some(Fingerprint::from_words(hi, lo))
 }
 
 fn error_line(field: &str, message: &str) -> String {
@@ -240,6 +254,48 @@ fn handle_connection(mut conn: LineConn, queue: &Arc<JobQueue>, stopper: &Stoppe
                 .render();
                 let _ = conn.write_line(&line);
             }
+            "metrics" => {
+                // The hub's rendering is already canonical JSON; embed it
+                // verbatim (the same concatenation idiom as `record` events).
+                let line = format!(
+                    "{{\"event\":\"metrics\",\"data\":{}}}",
+                    queue.metrics().to_json()
+                );
+                let _ = conn.write_line(&line);
+            }
+            "query" => {
+                let Some(hex) = request.get("fingerprint").and_then(Json::as_str) else {
+                    let _ = conn.write_line(&error_line(
+                        "fingerprint",
+                        "missing or non-string 'fingerprint'",
+                    ));
+                    continue;
+                };
+                let Some(fp) = parse_fingerprint(hex) else {
+                    let _ = conn
+                        .write_line(&error_line("fingerprint", "must be exactly 32 hex digits"));
+                    continue;
+                };
+                // Embed the canonical record bytes verbatim, like `record`
+                // events: a queried cell is byte-identical to its streamed
+                // form.
+                let line = if let Some(record) = queue.store().traffic.cell(fp) {
+                    format!(
+                        "{{\"event\":\"result\",\"memo\":\"traffic\",\
+                         \"fingerprint\":\"{hex}\",\"data\":{}}}",
+                        render_traffic_record(&record)
+                    )
+                } else if let Some(record) = queue.store().fleet.cell(fp) {
+                    format!(
+                        "{{\"event\":\"result\",\"memo\":\"fleet\",\
+                         \"fingerprint\":\"{hex}\",\"data\":{}}}",
+                        render_fleet_record(&record)
+                    )
+                } else {
+                    error_line("fingerprint", "no stored cell under this fingerprint")
+                };
+                let _ = conn.write_line(&line);
+            }
             "list" => {
                 let mut pairs = vec![("event".to_string(), Json::str("list"))];
                 match queue.store().list_json() {
@@ -279,7 +335,14 @@ fn handle_submit(conn: &mut LineConn, queue: &Arc<JobQueue>, stopper: &Stopper, 
             return;
         }
     };
-    let (id, events) = match queue.submit(experiment, priority, timeout) {
+    let trace = match trace_requested(spec) {
+        Ok(trace) => trace,
+        Err(e) => {
+            let _ = conn.write_line(&error_line(&format!("spec.{}", e.field), &e.message));
+            return;
+        }
+    };
+    let (id, events) = match queue.submit_traced(experiment, priority, timeout, trace) {
         Ok(pair) => pair,
         Err(SubmitError::Draining) => {
             let _ = conn.write_line(&error_line("cmd", "daemon is shutting down"));
@@ -334,6 +397,18 @@ fn stream_events(conn: &mut LineConn, queue: &Arc<JobQueue>, id: u64, events: &R
                 // by concatenation, not re-rendering, so the `data` value is
                 // exactly the canonical record line.
                 format!("{{\"event\":\"record\",\"job\":{id},\"data\":{data}}}"),
+                false,
+            ),
+            JobEvent::Trace(data) => (
+                // Unlike records, the trace spans many lines — ship it as one
+                // JSON-escaped string value (clients recover the exact bytes
+                // by unescaping).
+                Json::obj(vec![
+                    ("event", Json::str("trace")),
+                    ("job", job.clone()),
+                    ("data", Json::str(data)),
+                ])
+                .render(),
                 false,
             ),
             JobEvent::Done { records } => (

@@ -27,6 +27,7 @@ use pimba_serve::sched::PolicyKind;
 use pimba_serve::traffic::Scenario;
 use pimba_system::cache::LatencyCache;
 use pimba_system::config::{SystemConfig, SystemKind};
+use pimba_system::obs::TraceRecorder;
 use pimba_system::serving::ServingSimulator;
 use pimba_system::sweep::{max_batch_within_slo, RunAborted, RunControl};
 use std::fmt;
@@ -232,6 +233,20 @@ fn opt_slo(spec: &Json) -> Result<Option<SloSpec>, SpecError> {
     }))
 }
 
+/// Whether `spec` opted into per-job trace capture (`"trace": true`).
+/// Absent means no trace; a non-boolean value is a [`SpecError`]. The flag
+/// lives beside the experiment fields but is parsed separately —
+/// [`Experiment::from_json`] describes *what* to run, this describes what to
+/// record about the run.
+pub fn trace_requested(spec: &Json) -> Result<bool, SpecError> {
+    match spec.get("trace") {
+        None => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| SpecError::new("trace", "must be a boolean")),
+    }
+}
+
 impl Experiment {
     /// Validates a JSON spec into a runnable experiment.
     ///
@@ -243,6 +258,7 @@ impl Experiment {
     /// `policy` (a [`PolicyKind`] name), `slo`
     /// (`{"ttft_ms", "tpot_ms"}`). `what_if` demands exactly one entry per
     /// axis. Every violation comes back as a [`SpecError`] naming the field.
+    /// The sibling `trace` flag is parsed by [`trace_requested`], not here.
     pub fn from_json(spec: &Json) -> Result<Experiment, SpecError> {
         if !matches!(spec, Json::Obj(_)) {
             return Err(SpecError::new("spec", "must be a JSON object"));
@@ -430,18 +446,40 @@ impl Experiment {
         store: &ResultStore,
         control: &RunControl,
     ) -> Result<Vec<String>, RunAborted> {
-        match self {
+        Ok(self.run_traced(store, control, false)?.0)
+    }
+
+    /// [`Experiment::run`] with opt-in trace capture: when `trace` is set the
+    /// grid runners record a deterministic event trace (spans and instants in
+    /// *simulated* time — see [`pimba_system::obs`]) whose canonical JSONL
+    /// rendering is returned beside the record lines. The sinks are
+    /// write-only, so recording never changes the record bytes — the
+    /// byte-identity guarantee is unaffected. Warm (memoized) cells record
+    /// nothing, and `slo_capacity` runs have no traced runner: both yield an
+    /// empty trace string.
+    pub fn run_traced(
+        &self,
+        store: &ResultStore,
+        control: &RunControl,
+        trace: bool,
+    ) -> Result<(Vec<String>, Option<String>), RunAborted> {
+        let recorder = trace.then(|| Arc::new(TraceRecorder::new()));
+        let lines = match self {
             Experiment::Traffic(grid) => {
-                let records = TrafficRunner::new()
-                    .with_memo(Arc::clone(&store.traffic))
-                    .run_controlled(grid, control)?;
-                Ok(records.iter().map(render_traffic_record).collect())
+                let mut runner = TrafficRunner::new().with_memo(Arc::clone(&store.traffic));
+                if let Some(recorder) = &recorder {
+                    runner = runner.with_trace(Arc::clone(recorder));
+                }
+                let records = runner.run_controlled(grid, control)?;
+                records.iter().map(render_traffic_record).collect()
             }
             Experiment::Fleet(grid) => {
-                let records = FleetRunner::new()
-                    .with_memo(Arc::clone(&store.fleet))
-                    .run_controlled(grid, control)?;
-                Ok(records.iter().map(render_fleet_record).collect())
+                let mut runner = FleetRunner::new().with_memo(Arc::clone(&store.fleet));
+                if let Some(recorder) = &recorder {
+                    runner = runner.with_trace(Arc::clone(recorder));
+                }
+                let records = runner.run_controlled(grid, control)?;
+                records.iter().map(render_fleet_record).collect()
             }
             Experiment::Capacity(cap) => {
                 let total = cap.systems.len() * cap.scenarios.len();
@@ -474,9 +512,10 @@ impl Experiment {
                         control.report(lines.len(), total);
                     }
                 }
-                Ok(lines)
+                lines
             }
-        }
+        };
+        Ok((lines, recorder.map(|r| r.to_jsonl())))
     }
 }
 
@@ -661,6 +700,32 @@ mod tests {
             let reparsed = Json::parse(line).unwrap();
             assert_eq!(reparsed.render(), *line);
         }
+    }
+
+    #[test]
+    fn traced_run_keeps_record_bytes_and_captures_events() {
+        let exp = Experiment::from_json(&traffic_spec()).unwrap();
+        let plain = exp
+            .run(&ResultStore::in_memory(), &RunControl::new())
+            .unwrap();
+        let (lines, trace) = exp
+            .run_traced(&ResultStore::in_memory(), &RunControl::new(), true)
+            .unwrap();
+        assert_eq!(lines, plain, "tracing must not perturb record bytes");
+        let trace = trace.expect("trace was requested");
+        assert!(!trace.is_empty(), "a cold traced run must record events");
+
+        // The spec-level flag parses strictly.
+        assert!(!trace_requested(&traffic_spec()).unwrap());
+        let mut spec = traffic_spec();
+        if let Json::Obj(pairs) = &mut spec {
+            pairs.push(("trace".to_string(), Json::Bool(true)));
+        }
+        assert!(trace_requested(&spec).unwrap());
+        if let Json::Obj(pairs) = &mut spec {
+            pairs.last_mut().unwrap().1 = Json::str("yes");
+        }
+        assert_eq!(trace_requested(&spec).unwrap_err().field, "trace");
     }
 
     #[test]

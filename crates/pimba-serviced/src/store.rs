@@ -138,7 +138,11 @@ impl ResultStore {
         count(&self.traffic.load_reports()) + count(&self.fleet.load_reports())
     }
 
-    /// The store's state as a JSON object for the daemon's `stats` command.
+    /// The store's state as a JSON object for the daemon's `stats` command:
+    /// per-memo hit/miss counters plus one `segments` entry per backing
+    /// segment file with its size, dead bytes, and dead-byte ratio (all
+    /// zeros for in-memory stores) — the inputs an operator needs to judge
+    /// when a [`ResultStore::compact`] is worth it.
     pub fn stats_json(&self) -> Json {
         fn stats(label: &str, s: (MemoStats, MemoStats, MemoStats)) -> (String, Json) {
             let one = |m: MemoStats| {
@@ -169,6 +173,26 @@ impl ResultStore {
         ];
         pairs.push(stats("traffic", self.traffic.stats()));
         pairs.push(stats("fleet", self.fleet.stats()));
+        let segments: Vec<Json> = self
+            .traffic
+            .segment_stats()
+            .into_iter()
+            .chain(self.fleet.segment_stats())
+            .map(|(name, len_bytes, dead_bytes)| {
+                let dead_ratio = if len_bytes > 0 {
+                    dead_bytes as f64 / len_bytes as f64
+                } else {
+                    0.0
+                };
+                Json::obj(vec![
+                    ("name", Json::str(name)),
+                    ("len_bytes", Json::Int(len_bytes as i64)),
+                    ("dead_bytes", Json::Int(dead_bytes as i64)),
+                    ("dead_ratio", Json::Num(dead_ratio)),
+                ])
+            })
+            .collect();
+        pairs.push(("segments".to_string(), Json::Arr(segments)));
         Json::Obj(pairs)
     }
 }

@@ -61,7 +61,7 @@ fn drain(events: &Receiver<JobEvent>) -> (Vec<String>, &'static str) {
             .recv_timeout(Duration::from_secs(120))
             .expect("event")
         {
-            JobEvent::Progress { .. } => {}
+            JobEvent::Progress { .. } | JobEvent::Trace(_) => {}
             JobEvent::Record(line) => records.push(line),
             JobEvent::Done { .. } => return (records, "done"),
             JobEvent::Failed(_) => return (records, "failed"),
@@ -441,6 +441,105 @@ fn list_enumerates_stored_fingerprints_with_cell_counts() {
     // A second client sees the identical listing.
     let mut other = Client::connect(daemon.addr()).unwrap();
     assert_eq!(other.list().unwrap().render(), listing.render());
+    daemon.stop();
+}
+
+#[test]
+fn trace_metrics_and_query_round_trip_over_the_protocol() {
+    // Baseline daemon: plain run, no trace requested.
+    let daemon = Daemon::start(DaemonConfig::default(), ResultStore::in_memory()).unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    let plain = client.run(&traffic_spec(), 0, None).unwrap().unwrap();
+    assert_eq!(plain.state, "done");
+    assert!(plain.trace.is_none(), "no trace unless the spec opts in");
+    daemon.stop();
+
+    // Traced daemon: cold store, so cells actually simulate and record.
+    let daemon = Daemon::start(DaemonConfig::default(), ResultStore::in_memory()).unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    let mut spec = traffic_spec();
+    let Json::Obj(pairs) = &mut spec else {
+        panic!("spec fixtures are objects")
+    };
+    pairs.push(("trace".to_string(), Json::Bool(true)));
+    let traced = client.run(&spec, 0, None).unwrap().unwrap();
+    assert_eq!(traced.state, "done");
+    assert_eq!(
+        traced.records, plain.records,
+        "tracing must not change record bytes"
+    );
+    let trace = traced.trace.expect("trace must stream when requested");
+    assert!(!trace.is_empty(), "a cold traced run records events");
+    for line in trace.lines() {
+        Json::parse(line).expect("every trace line is valid JSON");
+    }
+
+    // Warm resubmission: memoized cells record nothing, but the records are
+    // still byte-identical and the (empty) trace envelope still streams.
+    let warm = client.run(&spec, 0, None).unwrap().unwrap();
+    assert_eq!(warm.records, plain.records);
+    assert!(warm.trace.is_some());
+
+    // The queue-wide metrics registry saw the run's serving series.
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.get("event").and_then(Json::as_str), Some("metrics"));
+    let series = metrics
+        .get("data")
+        .and_then(|d| d.get("metrics"))
+        .and_then(Json::as_arr)
+        .expect("metrics array");
+    assert!(
+        series
+            .iter()
+            .any(|s| { s.get("name").and_then(Json::as_str) == Some("serve_requests_completed") }),
+        "traffic runs must publish serving metrics: {}",
+        metrics.render()
+    );
+
+    // query: a stored cell fetched by fingerprint renders to the exact bytes
+    // of one streamed record.
+    let listing = client.list().unwrap();
+    let cells = listing.get("cells").and_then(Json::as_arr).expect("cells");
+    let fp = cells
+        .iter()
+        .find(|c| c.get("memo").and_then(Json::as_str) == Some("traffic"))
+        .and_then(|c| c.get("fingerprint"))
+        .and_then(Json::as_str)
+        .expect("a stored traffic fingerprint");
+    let result = client.query(fp).unwrap();
+    assert_eq!(result.get("event").and_then(Json::as_str), Some("result"));
+    assert_eq!(result.get("memo").and_then(Json::as_str), Some("traffic"));
+    assert_eq!(result.get("fingerprint").and_then(Json::as_str), Some(fp));
+    let data = result.get("data").expect("queried record").render();
+    assert!(
+        plain.records.contains(&data),
+        "queried bytes must be one of the streamed records"
+    );
+
+    // Unknown and malformed fingerprints get structured errors.
+    let missing = client.query("00000000000000000000000000000000").unwrap();
+    assert_eq!(missing.get("event").and_then(Json::as_str), Some("error"));
+    let malformed = client.query("not-a-fingerprint").unwrap();
+    assert_eq!(malformed.get("event").and_then(Json::as_str), Some("error"));
+    assert_eq!(
+        malformed.get("field").and_then(Json::as_str),
+        Some("fingerprint")
+    );
+
+    // stats: one segment entry per backing store, all zeros in-memory.
+    let stats = client.stats().unwrap();
+    let segments = stats
+        .get("store")
+        .and_then(|s| s.get("segments"))
+        .and_then(Json::as_arr)
+        .expect("stats.store.segments");
+    assert_eq!(segments.len(), 6, "three traffic + three fleet segments");
+    for seg in segments {
+        assert!(seg.get("name").and_then(Json::as_str).is_some());
+        assert_eq!(seg.get("len_bytes").and_then(Json::as_i64), Some(0));
+        assert_eq!(seg.get("dead_bytes").and_then(Json::as_i64), Some(0));
+        assert_eq!(seg.get("dead_ratio").and_then(Json::as_f64), Some(0.0));
+    }
     daemon.stop();
 }
 

@@ -26,6 +26,9 @@
 //!   seq-invariant [`serving::StepFunction`] row evaluator,
 //! * [`stats`] — exact order-statistic percentiles shared by the sweep engine, the
 //!   `pimba-serve` traffic metrics and the benches,
+//! * [`obs`] — deterministic observability: trace recording (Perfetto/JSONL
+//!   exporters), the labeled metrics registry, and simulator self-profiling —
+//!   all guaranteed never to perturb simulation output,
 //! * [`transfer`] — the inter-replica state-handoff latency model of
 //!   disaggregated prefill/decode serving (`pimba-fleet`).
 //!
@@ -51,6 +54,7 @@ pub mod cache;
 pub mod config;
 pub mod memo;
 pub mod memory;
+pub mod obs;
 pub mod persist;
 pub mod pipeline;
 pub mod serving;

@@ -281,8 +281,23 @@ impl<V> MemoStore<V> {
         Ok(())
     }
 
+    /// Total bytes of the backing segment, live and dead (`0` for in-memory
+    /// stores) — the raw size a `serviced` `stats` response reports next to
+    /// [`MemoStore::dead_bytes`].
+    pub fn len_bytes(&self) -> u64 {
+        match &self.disk {
+            Some(disk) => disk
+                .segment
+                .lock()
+                .expect("memo segment poisoned")
+                .len_bytes(),
+            None => 0,
+        }
+    }
+
     /// The stored value for `key`, if present.
     pub fn get(&self, key: Fingerprint) -> Option<Arc<V>> {
+        let _lookup = crate::obs::profile_phase("memo_lookup");
         let found = self
             .map
             .read()

@@ -343,6 +343,7 @@ impl SegmentFile {
     /// assembled record, so a crash leaves at most one partial tail record —
     /// exactly what [`SegmentFile::open`] tolerates.
     pub fn append(&mut self, fp: Fingerprint, payload: &[u8]) -> std::io::Result<()> {
+        let _io = crate::obs::profile_phase("persist_io");
         let (hi, lo) = fp.words();
         let mut record = Vec::with_capacity(RECORD_HEADER + payload.len() + RECORD_CHECK);
         record.extend_from_slice(&hi.to_le_bytes());
@@ -427,6 +428,7 @@ impl SegmentFile {
 
     /// Forces appended records to stable storage (fsync).
     pub fn sync(&mut self) -> std::io::Result<()> {
+        let _io = crate::obs::profile_phase("persist_io");
         self.file.sync_all()
     }
 }

@@ -41,6 +41,7 @@ use std::sync::Arc;
 pub struct RunControl {
     progress: Option<Arc<dyn Fn(usize, usize) + Send + Sync>>,
     cancel: Option<Arc<AtomicBool>>,
+    metrics: crate::obs::MetricsHub,
 }
 
 impl std::fmt::Debug for RunControl {
@@ -48,6 +49,7 @@ impl std::fmt::Debug for RunControl {
         f.debug_struct("RunControl")
             .field("progress", &self.progress.is_some())
             .field("cancel", &self.cancel.is_some())
+            .field("metrics", &self.metrics.enabled())
             .finish()
     }
 }
@@ -81,10 +83,31 @@ impl RunControl {
             .is_some_and(|c| c.load(Ordering::Relaxed))
     }
 
+    /// Installs a live metrics registry: runners publish run-progress gauges
+    /// through it (and export their per-run summary series into it), so a
+    /// mid-run [`MetricsHub::snapshot`](crate::obs::MetricsHub::snapshot)
+    /// sees where a long grid stands. Observability only — attaching a hub
+    /// never changes results.
+    pub fn with_metrics(mut self, metrics: crate::obs::MetricsHub) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The attached metrics registry (disabled by default).
+    pub fn metrics(&self) -> &crate::obs::MetricsHub {
+        &self.metrics
+    }
+
     /// Reports one completed cell.
     pub fn report(&self, done: usize, total: usize) {
         if let Some(progress) = &self.progress {
             progress(done, total);
+        }
+        if self.metrics.enabled() {
+            self.metrics
+                .gauge("run_progress_cells_done", &[], done as f64);
+            self.metrics
+                .gauge("run_progress_cells_total", &[], total as f64);
         }
     }
 }
@@ -255,6 +278,7 @@ impl<S> FleetWindows<'_, S> {
         );
         self.horizon_bits
             .store(horizon.to_bits(), std::sync::atomic::Ordering::Relaxed);
+        let _barrier_wait = crate::obs::profile_phase("window_barrier");
         self.barrier.wait();
         self.barrier.wait();
     }

@@ -129,6 +129,16 @@ impl Json {
         }
     }
 
+    /// The key/value pairs in document order, if this is an object — for
+    /// callers that need to *enumerate* keys (schema validation, diffing)
+    /// rather than look one up with [`Json::get`].
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// Parses one complete JSON document; trailing non-whitespace is an
     /// error.
     pub fn parse(input: &str) -> Result<Json, JsonError> {

@@ -1,0 +1,134 @@
+//! Scenario: export a Perfetto-loadable trace of a fleet under fire — a
+//! four-replica kill storm with live request migration, plus a disaggregated
+//! prefill/decode run so the state-handoff spans show up on the timeline.
+//!
+//! The example is self-checking: it re-runs each cell untraced and asserts
+//! byte-identity (an attached recorder must never change the simulation),
+//! verifies the exported Chrome trace-event JSON parses and carries the
+//! required span kinds, then writes the file.
+//!
+//! Run with `cargo run --release --example trace_fleet [-- OUT.json]`,
+//! then load the output at <https://ui.perfetto.dev> (or
+//! `chrome://tracing`).
+
+use pimba::fleet::cluster::{FleetConfig, FleetMode, FleetSim};
+use pimba::fleet::fault::{FaultPlan, RecoveryPolicy};
+use pimba::fleet::router::RouterKind;
+use pimba::models::{ModelConfig, ModelFamily, ModelScale};
+use pimba::netline::Json;
+use pimba::serve::traffic::Scenario;
+use pimba::system::config::{SystemConfig, SystemKind};
+use pimba::system::obs::TraceRecorder;
+use pimba::system::serving::ServingSimulator;
+use pimba::system::transfer::StateTransferModel;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace_fleet.json".to_string());
+    let model = ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small);
+    let sim = ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba));
+    let recorder = Arc::new(TraceRecorder::new());
+
+    // Cell 1 — colocated kill storm with live migration: two of four
+    // replicas die mid-run, the failure detector fires, and in-flight
+    // requests migrate to survivors (crash / detect / migrate / restart
+    // spans land on the `storm / fleet` track).
+    let requests = 200;
+    let rate = 80.0;
+    let trace = Scenario::chat().generate(rate, requests, 2026);
+    let span_ns = requests as f64 / rate * 1e9;
+    let mut plan = FaultPlan::kill_storm(4, 2, 0.25 * span_ns, 0.3 * span_ns, 0.2 * span_ns);
+    plan.recovery = RecoveryPolicy::Migrate;
+    let config = FleetConfig {
+        router: RouterKind::Jsq,
+        ..FleetConfig::colocated(4)
+    };
+    let baseline = FleetSim::new(&sim, &model)
+        .run_faulted(&trace, &config, &plan)
+        .expect("storm plan validates");
+    let traced = FleetSim::new(&sim, &model)
+        .with_trace(Arc::clone(&recorder))
+        .with_trace_prefix("storm / ")
+        .run_faulted(&trace, &config, &plan)
+        .expect("storm plan validates");
+    assert!(traced == baseline, "tracing must not change the storm run");
+    println!(
+        "storm: {} requests, {} crashes, {} migrations, {} retries — traced run \
+         byte-identical to untraced",
+        requests, traced.fault.crashes, traced.fault.migrations, traced.fault.retries
+    );
+
+    // Cell 2 — disaggregated 2P+2D over NVLink: every request's
+    // prefill→decode state handoff is a span on the `disagg / fleet` track.
+    let chat = Scenario::chat().generate(50.0, 120, 7);
+    let disagg = FleetConfig {
+        mode: FleetMode::Disaggregated {
+            prefill_replicas: 2,
+            decode_replicas: 2,
+            transfer: StateTransferModel::nvlink(),
+        },
+        ..FleetConfig::colocated(4)
+    };
+    let baseline = FleetSim::new(&sim, &model).run(&chat, &disagg);
+    let traced = FleetSim::new(&sim, &model)
+        .with_trace(Arc::clone(&recorder))
+        .with_trace_prefix("disagg / ")
+        .run(&chat, &disagg);
+    assert!(traced == baseline, "tracing must not change the disagg run");
+    println!(
+        "disagg: {} requests through 2P+2D, p99 TTFT {:.1}ms — traced run \
+         byte-identical to untraced",
+        chat.len(),
+        traced
+            .summary(&pimba::serve::metrics::SloSpec::default())
+            .ttft_ms
+            .p99
+    );
+
+    // The exported trace must carry the full fault-and-recovery story.
+    let names: BTreeSet<String> = recorder
+        .tracks()
+        .iter()
+        .flat_map(|t| t.events.iter().map(|e| e.name.clone()))
+        .collect();
+    for required in ["route", "handoff", "crash", "detect", "migrate"] {
+        assert!(
+            names.contains(required),
+            "trace must contain '{required}' spans, got {names:?}"
+        );
+    }
+
+    // Validate the Chrome trace-event JSON before writing it: it parses,
+    // traceEvents is non-empty, and every event is a well-formed object.
+    let chrome = recorder.to_chrome_json();
+    let parsed = Json::parse(&chrome).expect("exported trace JSON parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "exported trace must not be empty");
+    for event in events {
+        let keys: BTreeSet<&str> = event
+            .as_obj()
+            .expect("trace events are objects")
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        for required in ["ph", "pid", "tid", "name"] {
+            assert!(keys.contains(required), "event missing '{required}'");
+        }
+    }
+
+    std::fs::write(&out, &chrome).expect("write trace file");
+    println!(
+        "\nwrote {} ({} events, {} tracks, {} span kinds) — load it at \
+         https://ui.perfetto.dev",
+        out,
+        events.len(),
+        recorder.tracks().len(),
+        names.len()
+    );
+}
