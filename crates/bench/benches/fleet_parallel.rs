@@ -17,8 +17,13 @@
 //!   one batch replay per *batch* while the sequential driver still parks
 //!   every replica at every fleet arrival. A continuous-batching long-decode
 //!   regime is reported alongside it.
+//! * optimistic speculation vs windowed lockstep for the load-aware routers
+//!   (JSQ, po2): wall-clock, speculation hit/miss rates, rollback counts —
+//!   all three drivers bit-identical,
 //! * cold vs warm evaluation of a what-if grid against a shared
-//!   [`FleetMemo`] (warm cells skip simulation entirely).
+//!   [`FleetMemo`] (warm cells skip simulation entirely),
+//! * routed-prefix checkpoints: a grid that extends each cell's trace
+//!   restores the shorter grid's routed prefixes instead of re-running them.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pimba_fleet::cluster::{FleetConfig, FleetMode, FleetSim};
@@ -29,9 +34,23 @@ use pimba_models::config::{ModelConfig, ModelFamily, ModelScale};
 use pimba_serve::sched::PolicyKind;
 use pimba_serve::traffic::Scenario;
 use pimba_system::config::{SystemConfig, SystemKind};
+use pimba_system::obs::{MetricValue, MetricsHub};
 use pimba_system::serving::ServingSimulator;
+use pimba_system::sweep::RunControl;
 use pimba_system::transfer::StateTransferModel;
 use std::sync::Arc;
+
+/// Sums a counter series across all label sets.
+fn counter_total(hub: &MetricsHub, name: &str) -> u64 {
+    hub.snapshot()
+        .iter()
+        .filter(|series| series.name == name)
+        .map(|series| match &series.value {
+            MetricValue::Counter(n) => *n,
+            _ => 0,
+        })
+        .sum()
+}
 
 fn requests() -> usize {
     std::env::var("FLEET_PARALLEL_REQUESTS")
@@ -127,8 +146,9 @@ fn assert_parallel_bit_identity(n: usize) -> Vec<(String, bool)> {
                 },
             ),
         ] {
-            // Round-robin exercises the decoupled driver, JSQ and po2 the
-            // windowed one.
+            // Round-robin exercises the decoupled driver; JSQ and po2 the
+            // optimistic speculative one (speculation defaults on), with the
+            // windowed lockstep re-run below as the oracle.
             for router in RouterKind::ALL {
                 let mut config = fleet_config(router, regime.policy, 0);
                 config.mode = mode;
@@ -144,6 +164,22 @@ fn assert_parallel_bit_identity(n: usize) -> Vec<(String, bool)> {
                     );
                 }
                 gates.push((format!("{}_{label}_{}", regime.key, router.name()), true));
+                if label == "colocated" && !router.load_oblivious() {
+                    // Lockstep oracle: the same load-aware workloads with
+                    // speculation forced off must also match sequential.
+                    config.speculation = false;
+                    for workers in [2, 8] {
+                        config.workers = workers;
+                        let lockstep = fleet.run(&trace, &config);
+                        assert!(
+                            lockstep == sequential,
+                            "lockstep fleet diverged: {}/{}/workers={workers}",
+                            regime.key,
+                            router.name()
+                        );
+                    }
+                    gates.push((format!("{}_lockstep_{}", regime.key, router.name()), true));
+                }
             }
         }
     }
@@ -238,7 +274,78 @@ fn record_results(_c: &mut Criterion) {
     }
 
     // ------------------------------------------------------------------
-    // 2. Memoized what-if grid: cold vs warm.
+    // 2. Optimistic speculation vs windowed lockstep: load-aware routers.
+    // ------------------------------------------------------------------
+    let spec_trace = uniform_batch().generate(60.0, n, 2026);
+    let mut spec_rows: Vec<Vec<String>> = Vec::new();
+    let mut spec_json: Vec<String> = Vec::new();
+    for router in [RouterKind::Jsq, RouterKind::PowerOfTwo] {
+        let mut config = fleet_config(router, PolicyKind::FcfsStatic, 8);
+        config.speculation = false;
+        let reference = fleet.run(&spec_trace, &config);
+        let lockstep_wall = bench::median_secs(reps, || fleet.run(&spec_trace, &config));
+        config.speculation = true;
+        assert!(
+            fleet.run(&spec_trace, &config) == reference,
+            "optimistic diverged from lockstep: {}",
+            router.name()
+        );
+        let optimistic_wall = bench::median_secs(reps, || fleet.run(&spec_trace, &config));
+
+        // Hit rates from a metered run (attaching a hub cannot perturb
+        // results — asserted here on the full bench workload).
+        let hub = MetricsHub::new();
+        let metered = FleetSim::new(&sim, &model)
+            .with_metrics(hub.clone())
+            .run(&spec_trace, &config);
+        assert!(
+            metered == reference,
+            "metered run diverged: {}",
+            router.name()
+        );
+        let hits = counter_total(&hub, "fleet_speculation_hits");
+        let misses = counter_total(&hub, "fleet_speculation_misses");
+        let rollbacks = counter_total(&hub, "fleet_speculation_rollbacks");
+        let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+        let speedup = lockstep_wall / optimistic_wall;
+        spec_rows.push(vec![
+            router.name().into(),
+            bench::fmt(lockstep_wall * 1e3, 1),
+            bench::fmt(optimistic_wall * 1e3, 1),
+            bench::fmt(speedup, 2),
+            format!("{hits}/{misses}"),
+            bench::fmt(hit_rate * 100.0, 1),
+        ]);
+        spec_json.push(format!(
+            "    {{\"router\": \"{}\", \"lockstep_wall_ms\": {:.2}, \
+             \"optimistic_wall_ms\": {:.2}, \"speedup\": {:.3}, \
+             \"speculation_hits\": {hits}, \"speculation_misses\": {misses}, \
+             \"rollbacks\": {rollbacks}, \"hit_rate\": {:.4}}}",
+            router.name(),
+            lockstep_wall * 1e3,
+            optimistic_wall * 1e3,
+            speedup,
+            hit_rate,
+        ));
+    }
+    bench::print_table(
+        &format!(
+            "Optimistic speculation vs windowed lockstep: {REPLICAS} replicas, 8 workers, \
+             fcfs uniform_batch @ 60 rps, {n} requests (bit-identical, median of {reps})"
+        ),
+        &[
+            "router",
+            "lockstep_ms",
+            "optimistic_ms",
+            "speedup",
+            "hit/miss",
+            "hit_%",
+        ],
+        &spec_rows,
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Memoized what-if grid: cold vs warm.
     // ------------------------------------------------------------------
     let grid = FleetGrid::new(model.clone())
         .with_systems(vec![SystemConfig::small_scale(SystemKind::Pimba)])
@@ -314,6 +421,86 @@ fn record_results(_c: &mut Criterion) {
         ],
     );
 
+    // ------------------------------------------------------------------
+    // 4. Routed-prefix checkpoints: a grid that extends each cell's trace
+    //    restores the shorter grid's routed prefixes instead of re-running
+    //    them (trace generation draws per-request, so the shorter trace is
+    //    a literal prefix of the longer one).
+    // ------------------------------------------------------------------
+    let base_cell = (n / 8).max(100);
+    let every = (base_cell / 2).max(1);
+    let prefix_grid = FleetGrid::new(model.clone())
+        .with_systems(vec![SystemConfig::small_scale(SystemKind::Pimba)])
+        .with_scenarios(vec![long_decode()])
+        .with_rates(vec![20.0, 30.0])
+        .with_replica_counts(vec![4])
+        .with_routers(vec![RouterKind::Jsq])
+        .with_requests_per_cell(base_cell)
+        .with_prefix_checkpoints(every)
+        .with_seed(2026);
+    let prefix_memo = Arc::new(FleetMemo::new());
+    let prefix_runner = FleetRunner::new().with_memo(prefix_memo.clone());
+    prefix_runner.run(&prefix_grid); // seeds the checkpoint store
+    let extended = prefix_grid
+        .clone()
+        .with_requests_per_cell(base_cell + base_cell / 2);
+    let cold_ext_start = std::time::Instant::now();
+    let cold_ext = FleetRunner::new().run(&extended);
+    let cold_ext_wall = cold_ext_start.elapsed().as_secs_f64();
+    // Restore counters from a metered pass (an enabled hub serializes
+    // metric export, so this pass informs but is not timed).
+    let prefix_hub = MetricsHub::new();
+    let metered_ext = prefix_runner
+        .run_controlled(
+            &extended,
+            &RunControl::new().with_metrics(prefix_hub.clone()),
+        )
+        .expect("uncontrolled run cannot be cancelled");
+    assert!(
+        metered_ext == cold_ext,
+        "prefix-warm records diverged from cold run"
+    );
+    let restored = counter_total(&prefix_hub, "fleet_prefix_arrivals_restored");
+    let total_arrivals = counter_total(&prefix_hub, "fleet_prefix_arrivals_total");
+    // Wall-clock against a second identically-seeded store: the metered
+    // pass memoized the extended records themselves, so re-timing against
+    // the same memo would skip the engines entirely.
+    let timing_memo = Arc::new(FleetMemo::new());
+    let timing_runner = FleetRunner::new().with_memo(timing_memo.clone());
+    timing_runner.run(&prefix_grid);
+    let warm_ext_start = std::time::Instant::now();
+    let warm_ext = timing_runner.run(&extended);
+    let warm_ext_wall = warm_ext_start.elapsed().as_secs_f64();
+    assert!(
+        warm_ext == cold_ext,
+        "prefix-warm records diverged from cold run"
+    );
+    let restored_frac = restored as f64 / (total_arrivals.max(1)) as f64;
+    let prefix_speedup = cold_ext_wall / warm_ext_wall.max(1e-9);
+    bench::print_table(
+        &format!(
+            "Routed-prefix checkpoints: {} cells extended {base_cell} -> {} requests \
+             (prefix-warm byte-identical)",
+            extended.len(),
+            extended.requests_per_cell
+        ),
+        &["phase", "wall_ms", "arrivals_restored", "speedup"],
+        &[
+            vec![
+                "cold".into(),
+                bench::fmt(cold_ext_wall * 1e3, 1),
+                "0".into(),
+                "1.00".into(),
+            ],
+            vec![
+                "prefix-warm".into(),
+                bench::fmt(warm_ext_wall * 1e3, 1),
+                format!("{restored}/{total_arrivals}"),
+                bench::fmt(prefix_speedup, 2),
+            ],
+        ],
+    );
+
     let gates_json = gates
         .iter()
         .map(|(name, ok)| format!("\"{name}\": {ok}"))
@@ -323,16 +510,30 @@ fn record_results(_c: &mut Criterion) {
         "{{\n  \"bench\": \"fleet_parallel\",\n  \"requests\": {n},\n  \
          \"fleet\": {{\"replicas\": {REPLICAS}, \"router\": \"round_robin\", \
          \"max_batch\": 16}},\n  \
-         \"divergence_gates\": {{{gates_json}, \"memo_warm_byte_identical\": true}},\n  \
+         \"divergence_gates\": {{{gates_json}, \"memo_warm_byte_identical\": true, \
+         \"prefix_warm_byte_identical\": true}},\n  \
          \"parallel\": [\n{}\n  ],\n  \
+         \"speculation\": [\n{}\n  ],\n  \
          \"memo_grid\": {{\"cells\": {}, \"requests_per_cell\": {}, \
-         \"cold_wall_ms\": {:.2}, \"warm_wall_ms\": {:.3}, \"speedup\": {:.1}}}\n}}\n",
+         \"cold_wall_ms\": {:.2}, \"warm_wall_ms\": {:.3}, \"speedup\": {:.1}}},\n  \
+         \"prefix_reuse\": {{\"cells\": {}, \"base_requests_per_cell\": {base_cell}, \
+         \"extended_requests_per_cell\": {}, \"checkpoint_every\": {every}, \
+         \"cold_wall_ms\": {:.2}, \"prefix_warm_wall_ms\": {:.2}, \"speedup\": {:.3}, \
+         \"arrivals_restored\": {restored}, \"arrivals_total\": {total_arrivals}, \
+         \"restored_fraction\": {:.4}}}\n}}\n",
         regime_json.join(",\n"),
+        spec_json.join(",\n"),
         grid.len(),
         grid.requests_per_cell,
         cold_wall * 1e3,
         warm_wall * 1e3,
         memo_speedup,
+        extended.len(),
+        extended.requests_per_cell,
+        cold_ext_wall * 1e3,
+        warm_ext_wall * 1e3,
+        prefix_speedup,
+        restored_frac,
     );
     let path = bench::results_dir().join("BENCH_fleet_parallel.json");
     std::fs::write(&path, json).expect("failed to write BENCH_fleet_parallel.json");

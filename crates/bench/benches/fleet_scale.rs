@@ -65,6 +65,7 @@ fn assert_single_replica_bit_identity(n: usize) {
                 engine: engine_config,
                 seed: 1,
                 workers: 0,
+                speculation: true,
             };
             let fleet = FleetSim::new(&sim, &model).run(&trace, &config);
             assert_eq!(
@@ -338,6 +339,7 @@ fn record_results(_c: &mut Criterion) {
                 },
                 seed: 5,
                 workers: 0,
+                speculation: true,
             };
             let run_start = std::time::Instant::now();
             let result = FleetSim::new(&sim, &model).run(&trace, &config);

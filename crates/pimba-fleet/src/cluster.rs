@@ -59,6 +59,66 @@
 //!   state is insensitive to *foreign* horizons (stepping to an instant with
 //!   nothing to inject is a bit-level no-op), so dropping the other
 //!   replicas' arrival horizons leaves its result untouched.
+//! * **optimistic** (speculation; the default for load-aware routers when
+//!   [`FleetConfig::speculation`] is on and no trace recorder is attached) —
+//!   replicas free-run whole *chunks* of arrivals at a time instead of
+//!   pausing at every arrival horizon, with the lockstep windowed driver
+//!   kept as the oracle. The protocol, per chunk of up to 32 arrivals:
+//!
+//!   1. **Checkpoint.** Every replica takes a [`SessionSnapshot`] and forks
+//!      its scheduler; its live `outstanding` count seeds the prediction.
+//!   2. **Predict.** A fork of the committed router routes the whole chunk
+//!      against *predicted* loads — `outstanding` grows by one per
+//!      speculated assignment and ignores completions (an overestimate that
+//!      preserves the relative ordering load-aware policies compare).
+//!   3. **Speculate.** The chunk's arrivals are published as per-replica
+//!      injection plans and every replica free-runs to the chunk's last
+//!      arrival in one window — one barrier per chunk instead of one per
+//!      arrival.
+//!   4. **Validate & roll back.** The loads the *sequential* driver would
+//!      have routed against are reconstructed exactly from the speculated
+//!      runs: `outstanding` at arrival `k` is the checkpointed count, plus
+//!      chunk injections before `k`, minus completions strictly before
+//!      `t_k` — and completions strictly before `t_k` are unaffected by any
+//!      mis-speculated injection at `t_j ≥ t_k` (an arrival event cannot
+//!      influence events strictly before its own timestamp), so the
+//!      reconstruction is exact up to the *first* divergence. A fresh fork
+//!      of the committed router re-routes the chunk against those loads; at
+//!      the first mismatch the corrected choice is adopted, the two
+//!      affected replicas restore their snapshots and replay their
+//!      corrected plans, and validation restarts. Each pass either commits
+//!      the chunk or strictly advances the first-divergence index, so the
+//!      loop terminates. On a clean pass the validation router *becomes*
+//!      the committed router — it consumed exactly one `route` call per
+//!      arrival with exactly the sequential loads, entropy stream included.
+//!
+//!   Validation reconstructs only the `outstanding` field: every shipped
+//!   load-aware [`RouterKind`] reads nothing else (`queue_depth` and
+//!   `occupancy` are reported for observability, not consulted), and the
+//!   parallel-equivalence suite gates the protocol against the sequential
+//!   driver for the whole closed [`RouterKind`] set at workers {1,2,4,8}.
+//!   A replica whose chunk was mispredicted replays at most the chunk — the
+//!   snapshot is O(live state), taken once per replica per chunk under the
+//!   `snapshot_clone` profile phase; replays run under `speculation_replay`
+//!   and restores under `rollback`.
+//!
+//! # Routed-prefix checkpoints (cross-cell sub-run reuse)
+//!
+//! [`FleetSim::run_checkpointed`] is the sequential colocated driver plus a
+//! content-addressed checkpoint store: every `every` arrivals (and at the
+//! trace end) it snapshots the whole fleet — per-replica sessions and
+//! schedulers, the router, the assignment prefix — into a
+//! [`FleetCheckpoint`] keyed by the *routed prefix's* complete input
+//! identity: system, model, fleet mode, router, policy, engine config, seed,
+//! and the first `p` trace requests folded exactly as a standalone trace of
+//! length `p` ([`fold_trace_prefix`]). A later cell whose trace shares that
+//! prefix — e.g. the same grid swept at a larger `requests_per_cell`, or a
+//! what-if whose config diverges only mid-trace — restores the longest
+//! stored checkpoint and simulates only the tail, byte-identical to a cold
+//! run (the engine's snapshot determinism gate plus scheduler/router forks
+//! carrying plain state). Checkpoints live in memory only — they are
+//! execution accelerators, not results, and are deliberately not persisted
+//! by the disk-backed memos.
 //!
 //! # Fault tolerance & live migration
 //!
@@ -124,18 +184,22 @@ use crate::fault::{FaultError, FaultKind, FaultPlan, FaultStats, RecoveryPolicy}
 use crate::metrics::{FleetResult, ReplicaReport, ReplicaRole};
 use crate::router::{streams, ReplicaLoad, Router, RouterKind};
 use pimba_models::config::ModelConfig;
-use pimba_serve::engine::{CompletedRequest, DroppedRequest, Engine, EngineConfig, Session};
+use pimba_serve::engine::{
+    CompletedRequest, DroppedRequest, Engine, EngineConfig, Session, SessionSnapshot,
+};
 use pimba_serve::metrics::{PreemptionStats, RequestOutcome, SimResult, TelemetryStats};
+use pimba_serve::runner::fold_trace_prefix;
 use pimba_serve::sched::{PolicyKind, Scheduler};
 use pimba_serve::traffic::{Trace, TraceRequest};
+use pimba_system::memo::{FingerprintBuilder, MemoStore};
 use pimba_system::memory::MemoryModel;
-use pimba_system::obs::{profile_phase, TraceEvent, TraceRecorder, TraceSink};
+use pimba_system::obs::{profile_phase, MetricsHub, TraceEvent, TraceRecorder, TraceSink};
 use pimba_system::serving::ServingSimulator;
 use pimba_system::sweep::{fleet_map, run_windowed, FleetWindows};
 use pimba_system::transfer::StateTransferModel;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// How the fleet's replicas divide the request lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -190,6 +254,16 @@ pub struct FleetConfig {
     /// runs the sequential driver. Any value produces bit-identical results
     /// (see the module docs) — this knob trades threads for wall-clock only.
     pub workers: usize,
+    /// Allows the *optimistic* parallel driver for load-aware routers
+    /// (colocated, `workers > 1`, untraced): replicas speculate past the
+    /// conservative horizon in free-running chunks, the router's decisions
+    /// are validated against exactly reconstructed loads at commit time, and
+    /// a mispredicted replica rolls back to its chunk snapshot and replays.
+    /// Bit-identical to the sequential driver either way (module docs) —
+    /// `false` forces the windowed-lockstep driver, kept as the oracle (and
+    /// as the baseline the `fleet_parallel` bench measures speculation
+    /// against). Execution knob only: excluded from memo cell keys.
+    pub speculation: bool,
 }
 
 impl FleetConfig {
@@ -203,6 +277,7 @@ impl FleetConfig {
             engine: EngineConfig::default(),
             seed: 0xF1EE7,
             workers: 0,
+            speculation: true,
         }
     }
 }
@@ -228,7 +303,7 @@ impl<'a> Pool<'a> {
                 .map(|_| engine.session(max_seq_hint, max_prompt_hint))
                 .collect(),
             schedulers: (0..replicas).map(|_| policy.build()).collect(),
-            loads: Vec::with_capacity(replicas),
+            loads: vec![IDLE_LOAD; replicas],
         }
     }
 
@@ -240,23 +315,74 @@ impl<'a> Pool<'a> {
         }
     }
 
-    /// Advances every replica through its events strictly before `t`.
+    /// Advances every replica through its events strictly before `t`,
+    /// refreshing its load entry as part of the same pass (stepping is the
+    /// only operation that can change `queue_depth`/`occupancy` or complete
+    /// requests, so the snapshot stays exact between steps).
     fn step_until(&mut self, t: f64) {
         let _stepping = profile_phase("stepping");
-        for (session, scheduler) in self.sessions.iter_mut().zip(self.schedulers.iter_mut()) {
+        for ((session, scheduler), load) in self
+            .sessions
+            .iter_mut()
+            .zip(self.schedulers.iter_mut())
+            .zip(self.loads.iter_mut())
+        {
             session.step_until(t, scheduler.as_mut());
+            *load = ReplicaLoad {
+                outstanding: session.outstanding(),
+                queue_depth: session.queue_depth(),
+                occupancy: session.occupancy(),
+            };
         }
     }
 
-    /// Refreshes and returns the per-replica load snapshot.
-    fn loads(&mut self) -> &[ReplicaLoad] {
-        self.loads.clear();
-        self.loads.extend(self.sessions.iter().map(|s| ReplicaLoad {
-            outstanding: s.outstanding(),
-            queue_depth: s.queue_depth(),
-            occupancy: s.occupancy(),
-        }));
+    /// Injects one arrival into `replica`, updating its load entry in place:
+    /// `outstanding` grows by exactly one, and nothing else changes (the
+    /// arrival event is pending, so it is neither queued nor batched yet).
+    fn inject(&mut self, replica: usize, id: usize, request: TraceRequest) {
+        self.sessions[replica].inject(id, request);
+        self.loads[replica].outstanding += 1;
+    }
+
+    /// [`Pool::inject`] for a fully prefilled arrival (the decode side of a
+    /// disaggregated handoff) — same incremental load bump.
+    fn inject_prefilled(&mut self, replica: usize, id: usize, request: TraceRequest) {
+        self.sessions[replica].inject_prefilled(id, request);
+        self.loads[replica].outstanding += 1;
+    }
+
+    /// The per-replica load snapshot, maintained *incrementally*: refreshed
+    /// replica-by-replica while stepping and bumped on injection, instead of
+    /// rebuilt from every session at every routing decision. In debug builds
+    /// every read cross-checks against a full rebuild; the property test in
+    /// this module pins the equivalence on randomized traces.
+    fn loads(&self) -> &[ReplicaLoad] {
+        debug_assert_eq!(
+            self.loads,
+            self.rebuilt_loads(),
+            "incremental load snapshot diverged from a rebuild"
+        );
         &self.loads
+    }
+
+    /// Rebuilds the load snapshot from the sessions — the reference the
+    /// incremental snapshot is asserted against.
+    fn rebuilt_loads(&self) -> Vec<ReplicaLoad> {
+        self.sessions
+            .iter()
+            .map(|s| ReplicaLoad {
+                outstanding: s.outstanding(),
+                queue_depth: s.queue_depth(),
+                occupancy: s.occupancy(),
+            })
+            .collect()
+    }
+
+    /// Recomputes every load entry from its session — required after
+    /// restoring sessions from a prefix checkpoint, which bypasses the
+    /// incremental update paths.
+    fn refresh_loads(&mut self) {
+        self.loads = self.rebuilt_loads();
     }
 
     /// Drains every replica to completion and returns the per-replica results.
@@ -311,6 +437,85 @@ impl<'a> ReplicaRun<'a> {
             queue_depth: self.session.queue_depth(),
             occupancy: self.session.occupancy(),
         }
+    }
+}
+
+/// Arrivals per speculation chunk of the optimistic driver: one window
+/// barrier (and one snapshot per replica) per chunk, instead of one barrier
+/// per arrival. Large enough to amortize the barrier, small enough that a
+/// mispredicted replica replays little.
+const SPEC_CHUNK: usize = 32;
+
+/// One replica under the optimistic driver: the run plus its chunk-entry
+/// checkpoint and the injection plan its worker replays next window.
+struct SpecReplica<'a> {
+    run: ReplicaRun<'a>,
+    /// Chunk-entry session snapshot — the rollback target.
+    snapshot: Option<SessionSnapshot>,
+    /// Chunk-entry scheduler state (forked again on every rollback, so the
+    /// saved copy stays pristine).
+    saved_sched: Option<Box<dyn Scheduler>>,
+    /// Completions logged before the chunk: validation reads the completion
+    /// times appended since.
+    base_completed: usize,
+    /// `(arrival_ns, id)` injections for the next window, in trace order.
+    plan: Vec<(f64, usize)>,
+    /// Roll back to the chunk-entry checkpoint before replaying `plan`.
+    restore_first: bool,
+}
+
+impl SpecReplica<'_> {
+    /// Executes one speculation window on the worker thread: optionally roll
+    /// back to the chunk checkpoint, replay the injection plan (pausing at
+    /// each arrival, the sequential driver's exact call pattern), then
+    /// free-run to the window horizon.
+    fn step_window(&mut self, trace: &Trace, horizon: f64) {
+        if self.restore_first {
+            let _replay = profile_phase("speculation_replay");
+            self.run
+                .session
+                .restore(self.snapshot.as_ref().expect("rollback without a snapshot"));
+            self.run.scheduler = self
+                .saved_sched
+                .as_ref()
+                .expect("rollback without a scheduler")
+                .fork();
+            self.restore_first = false;
+        }
+        for &(t, id) in &self.plan {
+            self.run.session.step_until(t, self.run.scheduler.as_mut());
+            self.run.session.inject(id, trace.requests[id]);
+        }
+        self.plan.clear();
+        self.run.step_until(horizon);
+    }
+}
+
+/// A routed-prefix checkpoint: the whole colocated fleet's state after
+/// routing and injecting the first `p` trace arrivals, with every replica
+/// stepped strictly before the `p`-th arrival instant — a pure function of
+/// the prefix and the cell's semantic config, which is exactly what its
+/// content address covers (see the module docs). Stored in
+/// [`FleetMemo`](crate::memo::FleetMemo)'s in-memory checkpoint store;
+/// restoring one and simulating the tail is byte-identical to a cold run.
+pub struct FleetCheckpoint {
+    /// Per-replica `(session, scheduler)` state. Schedulers sit behind a
+    /// mutex only to make the stored trait object shareable; restores fork
+    /// the state out and never mutate the stored copy.
+    replicas: Vec<(SessionSnapshot, Mutex<Box<dyn Scheduler>>)>,
+    /// Router state after the prefix's route decisions (entropy stream
+    /// position included).
+    router: Mutex<Box<dyn Router>>,
+    /// The prefix's replica assignment.
+    assignment: Vec<u32>,
+}
+
+impl std::fmt::Debug for FleetCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetCheckpoint")
+            .field("replicas", &self.replicas.len())
+            .field("routed_prefix", &self.assignment.len())
+            .finish_non_exhaustive()
     }
 }
 
@@ -902,6 +1107,7 @@ pub struct FleetSim<'a> {
     model: &'a ModelConfig,
     recorder: Option<Arc<TraceRecorder>>,
     trace_prefix: String,
+    metrics: MetricsHub,
 }
 
 impl<'a> FleetSim<'a> {
@@ -913,7 +1119,17 @@ impl<'a> FleetSim<'a> {
             model,
             recorder: None,
             trace_prefix: String::new(),
+            metrics: MetricsHub::disabled(),
         }
+    }
+
+    /// Attaches a metrics hub: the drivers then count speculation
+    /// commits/rollbacks and prefix-checkpoint hits/misses onto it.
+    /// Write-only, like the trace recorder — an attached hub never changes
+    /// the simulation output (module docs).
+    pub fn with_metrics(mut self, metrics: MetricsHub) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Records every run onto `recorder`: driver events (routes, handoffs,
@@ -1384,7 +1600,7 @@ impl<'a> FleetSim<'a> {
                     sink.emit(|| {
                         TraceEvent::instant("route", t, id as u64).arg("replica", choice as f64)
                     });
-                    prefill.sessions[choice].inject(id, pre_request);
+                    prefill.inject(choice, id, pre_request);
                     assignment.push(choice as u32);
                 }
                 DisEv::Slow {
@@ -1465,7 +1681,7 @@ impl<'a> FleetSim<'a> {
                 TraceEvent::instant("route", request.arrival_ns, id as u64)
                     .arg("replica", choice as f64)
             });
-            pool.sessions[choice].inject(id, *request);
+            pool.inject(choice, id, *request);
             assignment.push(choice as u32);
         }
         colocated_result(pool.finish(), assignment)
@@ -1564,7 +1780,7 @@ impl<'a> FleetSim<'a> {
                 "router returned replica {choice}"
             );
             sink.emit(|| TraceEvent::instant("route", t, id as u64).arg("replica", choice as f64));
-            prefill.sessions[choice].inject(id, pre_request);
+            prefill.inject(choice, id, pre_request);
             assignment.push(choice as u32);
         }
 
@@ -1594,10 +1810,13 @@ impl<'a> FleetSim<'a> {
     }
 
     /// Parallel colocated execution. Load-oblivious routers take the
-    /// decoupled free-running driver; load-aware routers take the windowed
+    /// decoupled free-running driver; load-aware routers take the optimistic
+    /// speculation driver when [`FleetConfig::speculation`] allows it and no
+    /// trace recorder is attached (recorders want per-arrival window/route
+    /// instants, which only lockstep emits), otherwise the windowed lockstep
     /// driver whose per-replica horizon sequence is [`Self::run_colocated`]'s
-    /// verbatim. Both are bit-identical to the sequential driver (module
-    /// docs).
+    /// verbatim. All three are bit-identical to the sequential driver
+    /// (module docs).
     fn run_colocated_parallel(
         &self,
         trace: &Trace,
@@ -1649,6 +1868,8 @@ impl<'a> FleetSim<'a> {
                 .map(|(run, _)| run.session.finish())
                 .collect();
             colocated_result(results, assignment)
+        } else if config.speculation && self.recorder.is_none() {
+            self.run_colocated_speculative(trace, replicas, config, runs, router)
         } else {
             // Windowed: advance every replica to each arrival horizon, then
             // snapshot loads — the sequential driver's exact call pattern.
@@ -1681,6 +1902,288 @@ impl<'a> FleetSim<'a> {
             let results = runs.into_iter().map(|run| run.session.finish()).collect();
             colocated_result(results, assignment)
         }
+    }
+
+    /// The optimistic chunked-speculation driver for load-aware routers in a
+    /// parallel colocated fleet: checkpoint → predict → speculate →
+    /// validate/rollback, per [`SPEC_CHUNK`]-arrival chunk (full protocol
+    /// and exactness argument in the module docs). Bit-identical to
+    /// [`Self::run_colocated`] for any worker count; the windowed lockstep
+    /// driver remains the oracle (`FleetConfig { speculation: false, .. }`).
+    fn run_colocated_speculative(
+        &self,
+        trace: &Trace,
+        replicas: usize,
+        config: &FleetConfig,
+        runs: Vec<ReplicaRun<'_>>,
+        router: Box<dyn Router>,
+    ) -> FleetResult {
+        let router_name = router.name();
+        let specs: Vec<SpecReplica<'_>> = runs
+            .into_iter()
+            .map(|run| SpecReplica {
+                run,
+                snapshot: None,
+                saved_sched: None,
+                base_completed: 0,
+                plan: Vec::with_capacity(SPEC_CHUNK),
+                restore_first: false,
+            })
+            .collect();
+        let (specs, assignment) = run_windowed(
+            specs,
+            config.workers,
+            |_, spec: &mut SpecReplica<'_>, horizon| spec.step_window(trace, horizon),
+            |windows| {
+                let mut committed = router;
+                let mut assignment: Vec<u32> = Vec::with_capacity(trace.len());
+                let (mut fixes, mut rollbacks, mut chunks) = (0u64, 0u64, 0u64);
+                let mut start = 0usize;
+                while start < trace.len() {
+                    let end = (start + SPEC_CHUNK).min(trace.len());
+                    let t_last = trace.requests[end - 1].arrival_ns;
+                    // 1. Checkpoint every replica; its live outstanding
+                    // count seeds the prediction.
+                    let outstanding0: Vec<usize> = (0..replicas)
+                        .map(|r| {
+                            windows.with(r, |spec| {
+                                let _clone = profile_phase("snapshot_clone");
+                                spec.snapshot = Some(spec.run.session.snapshot());
+                                spec.saved_sched = Some(spec.run.scheduler.fork());
+                                spec.base_completed = spec.run.session.completed();
+                                spec.run.session.outstanding()
+                            })
+                        })
+                        .collect();
+                    // 2. Predict: a router fork routes the chunk against
+                    // loads that count speculated injections but ignore
+                    // completions.
+                    let mut spec_router = committed.fork();
+                    let mut predicted = outstanding0.clone();
+                    let mut choices: Vec<usize> = Vec::with_capacity(end - start);
+                    for k in start..end {
+                        let loads: Vec<ReplicaLoad> = predicted
+                            .iter()
+                            .map(|&outstanding| ReplicaLoad {
+                                outstanding,
+                                queue_depth: 0,
+                                occupancy: 0,
+                            })
+                            .collect();
+                        let choice = {
+                            let _routing = profile_phase("routing");
+                            spec_router.route(k, &trace.requests[k], &loads)
+                        };
+                        assert!(choice < replicas, "router returned replica {choice}");
+                        predicted[choice] += 1;
+                        choices.push(choice);
+                    }
+                    // 3. Speculate: publish per-replica injection plans and
+                    // free-run the whole chunk in one window.
+                    for r in 0..replicas {
+                        let plan = chunk_plan(trace, start..end, &choices, r);
+                        windows.with(r, |spec| spec.plan = plan);
+                    }
+                    windows.advance(t_last);
+                    // 4. Validate against exactly reconstructed sequential
+                    // loads; fix the first divergence, roll the two affected
+                    // replicas back, repeat. Completions strictly before an
+                    // arrival are unaffected by mispredictions at or after
+                    // it (module docs), and each pass strictly advances the
+                    // first-divergence index, so this terminates.
+                    loop {
+                        let done: Vec<Vec<f64>> = (0..replicas)
+                            .map(|r| {
+                                windows.with(r, |spec| {
+                                    (spec.base_completed..spec.run.session.completed())
+                                        .map(|nth| spec.run.session.completion_time_at(nth))
+                                        .collect()
+                                })
+                            })
+                            .collect();
+                        let mut validator = committed.fork();
+                        let mut cursor = vec![0usize; replicas];
+                        let mut injected = vec![0usize; replicas];
+                        let mut divergence: Option<(usize, usize, usize)> = None;
+                        for k in start..end {
+                            let t_k = trace.requests[k].arrival_ns;
+                            let loads: Vec<ReplicaLoad> = (0..replicas)
+                                .map(|r| {
+                                    while cursor[r] < done[r].len() && done[r][cursor[r]] < t_k {
+                                        cursor[r] += 1;
+                                    }
+                                    ReplicaLoad {
+                                        outstanding: outstanding0[r] + injected[r] - cursor[r],
+                                        queue_depth: 0,
+                                        occupancy: 0,
+                                    }
+                                })
+                                .collect();
+                            let choice = {
+                                let _routing = profile_phase("routing");
+                                validator.route(k, &trace.requests[k], &loads)
+                            };
+                            assert!(choice < replicas, "router returned replica {choice}");
+                            if choice != choices[k - start] {
+                                divergence = Some((k, choices[k - start], choice));
+                                break;
+                            }
+                            injected[choice] += 1;
+                        }
+                        let Some((k, wrong, right)) = divergence else {
+                            // Clean pass: the validator consumed exactly the
+                            // sequential driver's route calls — commit it.
+                            committed = validator;
+                            break;
+                        };
+                        let _rollback = profile_phase("rollback");
+                        fixes += 1;
+                        rollbacks += 2;
+                        choices[k - start] = right;
+                        for r in [wrong, right] {
+                            let plan = chunk_plan(trace, start..end, &choices, r);
+                            windows.with(r, |spec| {
+                                spec.restore_first = true;
+                                spec.plan = plan;
+                            });
+                        }
+                        windows.advance(t_last);
+                    }
+                    assignment.extend(choices.iter().map(|&c| c as u32));
+                    chunks += 1;
+                    start = end;
+                }
+                windows.advance(f64::INFINITY);
+                let labels: &[(&str, &str)] = &[("router", router_name)];
+                self.metrics
+                    .counter("fleet_speculation_hits", labels, trace.len() as u64 - fixes);
+                self.metrics
+                    .counter("fleet_speculation_misses", labels, fixes);
+                self.metrics
+                    .counter("fleet_speculation_rollbacks", labels, rollbacks);
+                self.metrics
+                    .counter("fleet_speculation_chunks", labels, chunks);
+                assignment
+            },
+        );
+        let results = specs
+            .into_iter()
+            .map(|spec| spec.run.session.finish())
+            .collect();
+        colocated_result(results, assignment)
+    }
+
+    /// The sequential colocated driver with routed-prefix checkpointing: the
+    /// run restores the longest stored checkpoint matching its trace prefix
+    /// and semantic config, simulates only the tail, and stores fresh
+    /// checkpoints every `every` arrivals (and at the trace end) for later
+    /// cells to reuse — byte-identical to a cold [`FleetSim::run`] (module
+    /// docs). Falls back to [`FleetSim::run`] when checkpointing cannot
+    /// apply: `every == 0`, an empty trace, a non-colocated mode, or an
+    /// attached trace recorder (snapshots don't capture trace sinks).
+    pub fn run_checkpointed(
+        &self,
+        trace: &Trace,
+        config: &FleetConfig,
+        checkpoints: &MemoStore<FleetCheckpoint>,
+        every: usize,
+    ) -> FleetResult {
+        let FleetMode::Colocated { replicas } = config.mode else {
+            return self.run(trace, config);
+        };
+        if every == 0 || trace.is_empty() || self.recorder.is_some() {
+            return self.run(trace, config);
+        }
+        let engine = Engine::new(self.sim, self.model, config.engine);
+        let (max_seq, max_prompt) = trace_bounds(trace);
+        let mut pool = Pool::new(&engine, replicas, config.policy, max_seq, max_prompt);
+        let mut router = config.router.build(config.seed, streams::ROUTER_FRONT, 0);
+        let mut assignment = Vec::with_capacity(trace.len());
+        let labels: &[(&str, &str)] = &[("router", config.router.name())];
+        // The Debug-rendered config half of the key is identical for every
+        // probe and store of this run — fold it once and branch per prefix.
+        let key_base = self.checkpoint_key_base(config);
+        let key = |prefix: usize| fold_trace_prefix(key_base.clone(), trace, prefix).finish();
+
+        // Longest stored prefix: the whole trace first, then multiples of
+        // `every` descending.
+        let mut start = 0usize;
+        let mut probe = trace.len();
+        while probe > 0 {
+            if let Some(cp) = checkpoints.get(key(probe)) {
+                let _restore = profile_phase("snapshot_clone");
+                assert_eq!(
+                    cp.replicas.len(),
+                    replicas,
+                    "checkpoint key covers replicas"
+                );
+                for (slot, (snap, sched)) in cp.replicas.iter().enumerate() {
+                    pool.sessions[slot].restore(snap);
+                    pool.schedulers[slot] =
+                        sched.lock().expect("checkpoint scheduler poisoned").fork();
+                }
+                pool.refresh_loads();
+                router = cp.router.lock().expect("checkpoint router poisoned").fork();
+                assignment = cp.assignment.clone();
+                start = probe;
+                break;
+            }
+            probe = (probe - 1) / every * every;
+        }
+        self.metrics.counter(
+            if start > 0 {
+                "fleet_prefix_checkpoint_hits"
+            } else {
+                "fleet_prefix_checkpoint_misses"
+            },
+            labels,
+            1,
+        );
+        self.metrics
+            .counter("fleet_prefix_arrivals_restored", labels, start as u64);
+        self.metrics
+            .counter("fleet_prefix_arrivals_total", labels, trace.len() as u64);
+
+        for (id, request) in trace.requests.iter().enumerate().skip(start) {
+            if id > 0 && id % every == 0 && id > start {
+                checkpoints.get_or_insert_with(key(id), || {
+                    fleet_checkpoint(&pool, router.as_ref(), &assignment)
+                });
+            }
+            pool.step_until(request.arrival_ns);
+            let choice = {
+                let _routing = profile_phase("routing");
+                router.route(id, request, pool.loads())
+            };
+            assert!(choice < replicas, "router returned replica {choice}");
+            pool.inject(choice, id, *request);
+            assignment.push(choice as u32);
+        }
+        if start < trace.len() {
+            checkpoints.get_or_insert_with(key(trace.len()), || {
+                fleet_checkpoint(&pool, router.as_ref(), &assignment)
+            });
+        }
+        colocated_result(pool.finish(), assignment)
+    }
+
+    /// The prefix-independent half of a checkpoint key: every semantic input
+    /// that shapes the fleet's state — system, model, mode, router, policy,
+    /// engine config, seed — and nothing that cannot change bits (worker
+    /// counts, the speculation knob, `every` itself). Callers clone the
+    /// returned builder and fold the routed prefix as a standalone trace.
+    fn checkpoint_key_base(&self, config: &FleetConfig) -> FingerprintBuilder {
+        /// Domain tag separating checkpoint keys from every other memo key.
+        const PREFIX_CHECKPOINT_DOMAIN: u64 = 0xF1EE_7C8E;
+        FingerprintBuilder::new()
+            .u64(PREFIX_CHECKPOINT_DOMAIN)
+            .debug(self.sim.config())
+            .debug(self.model)
+            .debug(&config.mode)
+            .debug(&config.router)
+            .debug(&config.policy)
+            .debug(&config.engine)
+            .u64(config.seed)
     }
 
     /// Parallel disaggregated execution: decoupled two-phase reconstruction
@@ -1982,6 +2485,38 @@ impl<'a> FleetSim<'a> {
 
 /// Assembles a colocated fleet's per-replica results — shared by the
 /// sequential and both parallel drivers, so they cannot drift.
+/// The `(arrival_ns, id)` injection plan for `replica` over the speculation
+/// chunk `range`, given the chunk's per-arrival `choices` (indexed from
+/// `range.start`) — trace order, the sequential driver's injection order.
+fn chunk_plan(
+    trace: &Trace,
+    range: std::ops::Range<usize>,
+    choices: &[usize],
+    replica: usize,
+) -> Vec<(f64, usize)> {
+    let start = range.start;
+    range
+        .filter(|&k| choices[k - start] == replica)
+        .map(|k| (trace.requests[k].arrival_ns, k))
+        .collect()
+}
+
+/// Snapshots the whole colocated fleet into a routed-prefix checkpoint:
+/// per-replica sessions and schedulers, the router, the assignment so far.
+fn fleet_checkpoint(pool: &Pool<'_>, router: &dyn Router, assignment: &[u32]) -> FleetCheckpoint {
+    let _clone = profile_phase("snapshot_clone");
+    FleetCheckpoint {
+        replicas: pool
+            .sessions
+            .iter()
+            .zip(pool.schedulers.iter())
+            .map(|(session, scheduler)| (session.snapshot(), Mutex::new(scheduler.fork())))
+            .collect(),
+        router: Mutex::new(router.fork()),
+        assignment: assignment.to_vec(),
+    }
+}
+
 fn colocated_result(results: Vec<SimResult>, assignment: Vec<u32>) -> FleetResult {
     // Request ids are trace indices, so a linear scatter by id recovers the
     // same ascending order a comparison sort would — without the O(n log n).
@@ -2115,7 +2650,7 @@ fn deliver(
         TraceEvent::instant("handoff", handoff.time_ns, handoff.id as u64)
             .arg("replica", choice as f64)
     });
-    decode.sessions[choice].inject_prefilled(handoff.id, request);
+    decode.inject_prefilled(choice, handoff.id, request);
     decode_assignment[handoff.id] = choice as u32;
 }
 
@@ -2154,6 +2689,81 @@ mod tests {
 
     fn small_trace(n: usize) -> Trace {
         Scenario::chat().generate(40.0, n, 99)
+    }
+
+    /// The incremental-load micro-fix's property: the load snapshot the pool
+    /// maintains in place (refreshed while stepping, bumped on inject) is
+    /// equal to a full per-session rebuild at *every* routing decision, over
+    /// randomized traces and every shipped policy. (Debug builds also
+    /// cross-check inside every `Pool::loads` call; this pins the property
+    /// for release builds and exercises it deliberately.)
+    #[test]
+    fn incremental_loads_match_rebuilt_at_every_decision() {
+        let (sim, model) = setup();
+        for (seed, policy) in [
+            (11u64, PolicyKind::Continuous),
+            (23, PolicyKind::FcfsStatic),
+            (37, PolicyKind::ChunkedPrefill { chunk_tokens: 64 }),
+        ] {
+            let trace = Scenario::summarization().generate(25.0, 50, seed);
+            let engine = Engine::new(&sim, &model, EngineConfig::default());
+            let (max_seq, max_prompt) = trace_bounds(&trace);
+            let mut pool = Pool::new(&engine, 3, policy, max_seq, max_prompt);
+            let mut router = RouterKind::Jsq.build(seed, streams::ROUTER_FRONT, 0);
+            for (id, request) in trace.requests.iter().enumerate() {
+                pool.step_until(request.arrival_ns);
+                assert_eq!(pool.loads, pool.rebuilt_loads(), "post-step, id {id}");
+                let choice = router.route(id, request, pool.loads());
+                pool.inject(choice, id, *request);
+                assert_eq!(pool.loads, pool.rebuilt_loads(), "post-inject, id {id}");
+            }
+            pool.step_until(f64::INFINITY);
+            assert_eq!(pool.loads, pool.rebuilt_loads(), "drained");
+        }
+    }
+
+    /// The speculative driver's in-module smoke: optimistic ≡ sequential ≡
+    /// lockstep for a JSQ fleet, with the config knob selecting the driver.
+    #[test]
+    fn speculative_driver_matches_sequential_and_lockstep() {
+        let (sim, model) = setup();
+        let fleet = FleetSim::new(&sim, &model);
+        let trace = Scenario::summarization().generate(20.0, 70, 0xCAFE);
+        let mut config = FleetConfig {
+            router: RouterKind::Jsq,
+            ..FleetConfig::colocated(3)
+        };
+        let sequential = fleet.run(&trace, &config);
+        config.workers = 4;
+        assert!(
+            fleet.run(&trace, &config) == sequential,
+            "optimistic diverged"
+        );
+        config.speculation = false;
+        assert!(
+            fleet.run(&trace, &config) == sequential,
+            "lockstep diverged"
+        );
+    }
+
+    /// Checkpointed sequential driver ≡ plain sequential driver, cold and
+    /// warm, including a warm run that restores the full-trace checkpoint.
+    #[test]
+    fn checkpointed_driver_is_bit_identical_cold_and_warm() {
+        let (sim, model) = setup();
+        let fleet = FleetSim::new(&sim, &model);
+        let trace = small_trace(40);
+        let config = FleetConfig {
+            router: RouterKind::Jsq,
+            ..FleetConfig::colocated(3)
+        };
+        let expected = fleet.run(&trace, &config);
+        let store = MemoStore::new();
+        let cold = fleet.run_checkpointed(&trace, &config, &store, 16);
+        assert!(cold == expected, "cold checkpointed run diverged");
+        assert!(!store.is_empty(), "cold run stored no checkpoints");
+        let warm = fleet.run_checkpointed(&trace, &config, &store, 16);
+        assert!(warm == expected, "warm checkpointed run diverged");
     }
 
     #[test]

@@ -59,6 +59,7 @@ fn single_replica_fleet_is_bit_identical_to_plain_engine_run() {
                             engine: engine_config,
                             seed: 1,
                             workers: 0,
+                            speculation: true,
                         };
                         let fleet = FleetSim::new(&sim, &model).run(&trace, &config);
                         assert_eq!(

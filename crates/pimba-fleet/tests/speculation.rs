@@ -1,0 +1,361 @@
+//! The optimistic-execution contract: chunked speculation with rollback for
+//! load-aware routers is **bit-identical** to the sequential co-simulation
+//! for any worker count — on traces engineered to break it (JSQ load ties,
+//! po2 sampling near decision boundaries, arrivals landing exactly on
+//! speculation-chunk horizons, faults inside speculated windows) — and
+//! routed-prefix checkpoints restore byte-identical state across grid cells
+//! that share a trace prefix.
+
+use pimba_fleet::cluster::{FleetConfig, FleetMode, FleetSim};
+use pimba_fleet::fault::FaultPlan;
+use pimba_fleet::memo::FleetMemo;
+use pimba_fleet::router::RouterKind;
+use pimba_fleet::runner::{FleetGrid, FleetRunner};
+use pimba_models::config::{ModelConfig, ModelFamily, ModelScale};
+use pimba_serve::traffic::{Scenario, Trace, TraceRequest};
+use pimba_system::config::{SystemConfig, SystemKind};
+use pimba_system::memo::MemoStore;
+use pimba_system::obs::{MetricValue, MetricsHub};
+use pimba_system::serving::ServingSimulator;
+use pimba_system::transfer::StateTransferModel;
+use proptest::prelude::*;
+
+fn setup() -> (ServingSimulator, ModelConfig) {
+    (
+        ServingSimulator::new(SystemConfig::small_scale(SystemKind::Pimba)),
+        ModelConfig::preset(ModelFamily::Mamba2, ModelScale::Small),
+    )
+}
+
+fn config(replicas: usize, router: RouterKind) -> FleetConfig {
+    let mut config = FleetConfig::colocated(replicas);
+    config.router = router;
+    config.engine.max_batch = 8;
+    config.engine.seq_bucket = 32;
+    config
+}
+
+fn counter(hub: &MetricsHub, name: &str) -> u64 {
+    hub.snapshot()
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| match s.value {
+            MetricValue::Counter(n) => n,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// A trace built to maximize speculative divergence: waves of simultaneous
+/// arrivals (JSQ ties broken by index, so any completion misprediction flips
+/// the winner) interleaved with arrivals at exact multiples of the
+/// speculation chunk size, prompt/output lengths cycling so replica
+/// completions straddle the chunk horizons.
+fn adversarial_trace(n: usize, wave: usize, gap_ns: f64) -> Trace {
+    let requests = (0..n)
+        .map(|i| TraceRequest {
+            arrival_ns: (i / wave.max(1)) as f64 * gap_ns,
+            prompt_len: 16 + 24 * (i % 7),
+            output_len: 2 + 5 * (i % 4),
+            tenant: (i % 3) as u32,
+            priority: 0,
+        })
+        .collect();
+    Trace::from_requests(requests)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole property, adversarially: for tie-heavy bursty traces,
+    /// every load-aware router and worker counts spanning the rollback path,
+    /// optimistic ≡ sequential to the bit.
+    #[test]
+    fn speculation_is_bit_identical_on_adversarial_traces(
+        n in 20usize..120,
+        wave in 1usize..6,
+        gap_us in 40.0f64..4000.0,
+        replicas in 2usize..5,
+        router_idx in 0usize..2,
+    ) {
+        let (sim, model) = setup();
+        let fleet = FleetSim::new(&sim, &model);
+        let router = [RouterKind::Jsq, RouterKind::PowerOfTwo][router_idx];
+        let trace = adversarial_trace(n, wave, gap_us * 1e3);
+        let mut cfg = config(replicas, router);
+        let sequential = fleet.run(&trace, &cfg);
+        for workers in [2, 8] {
+            cfg.workers = workers;
+            cfg.speculation = true;
+            let optimistic = fleet.run(&trace, &cfg);
+            prop_assert!(
+                optimistic == sequential,
+                "optimistic diverged: {}/workers={workers}/n={n}/wave={wave}",
+                router.name()
+            );
+            cfg.speculation = false;
+            let lockstep = fleet.run(&trace, &cfg);
+            prop_assert!(
+                lockstep == sequential,
+                "lockstep diverged: {}/workers={workers}",
+                router.name()
+            );
+        }
+    }
+
+    /// The rollback path under fire: Poisson traces at service-time-scale
+    /// inter-arrival gaps make the completion-blind load prediction wrong
+    /// for a large fraction of arrivals (measured 30-60%+ miss rates on
+    /// these scenarios), so every case replays mispredicted chunks — and
+    /// must still commit bits identical to the sequential oracle.
+    #[test]
+    fn rollback_replay_is_bit_identical_on_miss_heavy_traces(
+        rate in 4.0f64..80.0,
+        n in 40usize..140,
+        seed in 0u64..1000,
+        replicas in 2usize..5,
+        router_idx in 0usize..2,
+        scenario_idx in 0usize..2,
+    ) {
+        let (sim, model) = setup();
+        let fleet = FleetSim::new(&sim, &model);
+        let router = [RouterKind::Jsq, RouterKind::PowerOfTwo][router_idx];
+        let scenario = [Scenario::reasoning(), Scenario::summarization()][scenario_idx].clone();
+        let trace = scenario.generate(rate, n, seed);
+        let mut cfg = config(replicas, router);
+        let sequential = fleet.run(&trace, &cfg);
+        for workers in [2, 8] {
+            cfg.workers = workers;
+            let optimistic = fleet.run(&trace, &cfg);
+            prop_assert!(
+                optimistic == sequential,
+                "rollback diverged: {}/workers={workers}/rate={rate}/seed={seed}",
+                router.name()
+            );
+        }
+    }
+}
+
+/// Arrivals landing exactly on speculation-chunk boundaries (chunk size 32):
+/// trace lengths at, just under and just over multiples of the chunk, with
+/// every arrival in a chunk sharing one timestamp — the exclusive-horizon
+/// tie-breaking must survive the chunked free-run.
+#[test]
+fn chunk_boundary_arrivals_stay_bit_identical() {
+    let (sim, model) = setup();
+    let fleet = FleetSim::new(&sim, &model);
+    for n in [31, 32, 33, 64, 65, 96] {
+        let trace = adversarial_trace(n, 8, 250e3);
+        for router in [RouterKind::Jsq, RouterKind::PowerOfTwo] {
+            let mut cfg = config(3, router);
+            let sequential = fleet.run(&trace, &cfg);
+            for workers in [2, 8] {
+                cfg.workers = workers;
+                let optimistic = fleet.run(&trace, &cfg);
+                assert!(
+                    optimistic == sequential,
+                    "diverged at n={n}, {}, workers={workers}",
+                    router.name()
+                );
+            }
+        }
+    }
+}
+
+/// The speculation metrics prove the optimistic driver actually engages —
+/// and, on this workload, that the rollback path actually fires (misses
+/// measured > 0): hits + misses == arrivals, chunks counted, and the
+/// no-perturbation invariant holds — attaching the hub changes nothing.
+#[test]
+fn speculation_metrics_report_hits_and_misses_without_perturbation() {
+    let (sim, model) = setup();
+    let trace = Scenario::summarization().generate(20.0, 90, 0xBEEF);
+    let mut cfg = config(4, RouterKind::Jsq);
+    cfg.workers = 4;
+    let bare = FleetSim::new(&sim, &model).run(&trace, &cfg);
+    let hub = MetricsHub::new();
+    let metered = FleetSim::new(&sim, &model)
+        .with_metrics(hub.clone())
+        .run(&trace, &cfg);
+    assert!(metered == bare, "metrics hub perturbed the simulation");
+    let hits = counter(&hub, "fleet_speculation_hits");
+    let misses = counter(&hub, "fleet_speculation_misses");
+    let chunks = counter(&hub, "fleet_speculation_chunks");
+    assert_eq!(
+        hits + misses,
+        trace.len() as u64,
+        "every arrival is exactly one speculation outcome"
+    );
+    assert_eq!(chunks, trace.len().div_ceil(32) as u64);
+    assert!(misses > 0, "this workload must exercise the rollback path");
+    // Rollbacks restore exactly two replicas per fix.
+    assert_eq!(counter(&hub, "fleet_speculation_rollbacks"), misses * 2);
+}
+
+/// A fault plan firing inside what would be a speculated window: non-empty
+/// plans run the dedicated sequential faulted driver whatever `workers`
+/// says, so results match across worker counts bit for bit — and an empty
+/// plan still routes through the (speculative) fault-free path unchanged.
+#[test]
+fn faults_inside_speculated_windows_stay_bit_identical() {
+    let (sim, model) = setup();
+    let fleet = FleetSim::new(&sim, &model);
+    let trace = adversarial_trace(80, 4, 400e3);
+    let mut cfg = config(3, RouterKind::Jsq);
+
+    // Crash + restart timed inside the second speculation chunk's window.
+    let crash_ns = trace.requests[40].arrival_ns + 1.0;
+    let plan = FaultPlan::default()
+        .crash(crash_ns, 1)
+        .restart(crash_ns + 2e6, 1);
+    let sequential = fleet.run_faulted(&trace, &cfg, &plan).expect("valid plan");
+    for workers in [2, 8] {
+        cfg.workers = workers;
+        let parallel = fleet.run_faulted(&trace, &cfg, &plan).expect("valid plan");
+        assert!(
+            parallel == sequential,
+            "faulted run diverged at workers={workers}"
+        );
+    }
+
+    // Empty plan: byte-identical to the plain (speculative) run.
+    let empty = FaultPlan::default();
+    for workers in [0, 2, 8] {
+        cfg.workers = workers;
+        let plain = fleet.run(&trace, &cfg);
+        let faulted = fleet.run_faulted(&trace, &cfg, &empty).expect("valid plan");
+        assert!(
+            faulted == plain,
+            "empty plan perturbed the fleet at workers={workers}"
+        );
+    }
+}
+
+/// Disaggregated fleets keep the windowed driver (handoffs landing on
+/// speculated horizons are exactly why speculation stays colocated-only):
+/// the `speculation` knob must be inert there.
+#[test]
+fn disaggregated_fleets_ignore_the_speculation_knob() {
+    let (sim, model) = setup();
+    let fleet = FleetSim::new(&sim, &model);
+    let trace = Scenario::chat().generate(50.0, 70, 0xD15A);
+    let mut cfg = config(1, RouterKind::Jsq);
+    cfg.mode = FleetMode::Disaggregated {
+        prefill_replicas: 2,
+        decode_replicas: 2,
+        transfer: StateTransferModel::nvlink(),
+    };
+    cfg.speculation = false;
+    let sequential = fleet.run(&trace, &cfg);
+    for workers in [2, 8] {
+        for speculation in [false, true] {
+            cfg.workers = workers;
+            cfg.speculation = speculation;
+            let run = fleet.run(&trace, &cfg);
+            assert!(
+                run == sequential,
+                "disaggregated diverged: workers={workers}, speculation={speculation}"
+            );
+        }
+    }
+}
+
+/// Routed-prefix checkpoints: a fleet whose trace extends another's restores
+/// the stored prefix checkpoint and still produces bytes identical to a cold
+/// run — the cross-cell sub-run reuse the memo grids lean on.
+#[test]
+fn prefix_checkpoints_restore_bit_identical_across_prefix_sharing_runs() {
+    let (sim, model) = setup();
+    let fleet = FleetSim::new(&sim, &model);
+    let long = adversarial_trace(100, 5, 350e3);
+    let short = Trace::from_requests(long.requests[..50].to_vec());
+    let cfg = config(3, RouterKind::Jsq);
+    let every = 25;
+
+    for router in [RouterKind::Jsq, RouterKind::PowerOfTwo] {
+        let mut cfg = cfg.clone();
+        cfg.router = router;
+        let store = MemoStore::new();
+        let cold_short = fleet.run(&short, &cfg);
+        let cold_long = fleet.run(&long, &cfg);
+
+        // Cold checkpointed runs match the plain driver bit for bit.
+        let ck_short = fleet.run_checkpointed(&short, &cfg, &store, every);
+        assert!(
+            ck_short == cold_short,
+            "{}: checkpointed short run diverged",
+            router.name()
+        );
+        // The long trace shares the short trace's whole prefix: its run
+        // restores the stored prefix-50 checkpoint (a warm hit) and only
+        // simulates the tail — still bit-identical to cold.
+        let before = store.stats().hits;
+        let ck_long = fleet.run_checkpointed(&long, &cfg, &store, every);
+        assert!(
+            ck_long == cold_long,
+            "{}: warm long run diverged",
+            router.name()
+        );
+        assert!(
+            store.stats().hits > before,
+            "{}: the prefix-sharing run never hit a stored checkpoint",
+            router.name()
+        );
+
+        // Re-running either trace restores its full-trace checkpoint.
+        let ck_short_again = fleet.run_checkpointed(&short, &cfg, &store, every);
+        assert!(
+            ck_short_again == cold_short,
+            "{}: rerun diverged",
+            router.name()
+        );
+    }
+}
+
+/// The grid-level integration: a memoized grid with prefix checkpoints on
+/// produces records byte-identical to one with them off, and a second grid
+/// at a larger `requests_per_cell` reuses the first grid's checkpoints
+/// mid-trace (trace generation is prefix-stable in the request count).
+#[test]
+fn grids_with_prefix_checkpoints_match_plain_grids_and_reuse_across_cells() {
+    let (_, model) = setup();
+    let grid = FleetGrid::new(model)
+        .with_systems(vec![SystemConfig::small_scale(SystemKind::Pimba)])
+        .with_scenarios(vec![Scenario::chat()])
+        .with_rates(vec![45.0])
+        .with_replica_counts(vec![3])
+        .with_routers(vec![RouterKind::Jsq])
+        .with_requests_per_cell(60)
+        .with_max_batch(8)
+        .with_seq_bucket(32);
+
+    let plain = FleetRunner::new()
+        .with_memo(std::sync::Arc::new(FleetMemo::new()))
+        .run(&grid);
+
+    let memo = std::sync::Arc::new(FleetMemo::new());
+    let checkpointed = FleetRunner::new()
+        .with_memo(std::sync::Arc::clone(&memo))
+        .run(&grid.clone().with_prefix_checkpoints(20));
+    assert_eq!(plain, checkpointed, "prefix checkpoints changed grid bytes");
+    assert!(memo.checkpoints_stored() > 0, "no checkpoints were stored");
+
+    // Same grid, longer traces: the shared 60-request prefix (a stored
+    // multiple of 20) warms the longer cells mid-trace.
+    let longer = FleetRunner::new()
+        .with_memo(std::sync::Arc::clone(&memo))
+        .run(
+            &grid
+                .clone()
+                .with_requests_per_cell(90)
+                .with_prefix_checkpoints(20),
+        );
+    let plain_longer = FleetRunner::new()
+        .with_memo(std::sync::Arc::new(FleetMemo::new()))
+        .run(&grid.with_requests_per_cell(90));
+    assert_eq!(plain_longer, longer, "warm-prefix longer grid diverged");
+    assert!(
+        memo.checkpoint_stats().hits > 0,
+        "longer grid never restored a stored checkpoint"
+    );
+}

@@ -113,13 +113,16 @@ pub mod traffic;
 
 pub use engine::{
     AdmissionMode, BatchSlot, CompletedRequest, Engine, EngineConfig, EngineView, EvictedRequest,
-    Session,
+    Session, SessionSnapshot,
 };
 pub use metrics::{
     Percentiles, PreemptionStats, RequestOutcome, SimResult, SloSpec, Telemetry, TelemetryStats,
     TenantSlos, TenantSummary, TimelinePoint, TrafficSummary,
 };
-pub use runner::{slo_curve, TrafficGrid, TrafficMemo, TrafficRecord, TrafficRunner};
+pub use runner::{
+    fold_trace_prefix, slo_curve, SessionCheckpoint, TrafficGrid, TrafficMemo, TrafficRecord,
+    TrafficRunner,
+};
 pub use sched::{
     Action, ChunkedPrefill, ContinuousBatching, DecodeStability, FcfsStatic,
     MemoryPressureEviction, PolicyKind, Scheduler, VictimOrder, WeightedFairQueueing,

@@ -176,6 +176,20 @@ pub trait Scheduler: Send {
     fn decode_stability(&self, _view: &EngineView<'_>) -> DecodeStability {
         DecodeStability::PerStep
     }
+
+    /// Clones the policy's current state into an independent boxed copy — the
+    /// scheduler half of a replica checkpoint. A speculative fleet driver
+    /// forks the policy alongside [`Session::snapshot`](crate::engine::Session::snapshot)
+    /// so a rollback rewinds *both* halves of the replica; the memo grids fork
+    /// a stored checkpoint's policy on every restore so the stored copy stays
+    /// pristine.
+    ///
+    /// Every shipped policy overrides this with a plain state clone. The
+    /// default panics: a custom policy that never meets a speculative or
+    /// checkpointing driver need not be forkable.
+    fn fork(&self) -> Box<dyn Scheduler> {
+        panic!("scheduler '{}' does not support forking", self.name());
+    }
 }
 
 /// FCFS static batching: a batch is admitted only when the previous one has
@@ -208,6 +222,10 @@ impl Scheduler for FcfsStatic {
     fn decode_stability(&self, _view: &EngineView<'_>) -> DecodeStability {
         DecodeStability::UntilBatchDrains
     }
+
+    fn fork(&self) -> Box<dyn Scheduler> {
+        Box::new(*self)
+    }
 }
 
 /// Continuous batching with prefill priority: at every boundary, admit as many
@@ -239,6 +257,10 @@ impl Scheduler for ContinuousBatching {
     /// [`DecodeStability::UntilAdmissible`] encodes.
     fn decode_stability(&self, _view: &EngineView<'_>) -> DecodeStability {
         DecodeStability::UntilAdmissible
+    }
+
+    fn fork(&self) -> Box<dyn Scheduler> {
+        Box::new(*self)
     }
 }
 
@@ -290,6 +312,10 @@ impl Scheduler for ChunkedPrefill {
     /// continuous batching.
     fn decode_stability(&self, _view: &EngineView<'_>) -> DecodeStability {
         DecodeStability::UntilAdmissible
+    }
+
+    fn fork(&self) -> Box<dyn Scheduler> {
+        Box::new(*self)
     }
 }
 
@@ -548,6 +574,10 @@ impl Scheduler for MemoryPressureEviction {
             AdmissionMode::LiveOccupancy => DecodeStability::PerStep,
         }
     }
+
+    fn fork(&self) -> Box<dyn Scheduler> {
+        Box::new(*self)
+    }
 }
 
 /// Weighted fair queueing across tenant priority classes: queued requests are
@@ -736,6 +766,10 @@ impl Scheduler for WeightedFairQueueing {
     /// fast-forward bit-identity).
     fn decode_stability(&self, _view: &EngineView<'_>) -> DecodeStability {
         DecodeStability::UntilAdmissible
+    }
+
+    fn fork(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
     }
 }
 

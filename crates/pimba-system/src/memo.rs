@@ -45,8 +45,10 @@ impl Fingerprint {
     }
 }
 
-/// Incremental builder of a [`Fingerprint`].
-#[derive(Debug, Default)]
+/// Incremental builder of a [`Fingerprint`]. `Clone` lets callers fold an
+/// expensive common prefix once (e.g. a `Debug`-rendered config) and branch
+/// cheap per-key suffixes off it.
+#[derive(Debug, Default, Clone)]
 pub struct FingerprintBuilder {
     a: FxHasher,
     b: FxHasher,
